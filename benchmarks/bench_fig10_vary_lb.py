@@ -1,0 +1,43 @@
+"""Fig. 10 — GEER runtime when the SMM/AMC switch point ℓ_b is forced off the greedy choice.
+
+Offsets shift ℓ_b away from the greedy rule's pick ℓ_b* (offset 0); the paper's
+finding is a U-shape with the minimum at (or right next to) the greedy choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_table
+from repro.experiments.figures import fig10_vary_switch_point
+from repro.experiments.reporting import format_table
+
+CONFIGS = [
+    ("facebook-syn", 0.2),
+    ("facebook-syn", 0.05),
+    ("dblp-syn", 0.2),
+    ("orkut-syn", 0.05),
+]
+
+
+@pytest.mark.parametrize("dataset,epsilon", CONFIGS)
+def test_fig10_vary_switch_point(benchmark, dataset, epsilon):
+    rows = benchmark.pedantic(
+        lambda: fig10_vary_switch_point(
+            dataset,
+            epsilon=epsilon,
+            offsets=(-6, -4, -2, 0, 2, 4, 6),
+            num_queries=6,
+            rng=7,
+            max_total_steps=20_000_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        f"fig10_vary_lb_{dataset}_eps{str(epsilon).replace('.', '')}",
+        format_table(rows, title=f"Fig. 10 — GEER time vs (lb* + offset), {dataset}, eps={epsilon}"),
+    )
+    times = {row["offset"]: row["avg_time_ms"] for row in rows}
+    # the greedy point is at least competitive with the extreme offsets
+    assert times[0] <= max(times[-6], times[6]) * 1.5

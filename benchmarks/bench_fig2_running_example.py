@@ -1,0 +1,28 @@
+"""Fig. 2 — the running example: traversal path counts vs AMC's Hoeffding budget η*.
+
+Regenerates the right-hand table of Fig. 2 on the 11-node toy graph: the number
+of walks of length ℓ_f starting at the sparse node ``s`` and the dense node
+``t`` (what a deterministic traversal has to enumerate), against the worst-case
+number of random walks η* AMC would need (Eq. (8)) for ε = 0.5, δ = 0.1.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+from repro.experiments.figures import fig2_running_example
+from repro.experiments.reporting import format_table
+
+
+def test_fig2_running_example(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig2_running_example(max_length=8, epsilon=0.5, delta=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig2_running_example",
+        format_table(rows, title="Fig. 2 — #paths vs eta* on the toy graph (eps=0.5, delta=0.1)"),
+    )
+    # the qualitative crossover the paper highlights
+    assert rows[0]["#path(s)+#path(t)"] < rows[0]["eta_star"]
+    assert rows[-1]["#path(s)+#path(t)"] > rows[-1]["eta_star"]

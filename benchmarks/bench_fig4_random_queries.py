@@ -1,0 +1,58 @@
+"""Fig. 4 — average running time vs ε for random PER queries.
+
+Reproduces the runtime panels of Fig. 4: for every dataset in the laptop-scale
+registry, run GEER, AMC, SMM, TP, TPC, RP and EXACT on the same random query
+set over the ε grid and report the average query time.  Methods that exceed the
+per-configuration time budget or whose preprocessing is infeasible (EXACT / RP
+on the larger graphs) are reported as timed-out / skipped — the same role the
+paper's one-day cutoff and out-of-memory failures play.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    BENCH_CONTEXT_OVERRIDES,
+    BENCH_EPSILONS,
+    BENCH_NUM_QUERIES,
+    BENCH_RANDOM_DATASETS,
+    BENCH_TIME_BUDGET_SECONDS,
+    save_table,
+)
+from repro.experiments.figures import fig4_random_query_time
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.parametrize("dataset", BENCH_RANDOM_DATASETS)
+def test_fig4_random_query_time(benchmark, dataset):
+    def run():
+        return fig4_random_query_time(
+            dataset=dataset,
+            epsilons=BENCH_EPSILONS,
+            num_queries=BENCH_NUM_QUERIES,
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+            rng=7,
+            **BENCH_CONTEXT_OVERRIDES,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    time_rows = [
+        {
+            "dataset": row["dataset"],
+            "method": row["method"],
+            "epsilon": row["epsilon"],
+            "avg_time_ms": row["avg_time_ms"],
+            "completed": row["completed"],
+            "timed_out": row["timed_out"],
+            "skipped": row["skipped"],
+        }
+        for row in rows
+    ]
+    save_table(
+        f"fig4_random_query_time_{dataset}",
+        format_table(time_rows, title=f"Fig. 4 — running time vs eps (random queries, {dataset})"),
+    )
+    # sanity: GEER is never skipped and answers queries in every configuration
+    geer_rows = [r for r in rows if r["method"] == "geer"]
+    assert all(r["skipped"] is None and r["completed"] > 0 for r in geer_rows)

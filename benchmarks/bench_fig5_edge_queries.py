@@ -1,0 +1,51 @@
+"""Fig. 5 — average running time vs ε for edge PER queries.
+
+Methods: GEER, AMC, SMM plus the edge-query specialists MC2 and HAY.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    BENCH_CONTEXT_OVERRIDES,
+    BENCH_EDGE_DATASETS,
+    BENCH_EPSILONS,
+    BENCH_NUM_QUERIES,
+    BENCH_TIME_BUDGET_SECONDS,
+    save_table,
+)
+from repro.experiments.figures import fig5_edge_query_time
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.parametrize("dataset", BENCH_EDGE_DATASETS)
+def test_fig5_edge_query_time(benchmark, dataset):
+    def run():
+        return fig5_edge_query_time(
+            dataset=dataset,
+            epsilons=BENCH_EPSILONS,
+            num_queries=BENCH_NUM_QUERIES,
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+            rng=7,
+            **BENCH_CONTEXT_OVERRIDES,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    time_rows = [
+        {
+            "dataset": row["dataset"],
+            "method": row["method"],
+            "epsilon": row["epsilon"],
+            "avg_time_ms": row["avg_time_ms"],
+            "completed": row["completed"],
+            "timed_out": row["timed_out"],
+        }
+        for row in rows
+    ]
+    save_table(
+        f"fig5_edge_query_time_{dataset}",
+        format_table(time_rows, title=f"Fig. 5 — running time vs eps (edge queries, {dataset})"),
+    )
+    geer_rows = [r for r in rows if r["method"] == "geer"]
+    assert all(r["completed"] > 0 for r in geer_rows)

@@ -1,0 +1,52 @@
+"""Fig. 7 — average absolute error vs ε for edge PER queries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import (
+    BENCH_CONTEXT_OVERRIDES,
+    BENCH_EDGE_DATASETS,
+    BENCH_EPSILONS,
+    BENCH_NUM_QUERIES,
+    BENCH_TIME_BUDGET_SECONDS,
+    save_table,
+)
+from repro.experiments.figures import fig7_edge_query_error
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.parametrize("dataset", BENCH_EDGE_DATASETS[:2])
+def test_fig7_edge_query_error(benchmark, dataset):
+    def run():
+        return fig7_edge_query_error(
+            dataset=dataset,
+            epsilons=BENCH_EPSILONS,
+            num_queries=BENCH_NUM_QUERIES,
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+            rng=11,
+            **BENCH_CONTEXT_OVERRIDES,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    error_rows = [
+        {
+            "dataset": row["dataset"],
+            "method": row["method"],
+            "epsilon": row["epsilon"],
+            "avg_abs_error": row["avg_abs_error"],
+            "success_rate": row["success_rate"],
+            "completed": row["completed"],
+        }
+        for row in rows
+    ]
+    save_table(
+        f"fig7_edge_query_error_{dataset}",
+        format_table(error_rows, title=f"Fig. 7 — avg. absolute error vs eps (edge queries, {dataset})"),
+    )
+    for row in rows:
+        if row["method"] in ("geer", "smm") and row["completed"]:
+            if not math.isnan(row["avg_abs_error"]):
+                assert row["avg_abs_error"] <= row["epsilon"] + 1e-9

@@ -1,0 +1,56 @@
+"""Table 1 — empirical check of the complexity separation between AMC/GEER and TP.
+
+The paper's Table 1 is purely asymptotic; this benchmark verifies the two
+empirical signatures that distinguish the new bounds:
+
+* the work of AMC grows roughly like ``1/ε²`` (log-log slope ≈ 2), and
+* at a fixed ε, the work of AMC/GEER *decreases* as the minimum endpoint degree
+  grows (negative log-log correlation), whereas TP's walk budget is
+  degree-independent by construction.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import (
+    table1_complexity_scaling,
+    table1_theoretical_complexities,
+)
+
+
+def test_table1_complexity_scaling(benchmark):
+    def run():
+        amc = table1_complexity_scaling(
+            "facebook-syn", epsilons=(0.4, 0.2, 0.1, 0.05), num_queries=10, method="amc", rng=7
+        )
+        geer = table1_complexity_scaling(
+            "facebook-syn", epsilons=(0.4, 0.2, 0.1, 0.05), num_queries=10, method="geer", rng=7
+        )
+        return amc, geer
+
+    amc_report, geer_report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = table1_theoretical_complexities()
+    rows += amc_report["rows"] + geer_report["rows"]
+    rows.append(
+        {
+            "algorithm": "AMC empirical",
+            "epsilon_scaling_exponent": amc_report["epsilon_scaling_exponent"],
+            "degree_work_correlation": amc_report["degree_work_correlation"],
+        }
+    )
+    rows.append(
+        {
+            "algorithm": "GEER empirical",
+            "epsilon_scaling_exponent": geer_report["epsilon_scaling_exponent"],
+            "degree_work_correlation": geer_report["degree_work_correlation"],
+        }
+    )
+    save_table(
+        "table1_complexity_scaling",
+        format_table(rows, title="Table 1 — theoretical complexities and empirical scaling"),
+    )
+    # AMC's work grows super-linearly in 1/eps and shrinks with the endpoint degree
+    assert amc_report["epsilon_scaling_exponent"] > 1.0
+    assert amc_report["degree_work_correlation"] < 0.0

@@ -1,0 +1,26 @@
+"""Table 3 — statistics of the benchmark datasets (laptop-scale stand-ins)."""
+
+from __future__ import annotations
+
+from conftest import save_table
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table3_dataset_statistics
+
+
+def test_table3_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(table3_dataset_statistics, rounds=1, iterations=1)
+    save_table(
+        "table3_dataset_statistics",
+        format_table(rows, title="Table 3 — benchmark dataset statistics (synthetic stand-ins)"),
+    )
+    by_name = {row["name"]: row for row in rows}
+    # degree regimes mirror the paper: Facebook/Orkut/Friendster dense, DBLP/YouTube sparse
+    assert by_name["orkut-syn"]["avg. degree"] > 40
+    assert by_name["friendster-syn"]["avg. degree"] > 40
+    assert by_name["facebook-syn"]["avg. degree"] > 30
+    assert by_name["dblp-syn"]["avg. degree"] < 10
+    assert by_name["youtube-syn"]["avg. degree"] < 10
+    # all datasets connected and non-bipartite (walkable)
+    for row in rows:
+        assert row["connected"] is True
+        assert row["bipartite"] is False

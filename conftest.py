@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Makes the in-repo sources importable even when the package has not been
+installed (the offline environment lacks the ``wheel`` package needed for a
+PEP 660 editable install, so ``python setup.py develop`` or this path hook are
+the supported routes).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

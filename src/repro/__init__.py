@@ -1,0 +1,101 @@
+"""repro — a full reproduction of "Efficient Estimation of Pairwise Effective Resistance".
+
+The package implements the paper's contributions (the refined truncation length,
+the adaptive Monte Carlo estimator AMC and the greedy hybrid GEER), every
+baseline it compares against (EXACT, MC, MC2, TP, TPC, RP, HAY, SMM), the
+substrates they rely on (CSR graphs, spectral preprocessing, Laplacian solvers,
+vectorised random walks, spanning-tree samplers, concentration bounds), several
+downstream applications (sparsification, clustering, recommendation,
+centrality, robustness) and an experiment harness that regenerates every table
+and figure of the paper's evaluation at laptop scale.
+
+Quickstart
+----------
+>>> import repro
+>>> graph = repro.barabasi_albert_graph(1000, 8, rng=1)
+>>> est = repro.EffectiveResistanceEstimator(graph, rng=1)
+>>> est.estimate(3, 77, epsilon=0.1).value  # doctest: +SKIP
+0.2471...
+"""
+
+from repro.exceptions import (
+    BudgetExceededError,
+    ConvergenceError,
+    GraphStructureError,
+    ReproError,
+)
+from repro.graph import (
+    Graph,
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    dumbbell_graph,
+    erdos_renyi_graph,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    power_law_cluster_graph,
+    read_edge_list,
+    star_graph,
+    stochastic_block_model_graph,
+    toy_running_example,
+    watts_strogatz_graph,
+    write_edge_list,
+)
+from repro.core import (
+    EffectiveResistanceEstimator,
+    EstimateResult,
+    amc_query,
+    geer_query,
+    peng_walk_length,
+    refined_walk_length,
+    smm_estimate,
+)
+from repro.linalg import spectral_radius_second
+from repro.baselines import exact_effective_resistance, ground_truth_resistance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphStructureError",
+    "ConvergenceError",
+    "BudgetExceededError",
+    # graph
+    "Graph",
+    "from_edges",
+    "from_networkx",
+    "from_scipy_sparse",
+    "read_edge_list",
+    "write_edge_list",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "watts_strogatz_graph",
+    "power_law_cluster_graph",
+    "stochastic_block_model_graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "dumbbell_graph",
+    "lollipop_graph",
+    "toy_running_example",
+    # core
+    "EffectiveResistanceEstimator",
+    "EstimateResult",
+    "amc_query",
+    "geer_query",
+    "smm_estimate",
+    "refined_walk_length",
+    "peng_walk_length",
+    "spectral_radius_second",
+    # baselines
+    "exact_effective_resistance",
+    "ground_truth_resistance",
+]

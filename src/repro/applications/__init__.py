@@ -1,0 +1,32 @@
+"""Downstream applications of effective resistance described in the paper's introduction."""
+
+from repro.applications.sparsification import SparsifiedGraph, spectral_sparsify
+from repro.applications.clustering import effective_resistance_clustering
+from repro.applications.recommendation import BipartiteRecommender
+from repro.applications.centrality import (
+    current_flow_closeness,
+    spanning_edge_centrality,
+)
+from repro.applications.robustness import (
+    edge_criticality_ranking,
+    kirchhoff_index,
+)
+from repro.applications.anomaly import (
+    edge_change_scores,
+    most_anomalous_nodes,
+    node_change_scores,
+)
+
+__all__ = [
+    "SparsifiedGraph",
+    "spectral_sparsify",
+    "effective_resistance_clustering",
+    "BipartiteRecommender",
+    "spanning_edge_centrality",
+    "current_flow_closeness",
+    "kirchhoff_index",
+    "edge_criticality_ranking",
+    "edge_change_scores",
+    "node_change_scores",
+    "most_anomalous_nodes",
+]

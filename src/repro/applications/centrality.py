@@ -1,0 +1,77 @@
+"""Centrality measures built on effective resistance.
+
+* **Spanning-edge centrality** of an edge equals its effective resistance
+  (probability of appearing in a uniform spanning tree) — the quantity HAY and
+  Mavroforakis et al. compute for all edges.
+* **Current-flow closeness** (a.k.a. information centrality) of a node is the
+  inverse of its average effective resistance to all other nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.core.estimator import EffectiveResistanceEstimator
+from repro.graph.graph import Graph
+from repro.graph.properties import require_connected
+from repro.utils.rng import RngLike
+
+
+def spanning_edge_centrality(
+    graph: Graph,
+    *,
+    epsilon: Optional[float] = None,
+    method: str = "geer",
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Effective resistance of every edge (its spanning-tree probability).
+
+    With ``epsilon=None`` the values are exact (Laplacian solves / dense
+    pseudo-inverse).  With an ``epsilon``, each edge is answered by the chosen
+    ε-approximate PER estimator — this is precisely the "ER values for all
+    edges" workload that motivates fast single-pair estimation.
+    """
+    require_connected(graph)
+    edges = graph.edge_array()
+    values = np.empty(len(edges), dtype=np.float64)
+    if epsilon is None:
+        oracle = GroundTruthOracle(graph)
+        for i, (u, v) in enumerate(edges):
+            values[i] = oracle.query(int(u), int(v))
+    else:
+        estimator = EffectiveResistanceEstimator(graph, rng=rng)
+        for i, (u, v) in enumerate(edges):
+            values[i] = estimator.estimate(int(u), int(v), epsilon, method=method).value
+    return values
+
+
+def current_flow_closeness(
+    graph: Graph,
+    *,
+    nodes: Optional[np.ndarray] = None,
+    resistance_fn: Optional[Callable[[int, int], float]] = None,
+) -> np.ndarray:
+    """Current-flow closeness ``c(v) = (n - 1) / Σ_u r(v, u)`` for selected nodes.
+
+    Defaults to exact resistances; pass ``resistance_fn`` to use approximate
+    queries on large graphs.
+    """
+    require_connected(graph)
+    n = graph.num_nodes
+    if nodes is None:
+        nodes = np.arange(n)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if resistance_fn is None:
+        oracle = GroundTruthOracle(graph)
+        resistance_fn = oracle.query
+    closeness = np.empty(len(nodes), dtype=np.float64)
+    for i, v in enumerate(nodes):
+        total = sum(resistance_fn(int(v), int(u)) for u in range(n) if u != v)
+        closeness[i] = (n - 1) / total if total > 0 else float("inf")
+    return closeness
+
+
+__all__ = ["spanning_edge_centrality", "current_flow_closeness"]

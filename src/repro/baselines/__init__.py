@@ -1,0 +1,24 @@
+"""Baseline estimators the paper compares against (Sections 2.3 and 5.1)."""
+
+from repro.baselines.exact import ExactEffectiveResistance, exact_effective_resistance
+from repro.baselines.ground_truth import GroundTruthOracle, ground_truth_resistance
+from repro.baselines.mc import mc_query
+from repro.baselines.mc2 import mc2_query
+from repro.baselines.tp import tp_query
+from repro.baselines.tpc import tpc_query
+from repro.baselines.rp import RandomProjectionSketch, rp_query
+from repro.baselines.hay import hay_query
+
+__all__ = [
+    "ExactEffectiveResistance",
+    "exact_effective_resistance",
+    "GroundTruthOracle",
+    "ground_truth_resistance",
+    "mc_query",
+    "mc2_query",
+    "tp_query",
+    "tpc_query",
+    "RandomProjectionSketch",
+    "rp_query",
+    "hay_query",
+]

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Three subcommands cover the everyday uses of the library without writing any
+Python:
+
+``repro-er query``
+    Answer ε-approximate PER queries on a graph loaded from an edge-list file
+    or taken from the benchmark dataset registry.
+
+``repro-er datasets``
+    List the registered benchmark datasets (the laptop-scale SNAP stand-ins).
+
+``repro-er sweep``
+    Run a small method × ε sweep on one dataset and print the table the
+    evaluation figures are built from.
+
+The CLI is intentionally a thin shell over the public API
+(:class:`repro.EffectiveResistanceEstimator`, :mod:`repro.experiments`), so
+everything it does can also be done programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.estimator import EffectiveResistanceEstimator
+from repro.experiments.datasets import available_datasets, dataset_spec, load_dataset
+from repro.experiments.figures import run_dataset_sweep
+from repro.experiments.reporting import format_table
+from repro.graph.io import read_edge_list
+from repro.graph.properties import summarize
+
+
+def _load_graph(args: argparse.Namespace):
+    """Load the graph named by --dataset or --edge-list (exactly one required)."""
+    if bool(args.dataset) == bool(args.edge_list):
+        raise SystemExit("specify exactly one of --dataset or --edge-list")
+    if args.dataset:
+        return load_dataset(args.dataset), args.dataset
+    return read_edge_list(args.edge_list), args.edge_list
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        help="name of a registered benchmark dataset (see the 'datasets' subcommand)",
+    )
+    parser.add_argument(
+        "--edge-list",
+        help="path to a whitespace-separated edge-list file (SNAP format)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="random seed (default: 1)")
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_datasets():
+        spec = dataset_spec(name)
+        rows.append(
+            {
+                "name": name,
+                "regime": spec.regime,
+                "stands in for": spec.role,
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows, title="registered benchmark datasets"))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph, label = _load_graph(args)
+    summary = summarize(graph, name=label)
+    print(
+        f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
+        f"avg degree={summary.average_degree:.2f}"
+    )
+    estimator = EffectiveResistanceEstimator(graph, rng=args.seed)
+    rows = []
+    for pair in args.pairs:
+        try:
+            s_text, t_text = pair.split(",")
+            s, t = int(s_text), int(t_text)
+        except ValueError as exc:
+            raise SystemExit(f"malformed pair {pair!r}; expected 's,t'") from exc
+        result = estimator.estimate(s, t, args.epsilon, method=args.method)
+        row = {
+            "s": s,
+            "t": t,
+            "method": args.method,
+            "epsilon": args.epsilon,
+            "estimate": result.value,
+            "walks": result.num_walks,
+            "smm iters": result.smm_iterations,
+            "time (ms)": result.elapsed_seconds * 1000.0,
+        }
+        if args.exact:
+            truth = estimator.exact(s, t)
+            row["exact"] = truth
+            row["abs error"] = abs(result.value - truth)
+        rows.append(row)
+    print(format_table(rows, title="effective resistance queries"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graph, label = _load_graph(args)
+    rows = run_dataset_sweep(
+        graph,
+        query_kind=args.query_kind,
+        epsilons=tuple(args.epsilons),
+        num_queries=args.num_queries,
+        methods=tuple(args.methods) if args.methods else None,
+        time_budget_seconds=args.time_budget,
+        rng=args.seed,
+        dataset_label=label,
+    )
+    print(format_table(rows, title=f"sweep on {label} ({args.query_kind} queries)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-er",
+        description="ε-approximate pairwise effective resistance queries (GEER / AMC / SMM)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="list registered benchmark datasets"
+    )
+    datasets_parser.set_defaults(func=_cmd_datasets)
+
+    query_parser = subparsers.add_parser("query", help="answer PER queries")
+    _add_graph_arguments(query_parser)
+    query_parser.add_argument(
+        "pairs",
+        nargs="+",
+        metavar="S,T",
+        help="query node pairs, e.g. 12,708 3,99",
+    )
+    query_parser.add_argument("--epsilon", type=float, default=0.1, help="additive error ε")
+    query_parser.add_argument(
+        "--method",
+        choices=("geer", "amc", "smm"),
+        default="geer",
+        help="estimator to use (default: geer)",
+    )
+    query_parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="also compute the exact value via a Laplacian solve and report the error",
+    )
+    query_parser.set_defaults(func=_cmd_query)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a small method x epsilon sweep (the data behind Figs. 4-7)"
+    )
+    _add_graph_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--query-kind", choices=("random", "edge"), default="random"
+    )
+    sweep_parser.add_argument(
+        "--epsilons", type=float, nargs="+", default=[0.5, 0.2, 0.1]
+    )
+    sweep_parser.add_argument("--num-queries", type=int, default=10)
+    sweep_parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        help="methods to run (default: the paper's line-up for the query kind)",
+    )
+    sweep_parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="per-configuration time budget in seconds",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-er`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

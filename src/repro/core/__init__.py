@@ -1,0 +1,22 @@
+"""The paper's contribution: refined walk lengths, AMC, SMM and GEER."""
+
+from repro.core.result import EstimateResult
+from repro.core.walk_length import peng_walk_length, refined_walk_length
+from repro.core.smm import SMMState, smm_estimate
+from repro.core.amc import AMCResult, amc_estimate, amc_query
+from repro.core.geer import GEERResult, geer_query
+from repro.core.estimator import EffectiveResistanceEstimator
+
+__all__ = [
+    "EstimateResult",
+    "refined_walk_length",
+    "peng_walk_length",
+    "SMMState",
+    "smm_estimate",
+    "AMCResult",
+    "amc_estimate",
+    "amc_query",
+    "GEERResult",
+    "geer_query",
+    "EffectiveResistanceEstimator",
+]

@@ -1,0 +1,221 @@
+"""High-level façade for answering ε-approximate PER queries.
+
+:class:`EffectiveResistanceEstimator` owns the per-graph preprocessing that the
+paper treats as a one-off step — the spectral radius ``λ`` of the transition
+matrix and the transition matrix itself — and reuses them across queries, so a
+query sweep pays the eigen-solve only once (Section 3.1 notes that λ is reused
+for all node pairs).
+
+Example
+-------
+>>> from repro import EffectiveResistanceEstimator, barabasi_albert_graph
+>>> graph = barabasi_albert_graph(500, 5, rng=7)
+>>> estimator = EffectiveResistanceEstimator(graph, rng=7)
+>>> result = estimator.estimate(0, 42, epsilon=0.1)           # GEER by default
+>>> abs(result.value - estimator.exact(0, 42)) <= 0.1
+True
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.amc import amc_query
+from repro.core.geer import geer_query
+from repro.core.result import EstimateResult
+from repro.core.smm import smm_estimate
+from repro.core.walk_length import peng_walk_length, refined_walk_length
+from repro.graph.graph import Graph
+from repro.graph.properties import require_walkable
+from repro.linalg.eigen import SpectralInfo, transition_eigenvalues
+from repro.linalg.solvers import LaplacianSolver
+from repro.sampling.walks import RandomWalkEngine
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.timing import Timer
+from repro.utils.validation import check_node_pair, check_positive
+
+_METHODS = ("geer", "amc", "smm")
+
+
+class EffectiveResistanceEstimator:
+    """Answer ε-approximate pairwise effective resistance queries on one graph.
+
+    Parameters
+    ----------
+    graph:
+        A connected, non-bipartite, undirected graph.
+    delta:
+        Failure probability δ shared by all randomised queries (paper default 0.01).
+    num_batches:
+        τ, the maximum number of adaptive batches in AMC/GEER (paper default 5).
+    lambda_max_abs:
+        Pre-computed ``λ = max(|λ₂|, |λ_n|)``.  When omitted it is computed on
+        first use via ARPACK (the paper's preprocessing step).
+    rng:
+        Seed or generator for all random walks issued by this estimator.
+    validate:
+        When true (default), the graph is checked for connectivity and
+        non-bipartiteness up front.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        delta: float = 0.01,
+        num_batches: int = 5,
+        lambda_max_abs: Optional[float] = None,
+        rng: RngLike = None,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            require_walkable(graph)
+        self._graph = graph
+        self._delta = check_positive(delta, "delta")
+        self._num_batches = int(num_batches)
+        self._rng = as_generator(rng)
+        self._lambda: Optional[float] = lambda_max_abs
+        self._spectral: Optional[SpectralInfo] = None
+        self._transition = graph.transition_matrix()
+        self._engine = RandomWalkEngine(graph, rng=self._rng)
+        self._solver: Optional[LaplacianSolver] = None
+
+    # ------------------------------------------------------------------ #
+    # preprocessing artefacts
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    @property
+    def num_batches(self) -> int:
+        return self._num_batches
+
+    @property
+    def lambda_max_abs(self) -> float:
+        """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
+        if self._lambda is None:
+            self._spectral = transition_eigenvalues(self._graph, rng=self._rng)
+            self._lambda = self._spectral.lambda_max_abs
+        return self._lambda
+
+    @property
+    def spectral_info(self) -> SpectralInfo:
+        if self._spectral is None:
+            self._spectral = transition_eigenvalues(self._graph, rng=self._rng)
+            self._lambda = self._spectral.lambda_max_abs
+        return self._spectral
+
+    def walk_length(self, s: int, t: int, epsilon: float, *, refined: bool = True) -> int:
+        """The maximum walk length ℓ used for pair ``(s, t)`` at error ``epsilon``."""
+        s, t = check_node_pair(s, t, self._graph.num_nodes)
+        if refined:
+            return refined_walk_length(
+                epsilon,
+                self.lambda_max_abs,
+                int(self._graph.degrees[s]),
+                int(self._graph.degrees[t]),
+            )
+        return peng_walk_length(epsilon, self.lambda_max_abs)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        s: int,
+        t: int,
+        epsilon: float,
+        *,
+        method: str = "geer",
+        **kwargs,
+    ) -> EstimateResult:
+        """Answer a single ε-approximate PER query.
+
+        Parameters
+        ----------
+        method:
+            ``"geer"`` (default, Algorithm 3), ``"amc"`` (Algorithm 1 with
+            one-hot inputs) or ``"smm"`` (Algorithm 2 run for the full ℓ
+            iterations — deterministic).
+        kwargs:
+            Forwarded to the underlying query function (e.g.
+            ``force_smm_iterations`` for GEER, ``max_total_steps`` for the
+            Monte Carlo methods).
+        """
+        method = method.lower()
+        if method not in _METHODS:
+            raise ValueError(f"unknown method {method!r}; choose one of {_METHODS}")
+        epsilon = check_positive(epsilon, "epsilon")
+        s, t = check_node_pair(s, t, self._graph.num_nodes)
+
+        if method == "geer":
+            return geer_query(
+                self._graph,
+                s,
+                t,
+                epsilon=epsilon,
+                lambda_max_abs=self.lambda_max_abs,
+                num_batches=self._num_batches,
+                delta=self._delta,
+                engine=self._engine,
+                transition=self._transition,
+                **kwargs,
+            )
+        if method == "amc":
+            return amc_query(
+                self._graph,
+                s,
+                t,
+                epsilon=epsilon,
+                lambda_max_abs=self.lambda_max_abs,
+                num_batches=self._num_batches,
+                delta=self._delta,
+                engine=self._engine,
+                **kwargs,
+            )
+        # SMM: deterministic, run for the full refined length.
+        length = kwargs.pop("num_iterations", None)
+        if length is None:
+            length = self.walk_length(s, t, epsilon, refined=kwargs.pop("refined", True))
+        timer = Timer()
+        with timer:
+            result = smm_estimate(
+                self._graph, s, t, length, transition=self._transition, **kwargs
+            )
+        result.epsilon = epsilon
+        result.elapsed_seconds = timer.elapsed
+        return result
+
+    def estimate_many(
+        self,
+        pairs: Iterable[Sequence[int]],
+        epsilon: float,
+        *,
+        method: str = "geer",
+        **kwargs,
+    ) -> list[EstimateResult]:
+        """Answer a batch of PER queries, reusing all preprocessing artefacts."""
+        return [self.estimate(int(s), int(t), epsilon, method=method, **kwargs) for s, t in pairs]
+
+    def exact(self, s: int, t: int) -> float:
+        """Ground-truth ``r(s, t)`` via a preconditioned Laplacian solve."""
+        if self._solver is None:
+            self._solver = LaplacianSolver(self._graph)
+        return self._solver.effective_resistance(s, t)
+
+    def __repr__(self) -> str:
+        lam = f"{self._lambda:.4f}" if self._lambda is not None else "<lazy>"
+        return (
+            f"EffectiveResistanceEstimator(graph={self._graph!r}, delta={self._delta}, "
+            f"tau={self._num_batches}, lambda={lam})"
+        )
+
+
+__all__ = ["EffectiveResistanceEstimator"]

@@ -1,0 +1,70 @@
+"""Result dataclasses shared by the estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class EstimateResult:
+    """Outcome of a single ε-approximate PER query.
+
+    Attributes
+    ----------
+    value:
+        The estimate ``r'(s, t)``.
+    method:
+        Name of the estimator that produced the value (``"geer"``, ``"amc"``, ...).
+    s, t:
+        The query node pair.
+    epsilon:
+        The requested additive error threshold.
+    walk_length:
+        The maximum random-walk length ℓ used (0 when no walks were needed).
+    smm_iterations:
+        Number of sparse matrix-vector iterations performed (ℓ_b in the paper).
+    num_walks:
+        Total number of random walks simulated (from both endpoints).
+    num_batches:
+        Number of adaptive batches executed by AMC (0 for purely deterministic
+        methods).
+    total_steps:
+        Total number of single random-walk steps taken.
+    spmv_operations:
+        Total number of edge traversals performed by sparse matrix-vector
+        products (the paper's Eq. (17) cost model for SMM iterations).
+    elapsed_seconds:
+        Wall-clock time spent answering the query (excluding preprocessing).
+    budget_exhausted:
+        True when an explicit step budget stopped sampling early; the accuracy
+        guarantee no longer holds in that case.
+    details:
+        Free-form per-method diagnostics.
+    """
+
+    value: float
+    method: str
+    s: int
+    t: int
+    epsilon: float
+    walk_length: int = 0
+    smm_iterations: int = 0
+    num_walks: int = 0
+    num_batches: int = 0
+    total_steps: int = 0
+    spmv_operations: int = 0
+    elapsed_seconds: float = 0.0
+    budget_exhausted: bool = False
+    details: dict = field(default_factory=dict)
+
+    @property
+    def work(self) -> int:
+        """A machine-independent cost proxy: walk steps plus SpMV edge traversals."""
+        return self.total_steps + self.spmv_operations
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+
+__all__ = ["EstimateResult"]

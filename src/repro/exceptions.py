@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphStructureError(ReproError):
+    """Raised when a graph violates a structural requirement of an algorithm.
+
+    Examples: a disconnected graph passed to an effective-resistance estimator,
+    or a bipartite graph where ergodicity of the random walk is required.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative numerical routine fails to converge."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an algorithm exceeds an explicit work or time budget."""
+
+
+__all__ = [
+    "ReproError",
+    "GraphStructureError",
+    "ConvergenceError",
+    "BudgetExceededError",
+]

@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5)."""
+
+from repro.experiments.datasets import (
+    DatasetSpec,
+    available_datasets,
+    clear_dataset_cache,
+    load_dataset,
+)
+from repro.experiments.queries import QuerySet, edge_query_set, random_query_set
+from repro.experiments.harness import (
+    MethodContext,
+    MethodOutcome,
+    SweepResult,
+    build_context,
+    run_method,
+    run_sweep,
+    METHOD_REGISTRY,
+)
+from repro.experiments.reporting import format_table, format_series
+
+__all__ = [
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+    "clear_dataset_cache",
+    "QuerySet",
+    "random_query_set",
+    "edge_query_set",
+    "MethodContext",
+    "MethodOutcome",
+    "SweepResult",
+    "build_context",
+    "run_method",
+    "run_sweep",
+    "METHOD_REGISTRY",
+    "format_table",
+    "format_series",
+]

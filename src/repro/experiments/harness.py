@@ -1,0 +1,419 @@
+"""The per-method experiment harness.
+
+A :class:`MethodContext` bundles everything the estimators share for one graph:
+the transition matrix, the spectral radius λ (the paper's preprocessing step),
+a ground-truth oracle for error measurement, cached RP sketches / dense
+pseudo-inverses and the random generator.  Every method in
+:data:`METHOD_REGISTRY` is a uniform callable ``(context, s, t, epsilon) ->
+EstimateResult`` so the figure drivers can sweep methods × ε grids uniformly.
+
+The paper excludes a method from a configuration when it cannot answer every
+query within one day; :func:`run_method` mirrors that with a configurable
+per-configuration time budget, after which the method is marked as timed out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.exact import ExactEffectiveResistance
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.baselines.hay import hay_query
+from repro.baselines.mc import mc_query
+from repro.baselines.mc2 import mc2_query
+from repro.baselines.rp import RandomProjectionSketch
+from repro.baselines.tp import tp_query
+from repro.baselines.tpc import tpc_query
+from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.result import EstimateResult
+from repro.core.smm import smm_estimate
+from repro.core.walk_length import peng_walk_length, refined_walk_length
+from repro.exceptions import BudgetExceededError
+from repro.experiments.queries import QuerySet
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.timing import TimeBudget, Timer
+
+
+@dataclass
+class MethodContext:
+    """Shared per-graph state for an experiment sweep."""
+
+    graph: Graph
+    estimator: EffectiveResistanceEstimator
+    ground_truth: GroundTruthOracle
+    rng: np.random.Generator
+    # laptop-scale budget knobs (documented in EXPERIMENTS.md).  TP and TPC run
+    # with their faithful per-length budgets by default; `max_total_steps` is
+    # what keeps a single query bounded (runs that hit it are flagged).
+    tp_budget_scale: float = 1.0
+    tpc_budget_scale: float = 1.0
+    baseline_max_seconds: float = 5.0
+    mc_max_walks: int = 5000
+    mc2_max_walks: int = 20000
+    hay_max_samples: int = 400
+    rp_jl_constant: float = 4.0
+    rp_max_dimension: int = 2000
+    max_total_steps: Optional[int] = 20_000_000
+    exact_max_nodes: int = 4000
+    # caches
+    _rp_sketches: Dict[float, RandomProjectionSketch] = field(default_factory=dict)
+    _exact_oracle: Optional[ExactEffectiveResistance] = None
+
+    @property
+    def lambda_max_abs(self) -> float:
+        return self.estimator.lambda_max_abs
+
+    def rp_sketch(self, epsilon: float) -> RandomProjectionSketch:
+        if epsilon not in self._rp_sketches:
+            from repro.linalg.projection import johnson_lindenstrauss_dimension
+
+            dimension = johnson_lindenstrauss_dimension(
+                self.graph.num_nodes, epsilon, c=self.rp_jl_constant
+            )
+            if dimension > self.rp_max_dimension:
+                # Mirrors the paper's observation that RP's preprocessing blows up
+                # at small epsilon / on large graphs: report the configuration as
+                # infeasible instead of spending hours building the sketch.
+                raise BudgetExceededError(
+                    f"RP sketch dimension {dimension} exceeds the configured cap "
+                    f"{self.rp_max_dimension} (epsilon={epsilon})"
+                )
+            self._rp_sketches[epsilon] = RandomProjectionSketch(
+                self.graph,
+                epsilon,
+                jl_constant=self.rp_jl_constant,
+                rng=self.rng,
+            )
+        return self._rp_sketches[epsilon]
+
+    def exact_oracle(self) -> ExactEffectiveResistance:
+        if self._exact_oracle is None:
+            self._exact_oracle = ExactEffectiveResistance(
+                self.graph, max_nodes=self.exact_max_nodes
+            )
+        return self._exact_oracle
+
+
+def build_context(graph: Graph, *, rng: RngLike = None, **overrides) -> MethodContext:
+    """Create a :class:`MethodContext` with the paper's defaults (δ=0.01, τ=5)."""
+    gen = as_generator(rng)
+    estimator = EffectiveResistanceEstimator(graph, delta=0.01, num_batches=5, rng=gen)
+    ground_truth = GroundTruthOracle(graph)
+    context = MethodContext(
+        graph=graph, estimator=estimator, ground_truth=ground_truth, rng=gen
+    )
+    for key, value in overrides.items():
+        if not hasattr(context, key):
+            raise TypeError(f"unknown MethodContext field {key!r}")
+        setattr(context, key, value)
+    return context
+
+
+# --------------------------------------------------------------------------- #
+# method callables
+# --------------------------------------------------------------------------- #
+def _run_geer(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    return ctx.estimator.estimate(s, t, epsilon, method="geer")
+
+
+def _run_amc(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    return ctx.estimator.estimate(
+        s, t, epsilon, method="amc", max_total_steps=ctx.max_total_steps
+    )
+
+
+def _run_smm(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    # The paper sets SMM's iteration count from the refined Eq. (6) length.
+    length = refined_walk_length(
+        epsilon,
+        ctx.lambda_max_abs,
+        int(ctx.graph.degrees[s]),
+        int(ctx.graph.degrees[t]),
+    )
+    result = smm_estimate(ctx.graph, s, t, length)
+    result.epsilon = epsilon
+    return result
+
+
+def _run_smm_peng_length(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    """SMM with the generic Eq. (5) length — the Fig. 11 comparison arm."""
+    length = peng_walk_length(epsilon, ctx.lambda_max_abs)
+    result = smm_estimate(ctx.graph, s, t, length)
+    result.epsilon = epsilon
+    result.method = "smm-peng"
+    return result
+
+
+def _run_tp(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    return tp_query(
+        ctx.graph,
+        s,
+        t,
+        epsilon=epsilon,
+        lambda_max_abs=ctx.lambda_max_abs,
+        rng=ctx.rng,
+        budget_scale=ctx.tp_budget_scale,
+        max_seconds=ctx.baseline_max_seconds,
+    )
+
+
+def _run_tpc(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    return tpc_query(
+        ctx.graph,
+        s,
+        t,
+        epsilon=epsilon,
+        lambda_max_abs=ctx.lambda_max_abs,
+        rng=ctx.rng,
+        budget_scale=ctx.tpc_budget_scale,
+        max_seconds=ctx.baseline_max_seconds,
+    )
+
+
+def _run_rp(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    timer = Timer()
+    with timer:
+        sketch = ctx.rp_sketch(epsilon)
+        value = sketch.query(s, t)
+    return EstimateResult(
+        value=value,
+        method="rp",
+        s=s,
+        t=t,
+        epsilon=epsilon,
+        elapsed_seconds=timer.elapsed,
+        details={"sketch_dimension": sketch.sketch_dimension},
+    )
+
+
+def _run_exact(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    timer = Timer()
+    with timer:
+        value = ctx.exact_oracle().query(s, t)
+    return EstimateResult(
+        value=value, method="exact", s=s, t=t, epsilon=epsilon, elapsed_seconds=timer.elapsed
+    )
+
+
+def _run_mc(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    return mc_query(
+        ctx.graph,
+        s,
+        t,
+        epsilon=epsilon,
+        rng=ctx.rng,
+        num_walks=min(ctx.mc_max_walks, mc_default_walks(ctx.graph, s, epsilon)),
+    )
+
+
+def mc_default_walks(graph: Graph, s: int, epsilon: float, delta: float = 0.01) -> int:
+    """The paper's MC budget with γ = 1."""
+    return max(1, int(math.ceil(3.0 * graph.degrees[s] * math.log(1.0 / delta) / epsilon**2)))
+
+
+def _run_mc2(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    return mc2_query(
+        ctx.graph,
+        s,
+        t,
+        epsilon=epsilon,
+        rng=ctx.rng,
+        max_total_steps=ctx.max_total_steps,
+        num_walks=min(
+            ctx.mc2_max_walks,
+            max(1, int(math.ceil(3.0 * math.log(1.0 / 0.01) / epsilon**2))),
+        ),
+    )
+
+
+def _run_hay(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+    return hay_query(
+        ctx.graph,
+        s,
+        t,
+        epsilon=epsilon,
+        rng=ctx.rng,
+        max_samples=ctx.hay_max_samples,
+    )
+
+
+METHOD_REGISTRY: Dict[str, Callable[[MethodContext, int, int, float], EstimateResult]] = {
+    "geer": _run_geer,
+    "amc": _run_amc,
+    "smm": _run_smm,
+    "smm-peng": _run_smm_peng_length,
+    "tp": _run_tp,
+    "tpc": _run_tpc,
+    "rp": _run_rp,
+    "exact": _run_exact,
+    "mc": _run_mc,
+    "mc2": _run_mc2,
+    "hay": _run_hay,
+}
+
+RANDOM_QUERY_METHODS = ("geer", "amc", "smm", "tp", "tpc", "rp", "exact")
+EDGE_QUERY_METHODS = ("geer", "amc", "smm", "mc2", "hay")
+
+
+# --------------------------------------------------------------------------- #
+# runners
+# --------------------------------------------------------------------------- #
+@dataclass
+class MethodOutcome:
+    """One query answered by one method."""
+
+    method: str
+    s: int
+    t: int
+    epsilon: float
+    value: float
+    truth: float
+    elapsed_seconds: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.value - self.truth)
+
+    @property
+    def within_epsilon(self) -> bool:
+        return self.absolute_error <= self.epsilon
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of one (method, ε, query-set) configuration."""
+
+    method: str
+    epsilon: float
+    outcomes: list[MethodOutcome]
+    timed_out: bool = False
+    skipped_reason: Optional[str] = None
+
+    @property
+    def completed(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def average_time_ms(self) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return 1000.0 * float(np.mean([o.elapsed_seconds for o in self.outcomes]))
+
+    @property
+    def average_absolute_error(self) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return float(np.mean([o.absolute_error for o in self.outcomes]))
+
+    @property
+    def success_rate(self) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return float(np.mean([o.within_epsilon for o in self.outcomes]))
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "method": self.method,
+            "epsilon": self.epsilon,
+            "avg_time_ms": self.average_time_ms,
+            "avg_abs_error": self.average_absolute_error,
+            "success_rate": self.success_rate,
+            "completed": self.completed,
+            "timed_out": self.timed_out,
+            "skipped": self.skipped_reason,
+        }
+
+
+def run_method(
+    context: MethodContext,
+    method: str,
+    queries: QuerySet | Sequence[tuple[int, int]],
+    epsilon: float,
+    *,
+    time_budget_seconds: Optional[float] = None,
+) -> SweepResult:
+    """Answer every query in ``queries`` with ``method`` at error level ``epsilon``.
+
+    The per-configuration ``time_budget_seconds`` mirrors the paper's one-day
+    cutoff: once exceeded, remaining queries are skipped and the configuration
+    is marked as timed out.  Methods whose preprocessing is infeasible (EXACT /
+    RP running out of memory) are reported as skipped rather than raising.
+    """
+    if method not in METHOD_REGISTRY:
+        raise KeyError(f"unknown method {method!r}; available: {sorted(METHOD_REGISTRY)}")
+    runner = METHOD_REGISTRY[method]
+    budget = TimeBudget(time_budget_seconds if time_budget_seconds is not None else math.inf)
+    outcomes: list[MethodOutcome] = []
+    timed_out = False
+    skipped_reason: Optional[str] = None
+    for s, t in queries:
+        if budget.exceeded():
+            timed_out = True
+            break
+        try:
+            result = runner(context, int(s), int(t), float(epsilon))
+        except BudgetExceededError as exc:
+            skipped_reason = str(exc)
+            break
+        truth = context.ground_truth.query(int(s), int(t))
+        outcomes.append(
+            MethodOutcome(
+                method=method,
+                s=int(s),
+                t=int(t),
+                epsilon=float(epsilon),
+                value=result.value,
+                truth=truth,
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        )
+    return SweepResult(
+        method=method,
+        epsilon=float(epsilon),
+        outcomes=outcomes,
+        timed_out=timed_out,
+        skipped_reason=skipped_reason,
+    )
+
+
+def run_sweep(
+    context: MethodContext,
+    methods: Iterable[str],
+    queries: QuerySet | Sequence[tuple[int, int]],
+    epsilons: Iterable[float],
+    *,
+    time_budget_seconds: Optional[float] = None,
+) -> list[SweepResult]:
+    """Run a full methods × ε grid over one query set."""
+    results: list[SweepResult] = []
+    for epsilon in epsilons:
+        for method in methods:
+            results.append(
+                run_method(
+                    context,
+                    method,
+                    queries,
+                    epsilon,
+                    time_budget_seconds=time_budget_seconds,
+                )
+            )
+    return results
+
+
+__all__ = [
+    "MethodContext",
+    "MethodOutcome",
+    "SweepResult",
+    "build_context",
+    "run_method",
+    "run_sweep",
+    "METHOD_REGISTRY",
+    "RANDOM_QUERY_METHODS",
+    "EDGE_QUERY_METHODS",
+    "mc_default_walks",
+]

@@ -1,0 +1,91 @@
+"""Query-set generation (Section 5.1).
+
+The paper evaluates each dataset on two query sets of 100 queries each:
+
+* the *random query set* — 100 node pairs chosen uniformly at random, and
+* the *edge query set* — 100 edges chosen uniformly at random from ``E``.
+
+Both are reproduced here with explicit seeds so every benchmark run sees the
+same queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_integer
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """A named set of ``(s, t)`` query pairs."""
+
+    kind: str  # "random" or "edge"
+    pairs: tuple[tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.pairs)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.pairs, dtype=np.int64)
+
+
+def random_query_set(
+    graph: Graph,
+    num_queries: int = 100,
+    *,
+    rng: RngLike = None,
+    distinct: bool = True,
+) -> QuerySet:
+    """Uniformly random node pairs (``s != t``)."""
+    check_integer(num_queries, "num_queries", minimum=1)
+    gen = as_generator(rng)
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("graph must contain at least two nodes")
+    pairs: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    guard = 0
+    while len(pairs) < num_queries and guard < 100 * num_queries:
+        guard += 1
+        s = int(gen.integers(0, n))
+        t = int(gen.integers(0, n))
+        if s == t:
+            continue
+        key = (min(s, t), max(s, t))
+        if distinct and key in seen:
+            continue
+        seen.add(key)
+        pairs.append((s, t))
+    if len(pairs) < num_queries:
+        raise RuntimeError("could not generate enough distinct query pairs")
+    return QuerySet(kind="random", pairs=tuple(pairs))
+
+
+def edge_query_set(
+    graph: Graph,
+    num_queries: int = 100,
+    *,
+    rng: RngLike = None,
+) -> QuerySet:
+    """Uniformly random edges from ``E`` (without replacement when possible)."""
+    check_integer(num_queries, "num_queries", minimum=1)
+    gen = as_generator(rng)
+    edges = graph.edge_array()
+    if len(edges) == 0:
+        raise ValueError("graph has no edges")
+    replace = num_queries > len(edges)
+    chosen = gen.choice(len(edges), size=num_queries, replace=replace)
+    pairs = tuple((int(edges[i, 0]), int(edges[i, 1])) for i in chosen)
+    return QuerySet(kind="edge", pairs=pairs)
+
+
+__all__ = ["QuerySet", "random_query_set", "edge_query_set"]

@@ -1,0 +1,66 @@
+"""Graph substrate: CSR graph container, builders, generators, IO, properties."""
+
+from repro.graph.graph import Graph
+from repro.graph.builders import (
+    from_edge_array,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+)
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    dumbbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    lollipop_graph,
+    modular_social_graph,
+    path_graph,
+    power_law_cluster_graph,
+    star_graph,
+    stochastic_block_model_graph,
+    toy_running_example,
+    watts_strogatz_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.properties import (
+    GraphSummary,
+    degree_statistics,
+    is_bipartite,
+    is_connected,
+    largest_connected_component,
+    summarize,
+)
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "from_edge_array",
+    "from_networkx",
+    "from_scipy_sparse",
+    "to_networkx",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "watts_strogatz_graph",
+    "power_law_cluster_graph",
+    "stochastic_block_model_graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "dumbbell_graph",
+    "lollipop_graph",
+    "modular_social_graph",
+    "toy_running_example",
+    "read_edge_list",
+    "write_edge_list",
+    "is_connected",
+    "is_bipartite",
+    "largest_connected_component",
+    "degree_statistics",
+    "GraphSummary",
+    "summarize",
+]

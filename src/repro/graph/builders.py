@@ -1,0 +1,129 @@
+"""Builders converting edge lists / NetworkX / SciPy structures into :class:`Graph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphStructureError
+from repro.graph.graph import Graph
+
+
+def from_edge_array(
+    edges: np.ndarray,
+    *,
+    num_nodes: Optional[int] = None,
+    deduplicate: bool = True,
+) -> Graph:
+    """Build a :class:`Graph` from an ``(m, 2)`` integer edge array.
+
+    Parameters
+    ----------
+    edges:
+        An array of undirected edges.  Orientation and ordering do not matter.
+    num_nodes:
+        The number of nodes.  Defaults to ``edges.max() + 1``.
+    deduplicate:
+        Remove duplicate edges (and reversed duplicates).  Self-loops always
+        raise :class:`GraphStructureError`.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array")
+    if num_nodes is None:
+        num_nodes = int(edges.max()) + 1 if len(edges) else 0
+    if len(edges):
+        if edges.min() < 0 or edges.max() >= num_nodes:
+            raise ValueError("edge endpoints out of range")
+        if np.any(edges[:, 0] == edges[:, 1]):
+            raise GraphStructureError("self-loops are not supported")
+    # canonical orientation u < v, then optional dedup
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    canonical = np.column_stack((lo, hi))
+    if deduplicate and len(canonical):
+        canonical = np.unique(canonical, axis=0)
+    elif len(canonical):
+        keys = canonical[:, 0] * num_nodes + canonical[:, 1]
+        if len(np.unique(keys)) != len(keys):
+            raise GraphStructureError("duplicate edges are not supported")
+
+    # Build CSR of the symmetrised arc list.
+    arcs_src = np.concatenate((canonical[:, 0], canonical[:, 1]))
+    arcs_dst = np.concatenate((canonical[:, 1], canonical[:, 0]))
+    order = np.lexsort((arcs_dst, arcs_src))
+    arcs_src = arcs_src[order]
+    arcs_dst = arcs_dst[order]
+    counts = np.bincount(arcs_src, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Graph(indptr, arcs_dst, validate=False)
+
+
+def from_edges(
+    edges: Iterable[Sequence[int]],
+    *,
+    num_nodes: Optional[int] = None,
+    deduplicate: bool = True,
+) -> Graph:
+    """Build a :class:`Graph` from an iterable of ``(u, v)`` pairs."""
+    edge_list = [(int(u), int(v)) for u, v in edges]
+    array = np.asarray(edge_list, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(array, num_nodes=num_nodes, deduplicate=deduplicate)
+
+
+def from_scipy_sparse(matrix: sp.spmatrix, *, deduplicate: bool = True) -> Graph:
+    """Build a :class:`Graph` from a (possibly weighted) sparse adjacency matrix.
+
+    Weights are ignored; only the non-zero pattern matters.  The pattern is
+    symmetrised (an edge exists if either direction is present).
+    """
+    coo = sp.coo_matrix(matrix)
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    mask = coo.row != coo.col
+    edges = np.column_stack((coo.row[mask], coo.col[mask]))
+    return from_edge_array(edges, num_nodes=coo.shape[0], deduplicate=True)
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Build a :class:`Graph` from a ``networkx`` graph.
+
+    Node labels are relabelled to ``0..n-1`` in sorted order when possible,
+    otherwise in insertion order.
+    """
+    import networkx as nx
+
+    if nx_graph.is_directed():
+        nx_graph = nx_graph.to_undirected()
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+    return from_edges(edges, num_nodes=len(nodes))
+
+
+def to_networkx(graph: Graph):
+    """Convert a :class:`Graph` to a ``networkx.Graph`` (for plotting / checks)."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_nodes))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+__all__ = [
+    "from_edge_array",
+    "from_edges",
+    "from_scipy_sparse",
+    "from_networkx",
+    "to_networkx",
+]

@@ -1,0 +1,488 @@
+"""Synthetic graph generators.
+
+These generators serve two purposes:
+
+* small deterministic graphs with known closed-form effective resistances
+  (paths, cycles, complete graphs, stars, grids) used heavily by the test
+  suite, and
+* random graph families (Barabási–Albert, Erdős–Rényi, Watts–Strogatz,
+  power-law cluster, stochastic block model) used as laptop-scale stand-ins
+  for the SNAP datasets in the paper's evaluation (see
+  :mod:`repro.experiments.datasets`).
+
+All random generators accept a ``seed``/``rng`` argument and are implemented
+with vectorised NumPy so that graphs with hundreds of thousands of edges can be
+generated in well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import from_edge_array, from_edges
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_integer
+
+
+# --------------------------------------------------------------------------- #
+# deterministic graphs with known effective resistances
+# --------------------------------------------------------------------------- #
+def path_graph(num_nodes: int) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)``.  ``r(i, j) = |i - j|``."""
+    check_integer(num_nodes, "num_nodes", minimum=2)
+    edges = np.column_stack((np.arange(num_nodes - 1), np.arange(1, num_nodes)))
+    return from_edge_array(edges, num_nodes=num_nodes)
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """Cycle on ``n`` nodes.  ``r(i, j) = k (n - k) / n`` with ``k = |i - j|`` (hops)."""
+    check_integer(num_nodes, "num_nodes", minimum=3)
+    heads = np.arange(num_nodes)
+    tails = (heads + 1) % num_nodes
+    return from_edge_array(np.column_stack((heads, tails)), num_nodes=num_nodes)
+
+
+def complete_graph(num_nodes: int) -> Graph:
+    """Complete graph ``K_n``.  ``r(u, v) = 2 / n`` for ``u != v``."""
+    check_integer(num_nodes, "num_nodes", minimum=2)
+    u, v = np.triu_indices(num_nodes, k=1)
+    return from_edge_array(np.column_stack((u, v)), num_nodes=num_nodes)
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Star with centre ``0`` and ``num_leaves`` leaves.
+
+    ``r(0, leaf) = 1`` and ``r(leaf, leaf') = 2``.
+    """
+    check_integer(num_leaves, "num_leaves", minimum=1)
+    leaves = np.arange(1, num_leaves + 1)
+    edges = np.column_stack((np.zeros(num_leaves, dtype=np.int64), leaves))
+    return from_edge_array(edges, num_nodes=num_leaves + 1)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2D grid graph with ``rows x cols`` nodes (4-neighbour connectivity)."""
+    check_integer(rows, "rows", minimum=1)
+    check_integer(cols, "cols", minimum=1)
+    if rows * cols < 2:
+        raise ValueError("grid must contain at least two nodes")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return from_edges(edges, num_nodes=rows * cols)
+
+
+def dumbbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two cliques of ``clique_size`` nodes joined by a path of ``path_length`` edges.
+
+    A classic worst case for mixing time: useful for stressing walk-length
+    bounds.
+    """
+    check_integer(clique_size, "clique_size", minimum=2)
+    check_integer(path_length, "path_length", minimum=1)
+    edges = []
+    # first clique on 0..k-1
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((u, v))
+    # path of intermediate nodes
+    path_nodes = list(range(clique_size, clique_size + path_length - 1))
+    chain = [clique_size - 1] + path_nodes + [clique_size + path_length - 1]
+    offset = clique_size + max(path_length - 1, 0)
+    # second clique on offset..offset+k-1
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((offset + u, offset + v))
+    chain[-1] = offset  # connect path end to first node of second clique
+    for a, b in zip(chain[:-1], chain[1:]):
+        edges.append((a, b))
+    num_nodes = offset + clique_size
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique of ``clique_size`` nodes with a path of ``path_length`` edges attached."""
+    check_integer(clique_size, "clique_size", minimum=2)
+    check_integer(path_length, "path_length", minimum=1)
+    edges = []
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((u, v))
+    prev = clique_size - 1
+    for i in range(path_length):
+        nxt = clique_size + i
+        edges.append((prev, nxt))
+        prev = nxt
+    return from_edges(edges, num_nodes=clique_size + path_length)
+
+
+def toy_running_example() -> tuple[Graph, int, int]:
+    """The Fig. 2 style running example: 11 nodes, a sparse ``s`` and a dense ``t``.
+
+    The paper's figure shows a toy graph with nodes ``v1..v9`` plus ``s`` and
+    ``t`` where ``s`` has 2 neighbours and ``t`` has 7.  The exact adjacency is
+    not printed in the paper, so this is a structural stand-in with the same
+    node count and the same degrees for ``s`` and ``t``; it drives the same
+    qualitative comparison (breadth-first path counts vs the Hoeffding sample
+    budget ``eta*``).
+
+    Returns
+    -------
+    (graph, s, t)
+    """
+    # nodes: 0..8 -> v1..v9, 9 -> s, 10 -> t
+    s, t = 9, 10
+    edges = [
+        # t is adjacent to seven of the v nodes
+        (t, 0), (t, 1), (t, 2), (t, 3), (t, 4), (t, 5), (t, 6),
+        # s has exactly two neighbours
+        (s, 7), (s, 8),
+        # connective tissue among the v nodes
+        (7, 0), (8, 1), (7, 8),
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0),
+        (2, 7), (5, 8),
+    ]
+    return from_edges(edges, num_nodes=11), s, t
+
+
+# --------------------------------------------------------------------------- #
+# random graph families
+# --------------------------------------------------------------------------- #
+def erdos_renyi_graph(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    rng: RngLike = None,
+    connect: bool = True,
+) -> Graph:
+    """G(n, m) style Erdős–Rényi graph with ``num_edges`` distinct edges.
+
+    Parameters
+    ----------
+    connect:
+        When true (default), a random spanning path is added first so the
+        resulting graph is connected, then random edges fill the remaining
+        budget.  Effective resistance is only defined on connected graphs, so
+        connected samples are the common case in this library.
+    """
+    check_integer(num_nodes, "num_nodes", minimum=2)
+    check_integer(num_edges, "num_edges", minimum=1)
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError("num_edges exceeds the maximum for a simple graph")
+    gen = as_generator(rng)
+    chosen: set[tuple[int, int]] = set()
+    if connect:
+        order = gen.permutation(num_nodes)
+        for a, b in zip(order[:-1], order[1:]):
+            u, v = (int(a), int(b)) if a < b else (int(b), int(a))
+            chosen.add((u, v))
+        if len(chosen) > num_edges:
+            raise ValueError(
+                "num_edges is too small to produce a connected graph "
+                f"({num_nodes - 1} edges are needed)"
+            )
+    # rejection-sample the remaining edges in vectorised batches
+    while len(chosen) < num_edges:
+        need = num_edges - len(chosen)
+        batch = max(2 * need, 64)
+        us = gen.integers(0, num_nodes, size=batch)
+        vs = gen.integers(0, num_nodes, size=batch)
+        for u, v in zip(us, vs):
+            if u == v:
+                continue
+            edge = (int(min(u, v)), int(max(u, v)))
+            if edge not in chosen:
+                chosen.add(edge)
+                if len(chosen) == num_edges:
+                    break
+    return from_edges(sorted(chosen), num_nodes=num_nodes)
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    attach_edges: int,
+    *,
+    rng: RngLike = None,
+) -> Graph:
+    """Barabási–Albert preferential attachment graph.
+
+    Each new node attaches to ``attach_edges`` existing nodes chosen with
+    probability proportional to their current degree (implemented with the
+    standard repeated-endpoint list trick, so generation is ``O(m)``).
+
+    The result is connected and has roughly ``attach_edges * num_nodes`` edges,
+    i.e. average degree about ``2 * attach_edges`` — the generator used for the
+    dense "social network"-like datasets in the experiment registry.
+    """
+    check_integer(num_nodes, "num_nodes", minimum=2)
+    check_integer(attach_edges, "attach_edges", minimum=1)
+    if attach_edges >= num_nodes:
+        raise ValueError("attach_edges must be smaller than num_nodes")
+    gen = as_generator(rng)
+    # start from a star on attach_edges + 1 nodes so every early node has degree >= 1
+    edges: list[tuple[int, int]] = [(0, i) for i in range(1, attach_edges + 1)]
+    # repeated-endpoint list: node v appears d(v) times, so uniform sampling
+    # from this list is degree-proportional sampling.
+    repeated: list[int] = []
+    for u, v in edges:
+        repeated.append(u)
+        repeated.append(v)
+    for new_node in range(attach_edges + 1, num_nodes):
+        targets: set[int] = set()
+        pool_size = len(repeated)
+        while len(targets) < attach_edges:
+            draw = gen.integers(0, pool_size, size=attach_edges)
+            for idx in draw:
+                candidate = repeated[int(idx)]
+                if candidate != new_node:
+                    targets.add(candidate)
+                if len(targets) == attach_edges:
+                    break
+        for target in sorted(targets):
+            edges.append((new_node, target))
+            repeated.append(new_node)
+            repeated.append(target)
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def watts_strogatz_graph(
+    num_nodes: int,
+    nearest_neighbors: int,
+    rewire_probability: float,
+    *,
+    rng: RngLike = None,
+) -> Graph:
+    """Watts–Strogatz small-world graph (connected variant).
+
+    Starts from a ring lattice where each node connects to its
+    ``nearest_neighbors`` nearest neighbours (must be even) and rewires each
+    edge's far endpoint with probability ``rewire_probability``.  Rewired edges
+    that would create self-loops or duplicates are kept in place, which
+    preserves connectivity of the underlying ring.
+    """
+    check_integer(num_nodes, "num_nodes", minimum=4)
+    check_integer(nearest_neighbors, "nearest_neighbors", minimum=2)
+    if nearest_neighbors % 2 != 0:
+        raise ValueError("nearest_neighbors must be even")
+    if nearest_neighbors >= num_nodes:
+        raise ValueError("nearest_neighbors must be smaller than num_nodes")
+    if not 0 <= rewire_probability <= 1:
+        raise ValueError("rewire_probability must lie in [0, 1]")
+    gen = as_generator(rng)
+    half = nearest_neighbors // 2
+    chosen: set[tuple[int, int]] = set()
+    for offset in range(1, half + 1):
+        for u in range(num_nodes):
+            v = (u + offset) % num_nodes
+            chosen.add((min(u, v), max(u, v)))
+    edges = sorted(chosen)
+    edge_set = set(edges)
+    result: list[tuple[int, int]] = []
+    for u, v in edges:
+        if gen.random() < rewire_probability:
+            w = int(gen.integers(0, num_nodes))
+            candidate = (min(u, w), max(u, w))
+            if w != u and candidate not in edge_set:
+                edge_set.discard((u, v))
+                edge_set.add(candidate)
+                result.append(candidate)
+                continue
+        result.append((u, v))
+    return from_edges(result, num_nodes=num_nodes)
+
+
+def power_law_cluster_graph(
+    num_nodes: int,
+    attach_edges: int,
+    triangle_probability: float,
+    *,
+    rng: RngLike = None,
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a
+    triangle is closed with probability ``triangle_probability``.  Produces
+    graphs with heavy-tailed degrees *and* high clustering, the structural
+    signature of the social-network datasets (DBLP, YouTube) in the paper.
+    """
+    check_integer(num_nodes, "num_nodes", minimum=3)
+    check_integer(attach_edges, "attach_edges", minimum=1)
+    if attach_edges >= num_nodes:
+        raise ValueError("attach_edges must be smaller than num_nodes")
+    if not 0 <= triangle_probability <= 1:
+        raise ValueError("triangle_probability must lie in [0, 1]")
+    gen = as_generator(rng)
+    edges: set[tuple[int, int]] = set()
+    repeated: list[int] = []
+    adjacency: dict[int, list[int]] = {}
+
+    def add_edge(u: int, v: int) -> bool:
+        if u == v:
+            return False
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            return False
+        edges.add(key)
+        repeated.append(u)
+        repeated.append(v)
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+        return True
+
+    for i in range(1, attach_edges + 1):
+        add_edge(0, i)
+    for new_node in range(attach_edges + 1, num_nodes):
+        added = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while added < attach_edges and guard < 50 * attach_edges:
+            guard += 1
+            target = int(repeated[gen.integers(0, len(repeated))])
+            if last_target is not None and gen.random() < triangle_probability:
+                # triangle closure: connect to a neighbour of the last target
+                neighbours = adjacency.get(last_target, [])
+                if neighbours:
+                    target = int(neighbours[gen.integers(0, len(neighbours))])
+            if add_edge(new_node, target):
+                added += 1
+                last_target = target
+    return from_edges(sorted(edges), num_nodes=num_nodes)
+
+
+def modular_social_graph(
+    num_communities: int,
+    community_size: int,
+    attach_edges: int,
+    bridge_edges: int,
+    *,
+    rng: RngLike = None,
+) -> Graph:
+    """Barabási–Albert communities joined by a limited number of random bridges.
+
+    Real social networks (the SNAP graphs used in the paper) combine
+    heavy-tailed degrees with pronounced community structure, which is what
+    gives their random walks a spectral radius ``λ = max(|λ2|, |λn|)`` close to
+    one — and, in turn, the long truncation lengths ℓ that make ε-approximate
+    PER estimation hard.  A single Barabási–Albert graph is an expander
+    (λ ≈ 0.4–0.6) and therefore far too easy; planting ``num_communities``
+    BA communities and connecting them with ``bridge_edges`` random
+    inter-community edges restores the slow mixing while keeping generation
+    cost linear.  The benchmark dataset registry builds all of its SNAP
+    stand-ins this way.
+    """
+    check_integer(num_communities, "num_communities", minimum=1)
+    check_integer(community_size, "community_size", minimum=2)
+    check_integer(attach_edges, "attach_edges", minimum=1)
+    check_integer(bridge_edges, "bridge_edges", minimum=0)
+    if num_communities > 1 and bridge_edges < num_communities - 1:
+        raise ValueError("need at least num_communities - 1 bridge edges for connectivity")
+    gen = as_generator(rng)
+    edges: list[tuple[int, int]] = []
+    for community in range(num_communities):
+        offset = community * community_size
+        block = barabasi_albert_graph(community_size, attach_edges, rng=gen)
+        for u, v in block.edges():
+            edges.append((offset + u, offset + v))
+    num_nodes = num_communities * community_size
+    if num_communities > 1:
+        # a random spanning cycle over the communities guarantees connectivity,
+        # the remaining bridges are placed uniformly at random
+        bridge_set: set[tuple[int, int]] = set()
+        for community in range(num_communities):
+            nxt = (community + 1) % num_communities
+            u = community * community_size + int(gen.integers(0, community_size))
+            v = nxt * community_size + int(gen.integers(0, community_size))
+            bridge_set.add((min(u, v), max(u, v)))
+        while len(bridge_set) < bridge_edges:
+            a, b = gen.integers(0, num_communities, size=2)
+            if a == b:
+                continue
+            u = int(a) * community_size + int(gen.integers(0, community_size))
+            v = int(b) * community_size + int(gen.integers(0, community_size))
+            bridge_set.add((min(u, v), max(u, v)))
+        edges.extend(sorted(bridge_set))
+    return from_edges(edges, num_nodes=num_nodes)
+
+
+def stochastic_block_model_graph(
+    block_sizes: Sequence[int],
+    intra_probability: float,
+    inter_probability: float,
+    *,
+    rng: RngLike = None,
+    connect: bool = True,
+) -> Graph:
+    """Stochastic block model with dense blocks and sparse inter-block edges.
+
+    Used by the clustering application and example scripts: effective
+    resistance between nodes in the same block is much smaller than across
+    blocks.
+    """
+    if not block_sizes:
+        raise ValueError("block_sizes must be non-empty")
+    for size in block_sizes:
+        check_integer(int(size), "block size", minimum=1)
+    if not 0 <= inter_probability <= 1 or not 0 <= intra_probability <= 1:
+        raise ValueError("probabilities must lie in [0, 1]")
+    gen = as_generator(rng)
+    boundaries = np.cumsum([0] + list(block_sizes))
+    num_nodes = int(boundaries[-1])
+    labels = np.zeros(num_nodes, dtype=np.int64)
+    for block, (lo, hi) in enumerate(zip(boundaries[:-1], boundaries[1:])):
+        labels[lo:hi] = block
+    u, v = np.triu_indices(num_nodes, k=1)
+    same_block = labels[u] == labels[v]
+    probs = np.where(same_block, intra_probability, inter_probability)
+    mask = gen.random(len(u)) < probs
+    edges = np.column_stack((u[mask], v[mask]))
+    graph = from_edge_array(edges, num_nodes=num_nodes)
+    if connect:
+        graph = _ensure_connected(graph, gen)
+    return graph
+
+
+def _ensure_connected(graph: Graph, gen: np.random.Generator) -> Graph:
+    """Add a minimal set of random edges joining connected components."""
+    from repro.graph.properties import connected_components
+
+    components = connected_components(graph)
+    if len(components) <= 1:
+        return graph
+    extra = []
+    anchor = components[0]
+    for component in components[1:]:
+        u = int(anchor[gen.integers(0, len(anchor))])
+        v = int(component[gen.integers(0, len(component))])
+        extra.append((u, v))
+    return graph.add_edges(extra)
+
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "dumbbell_graph",
+    "lollipop_graph",
+    "toy_running_example",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "power_law_cluster_graph",
+    "modular_social_graph",
+    "stochastic_block_model_graph",
+]

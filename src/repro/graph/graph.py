@@ -1,0 +1,287 @@
+"""The core :class:`Graph` container.
+
+The library operates on undirected, unweighted graphs stored in compressed
+sparse row (CSR) form.  The CSR layout is what makes the random-walk kernel and
+the sparse matrix-vector products used throughout the paper fast: sampling a
+uniform neighbour of node ``v`` is a single array gather, and one SMM iteration
+is a ``scipy.sparse`` mat-vec.
+
+Nodes are integers ``0 .. n-1``.  The structure is immutable after
+construction; all mutation-style operations (adding edges, taking subgraphs)
+return new :class:`Graph` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphStructureError
+from repro.utils.validation import check_node
+
+
+class Graph:
+    """An immutable undirected, unweighted graph in CSR form.
+
+    Parameters
+    ----------
+    indptr, indices:
+        CSR row pointer and column index arrays of the (symmetric) adjacency
+        matrix.  Each undirected edge ``{u, v}`` appears twice: as ``v`` in the
+        row of ``u`` and as ``u`` in the row of ``v``.
+    validate:
+        When true (default) the arrays are checked for CSR consistency,
+        symmetry, absence of self-loops and absence of duplicate edges.
+
+    Notes
+    -----
+    Use the builder helpers (:func:`repro.graph.from_edges`,
+    :func:`repro.graph.from_networkx`, the generators in
+    :mod:`repro.graph.generators`) rather than calling this constructor with
+    raw arrays.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_degrees", "_num_nodes", "_num_edges")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional arrays")
+        if len(indptr) == 0:
+            raise ValueError("indptr must contain at least one entry")
+        num_nodes = len(indptr) - 1
+        if validate:
+            self._validate_csr(indptr, indices, num_nodes)
+        self._indptr = indptr
+        self._indices = indices
+        self._num_nodes = num_nodes
+        self._degrees = np.diff(indptr).astype(np.int64)
+        total_directed = int(indptr[-1])
+        if total_directed % 2 != 0:
+            raise GraphStructureError(
+                "CSR structure is not symmetric: odd number of directed arcs"
+            )
+        self._num_edges = total_directed // 2
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+        self._degrees.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_csr(indptr: np.ndarray, indices: np.ndarray, num_nodes: int) -> None:
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at zero")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indptr[-1] != len(indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if len(indices) and (indices.min() < 0 or indices.max() >= num_nodes):
+            raise ValueError("indices contain out-of-range node ids")
+        # no self loops
+        rows = np.repeat(np.arange(num_nodes), np.diff(indptr))
+        if np.any(rows == indices):
+            raise GraphStructureError("self-loops are not supported")
+        # no duplicate arcs within a row
+        order = np.lexsort((indices, rows))
+        sorted_rows = rows[order]
+        sorted_cols = indices[order]
+        dup = (sorted_rows[1:] == sorted_rows[:-1]) & (sorted_cols[1:] == sorted_cols[:-1])
+        if np.any(dup):
+            raise GraphStructureError("duplicate edges are not supported")
+        # symmetry: the multiset of arcs must equal the multiset of reversed arcs
+        forward = sorted_rows * num_nodes + sorted_cols
+        backward = np.sort(indices * num_nodes + rows)
+        if not np.array_equal(np.sort(forward), backward):
+            raise GraphStructureError("adjacency structure is not symmetric")
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer array (read-only view)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column index array (read-only view)."""
+        return self._indices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Array of node degrees ``d(v)`` (read-only view)."""
+        return self._degrees
+
+    def degree(self, node: int) -> int:
+        """Degree ``d(v)`` of a single node."""
+        node = check_node(node, self._num_nodes)
+        return int(self._degrees[node])
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``2m / n``."""
+        if self._num_nodes == 0:
+            return 0.0
+        return 2.0 * self._num_edges / self._num_nodes
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Array of neighbours of ``node`` (read-only view into CSR storage)."""
+        node = check_node(node, self._num_nodes)
+        return self._indices[self._indptr[node] : self._indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        u = check_node(u, self._num_nodes, "u")
+        v = check_node(v, self._num_nodes, "v")
+        if self._degrees[u] > self._degrees[v]:
+            u, v = v, u
+        return bool(np.any(self.neighbors(u) == v))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self._num_nodes):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` integer array with ``u < v``."""
+        rows = np.repeat(np.arange(self._num_nodes), self._degrees)
+        mask = rows < self._indices
+        return np.column_stack((rows[mask], self._indices[mask]))
+
+    # ------------------------------------------------------------------ #
+    # matrix views
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """The symmetric adjacency matrix ``A`` as ``scipy.sparse.csr_matrix``."""
+        data = np.ones(len(self._indices), dtype=np.float64)
+        return sp.csr_matrix(
+            (data, self._indices.copy(), self._indptr.copy()),
+            shape=(self._num_nodes, self._num_nodes),
+        )
+
+    def degree_matrix(self) -> sp.csr_matrix:
+        """The diagonal degree matrix ``D``."""
+        return sp.diags(self._degrees.astype(np.float64), format="csr")
+
+    def laplacian_matrix(self) -> sp.csr_matrix:
+        """The combinatorial Laplacian ``L = D - A``."""
+        return (self.degree_matrix() - self.adjacency_matrix()).tocsr()
+
+    def transition_matrix(self) -> sp.csr_matrix:
+        """The random-walk transition matrix ``P = D^{-1} A``."""
+        if np.any(self._degrees == 0):
+            raise GraphStructureError(
+                "transition matrix undefined: graph has isolated nodes"
+            )
+        inv_deg = 1.0 / self._degrees.astype(np.float64)
+        data = np.repeat(inv_deg, self._degrees)
+        return sp.csr_matrix(
+            (data, self._indices.copy(), self._indptr.copy()),
+            shape=(self._num_nodes, self._num_nodes),
+        )
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The stationary distribution ``pi(v) = d(v) / 2m`` of the walk."""
+        if self._num_edges == 0:
+            raise GraphStructureError("stationary distribution undefined on empty graph")
+        return self._degrees / (2.0 * self._num_edges)
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, nodes: Sequence[int] | np.ndarray) -> "Graph":
+        """The induced subgraph on ``nodes`` (relabelled to ``0..len(nodes)-1``).
+
+        The order of ``nodes`` defines the new labels.
+        """
+        nodes = np.asarray(list(nodes), dtype=np.int64)
+        if len(np.unique(nodes)) != len(nodes):
+            raise ValueError("subgraph node list contains duplicates")
+        for node in nodes:
+            check_node(int(node), self._num_nodes)
+        remap = -np.ones(self._num_nodes, dtype=np.int64)
+        remap[nodes] = np.arange(len(nodes))
+        edges = []
+        for new_u, old_u in enumerate(nodes):
+            for old_v in self.neighbors(int(old_u)):
+                new_v = remap[old_v]
+                if new_v >= 0 and new_u < new_v:
+                    edges.append((new_u, int(new_v)))
+        from repro.graph.builders import from_edges
+
+        return from_edges(edges, num_nodes=len(nodes))
+
+    def remove_edges(self, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Return a copy of the graph with the given undirected edges removed."""
+        forbidden = set()
+        for u, v in edges:
+            u = check_node(u, self._num_nodes, "u")
+            v = check_node(v, self._num_nodes, "v")
+            forbidden.add((min(u, v), max(u, v)))
+        kept = [(u, v) for u, v in self.edges() if (u, v) not in forbidden]
+        from repro.graph.builders import from_edges
+
+        return from_edges(kept, num_nodes=self._num_nodes)
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Return a copy of the graph with the given undirected edges added."""
+        new_edges = set(self.edges())
+        for u, v in edges:
+            u = check_node(u, self._num_nodes, "u")
+            v = check_node(v, self._num_nodes, "v")
+            if u == v:
+                raise GraphStructureError("self-loops are not supported")
+            new_edges.add((min(u, v), max(u, v)))
+        from repro.graph.builders import from_edges
+
+        return from_edges(sorted(new_edges), num_nodes=self._num_nodes)
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # immutable, so hashable
+        return hash((self._num_nodes, self._num_edges, self._indices.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(num_nodes={self._num_nodes}, num_edges={self._num_edges}, "
+            f"avg_degree={self.average_degree:.2f})"
+        )
+
+
+__all__ = ["Graph"]

@@ -1,0 +1,87 @@
+"""Edge-list IO in the SNAP text format used by the paper's datasets.
+
+The SNAP datasets ship as whitespace-separated edge lists with optional ``#``
+comment lines.  The same format is used here for reading and writing so that a
+user with the real datasets can drop them in directly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graph.builders import from_edge_array
+from repro.graph.graph import Graph
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    comment: str = "#",
+    relabel: bool = True,
+) -> Graph:
+    """Read an undirected graph from a whitespace-separated edge list.
+
+    Parameters
+    ----------
+    path:
+        Text file with one ``u v`` pair per line.  Lines starting with
+        ``comment`` are ignored.  Duplicate edges, reversed duplicates and
+        self-loops are dropped.
+    relabel:
+        When true (default), node identifiers are compacted to ``0..n-1`` in
+        sorted order of their original ids, which is what SNAP files need
+        (their id spaces are sparse).  When false, the original integer ids are
+        used directly and must already be ``0..n-1``.
+    """
+    path = Path(path)
+    rows: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue
+            rows.append((u, v))
+    if not rows:
+        raise ValueError(f"no edges found in {path}")
+    edges = np.asarray(rows, dtype=np.int64)
+    if relabel:
+        unique_ids = np.unique(edges)
+        remap = {int(old): new for new, old in enumerate(unique_ids)}
+        edges = np.vectorize(remap.__getitem__)(edges)
+        num_nodes = len(unique_ids)
+    else:
+        num_nodes = int(edges.max()) + 1
+    return from_edge_array(edges, num_nodes=num_nodes)
+
+
+def write_edge_list(
+    graph: Graph,
+    path: PathLike,
+    *,
+    header: Optional[str] = None,
+) -> None:
+    """Write ``graph`` as a whitespace-separated edge list (one edge per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+__all__ = ["read_edge_list", "write_edge_list"]

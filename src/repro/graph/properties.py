@@ -1,0 +1,159 @@
+"""Structural graph properties: connectivity, bipartiteness, degree statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+
+from repro.exceptions import GraphStructureError
+from repro.graph.graph import Graph
+
+
+def connected_components(graph: Graph) -> List[np.ndarray]:
+    """Connected components as a list of node-id arrays, largest first."""
+    if graph.num_nodes == 0:
+        return []
+    count, labels = csgraph.connected_components(
+        graph.adjacency_matrix(), directed=False
+    )
+    components = [np.flatnonzero(labels == i) for i in range(count)]
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (vacuously true for a single node)."""
+    if graph.num_nodes <= 1:
+        return True
+    count, _ = csgraph.connected_components(graph.adjacency_matrix(), directed=False)
+    return count == 1
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """The induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        raise GraphStructureError("graph has no nodes")
+    return graph.subgraph(components[0])
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Whether the graph is bipartite (two-colourable), via BFS colouring."""
+    color = -np.ones(graph.num_nodes, dtype=np.int8)
+    indptr, indices = graph.indptr, graph.indices
+    for root in range(graph.num_nodes):
+        if color[root] >= 0:
+            continue
+        color[root] = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            node_color = color[node]
+            for neighbor in indices[indptr[node] : indptr[node + 1]]:
+                if color[neighbor] < 0:
+                    color[neighbor] = 1 - node_color
+                    stack.append(int(neighbor))
+                elif color[neighbor] == node_color:
+                    return False
+    return True
+
+
+def require_walkable(graph: Graph) -> None:
+    """Raise :class:`GraphStructureError` unless the random walk on ``graph`` is ergodic.
+
+    Effective-resistance estimators based on truncated random walks (Eq. (3) in
+    the paper) require the graph to be connected and non-bipartite so that the
+    transition matrix is ergodic and its powers converge to the stationary
+    distribution.
+    """
+    if graph.num_nodes < 2:
+        raise GraphStructureError("graph must contain at least two nodes")
+    if np.any(graph.degrees == 0):
+        raise GraphStructureError("graph contains isolated nodes")
+    if not is_connected(graph):
+        raise GraphStructureError("graph must be connected")
+    if is_bipartite(graph):
+        raise GraphStructureError(
+            "graph must be non-bipartite for walk-based estimators "
+            "(the transition matrix is periodic on bipartite graphs)"
+        )
+
+
+def require_connected(graph: Graph) -> None:
+    """Raise :class:`GraphStructureError` unless the graph is connected."""
+    if graph.num_nodes < 2:
+        raise GraphStructureError("graph must contain at least two nodes")
+    if not is_connected(graph):
+        raise GraphStructureError("graph must be connected")
+
+
+def degree_statistics(graph: Graph) -> dict[str, float]:
+    """Summary statistics of the degree sequence."""
+    degrees = graph.degrees
+    if len(degrees) == 0:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0, "std": 0.0}
+    return {
+        "min": float(degrees.min()),
+        "max": float(degrees.max()),
+        "mean": float(degrees.mean()),
+        "median": float(np.median(degrees)),
+        "std": float(degrees.std()),
+    }
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """The per-dataset statistics reported in Table 3 of the paper."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    min_degree: int
+    max_degree: int
+    connected: bool
+    bipartite: bool
+
+    def as_row(self) -> dict[str, object]:
+        """Render as a plain dict suitable for tabular reporting."""
+        return {
+            "name": self.name,
+            "#nodes (n)": self.num_nodes,
+            "#edges (m)": self.num_edges,
+            "avg. degree": round(self.average_degree, 2),
+            "min degree": self.min_degree,
+            "max degree": self.max_degree,
+            "connected": self.connected,
+            "bipartite": self.bipartite,
+        }
+
+
+def summarize(graph: Graph, name: str = "graph") -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    stats = degree_statistics(graph)
+    return GraphSummary(
+        name=name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree,
+        min_degree=int(stats["min"]),
+        max_degree=int(stats["max"]),
+        connected=is_connected(graph),
+        bipartite=is_bipartite(graph),
+    )
+
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_connected_component",
+    "is_bipartite",
+    "require_walkable",
+    "require_connected",
+    "degree_statistics",
+    "GraphSummary",
+    "summarize",
+]

@@ -1,0 +1,37 @@
+"""Linear-algebra substrate: Laplacians, spectral quantities, solvers, projections."""
+
+from repro.linalg.laplacian import (
+    adjacency_matrix,
+    degree_vector,
+    incidence_matrix,
+    laplacian_matrix,
+    laplacian_pseudoinverse,
+    normalized_laplacian_matrix,
+    transition_matrix,
+)
+from repro.linalg.eigen import (
+    SpectralInfo,
+    spectral_gap,
+    spectral_radius_second,
+    transition_eigenvalues,
+)
+from repro.linalg.solvers import LaplacianSolver, solve_laplacian
+from repro.linalg.projection import gaussian_projection_matrix, rademacher_projection_matrix
+
+__all__ = [
+    "adjacency_matrix",
+    "degree_vector",
+    "incidence_matrix",
+    "laplacian_matrix",
+    "normalized_laplacian_matrix",
+    "transition_matrix",
+    "laplacian_pseudoinverse",
+    "SpectralInfo",
+    "transition_eigenvalues",
+    "spectral_radius_second",
+    "spectral_gap",
+    "LaplacianSolver",
+    "solve_laplacian",
+    "gaussian_projection_matrix",
+    "rademacher_projection_matrix",
+]

@@ -1,0 +1,172 @@
+"""Spectral quantities of the random-walk transition matrix.
+
+The paper's refined maximum walk length (Eq. (6)) and Peng et al.'s generic
+length (Eq. (5)) both depend on ``λ = max(|λ₂|, |λ_n|)``, the second-largest
+eigenvalue magnitude of ``P = D⁻¹A``.  The paper computes it once per graph
+with ARPACK as a preprocessing step; we do the same through
+``scipy.sparse.linalg.eigsh`` on the similar symmetric matrix
+``D^{-1/2} A D^{-1/2}`` (which has the same spectrum as ``P``), with a
+deterministic power-iteration fallback for very small graphs or when ARPACK
+fails to converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import ConvergenceError
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass(frozen=True)
+class SpectralInfo:
+    """Spectral summary of a graph's random walk.
+
+    Attributes
+    ----------
+    lambda_2:
+        Second-largest eigenvalue of ``P`` (algebraically).
+    lambda_n:
+        Smallest eigenvalue of ``P``.
+    lambda_max_abs:
+        ``max(|λ₂|, |λ_n|)`` — the quantity called ``λ`` in the paper.
+    spectral_gap:
+        ``1 - lambda_max_abs``.
+    """
+
+    lambda_2: float
+    lambda_n: float
+
+    @property
+    def lambda_max_abs(self) -> float:
+        return max(abs(self.lambda_2), abs(self.lambda_n))
+
+    @property
+    def spectral_gap(self) -> float:
+        return 1.0 - self.lambda_max_abs
+
+
+def _normalized_adjacency(graph: Graph) -> sp.csr_matrix:
+    """``N = D^{-1/2} A D^{-1/2}``, symmetric and similar to ``P = D^{-1}A``."""
+    degrees = graph.degrees.astype(np.float64)
+    if np.any(degrees == 0):
+        raise ValueError("spectral quantities undefined for graphs with isolated nodes")
+    inv_sqrt = sp.diags(1.0 / np.sqrt(degrees), format="csr")
+    return (inv_sqrt @ graph.adjacency_matrix() @ inv_sqrt).tocsr()
+
+
+def _dense_eigenvalues(matrix: sp.csr_matrix) -> np.ndarray:
+    values = np.linalg.eigvalsh(matrix.toarray())
+    return np.sort(values)[::-1]
+
+
+def transition_eigenvalues(
+    graph: Graph,
+    *,
+    dense_threshold: int = 512,
+    rng: RngLike = None,
+    tol: float = 1e-10,
+) -> SpectralInfo:
+    """Compute ``λ₂`` and ``λ_n`` of the transition matrix ``P``.
+
+    Parameters
+    ----------
+    dense_threshold:
+        Graphs with at most this many nodes are handled with a dense symmetric
+        eigensolver (exact and robust); larger graphs use ARPACK
+        (``scipy.sparse.linalg.eigsh``), mirroring the paper's preprocessing.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("graph must contain at least two nodes")
+    normalized = _normalized_adjacency(graph)
+    if n <= dense_threshold:
+        values = _dense_eigenvalues(normalized)
+        return SpectralInfo(lambda_2=float(values[1]), lambda_n=float(values[-1]))
+
+    gen = as_generator(rng)
+    v0 = gen.random(n)
+    try:
+        # Largest algebraic (gives lambda_1 = 1 and lambda_2) and smallest algebraic.
+        top = spla.eigsh(
+            normalized, k=2, which="LA", v0=v0, tol=tol, return_eigenvectors=False
+        )
+        bottom = spla.eigsh(
+            normalized, k=1, which="SA", v0=v0, tol=tol, return_eigenvectors=False
+        )
+    except (spla.ArpackNoConvergence, spla.ArpackError) as exc:  # pragma: no cover
+        raise ConvergenceError(f"ARPACK failed to converge: {exc}") from exc
+    top = np.sort(top)[::-1]
+    lambda_2 = float(top[1])
+    lambda_n = float(bottom[0])
+    # Numerical guards: eigenvalues of P lie in [-1, 1].
+    lambda_2 = min(max(lambda_2, -1.0), 1.0)
+    lambda_n = min(max(lambda_n, -1.0), 1.0)
+    return SpectralInfo(lambda_2=lambda_2, lambda_n=lambda_n)
+
+
+def spectral_radius_second(graph: Graph, **kwargs) -> float:
+    """``λ = max(|λ₂|, |λ_n|)`` — the paper's preprocessing output."""
+    return transition_eigenvalues(graph, **kwargs).lambda_max_abs
+
+
+def spectral_gap(graph: Graph, **kwargs) -> float:
+    """``1 - λ``; controls how quickly truncated walks converge."""
+    return transition_eigenvalues(graph, **kwargs).spectral_gap
+
+
+def power_iteration_lambda2(
+    graph: Graph,
+    *,
+    max_iterations: int = 2000,
+    tol: float = 1e-9,
+    rng: RngLike = None,
+) -> float:
+    """Estimate ``|λ₂|`` of ``P`` by deflated power iteration.
+
+    A dependency-light fallback used for cross-checking ARPACK results in the
+    test-suite and available for environments where ARPACK is unreliable.  The
+    leading eigenvector of the symmetrised matrix ``N = D^{-1/2} A D^{-1/2}`` is
+    ``D^{1/2} 1`` (up to normalisation); deflating it leaves ``|λ₂|`` as the new
+    dominant eigenvalue magnitude.
+    """
+    normalized = _normalized_adjacency(graph)
+    n = graph.num_nodes
+    degrees = graph.degrees.astype(np.float64)
+    leading = np.sqrt(degrees)
+    leading /= np.linalg.norm(leading)
+    gen = as_generator(rng)
+    vector = gen.standard_normal(n)
+    vector -= leading * (leading @ vector)
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        raise ConvergenceError("degenerate starting vector in power iteration")
+    vector /= norm
+    previous = 0.0
+    for _ in range(max_iterations):
+        vector = normalized @ vector
+        vector -= leading * (leading @ vector)
+        norm = np.linalg.norm(vector)
+        if norm < 1e-300:
+            return 0.0
+        vector /= norm
+        estimate = float(abs(vector @ (normalized @ vector)))
+        if abs(estimate - previous) < tol:
+            return estimate
+        previous = estimate
+    return previous
+
+
+__all__ = [
+    "SpectralInfo",
+    "transition_eigenvalues",
+    "spectral_radius_second",
+    "spectral_gap",
+    "power_iteration_lambda2",
+]

@@ -1,0 +1,98 @@
+"""Construction of the matrices used throughout the paper.
+
+All functions take the library's :class:`repro.Graph` and return
+``scipy.sparse`` matrices (or dense NumPy arrays where the object is inherently
+dense, e.g. the Laplacian pseudo-inverse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+
+
+def adjacency_matrix(graph: Graph) -> sp.csr_matrix:
+    """The symmetric adjacency matrix ``A``."""
+    return graph.adjacency_matrix()
+
+
+def degree_vector(graph: Graph) -> np.ndarray:
+    """The degree vector ``d`` as floats."""
+    return graph.degrees.astype(np.float64)
+
+
+def laplacian_matrix(graph: Graph) -> sp.csr_matrix:
+    """The combinatorial Laplacian ``L = D - A``."""
+    return graph.laplacian_matrix()
+
+
+def normalized_laplacian_matrix(graph: Graph) -> sp.csr_matrix:
+    """The symmetric normalised Laplacian ``I - D^{-1/2} A D^{-1/2}``."""
+    degrees = degree_vector(graph)
+    if np.any(degrees == 0):
+        raise ValueError("normalised Laplacian undefined for isolated nodes")
+    inv_sqrt = sp.diags(1.0 / np.sqrt(degrees), format="csr")
+    identity = sp.identity(graph.num_nodes, format="csr")
+    return (identity - inv_sqrt @ graph.adjacency_matrix() @ inv_sqrt).tocsr()
+
+
+def transition_matrix(graph: Graph) -> sp.csr_matrix:
+    """The random-walk transition matrix ``P = D^{-1} A``."""
+    return graph.transition_matrix()
+
+
+def incidence_matrix(graph: Graph) -> sp.csr_matrix:
+    """The signed edge-node incidence matrix ``B`` of shape ``(m, n)``.
+
+    Row ``e = (u, v)`` (with ``u < v``) has ``+1`` at column ``u`` and ``-1`` at
+    column ``v``; therefore ``BᵀB = L``.  Used by the RP baseline
+    (Spielman–Srivastava) and the sparsification application.
+    """
+    edges = graph.edge_array()
+    m = len(edges)
+    rows = np.repeat(np.arange(m), 2)
+    cols = edges.reshape(-1)
+    data = np.tile(np.array([1.0, -1.0]), m)
+    return sp.csr_matrix((data, (rows, cols)), shape=(m, graph.num_nodes))
+
+
+def laplacian_pseudoinverse(graph: Graph) -> np.ndarray:
+    """The dense Moore–Penrose pseudo-inverse ``L⁺``.
+
+    This is the EXACT method's workhorse.  For a connected graph the
+    pseudo-inverse can be computed without an SVD via the well-known identity
+
+    ``L⁺ = (L + J/n)⁻¹ - J/n``
+
+    where ``J`` is the all-ones matrix: adding the rank-one term shifts the
+    zero eigenvalue (whose eigenvector is the all-ones vector) to one, making
+    the matrix invertible, and subtracting it afterwards restores the
+    pseudo-inverse on the orthogonal complement.
+    Memory is ``O(n^2)`` — only feasible for small graphs, exactly as the paper
+    observes for EXACT.
+    """
+    n = graph.num_nodes
+    dense = graph.laplacian_matrix().toarray()
+    shift = np.full((n, n), 1.0 / n)
+    return np.linalg.inv(dense + shift) - shift
+
+
+def effective_resistance_from_pinv(pinv: np.ndarray, s: int, t: int) -> float:
+    """Evaluate Eq. (1): ``r(s,t) = (e_s - e_t) L⁺ (e_s - e_t)ᵀ`` from a dense ``L⁺``."""
+    if s == t:
+        return 0.0
+    return float(pinv[s, s] + pinv[t, t] - pinv[s, t] - pinv[t, s])
+
+
+__all__ = [
+    "adjacency_matrix",
+    "degree_vector",
+    "laplacian_matrix",
+    "normalized_laplacian_matrix",
+    "transition_matrix",
+    "incidence_matrix",
+    "laplacian_pseudoinverse",
+    "effective_resistance_from_pinv",
+]

@@ -1,0 +1,53 @@
+"""Random projection matrices for the Spielman–Srivastava RP baseline.
+
+The RP method approximates all effective resistances by the Johnson–
+Lindenstrauss lemma: with ``Q`` a ``k x m`` random ±1/√k matrix and
+``Z = Q B L⁺`` (``B`` the incidence matrix), ``‖Z(e_s - e_t)‖²`` concentrates
+around ``r(s, t)`` when ``k = O(log n / ε²)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_integer
+
+
+def rademacher_projection_matrix(
+    num_rows: int, num_cols: int, *, rng: RngLike = None
+) -> np.ndarray:
+    """A ``num_rows x num_cols`` matrix with i.i.d. ±1/sqrt(num_rows) entries."""
+    check_integer(num_rows, "num_rows", minimum=1)
+    check_integer(num_cols, "num_cols", minimum=1)
+    gen = as_generator(rng)
+    signs = gen.integers(0, 2, size=(num_rows, num_cols), dtype=np.int8)
+    return (2.0 * signs - 1.0) / np.sqrt(num_rows)
+
+
+def gaussian_projection_matrix(
+    num_rows: int, num_cols: int, *, rng: RngLike = None
+) -> np.ndarray:
+    """A ``num_rows x num_cols`` matrix with i.i.d. N(0, 1/num_rows) entries."""
+    check_integer(num_rows, "num_rows", minimum=1)
+    check_integer(num_cols, "num_cols", minimum=1)
+    gen = as_generator(rng)
+    return gen.standard_normal((num_rows, num_cols)) / np.sqrt(num_rows)
+
+
+def johnson_lindenstrauss_dimension(num_nodes: int, epsilon: float, *, c: float = 24.0) -> int:
+    """The projection dimension ``k = ceil(c log n / ε²)`` used by RP.
+
+    The paper quotes ``24 log n / ε²`` for the Spielman–Srivastava construction.
+    """
+    check_integer(num_nodes, "num_nodes", minimum=2)
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    return int(np.ceil(c * np.log(num_nodes) / epsilon**2))
+
+
+__all__ = [
+    "rademacher_projection_matrix",
+    "gaussian_projection_matrix",
+    "johnson_lindenstrauss_dimension",
+]

@@ -1,0 +1,41 @@
+"""Sampling substrate: random walks, spanning trees, concentration inequalities."""
+
+from repro.sampling.walks import (
+    RandomWalkEngine,
+    simulate_walks,
+    walk_endpoints,
+)
+from repro.sampling.walk_stats import (
+    endpoint_histogram,
+    score_walks,
+    visit_counts,
+)
+from repro.sampling.spanning_tree import (
+    aldous_broder_spanning_tree,
+    wilson_spanning_tree,
+)
+from repro.sampling.concentration import (
+    empirical_bernstein_error,
+    empirical_bernstein_sample_size,
+    hoeffding_error,
+    hoeffding_sample_size,
+    amc_sample_budget,
+    amc_psi,
+)
+
+__all__ = [
+    "RandomWalkEngine",
+    "simulate_walks",
+    "walk_endpoints",
+    "endpoint_histogram",
+    "visit_counts",
+    "score_walks",
+    "wilson_spanning_tree",
+    "aldous_broder_spanning_tree",
+    "hoeffding_error",
+    "hoeffding_sample_size",
+    "empirical_bernstein_error",
+    "empirical_bernstein_sample_size",
+    "amc_sample_budget",
+    "amc_psi",
+]

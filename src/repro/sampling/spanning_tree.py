@@ -1,0 +1,134 @@
+"""Uniform spanning tree samplers.
+
+The HAY baseline (Hayashi et al., IJCAI 2016) estimates the effective
+resistance of an *edge* ``(s, t)`` as the probability that the edge belongs to
+a uniformly random spanning tree (a classical identity: ``Pr[e in UST] = r(e)``
+for unweighted graphs).  Sampling uniform spanning trees is done with Wilson's
+algorithm (loop-erased random walks), with Aldous–Broder as a simpler
+cross-check implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.properties import require_connected
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_node
+
+
+def wilson_spanning_tree(
+    graph: Graph,
+    *,
+    root: int | None = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sample a uniform spanning tree with Wilson's algorithm.
+
+    Returns an ``(n - 1, 2)`` array of tree edges (unordered pairs).  Expected
+    running time is ``O(mean hitting time)``, which for the graphs used here is
+    far below the naive cover-time bound of Aldous–Broder.
+    """
+    require_connected(graph)
+    n = graph.num_nodes
+    gen = as_generator(rng)
+    if root is None:
+        root = int(gen.integers(0, n))
+    else:
+        root = check_node(root, n, "root")
+
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[root] = True
+    successor = -np.ones(n, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+
+    for start in range(n):
+        if in_tree[start]:
+            continue
+        # random walk from `start` recording the successor of each visited node;
+        # loops are erased implicitly because the successor is overwritten.
+        node = start
+        while not in_tree[node]:
+            degree = indptr[node + 1] - indptr[node]
+            nxt = int(indices[indptr[node] + gen.integers(0, degree)])
+            successor[node] = nxt
+            node = nxt
+        # retrace the loop-erased path and add it to the tree
+        node = start
+        while not in_tree[node]:
+            in_tree[node] = True
+            node = int(successor[node])
+
+    edges = [(node, int(successor[node])) for node in range(n) if node != root]
+    tree = np.asarray(edges, dtype=np.int64)
+    lo = np.minimum(tree[:, 0], tree[:, 1])
+    hi = np.maximum(tree[:, 0], tree[:, 1])
+    return np.column_stack((lo, hi))
+
+
+def aldous_broder_spanning_tree(
+    graph: Graph,
+    *,
+    start: int | None = None,
+    rng: RngLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Sample a uniform spanning tree with the Aldous–Broder algorithm.
+
+    Walk until every node has been visited; the first-entry edges form a
+    uniform spanning tree.  Simpler than Wilson's algorithm but needs the full
+    cover time, so it is used only as a correctness cross-check on small graphs.
+    """
+    require_connected(graph)
+    n = graph.num_nodes
+    gen = as_generator(rng)
+    if start is None:
+        start = int(gen.integers(0, n))
+    else:
+        start = check_node(start, n, "start")
+    if max_steps is None:
+        # cover time is O(n m) in the worst case; add slack for safety
+        max_steps = 50 * n * max(graph.num_edges, 1)
+
+    visited = np.zeros(n, dtype=bool)
+    visited[start] = True
+    num_visited = 1
+    edges: list[tuple[int, int]] = []
+    indptr, indices = graph.indptr, graph.indices
+    node = start
+    for _ in range(max_steps):
+        degree = indptr[node + 1] - indptr[node]
+        nxt = int(indices[indptr[node] + gen.integers(0, degree)])
+        if not visited[nxt]:
+            visited[nxt] = True
+            num_visited += 1
+            edges.append((min(node, nxt), max(node, nxt)))
+        node = nxt
+        if num_visited == n:
+            break
+    if num_visited != n:
+        raise RuntimeError("Aldous-Broder walk did not cover the graph within max_steps")
+    return np.asarray(edges, dtype=np.int64)
+
+
+def spanning_tree_edge_indicator(
+    tree_edges: np.ndarray, query_edges: np.ndarray
+) -> np.ndarray:
+    """Boolean vector: which of ``query_edges`` appear in ``tree_edges``.
+
+    Both inputs are ``(k, 2)`` arrays of unordered pairs.
+    """
+    tree_set = {(int(u), int(v)) for u, v in np.asarray(tree_edges, dtype=np.int64)}
+    result = np.zeros(len(query_edges), dtype=bool)
+    for i, (u, v) in enumerate(np.asarray(query_edges, dtype=np.int64)):
+        u, v = int(u), int(v)
+        result[i] = (min(u, v), max(u, v)) in tree_set
+    return result
+
+
+__all__ = [
+    "wilson_spanning_tree",
+    "aldous_broder_spanning_tree",
+    "spanning_tree_edge_indicator",
+]

@@ -1,0 +1,75 @@
+"""Statistics extracted from batches of random walks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def endpoint_histogram(endpoints: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Empirical distribution of walk end nodes (length-``num_nodes`` vector)."""
+    endpoints = np.asarray(endpoints, dtype=np.int64)
+    if len(endpoints) == 0:
+        return np.zeros(num_nodes, dtype=np.float64)
+    counts = np.bincount(endpoints, minlength=num_nodes).astype(np.float64)
+    return counts / len(endpoints)
+
+
+def visit_counts(walks: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Total number of visits to each node across a ``(k, length)`` walk matrix."""
+    walks = np.asarray(walks, dtype=np.int64)
+    if walks.size == 0:
+        return np.zeros(num_nodes, dtype=np.int64)
+    return np.bincount(walks.reshape(-1), minlength=num_nodes)
+
+
+def score_walks(walks: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Per-walk sums of ``weights[node]`` over all visited nodes.
+
+    This is the vectorised form of the inner loop of Algorithm 1 (Line 7):
+    each walk ``W`` contributes ``sum_{w in W} weights(w)``.
+
+    Parameters
+    ----------
+    walks:
+        ``(k, length)`` matrix of visited nodes.
+    weights:
+        Length-``n`` vector of per-node weights.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``k`` vector of per-walk scores.
+    """
+    walks = np.asarray(walks, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if walks.size == 0:
+        return np.zeros(walks.shape[0], dtype=np.float64)
+    return weights[walks].sum(axis=1)
+
+
+def empirical_transition_power(
+    graph: Graph,
+    start: int,
+    length: int,
+    num_walks: int,
+    *,
+    rng=None,
+) -> np.ndarray:
+    """Monte-Carlo estimate of the distribution ``e_start P^length``.
+
+    Mostly a test helper: compares walk statistics against exact matrix powers.
+    """
+    from repro.sampling.walks import walk_endpoints
+
+    ends = walk_endpoints(graph, start, num_walks, length, rng=rng)
+    return endpoint_histogram(ends, graph.num_nodes)
+
+
+__all__ = [
+    "endpoint_histogram",
+    "visit_counts",
+    "score_walks",
+    "empirical_transition_power",
+]

@@ -1,0 +1,24 @@
+"""Shared utilities: RNG management, timing, logging and validation helpers."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer, TimeBudget, timed
+from repro.utils.validation import (
+    check_node,
+    check_node_pair,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "TimeBudget",
+    "timed",
+    "get_logger",
+    "check_node",
+    "check_node_pair",
+    "check_positive",
+    "check_probability",
+]

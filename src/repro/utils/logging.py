@@ -1,0 +1,37 @@
+"""Library logging helpers.
+
+The library never configures the root logger; applications opt into verbose
+output via :func:`enable_verbose_logging` (used by the example scripts and the
+benchmark harness).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger under the library's ``repro`` namespace."""
+    if not name:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_verbose_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the library logger (idempotent)."""
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+__all__ = ["get_logger", "enable_verbose_logging"]

@@ -1,0 +1,110 @@
+"""Wall-clock timing helpers used by the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """A simple cumulative wall-clock timer.
+
+    Can be used either as a context manager::
+
+        timer = Timer()
+        with timer:
+            expensive_call()
+        print(timer.elapsed)
+
+    or via explicit :meth:`start` / :meth:`stop` calls.  Multiple measured
+    sections accumulate into :attr:`elapsed`.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError("timer already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed * 1000.0
+
+
+@dataclass
+class TimeBudget:
+    """A soft per-task time budget, mirroring the paper's per-query timeout.
+
+    The paper excludes any method that cannot answer every query within one day.
+    At laptop scale we use a configurable budget in seconds; the harness checks
+    :meth:`exceeded` between queries and marks the method as timed out.
+    """
+
+    seconds: float = math.inf
+    _start: float = field(default_factory=time.perf_counter)
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    @property
+    def remaining(self) -> float:
+        return self.seconds - self.elapsed
+
+    def exceeded(self) -> bool:
+        return self.elapsed > self.seconds
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a running :class:`Timer`."""
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer.running:
+            timer.stop()
+
+
+def time_call(func: Callable[[], T]) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+__all__ = ["Timer", "TimeBudget", "timed", "time_call"]

@@ -1,0 +1,66 @@
+"""Argument validation helpers shared across the library.
+
+All validation errors are raised as :class:`ValueError` with a message naming
+the offending argument, so estimator call sites stay small and consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a finite positive (or non-negative) number."""
+    if not isinstance(value, (int, float)):
+        raise ValueError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the open interval (0, 1)."""
+    value = check_positive(value, name, strict=True)
+    if value >= 1:
+        raise ValueError(f"{name} must be < 1, got {value!r}")
+    return value
+
+
+def check_integer(value: Any, name: str, *, minimum: int | None = None) -> int:
+    """Validate that ``value`` is an integer, optionally bounded below."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ValueError(f"{name} must be an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_node(node: Any, num_nodes: int, name: str = "node") -> int:
+    """Validate that ``node`` is a valid node identifier in ``[0, num_nodes)``."""
+    if isinstance(node, bool) or not isinstance(node, (int,)):
+        try:
+            node = int(node)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{name} must be an integer node id") from exc
+    if not 0 <= node < num_nodes:
+        raise ValueError(f"{name}={node} out of range for graph with {num_nodes} nodes")
+    return int(node)
+
+
+def check_node_pair(s: Any, t: Any, num_nodes: int) -> tuple[int, int]:
+    """Validate a pair of node identifiers."""
+    return check_node(s, num_nodes, "s"), check_node(t, num_nodes, "t")
+
+
+__all__ = [
+    "check_positive",
+    "check_probability",
+    "check_integer",
+    "check_node",
+    "check_node_pair",
+]

@@ -1,0 +1,79 @@
+"""Unit tests for anomalous-change detection on evolving graphs."""
+
+import numpy as np
+import pytest
+
+from repro.applications.anomaly import (
+    edge_change_scores,
+    most_anomalous_nodes,
+    node_change_scores,
+)
+from repro.graph.builders import from_edges
+from repro.graph.generators import stochastic_block_model_graph
+
+
+@pytest.fixture(scope="module")
+def two_cluster_snapshots():
+    """Before: two clusters joined by one bridge.  After: a second bridge appears
+    and one intra-cluster edge disappears."""
+    before = stochastic_block_model_graph([15, 15], 0.6, 0.0, rng=7, connect=False)
+    before = before.add_edges([(0, 15)])  # single bridge
+    intra_edge = next((u, v) for u, v in before.edges() if u < 15 and v < 15 and u != 0)
+    after = before.add_edges([(7, 22)]).remove_edges([intra_edge])
+    return before, after, intra_edge
+
+
+class TestEdgeChangeScores:
+    def test_detects_added_and_removed(self, two_cluster_snapshots):
+        before, after, intra_edge = two_cluster_snapshots
+        changes = edge_change_scores(before, after)
+        kinds = {(change.edge, change.kind) for change in changes}
+        assert ((7, 22), "added") in kinds
+        assert (intra_edge, "removed") in kinds
+
+    def test_cross_cluster_addition_scores_highest(self, two_cluster_snapshots):
+        before, after, _ = two_cluster_snapshots
+        changes = edge_change_scores(before, after)
+        assert changes[0].edge == (7, 22)
+        assert changes[0].kind == "added"
+        # the new bridge closed a long-resistance gap, the removed intra edge did not
+        assert changes[0].score > 3 * changes[-1].score
+
+    def test_no_changes(self, two_cluster_snapshots):
+        before, _, _ = two_cluster_snapshots
+        assert edge_change_scores(before, before) == []
+
+    def test_mismatched_node_sets_rejected(self, two_cluster_snapshots):
+        before, _, _ = two_cluster_snapshots
+        other = from_edges([(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError):
+            edge_change_scores(before, other)
+
+    def test_approximate_scores_close_to_exact(self, two_cluster_snapshots):
+        before, after, _ = two_cluster_snapshots
+        exact = edge_change_scores(before, after)
+        approx = edge_change_scores(before, after, epsilon=0.1, rng=3)
+        exact_top = exact[0].edge
+        approx_top = approx[0].edge
+        assert exact_top == approx_top
+
+
+class TestNodeScores:
+    def test_bridge_endpoints_most_anomalous(self, two_cluster_snapshots):
+        before, after, _ = two_cluster_snapshots
+        top = most_anomalous_nodes(before, after, top_k=2)
+        top_nodes = {node for node, _ in top}
+        assert top_nodes == {7, 22}
+
+    def test_scores_shape_and_nonnegativity(self, two_cluster_snapshots):
+        before, after, _ = two_cluster_snapshots
+        scores = node_change_scores(before, after)
+        assert scores.shape == (before.num_nodes,)
+        assert np.all(scores >= 0)
+
+    def test_untouched_nodes_score_zero(self, two_cluster_snapshots):
+        before, after, intra_edge = two_cluster_snapshots
+        scores = node_change_scores(before, after)
+        touched = {7, 22, *intra_edge}
+        untouched = [v for v in range(before.num_nodes) if v not in touched]
+        assert np.allclose(scores[untouched], 0.0)

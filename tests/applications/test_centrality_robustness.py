@@ -1,0 +1,97 @@
+"""Unit tests for centrality and robustness applications."""
+
+import numpy as np
+import pytest
+
+from repro.applications.centrality import current_flow_closeness, spanning_edge_centrality
+from repro.applications.robustness import edge_criticality_ranking, kirchhoff_index
+from repro.graph.builders import from_edges
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestSpanningEdgeCentrality:
+    def test_exact_values_on_cycle(self):
+        graph = cycle_graph(5)
+        values = spanning_edge_centrality(graph)
+        np.testing.assert_allclose(values, 4 / 5)
+
+    def test_fosters_theorem(self):
+        """Foster's theorem: the edge resistances of a connected graph sum to n - 1."""
+        graph = barabasi_albert_graph(80, 4, rng=1)
+        values = spanning_edge_centrality(graph)
+        assert values.sum() == pytest.approx(graph.num_nodes - 1, abs=1e-6)
+
+    def test_bridge_has_unit_centrality(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        values = spanning_edge_centrality(graph)
+        edges = list(map(tuple, graph.edge_array()))
+        bridge_index = edges.index((2, 3))
+        assert values[bridge_index] == pytest.approx(1.0)
+
+    def test_approximate_mode_close_to_exact(self):
+        graph = barabasi_albert_graph(60, 5, rng=2)
+        exact = spanning_edge_centrality(graph)
+        approx = spanning_edge_centrality(graph, epsilon=0.1, method="geer", rng=3)
+        assert np.max(np.abs(exact - approx)) <= 0.1
+
+
+class TestCurrentFlowCloseness:
+    def test_star_centre_most_central(self):
+        graph = star_graph(6)
+        closeness = current_flow_closeness(graph)
+        assert closeness[0] == closeness.max()
+
+    def test_path_endpoints_least_central(self):
+        graph = path_graph(7)
+        closeness = current_flow_closeness(graph)
+        assert np.argmin(closeness) in (0, 6)
+        assert np.argmax(closeness) == 3
+
+    def test_subset_of_nodes(self):
+        graph = complete_graph(6)
+        closeness = current_flow_closeness(graph, nodes=np.array([0, 3]))
+        assert closeness.shape == (2,)
+        assert closeness[0] == pytest.approx(closeness[1])
+
+
+class TestRobustness:
+    def test_kirchhoff_complete_graph(self):
+        # Kf(K_n) = n - 1 ... actually sum over pairs of 2/n = C(n,2) * 2/n = n - 1
+        graph = complete_graph(10)
+        assert kirchhoff_index(graph) == pytest.approx(9.0)
+
+    def test_kirchhoff_path(self):
+        graph = path_graph(4)
+        # sum of |i-j| over pairs: (1+2+3)+(1+2)+(1) = 10
+        assert kirchhoff_index(graph) == pytest.approx(10.0)
+
+    def test_kirchhoff_decreases_with_added_edge(self):
+        graph = path_graph(5)
+        denser = graph.add_edges([(0, 4)])
+        assert kirchhoff_index(denser) < kirchhoff_index(graph)
+
+    def test_criticality_ranking_flags_bridges(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+        ranking = edge_criticality_ranking(graph)
+        assert ranking[0].edge == (2, 3)
+        assert ranking[0].disconnects
+        assert ranking[0].resistance == pytest.approx(1.0)
+        # all other edges keep the graph connected
+        assert all(not record.disconnects for record in ranking[1:])
+
+    def test_top_k(self):
+        graph = complete_graph(6)
+        ranking = edge_criticality_ranking(graph, top_k=4)
+        assert len(ranking) == 4
+
+    def test_kirchhoff_increase_positive(self):
+        graph = complete_graph(5)
+        ranking = edge_criticality_ranking(graph)
+        for record in ranking:
+            assert record.kirchhoff_increase > 0

@@ -1,0 +1,66 @@
+"""Unit tests for effective-resistance clustering."""
+
+import numpy as np
+import pytest
+
+from repro.applications.clustering import (
+    clustering_accuracy,
+    effective_resistance_clustering,
+)
+from repro.graph.generators import stochastic_block_model_graph
+
+
+@pytest.fixture(scope="module")
+def sbm():
+    return stochastic_block_model_graph([30, 30, 30], 0.4, 0.01, rng=91)
+
+
+class TestClustering:
+    def test_recovers_planted_partition(self, sbm):
+        truth = np.repeat([0, 1, 2], 30)
+        result = effective_resistance_clustering(sbm, 3, rng=1)
+        assert clustering_accuracy(result.labels, truth) >= 0.9
+
+    def test_number_of_clusters(self, sbm):
+        result = effective_resistance_clustering(sbm, 3, rng=2)
+        assert result.num_clusters == 3
+        assert len(result.labels) == sbm.num_nodes
+        assert set(result.labels.tolist()) <= {0, 1, 2}
+
+    def test_cluster_members_partition(self, sbm):
+        result = effective_resistance_clustering(sbm, 3, rng=3)
+        total = sum(len(result.cluster_members(c)) for c in range(3))
+        assert total == sbm.num_nodes
+
+    def test_single_cluster(self, sbm):
+        result = effective_resistance_clustering(sbm, 1, rng=4)
+        assert set(result.labels.tolist()) == {0}
+
+    def test_too_many_clusters_rejected(self, sbm):
+        with pytest.raises(ValueError):
+            effective_resistance_clustering(sbm, sbm.num_nodes + 1)
+
+    def test_custom_distance_fn(self, sbm):
+        calls = {"count": 0}
+
+        def fake_distance(u, v):
+            calls["count"] += 1
+            return abs(u - v) / sbm.num_nodes
+
+        result = effective_resistance_clustering(
+            sbm, 2, distance_fn=fake_distance, degree_corrected=False, rng=5
+        )
+        assert calls["count"] > 0
+        assert result.num_clusters == 2
+
+
+class TestClusteringAccuracy:
+    def test_perfect(self):
+        assert clustering_accuracy([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_partial(self):
+        assert clustering_accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy([0, 1], [0, 1, 2])

@@ -1,0 +1,78 @@
+"""Unit tests for the bipartite effective-resistance recommender."""
+
+import pytest
+
+from repro.applications.recommendation import BipartiteRecommender
+
+
+def two_community_interactions():
+    """Two communities of 6 users x 6 items; each user consumes 3 of the 6 items."""
+    interactions = []
+    for uid in range(6):
+        for offset in range(3):
+            interactions.append((f"u{uid}", f"A{(uid + offset) % 6}"))
+    for uid in range(6, 12):
+        for offset in range(3):
+            interactions.append((f"u{uid}", f"B{(uid + offset) % 6}"))
+    # bridges keeping the graph connected
+    interactions.append(("u0", "B0"))
+    interactions.append(("u6", "A0"))
+    return interactions
+
+
+class TestRecommender:
+    def test_scores_lower_within_community(self):
+        recommender = BipartiteRecommender(two_community_interactions())
+        own = recommender.score("u1", "A2")
+        other = recommender.score("u1", "B2")
+        assert own < other
+
+    def test_recommend_excludes_seen(self):
+        recommender = BipartiteRecommender(two_community_interactions())
+        recs = recommender.recommend("u1", top_k=3)
+        rec_items = [item for item, _ in recs]
+        assert "A1" not in rec_items  # already consumed
+        assert len(recs) == 3
+
+    def test_recommend_includes_seen_when_asked(self):
+        recommender = BipartiteRecommender(two_community_interactions())
+        recs = recommender.recommend("u1", top_k=20, exclude_seen=False)
+        assert len(recs) == 12  # all items across both communities
+
+    def test_recommendations_prefer_own_community(self):
+        recommender = BipartiteRecommender(two_community_interactions())
+        recs = recommender.recommend("u7", top_k=3)
+        assert all(item.startswith("B") for item, _ in recs)
+
+    def test_unknown_user(self):
+        recommender = BipartiteRecommender(two_community_interactions())
+        with pytest.raises(KeyError):
+            recommender.recommend("ghost")
+        with pytest.raises(KeyError):
+            recommender.score("ghost", "A0")
+
+    def test_unknown_item(self):
+        recommender = BipartiteRecommender(two_community_interactions())
+        with pytest.raises(KeyError):
+            recommender.score("u0", "nope")
+
+    def test_empty_interactions_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteRecommender([])
+
+    def test_disconnected_interactions_rejected(self):
+        interactions = [("u0", "A0"), ("u1", "B0")]
+        with pytest.raises(ValueError):
+            BipartiteRecommender(interactions)
+
+    def test_estimate_backend(self):
+        recommender = BipartiteRecommender(
+            two_community_interactions(), backend="estimate", epsilon=0.1, rng=1
+        )
+        own = recommender.score("u1", "A2")
+        other = recommender.score("u1", "B2")
+        assert own < other + 0.2  # approximate scores still separate communities broadly
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            BipartiteRecommender(two_community_interactions(), backend="nope")

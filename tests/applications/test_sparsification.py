@@ -1,0 +1,64 @@
+"""Unit tests for effective-resistance graph sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.applications.sparsification import spectral_sparsify
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.graph.generators import barabasi_albert_graph, complete_graph
+from repro.graph.properties import is_connected
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return barabasi_albert_graph(150, 12, rng=81)
+
+
+class TestSparsify:
+    def test_reduces_edges(self, dense_graph):
+        sparsifier = spectral_sparsify(
+            dense_graph, epsilon=1.0, oversampling=1.0, resistance_epsilon=0.2, rng=1
+        )
+        assert sparsifier.num_edges < dense_graph.num_edges
+
+    def test_quadratic_form_preserved(self, dense_graph):
+        sparsifier = spectral_sparsify(
+            dense_graph, epsilon=0.8, oversampling=3.0, resistance_epsilon=0.2, rng=2
+        )
+        error = sparsifier.quadratic_form_error(dense_graph, probes=25, rng=3)
+        assert error < 0.6
+
+    def test_laplacian_unbiased_total_weight(self, dense_graph):
+        # expected total edge weight equals the original edge count
+        sparsifier = spectral_sparsify(
+            dense_graph, epsilon=1.0, oversampling=2.0, resistance_epsilon=0.2, rng=4
+        )
+        assert sparsifier.weights.sum() == pytest.approx(dense_graph.num_edges, rel=0.25)
+
+    def test_exact_resistances_can_be_supplied(self):
+        graph = complete_graph(20)
+        oracle = GroundTruthOracle(graph)
+        sparsifier = spectral_sparsify(
+            graph, epsilon=0.9, oversampling=2.0, rng=5, resistance_fn=oracle.query
+        )
+        assert sparsifier.num_edges <= graph.num_edges
+        assert is_connected(sparsifier.graph) or sparsifier.num_edges < graph.num_nodes - 1
+
+    def test_weights_positive(self, dense_graph):
+        sparsifier = spectral_sparsify(
+            dense_graph, epsilon=1.0, oversampling=1.0, resistance_epsilon=0.2, rng=6
+        )
+        assert np.all(sparsifier.weights > 0)
+        assert len(sparsifier.weights) == sparsifier.num_edges
+
+    def test_laplacian_shape(self, dense_graph):
+        sparsifier = spectral_sparsify(
+            dense_graph, epsilon=1.2, oversampling=1.0, resistance_epsilon=0.3, rng=7
+        )
+        laplacian = sparsifier.laplacian_matrix()
+        assert laplacian.shape == (dense_graph.num_nodes, dense_graph.num_nodes)
+        np.testing.assert_allclose(np.asarray(laplacian.sum(axis=1)).ravel(), 0.0, atol=1e-9)
+
+    def test_invalid_epsilon(self, dense_graph):
+        with pytest.raises(ValueError):
+            spectral_sparsify(dense_graph, epsilon=0.0)

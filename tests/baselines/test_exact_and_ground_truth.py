@@ -1,0 +1,82 @@
+"""Unit tests for the EXACT baseline and the ground-truth oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactEffectiveResistance, exact_effective_resistance
+from repro.baselines.ground_truth import GroundTruthOracle, ground_truth_resistance
+from repro.exceptions import BudgetExceededError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestExact:
+    def test_closed_forms(self):
+        oracle = ExactEffectiveResistance(complete_graph(10))
+        assert oracle.query(0, 5) == pytest.approx(0.2)
+        path_oracle = ExactEffectiveResistance(path_graph(4))
+        assert path_oracle.query(0, 3) == pytest.approx(3.0)
+
+    def test_all_pairs_matrix(self):
+        graph = cycle_graph(5)
+        oracle = ExactEffectiveResistance(graph)
+        matrix = oracle.all_pairs()
+        assert matrix.shape == (5, 5)
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-12)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+        assert matrix[0, 1] == pytest.approx(4 / 5)
+
+    def test_refuses_large_graphs(self):
+        graph = barabasi_albert_graph(200, 3, rng=1)
+        with pytest.raises(BudgetExceededError):
+            ExactEffectiveResistance(graph, max_nodes=100)
+
+    def test_one_shot_helper(self):
+        result = exact_effective_resistance(star_graph(4), 1, 2)
+        assert result.value == pytest.approx(2.0)
+        assert result.method == "exact"
+
+    def test_query_validation(self):
+        oracle = ExactEffectiveResistance(complete_graph(5))
+        with pytest.raises(ValueError):
+            oracle.query(0, 5)
+
+
+class TestGroundTruthOracle:
+    def test_dense_and_cg_paths_agree(self, ba_small):
+        dense = GroundTruthOracle(ba_small, dense_threshold=10_000)
+        sparse = GroundTruthOracle(ba_small, dense_threshold=1)
+        for s, t in [(0, 5), (3, 77), (10, 150)]:
+            assert dense.query(s, t) == pytest.approx(sparse.query(s, t), abs=1e-7)
+
+    def test_cache_returns_same_object_value(self, ba_small):
+        oracle = GroundTruthOracle(ba_small)
+        first = oracle.query(1, 2)
+        second = oracle.query(2, 1)  # symmetric key
+        assert first == second
+
+    def test_same_node(self, ba_small):
+        assert GroundTruthOracle(ba_small).query(4, 4) == 0.0
+
+    def test_query_many(self, ba_small):
+        oracle = GroundTruthOracle(ba_small)
+        values = oracle.query_many([(0, 1), (2, 3)])
+        assert values.shape == (2,)
+        assert np.all(values > 0)
+
+    def test_one_shot_helper(self):
+        assert ground_truth_resistance(path_graph(3), 0, 2) == pytest.approx(2.0)
+
+    def test_matches_exact_on_random_graph(self, ba_small, ba_small_oracle):
+        exact = ExactEffectiveResistance(ba_small)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            s, t = rng.integers(0, ba_small.num_nodes, size=2)
+            assert ba_small_oracle.query(int(s), int(t)) == pytest.approx(
+                exact.query(int(s), int(t)), abs=1e-7
+            )

@@ -1,0 +1,146 @@
+"""Unit tests for the MC, MC2, TP and TPC baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mc import mc_query, mc_walk_budget
+from repro.baselines.mc2 import mc2_query, mc2_walk_budget
+from repro.baselines.tp import tp_query, tp_walks_per_length
+from repro.baselines.tpc import tpc_query, tpc_walks_per_length
+from repro.graph.generators import barabasi_albert_graph, complete_graph
+from repro.linalg.eigen import spectral_radius_second
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(150, 6, rng=61)
+
+
+@pytest.fixture(scope="module")
+def lam(graph):
+    return spectral_radius_second(graph)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    from repro.baselines.ground_truth import GroundTruthOracle
+
+    return GroundTruthOracle(graph)
+
+
+class TestMC:
+    def test_accuracy_on_complete_graph(self):
+        graph = complete_graph(15)
+        result = mc_query(graph, 0, 7, epsilon=0.1, rng=1, num_walks=3000)
+        assert result.value == pytest.approx(2 / 15, abs=0.03)
+
+    def test_accuracy_on_random_graph(self, graph, oracle):
+        result = mc_query(graph, 2, 90, epsilon=0.1, rng=2, num_walks=4000)
+        assert abs(result.value - oracle.query(2, 90)) <= 0.05
+
+    def test_same_node(self, graph):
+        assert mc_query(graph, 3, 3, epsilon=0.1).value == 0.0
+
+    def test_budget_formula(self):
+        assert mc_walk_budget(10, 1.0, 0.1, 0.01) == int(
+            np.ceil(3 * 1.0 * 10 * np.log(100) / 0.01)
+        )
+
+    def test_metadata(self, graph):
+        result = mc_query(graph, 0, 1, epsilon=0.3, rng=3, num_walks=200)
+        assert result.method == "mc"
+        assert result.num_walks <= 200
+        assert result.total_steps > 0
+
+
+class TestMC2:
+    def test_requires_edge(self, graph):
+        non_edges = [(u, v) for u in range(20) for v in range(20, 40) if not graph.has_edge(u, v)]
+        u, v = non_edges[0]
+        with pytest.raises(ValueError):
+            mc2_query(graph, u, v, epsilon=0.1)
+
+    def test_accuracy_on_edge(self, graph, oracle):
+        u, v = next(iter(graph.edges()))
+        result = mc2_query(graph, u, v, epsilon=0.1, rng=4, num_walks=4000)
+        assert abs(result.value - oracle.query(u, v)) <= 0.05
+
+    def test_accuracy_on_complete_graph_edge(self):
+        graph = complete_graph(12)
+        result = mc2_query(graph, 0, 1, epsilon=0.05, rng=5, num_walks=8000)
+        assert result.value == pytest.approx(2 / 12, abs=0.03)
+
+    def test_value_is_probability(self, graph):
+        u, v = list(graph.edges())[3]
+        result = mc2_query(graph, u, v, epsilon=0.2, rng=6, num_walks=500)
+        assert 0.0 <= result.value <= 1.0
+
+    def test_budget_formula(self):
+        assert mc2_walk_budget(0.1, 0.01, 0.5) == int(np.ceil(3 * np.log(100) / (0.01 * 0.5)))
+
+
+class TestTP:
+    def test_walk_budget_formula(self):
+        expected = int(np.ceil(40 * 25 * np.log(8 * 5 / 0.01) / 0.04))
+        assert tp_walks_per_length(5, 0.2, 0.01) == expected
+        assert tp_walks_per_length(0, 0.2, 0.01) == 0
+
+    def test_accuracy_with_scaled_budget(self, graph, lam, oracle):
+        result = tp_query(
+            graph, 1, 80, epsilon=0.2, lambda_max_abs=lam, rng=7, budget_scale=0.02
+        )
+        assert abs(result.value - oracle.query(1, 80)) <= 0.2
+
+    def test_same_node(self, graph, lam):
+        assert tp_query(graph, 5, 5, epsilon=0.2, lambda_max_abs=lam).value == 0.0
+
+    def test_budget_scale_validation(self, graph, lam):
+        with pytest.raises(ValueError):
+            tp_query(graph, 0, 1, epsilon=0.2, lambda_max_abs=lam, budget_scale=2.0)
+
+    def test_uses_peng_length_by_default(self, graph, lam):
+        from repro.core.walk_length import peng_walk_length
+
+        result = tp_query(
+            graph, 0, 40, epsilon=0.3, lambda_max_abs=lam, rng=8, budget_scale=0.01
+        )
+        assert result.walk_length == peng_walk_length(0.3, lam)
+
+    def test_step_cap_flags_budget(self, graph, lam):
+        result = tp_query(
+            graph, 0, 40, epsilon=0.1, lambda_max_abs=lam, rng=9,
+            budget_scale=1.0, max_total_steps=1000,
+        )
+        assert result.budget_exhausted
+
+
+class TestTPC:
+    def test_walk_budget_formula(self):
+        value = tpc_walks_per_length(4, 0.2, 0.001, constant=100.0)
+        expected = int(np.ceil(100 * (4 * np.sqrt(4 * 0.001) / 0.2 + 64 * 0.001**1.5 / 0.04)))
+        assert value == expected
+
+    def test_accuracy_with_scaled_budget(self, graph, lam, oracle):
+        result = tpc_query(
+            graph, 3, 70, epsilon=0.2, lambda_max_abs=lam, rng=10, budget_scale=0.01
+        )
+        assert abs(result.value - oracle.query(3, 70)) <= 0.2
+
+    def test_collision_estimator_on_complete_graph(self):
+        graph = complete_graph(10)
+        lam = spectral_radius_second(graph)
+        result = tpc_query(
+            graph, 0, 5, epsilon=0.1, lambda_max_abs=lam, rng=11, budget_scale=0.05
+        )
+        assert result.value == pytest.approx(0.2, abs=0.1)
+
+    def test_same_node(self, graph, lam):
+        assert tpc_query(graph, 2, 2, epsilon=0.2, lambda_max_abs=lam).value == 0.0
+
+    def test_metadata(self, graph, lam):
+        result = tpc_query(
+            graph, 0, 30, epsilon=0.3, lambda_max_abs=lam, rng=12, budget_scale=0.01
+        )
+        assert result.method == "tpc"
+        assert result.details["walks_per_length"] >= 1
+        assert result.num_walks > 0

@@ -1,0 +1,102 @@
+"""Unit tests for the RP (random projection) and HAY (spanning tree) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hay import hay_query, hay_sample_budget
+from repro.baselines.rp import RandomProjectionSketch, rp_query
+from repro.exceptions import BudgetExceededError
+from repro.graph.generators import barabasi_albert_graph, complete_graph, cycle_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(120, 5, rng=71)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    from repro.baselines.ground_truth import GroundTruthOracle
+
+    return GroundTruthOracle(graph)
+
+
+class TestRandomProjection:
+    def test_sketch_dimension_formula(self, graph):
+        sketch = RandomProjectionSketch(graph, 0.5, jl_constant=8.0, rng=1)
+        assert sketch.sketch_dimension == int(np.ceil(8 * np.log(graph.num_nodes) / 0.25))
+
+    def test_query_accuracy(self, graph, oracle):
+        sketch = RandomProjectionSketch(graph, 0.3, jl_constant=24.0, rng=2)
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            s, t = rng.choice(graph.num_nodes, size=2, replace=False)
+            truth = oracle.query(int(s), int(t))
+            # JL gives a relative guarantee; at these resistances it is far below 0.3
+            assert sketch.query(int(s), int(t)) == pytest.approx(truth, rel=0.35, abs=0.05)
+
+    def test_same_node_zero(self, graph):
+        sketch = RandomProjectionSketch(graph, 0.5, sketch_dimension=30, rng=4)
+        assert sketch.query(7, 7) == 0.0
+
+    def test_memory_guard(self, graph):
+        with pytest.raises(BudgetExceededError):
+            RandomProjectionSketch(graph, 0.5, sketch_dimension=1000, max_sketch_bytes=1000)
+
+    def test_explicit_dimension_override(self, graph):
+        sketch = RandomProjectionSketch(graph, 0.5, sketch_dimension=12, rng=5)
+        assert sketch.sketch == pytest.approx(sketch.sketch)  # materialised
+        assert sketch.sketch.shape == (12, graph.num_nodes)
+
+    def test_one_shot_helper(self, graph, oracle):
+        result = rp_query(graph, 0, 50, epsilon=0.4, rng=6, jl_constant=12.0)
+        assert result.method == "rp"
+        assert abs(result.value - oracle.query(0, 50)) <= 0.4
+
+    def test_cycle_graph_sanity(self):
+        graph = cycle_graph(9)
+        sketch = RandomProjectionSketch(graph, 0.3, jl_constant=24.0, rng=7)
+        assert sketch.query(0, 1) == pytest.approx(8 / 9, rel=0.35)
+
+
+class TestHay:
+    def test_sample_budget(self):
+        assert hay_sample_budget(0.1, 0.01) == int(np.ceil(np.log(200) / 0.02))
+
+    def test_requires_edge(self, graph):
+        non_edge = None
+        for u in range(graph.num_nodes):
+            for v in range(u + 1, graph.num_nodes):
+                if not graph.has_edge(u, v):
+                    non_edge = (u, v)
+                    break
+            if non_edge:
+                break
+        with pytest.raises(ValueError):
+            hay_query(graph, *non_edge, epsilon=0.2)
+
+    def test_edge_accuracy(self, graph, oracle):
+        u, v = list(graph.edges())[5]
+        result = hay_query(graph, u, v, epsilon=0.1, rng=8, num_samples=400)
+        assert abs(result.value - oracle.query(u, v)) <= 0.1
+
+    def test_complete_graph_edge(self):
+        graph = complete_graph(8)
+        result = hay_query(graph, 0, 1, epsilon=0.1, rng=9, num_samples=500)
+        assert result.value == pytest.approx(2 / 8, abs=0.08)
+
+    def test_cycle_graph_edge(self):
+        graph = cycle_graph(6)
+        result = hay_query(graph, 0, 1, epsilon=0.1, rng=10, num_samples=500)
+        assert result.value == pytest.approx(5 / 6, abs=0.08)
+
+    def test_max_samples_flags_budget(self, graph):
+        u, v = next(iter(graph.edges()))
+        result = hay_query(graph, u, v, epsilon=0.01, rng=11, max_samples=50)
+        assert result.budget_exhausted
+        assert result.num_walks == 50
+
+    def test_value_is_probability(self, graph):
+        u, v = list(graph.edges())[10]
+        result = hay_query(graph, u, v, epsilon=0.3, rng=12, num_samples=50)
+        assert 0.0 <= result.value <= 1.0

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test-suite.
+
+Small deterministic graphs with known effective resistances, plus a couple of
+random graphs (fixed seeds) used by the estimator and application tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    stochastic_block_model_graph,
+    watts_strogatz_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def path5():
+    """Path graph 0-1-2-3-4; r(i, j) = |i - j|."""
+    return path_graph(5)
+
+
+@pytest.fixture(scope="session")
+def cycle6():
+    """Cycle on 6 nodes; r(i, j) = k (6 - k) / 6 with k the hop distance."""
+    return cycle_graph(6)
+
+
+@pytest.fixture(scope="session")
+def complete8():
+    """Complete graph K8; r(u, v) = 2/8 = 0.25."""
+    return complete_graph(8)
+
+
+@pytest.fixture(scope="session")
+def star6():
+    """Star with 6 leaves; r(centre, leaf) = 1, r(leaf, leaf) = 2."""
+    return star_graph(6)
+
+
+@pytest.fixture(scope="session")
+def grid4x4():
+    return grid_graph(4, 4)
+
+
+@pytest.fixture(scope="session")
+def ba_small():
+    """Dense-ish Barabási–Albert graph used by estimator accuracy tests."""
+    return barabasi_albert_graph(200, 6, rng=11)
+
+
+@pytest.fixture(scope="session")
+def ba_dense():
+    """Denser BA graph (higher average degree) for GEER / refined-length tests."""
+    return barabasi_albert_graph(300, 15, rng=12)
+
+
+@pytest.fixture(scope="session")
+def ws_small():
+    """Watts–Strogatz graph: homogeneous degrees, non-bipartite, connected."""
+    return watts_strogatz_graph(150, 6, 0.2, rng=13)
+
+
+@pytest.fixture(scope="session")
+def sbm_two_blocks():
+    return stochastic_block_model_graph([30, 30], 0.4, 0.04, rng=14)
+
+
+@pytest.fixture(scope="session")
+def ba_small_oracle(ba_small):
+    return GroundTruthOracle(ba_small)
+
+
+@pytest.fixture(scope="session")
+def ba_dense_oracle(ba_dense):
+    return GroundTruthOracle(ba_dense)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,187 @@
+"""Unit tests for AMC (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.amc import amc_estimate, amc_query
+from repro.core.smm import SMMState
+from repro.core.walk_length import refined_walk_length
+from repro.graph.generators import barabasi_albert_graph, complete_graph
+from repro.linalg.eigen import spectral_radius_second
+from repro.sampling.walks import RandomWalkEngine
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return barabasi_albert_graph(250, 10, rng=31)
+
+
+@pytest.fixture(scope="module")
+def dense_lambda(dense_graph):
+    return spectral_radius_second(dense_graph)
+
+
+def one_hot(n, i):
+    vec = np.zeros(n)
+    vec[i] = 1.0
+    return vec
+
+
+class TestAMCCore:
+    def test_unbiased_for_q(self, dense_graph):
+        """The core estimates q(s, t) of Eq. (12): check against the exact series."""
+        s, t = 3, 50
+        length = 4
+        n = dense_graph.num_nodes
+        transition = dense_graph.transition_matrix().toarray()
+        deg = dense_graph.degrees.astype(float)
+        weights = one_hot(n, s) / deg[s] - one_hot(n, t) / deg[t]
+        exact_q = 0.0
+        ps = one_hot(n, s)
+        pt = one_hot(n, t)
+        for _ in range(length):
+            ps = ps @ transition
+            pt = pt @ transition
+            exact_q += float((ps - pt) @ weights)
+        result = amc_estimate(
+            dense_graph, s, t, one_hot(n, s), one_hot(n, t),
+            epsilon=0.05, walk_length=length, num_batches=5, delta=0.01, rng=5,
+        )
+        assert abs(result.value - exact_q) <= 0.05
+
+    def test_zero_walk_length_returns_zero(self, dense_graph):
+        n = dense_graph.num_nodes
+        result = amc_estimate(
+            dense_graph, 0, 1, one_hot(n, 0), one_hot(n, 1),
+            epsilon=0.1, walk_length=0,
+        )
+        assert result.value == 0.0
+        assert result.num_walks == 0
+
+    def test_psi_matches_one_hot_formula(self, dense_graph):
+        n = dense_graph.num_nodes
+        s, t = 2, 9
+        length = 6
+        result = amc_estimate(
+            dense_graph, s, t, one_hot(n, s), one_hot(n, t),
+            epsilon=0.2, walk_length=length, rng=1,
+        )
+        expected_psi = 2 * np.ceil(length / 2) * (
+            1 / dense_graph.degree(s) + 1 / dense_graph.degree(t)
+        )
+        assert result.psi == pytest.approx(expected_psi)
+
+    def test_early_termination_uses_fewer_walks(self, dense_graph):
+        """With many batches allowed, the empirical Bernstein check stops well below η*.
+
+        Early termination is only possible when ψ is large relative to ε (so the
+        additive Bernstein term can drop below ε/2 before the Hoeffding cap) and
+        the observed variance is small — which is the case for this configuration.
+        """
+        n = dense_graph.num_nodes
+        s, t = 4, 100
+        result = amc_estimate(
+            dense_graph, s, t, one_hot(n, s), one_hot(n, t),
+            epsilon=0.02, walk_length=8, num_batches=6, rng=2,
+        )
+        assert result.num_batches < 6
+        assert result.num_walks < result.eta_star
+
+    def test_batches_double(self, dense_graph):
+        n = dense_graph.num_nodes
+        result = amc_estimate(
+            dense_graph, 0, 1, one_hot(n, 0), one_hot(n, 1),
+            epsilon=0.01, walk_length=4, num_batches=4, rng=3,
+            max_total_steps=200_000,
+        )
+        for previous, current in zip(result.batch_sizes, result.batch_sizes[1:]):
+            assert current == 2 * previous
+
+    def test_step_budget_flag(self, dense_graph):
+        n = dense_graph.num_nodes
+        result = amc_estimate(
+            dense_graph, 0, 1, one_hot(n, 0), one_hot(n, 1),
+            epsilon=0.005, walk_length=10, num_batches=3, rng=4,
+            max_total_steps=100,
+        )
+        assert result.budget_exhausted
+
+    def test_negative_vector_rejected(self, dense_graph):
+        n = dense_graph.num_nodes
+        bad = one_hot(n, 0)
+        bad[3] = -0.5
+        with pytest.raises(ValueError):
+            amc_estimate(dense_graph, 0, 1, bad, one_hot(n, 1), epsilon=0.1, walk_length=3)
+
+    def test_wrong_shape_rejected(self, dense_graph):
+        with pytest.raises(ValueError):
+            amc_estimate(
+                dense_graph, 0, 1, np.zeros(3), np.zeros(3), epsilon=0.1, walk_length=3
+            )
+
+    def test_smoothed_vectors_need_fewer_walks(self, dense_graph):
+        """GEER's key effect: SMM-propagated vectors shrink ψ and hence η*."""
+        s, t = 6, 120
+        n = dense_graph.num_nodes
+        state = SMMState(dense_graph, s, t)
+        state.run(3)
+        one_hot_result = amc_estimate(
+            dense_graph, s, t, one_hot(n, s), one_hot(n, t),
+            epsilon=0.1, walk_length=8, rng=7,
+        )
+        smoothed_result = amc_estimate(
+            dense_graph, s, t, state.s_vector(), state.t_vector(),
+            epsilon=0.1, walk_length=8, rng=7,
+        )
+        assert smoothed_result.psi < one_hot_result.psi
+        assert smoothed_result.eta_star < one_hot_result.eta_star
+
+
+class TestAMCQuery:
+    def test_within_epsilon_of_truth(self, dense_graph, dense_lambda):
+        from repro.baselines.ground_truth import GroundTruthOracle
+
+        oracle = GroundTruthOracle(dense_graph)
+        rng = np.random.default_rng(9)
+        epsilon = 0.1
+        for _ in range(8):
+            s, t = rng.choice(dense_graph.num_nodes, size=2, replace=False)
+            result = amc_query(
+                dense_graph, int(s), int(t),
+                epsilon=epsilon, lambda_max_abs=dense_lambda, rng=rng,
+            )
+            assert abs(result.value - oracle.query(int(s), int(t))) <= epsilon
+
+    def test_same_node_zero(self, dense_graph, dense_lambda):
+        result = amc_query(dense_graph, 5, 5, epsilon=0.1, lambda_max_abs=dense_lambda)
+        assert result.value == 0.0
+        assert result.num_walks == 0
+
+    def test_uses_refined_length(self, dense_graph, dense_lambda):
+        s, t = 0, 30
+        result = amc_query(
+            dense_graph, s, t, epsilon=0.2, lambda_max_abs=dense_lambda, rng=1
+        )
+        expected = refined_walk_length(
+            0.2, dense_lambda, dense_graph.degree(s), dense_graph.degree(t)
+        )
+        assert result.walk_length == expected
+
+    def test_shared_engine_accumulates_steps(self, dense_graph, dense_lambda):
+        engine = RandomWalkEngine(dense_graph, rng=3)
+        amc_query(dense_graph, 0, 9, epsilon=0.3, lambda_max_abs=dense_lambda, engine=engine)
+        first = engine.total_steps
+        amc_query(dense_graph, 1, 8, epsilon=0.3, lambda_max_abs=dense_lambda, engine=engine)
+        assert engine.total_steps > first
+
+    def test_complete_graph_value(self):
+        graph = complete_graph(30)
+        lam = spectral_radius_second(graph)
+        result = amc_query(graph, 0, 1, epsilon=0.05, lambda_max_abs=lam, rng=2)
+        assert result.value == pytest.approx(2 / 30, abs=0.05)
+
+    def test_result_details(self, dense_graph, dense_lambda):
+        result = amc_query(dense_graph, 0, 40, epsilon=0.2, lambda_max_abs=dense_lambda, rng=4)
+        assert result.method == "amc"
+        assert "psi" in result.details and "eta_star" in result.details
+        assert result.details["empirical_error"] >= 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for the EffectiveResistanceEstimator façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.walk_length import peng_walk_length, refined_walk_length
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import from_edges
+from repro.graph.generators import barabasi_albert_graph, path_graph
+from repro.linalg.eigen import spectral_radius_second
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(250, 7, rng=51)
+
+
+@pytest.fixture(scope="module")
+def estimator(graph):
+    return EffectiveResistanceEstimator(graph, rng=51)
+
+
+class TestConstruction:
+    def test_rejects_bipartite(self):
+        with pytest.raises(GraphStructureError):
+            EffectiveResistanceEstimator(path_graph(5))
+
+    def test_rejects_disconnected(self):
+        graph = from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        with pytest.raises(GraphStructureError):
+            EffectiveResistanceEstimator(graph)
+
+    def test_validation_can_be_disabled(self):
+        graph = path_graph(5)
+        estimator = EffectiveResistanceEstimator(graph, validate=False, lambda_max_abs=0.9)
+        assert estimator.graph is graph
+
+    def test_lambda_lazy_and_cached(self, graph):
+        estimator = EffectiveResistanceEstimator(graph, rng=1)
+        assert estimator._lambda is None
+        lam = estimator.lambda_max_abs
+        assert estimator._lambda == lam
+        assert lam == pytest.approx(spectral_radius_second(graph), abs=1e-6)
+
+    def test_lambda_override_used(self, graph):
+        estimator = EffectiveResistanceEstimator(graph, lambda_max_abs=0.77)
+        assert estimator.lambda_max_abs == 0.77
+
+    def test_repr(self, estimator):
+        assert "EffectiveResistanceEstimator" in repr(estimator)
+
+
+class TestQueries:
+    def test_all_methods_within_epsilon(self, estimator):
+        epsilon = 0.1
+        truth = estimator.exact(4, 123)
+        for method in ("geer", "amc", "smm"):
+            result = estimator.estimate(4, 123, epsilon, method=method)
+            assert abs(result.value - truth) <= epsilon
+            assert result.epsilon == epsilon
+
+    def test_unknown_method(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate(0, 1, 0.1, method="magic")
+
+    def test_invalid_nodes(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate(0, 10_000, 0.1)
+
+    def test_invalid_epsilon(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate(0, 1, -0.5)
+
+    def test_estimate_many(self, estimator):
+        pairs = [(0, 10), (5, 20), (7, 7)]
+        results = estimator.estimate_many(pairs, 0.2)
+        assert len(results) == 3
+        assert results[2].value == 0.0
+
+    def test_walk_length_helper(self, estimator, graph):
+        s, t = 0, 99
+        refined = estimator.walk_length(s, t, 0.1)
+        generic = estimator.walk_length(s, t, 0.1, refined=False)
+        assert refined == refined_walk_length(
+            0.1, estimator.lambda_max_abs, graph.degree(s), graph.degree(t)
+        )
+        assert generic == peng_walk_length(0.1, estimator.lambda_max_abs)
+        assert refined <= generic
+
+    def test_smm_iteration_override(self, estimator):
+        result = estimator.estimate(3, 60, 0.5, method="smm", num_iterations=2)
+        assert result.smm_iterations == 2
+
+    def test_exact_matches_solver(self, estimator, graph):
+        from repro.linalg.solvers import LaplacianSolver
+
+        solver = LaplacianSolver(graph)
+        assert estimator.exact(9, 44) == pytest.approx(
+            solver.effective_resistance(9, 44), abs=1e-8
+        )
+
+    def test_reproducible_with_seed(self, graph):
+        a = EffectiveResistanceEstimator(graph, rng=99).estimate(0, 50, 0.1, method="amc")
+        b = EffectiveResistanceEstimator(graph, rng=99).estimate(0, 50, 0.1, method="amc")
+        assert a.value == pytest.approx(b.value)
+
+    def test_float_conversion_of_result(self, estimator):
+        result = estimator.estimate(0, 1, 0.5)
+        assert float(result) == result.value

@@ -1,0 +1,120 @@
+"""Unit tests for GEER (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.core.geer import geer_query
+from repro.core.walk_length import refined_walk_length
+from repro.graph.generators import barabasi_albert_graph, complete_graph
+from repro.linalg.eigen import spectral_radius_second
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(300, 8, rng=41)
+
+
+@pytest.fixture(scope="module")
+def lam(graph):
+    return spectral_radius_second(graph)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    return GroundTruthOracle(graph)
+
+
+class TestGEERAccuracy:
+    def test_within_epsilon(self, graph, lam, oracle):
+        rng = np.random.default_rng(5)
+        for epsilon in (0.2, 0.05):
+            for _ in range(6):
+                s, t = rng.choice(graph.num_nodes, size=2, replace=False)
+                result = geer_query(
+                    graph, int(s), int(t), epsilon=epsilon, lambda_max_abs=lam, rng=rng
+                )
+                assert abs(result.value - oracle.query(int(s), int(t))) <= epsilon
+
+    def test_same_node(self, graph, lam):
+        assert geer_query(graph, 3, 3, epsilon=0.1, lambda_max_abs=lam).value == 0.0
+
+    def test_complete_graph(self):
+        graph = complete_graph(20)
+        lam = spectral_radius_second(graph)
+        result = geer_query(graph, 0, 7, epsilon=0.05, lambda_max_abs=lam, rng=1)
+        assert result.value == pytest.approx(0.1, abs=0.05)
+
+    def test_edge_query_accuracy(self, graph, lam, oracle):
+        u, v = next(iter(graph.edges()))
+        result = geer_query(graph, u, v, epsilon=0.05, lambda_max_abs=lam, rng=2)
+        assert abs(result.value - oracle.query(u, v)) <= 0.05
+
+
+class TestGEERMechanics:
+    def test_head_tail_decomposition(self, graph, lam):
+        result = geer_query(graph, 2, 77, epsilon=0.1, lambda_max_abs=lam, rng=3)
+        assert result.value == pytest.approx(
+            result.details["smm_value"] + result.details["amc_value"], abs=1e-12
+        )
+        assert 0 <= result.smm_iterations <= result.walk_length
+
+    def test_forced_switch_point_zero_behaves_like_amc(self, graph, lam, oracle):
+        s, t = 5, 150
+        result = geer_query(
+            graph, s, t, epsilon=0.1, lambda_max_abs=lam, rng=4, force_smm_iterations=0
+        )
+        assert result.smm_iterations == 0
+        # with l_b = 0 the SMM head contributes only the i=0 term
+        expected_head = 1 / graph.degree(s) + 1 / graph.degree(t)
+        assert result.details["smm_value"] == pytest.approx(expected_head)
+        assert abs(result.value - oracle.query(s, t)) <= 0.1
+
+    def test_forced_switch_point_full_is_deterministic(self, graph, lam, oracle):
+        s, t = 8, 190
+        epsilon = 0.1
+        length = refined_walk_length(epsilon, lam, graph.degree(s), graph.degree(t))
+        result = geer_query(
+            graph, s, t, epsilon=epsilon, lambda_max_abs=lam,
+            force_smm_iterations=length, rng=5,
+        )
+        assert result.smm_iterations == length
+        assert result.num_walks == 0  # no tail left for AMC
+        assert abs(result.value - oracle.query(s, t)) <= epsilon / 2 + 1e-9
+
+    def test_forced_switch_point_capped_at_length(self, graph, lam):
+        result = geer_query(
+            graph, 0, 10, epsilon=0.2, lambda_max_abs=lam, force_smm_iterations=10_000
+        )
+        assert result.smm_iterations <= result.walk_length
+
+    def test_greedy_switch_point_recorded(self, graph, lam):
+        result = geer_query(graph, 1, 201, epsilon=0.1, lambda_max_abs=lam, rng=6)
+        assert result.details["switch_point"] == result.smm_iterations
+
+    def test_walk_length_override(self, graph, lam):
+        result = geer_query(
+            graph, 0, 99, epsilon=0.1, lambda_max_abs=lam, walk_length=3, rng=7
+        )
+        assert result.walk_length == 3
+
+    def test_geer_uses_fewer_walks_than_amc(self, graph, lam):
+        """The headline effect: the SMM head slashes the AMC sampling budget."""
+        from repro.core.amc import amc_query
+
+        s, t = 12, 250
+        epsilon = 0.05
+        amc_result = amc_query(graph, s, t, epsilon=epsilon, lambda_max_abs=lam, rng=8)
+        geer_result = geer_query(graph, s, t, epsilon=epsilon, lambda_max_abs=lam, rng=8)
+        assert geer_result.num_walks < amc_result.num_walks
+
+    def test_invalid_epsilon(self, graph, lam):
+        with pytest.raises(ValueError):
+            geer_query(graph, 0, 1, epsilon=0.0, lambda_max_abs=lam)
+
+    def test_result_metadata(self, graph, lam):
+        result = geer_query(graph, 0, 55, epsilon=0.1, lambda_max_abs=lam, rng=9)
+        assert result.method == "geer"
+        assert result.spmv_operations >= 0
+        assert result.elapsed_seconds > 0
+        assert result.work == result.total_steps + result.spmv_operations

@@ -1,0 +1,97 @@
+"""Unit tests for the maximum walk length bounds (Eq. (5) and Eq. (6))."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.core.smm import smm_estimate
+from repro.core.walk_length import (
+    peng_walk_length,
+    refined_walk_length,
+    truncation_error_bound,
+)
+from repro.graph.generators import barabasi_albert_graph
+from repro.linalg.eigen import spectral_radius_second
+
+
+class TestPengWalkLength:
+    def test_monotone_in_epsilon(self):
+        assert peng_walk_length(0.01, 0.8) > peng_walk_length(0.5, 0.8)
+
+    def test_monotone_in_lambda(self):
+        assert peng_walk_length(0.1, 0.95) > peng_walk_length(0.1, 0.5)
+
+    def test_zero_lambda(self):
+        assert peng_walk_length(0.1, 0.0) == 1
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            peng_walk_length(0.1, 1.0)
+        with pytest.raises(ValueError):
+            peng_walk_length(0.1, -0.1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            peng_walk_length(0.0, 0.5)
+
+    def test_formula_value(self):
+        # hand-computed: eps=0.2, lam=0.5 -> ln(4/(0.2*0.5)) / ln 2 - 1 = ln(40)/ln2 - 1
+        expected = int(np.ceil(np.log(40) / np.log(2) - 1))
+        assert peng_walk_length(0.2, 0.5) == expected
+
+
+class TestRefinedWalkLength:
+    def test_never_exceeds_peng(self):
+        for lam in (0.3, 0.6, 0.9, 0.99):
+            for eps in (0.5, 0.1, 0.01):
+                for ds, dt in [(1, 1), (2, 5), (10, 10), (100, 3)]:
+                    assert refined_walk_length(eps, lam, ds, dt) <= peng_walk_length(eps, lam)
+
+    def test_decreases_with_degree(self):
+        low = refined_walk_length(0.05, 0.9, 2, 2)
+        high = refined_walk_length(0.05, 0.9, 100, 100)
+        assert high < low
+
+    def test_degree_one_matches_paper_intuition(self):
+        # with d(s)=d(t)=1 the numerator is 4/eps(1-lam): within 1 of Peng's bound
+        eps, lam = 0.1, 0.8
+        assert abs(refined_walk_length(eps, lam, 1, 1) - peng_walk_length(eps, lam)) <= 1
+
+    def test_minimum_one(self):
+        assert refined_walk_length(0.5, 0.1, 1000, 1000) >= 1
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            refined_walk_length(0.1, 0.5, 0, 3)
+
+
+class TestTruncationErrorBound:
+    def test_bound_below_half_epsilon_at_refined_length(self):
+        for eps in (0.5, 0.1, 0.02):
+            for lam in (0.5, 0.9):
+                for ds, dt in [(3, 7), (50, 2), (20, 20)]:
+                    length = refined_walk_length(eps, lam, ds, dt)
+                    assert truncation_error_bound(length, lam, ds, dt) <= eps / 2 + 1e-12
+
+    def test_bound_decreases_with_length(self):
+        assert truncation_error_bound(10, 0.9, 3, 3) < truncation_error_bound(2, 0.9, 3, 3)
+
+    def test_zero_lambda_is_exact(self):
+        assert truncation_error_bound(1, 0.0, 3, 3) == 0.0
+
+
+class TestTruncationAgainstGroundTruth:
+    def test_smm_at_refined_length_is_within_half_epsilon(self):
+        """Theorem 3.1 end-to-end: SMM truncated at ℓ is within ε/2 of r(s, t)."""
+        graph = barabasi_albert_graph(150, 5, rng=21)
+        lam = spectral_radius_second(graph)
+        oracle = GroundTruthOracle(graph)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            s, t = rng.choice(graph.num_nodes, size=2, replace=False)
+            for eps in (0.5, 0.1):
+                length = refined_walk_length(
+                    eps, lam, graph.degree(int(s)), graph.degree(int(t))
+                )
+                approx = smm_estimate(graph, int(s), int(t), length).value
+                assert abs(approx - oracle.query(int(s), int(t))) <= eps / 2 + 1e-9

@@ -1,0 +1,100 @@
+"""Unit tests for the dataset registry and query-set generation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import (
+    available_datasets,
+    clear_dataset_cache,
+    dataset_spec,
+    load_dataset,
+    register_snap_file,
+)
+from repro.experiments.queries import edge_query_set, random_query_set
+from repro.graph.io import write_edge_list
+from repro.graph.properties import is_connected
+
+
+class TestDatasets:
+    def test_registry_contains_paper_roles(self):
+        names = available_datasets()
+        for expected in (
+            "facebook-syn",
+            "dblp-syn",
+            "youtube-syn",
+            "orkut-syn",
+            "livejournal-syn",
+            "friendster-syn",
+        ):
+            assert expected in names
+
+    def test_regime_filter(self):
+        dense = available_datasets(regime="large-dense")
+        assert "orkut-syn" in dense and "dblp-syn" not in dense
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_spec("no-such-dataset")
+
+    def test_tiny_dataset_loads_connected(self):
+        graph = load_dataset("facebook-tiny")
+        assert is_connected(graph)
+        assert graph.num_nodes <= 400
+
+    def test_cache_returns_same_object(self):
+        clear_dataset_cache()
+        a = load_dataset("dblp-tiny")
+        b = load_dataset("dblp-tiny")
+        assert a is b
+
+    def test_degree_regimes_are_ordered(self):
+        dense = load_dataset("orkut-tiny")
+        sparse = load_dataset("dblp-tiny")
+        assert dense.average_degree > 3 * sparse.average_degree
+
+    def test_register_snap_file(self, tmp_path):
+        graph = load_dataset("facebook-tiny")
+        path = tmp_path / "snap.txt"
+        write_edge_list(graph, path)
+        register_snap_file("custom-snap", str(path), role="test")
+        loaded = load_dataset("custom-snap")
+        assert loaded.num_edges == graph.num_edges
+
+
+class TestQuerySets:
+    def test_random_query_set_size_and_validity(self):
+        graph = load_dataset("facebook-tiny")
+        queries = random_query_set(graph, 50, rng=1)
+        assert len(queries) == 50
+        for s, t in queries:
+            assert s != t
+            assert 0 <= s < graph.num_nodes and 0 <= t < graph.num_nodes
+
+    def test_random_queries_distinct(self):
+        graph = load_dataset("facebook-tiny")
+        queries = random_query_set(graph, 60, rng=2)
+        keys = {(min(s, t), max(s, t)) for s, t in queries}
+        assert len(keys) == 60
+
+    def test_random_queries_reproducible(self):
+        graph = load_dataset("facebook-tiny")
+        assert random_query_set(graph, 20, rng=3).pairs == random_query_set(graph, 20, rng=3).pairs
+
+    def test_edge_query_set_pairs_are_edges(self):
+        graph = load_dataset("facebook-tiny")
+        queries = edge_query_set(graph, 40, rng=4)
+        assert len(queries) == 40
+        for s, t in queries:
+            assert graph.has_edge(s, t)
+
+    def test_edge_query_more_than_edges_uses_replacement(self):
+        graph = load_dataset("dblp-tiny")
+        queries = edge_query_set(graph, graph.num_edges + 10, rng=5)
+        assert len(queries) == graph.num_edges + 10
+
+    def test_as_array(self):
+        graph = load_dataset("facebook-tiny")
+        queries = random_query_set(graph, 5, rng=6)
+        array = queries.as_array()
+        assert array.shape == (5, 2)
+        assert array.dtype == np.int64

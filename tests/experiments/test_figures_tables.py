@@ -1,0 +1,123 @@
+"""Unit tests for the figure/table drivers and text reporting."""
+
+import math
+
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.datasets import load_dataset
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFig2:
+    def test_rows_and_growth(self):
+        rows = figures.fig2_running_example(max_length=8)
+        assert len(rows) == 8
+        # walk counts grow monotonically; eta* grows quadratically-ish
+        path_counts = [row["#path(s)+#path(t)"] for row in rows]
+        budgets = [row["eta_star"] for row in rows]
+        assert all(b > a for a, b in zip(path_counts, path_counts[1:]))
+        assert budgets[-1] > budgets[0]
+        # the crossover the paper highlights: traversal eventually outgrows eta*
+        assert path_counts[-1] > budgets[-1]
+        assert path_counts[0] < budgets[0]
+
+
+class TestSweepDrivers:
+    def test_run_dataset_sweep_small(self):
+        graph = load_dataset("facebook-tiny")
+        rows = figures.run_dataset_sweep(
+            graph,
+            query_kind="random",
+            epsilons=(0.5, 0.2),
+            num_queries=3,
+            methods=("geer", "smm"),
+            dataset_label="tiny",
+            rng=1,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row["dataset"] == "tiny"
+            assert row["avg_abs_error"] <= row["epsilon"]
+
+    def test_edge_sweep(self):
+        graph = load_dataset("facebook-tiny")
+        rows = figures.fig5_edge_query_time(
+            dataset=graph,
+            epsilons=(0.5,),
+            num_queries=3,
+            methods=("geer", "mc2"),
+            dataset_label="tiny",
+            rng=2,
+        )
+        assert {row["method"] for row in rows} == {"geer", "mc2"}
+
+    def test_invalid_query_kind(self):
+        graph = load_dataset("facebook-tiny")
+        with pytest.raises(ValueError):
+            figures.run_dataset_sweep(graph, query_kind="nope", num_queries=2)
+
+
+class TestTauAndSwitchDrivers:
+    def test_vary_tau_rows(self):
+        graph = load_dataset("facebook-tiny")
+        rows = figures.fig8_fig9_vary_tau(
+            graph, epsilon=0.3, taus=(1, 3), num_queries=3, rng=3, dataset_label="tiny"
+        )
+        assert len(rows) == 4  # 2 taus x 2 methods
+        assert {row["tau"] for row in rows} == {1, 3}
+
+    def test_vary_switch_point_rows(self):
+        graph = load_dataset("facebook-tiny")
+        rows = figures.fig10_vary_switch_point(
+            graph, epsilon=0.3, offsets=(-2, 0, 2), num_queries=3, rng=4, dataset_label="tiny"
+        )
+        assert [row["offset"] for row in rows] == [-2, 0, 2]
+        for row in rows:
+            assert row["avg_time_ms"] > 0
+
+    def test_fig11_rows(self):
+        graph = load_dataset("facebook-tiny")
+        rows = figures.fig11_walk_length_comparison(
+            [graph], epsilons=(0.5,), num_queries=3, rng=5, dataset_labels=["tiny"]
+        )
+        assert len(rows) == 2
+        refined = next(r for r in rows if r["length_rule"] == "refined")
+        peng = next(r for r in rows if r["length_rule"] == "peng")
+        assert refined["example_length"] <= peng["example_length"]
+
+
+class TestTables:
+    def test_table3_rows(self):
+        rows = tables.table3_dataset_statistics(["facebook-tiny", "dblp-tiny"])
+        assert len(rows) == 2
+        for row in rows:
+            assert row["#nodes (n)"] > 0
+            assert row["connected"] is True
+
+    def test_table1_theoretical(self):
+        rows = tables.table1_theoretical_complexities()
+        assert any("AMC / GEER" in row["algorithm"] for row in rows)
+
+    def test_table1_empirical_scaling(self):
+        graph = load_dataset("facebook-tiny")
+        report = tables.table1_complexity_scaling(
+            graph, epsilons=(0.4, 0.05), num_queries=6, method="amc", rng=6
+        )
+        assert len(report["rows"]) == 2
+        # work grows as epsilon decreases (AMC's budget scales like 1/eps^2)
+        assert report["rows"][1]["mean_work"] > report["rows"][0]["mean_work"]
+        assert report["epsilon_scaling_exponent"] > 0
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": float("nan")}], title="T")
+        assert "T" in text and "a" in text and "nan" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_format_series(self):
+        text = format_series({"geer": {0.5: 1.0, 0.1: 2.0}, "amc": {0.5: 3.0}}, x_label="eps")
+        assert "geer" in text and "eps=0.5" in text

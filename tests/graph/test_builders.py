@@ -1,0 +1,102 @@
+"""Unit tests for graph builders/converters."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import (
+    from_edge_array,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+)
+
+
+class TestFromEdges:
+    def test_simple(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_num_nodes_override(self):
+        graph = from_edges([(0, 1)], num_nodes=5)
+        assert graph.num_nodes == 5
+        assert graph.degree(4) == 0
+
+    def test_deduplicates_and_symmetrises(self):
+        graph = from_edges([(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_rejects_duplicates_when_disabled(self):
+        with pytest.raises(GraphStructureError):
+            from_edges([(0, 1), (1, 0)], deduplicate=False)
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphStructureError):
+            from_edges([(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 3)], num_nodes=2)
+
+    def test_empty_edge_list_with_nodes(self):
+        graph = from_edge_array(np.empty((0, 2), dtype=np.int64), num_nodes=3)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_array(np.array([[0, 1, 2]]))
+
+
+class TestScipyConversion:
+    def test_from_scipy_sparse(self):
+        matrix = sp.csr_matrix(np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]]))
+        graph = from_scipy_sparse(matrix)
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1) and graph.has_edge(0, 2)
+
+    def test_from_scipy_asymmetric_pattern_symmetrised(self):
+        matrix = sp.csr_matrix(np.array([[0, 1], [0, 0]]))
+        graph = from_scipy_sparse(matrix)
+        assert graph.has_edge(0, 1)
+
+    def test_from_scipy_drops_diagonal(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        graph = from_scipy_sparse(matrix)
+        assert graph.num_edges == 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            from_scipy_sparse(sp.csr_matrix(np.zeros((2, 3))))
+
+
+class TestNetworkxConversion:
+    def test_roundtrip(self):
+        nx_graph = nx.karate_club_graph()
+        graph = from_networkx(nx_graph)
+        assert graph.num_nodes == nx_graph.number_of_nodes()
+        assert graph.num_edges == nx_graph.number_of_edges()
+        back = to_networkx(graph)
+        assert nx.is_isomorphic(nx_graph, back)
+
+    def test_string_labels(self):
+        nx_graph = nx.Graph([("a", "b"), ("b", "c")])
+        graph = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_directed_input_becomes_undirected(self):
+        nx_graph = nx.DiGraph([(0, 1), (1, 0), (1, 2)])
+        graph = from_networkx(nx_graph)
+        assert graph.num_edges == 2
+
+    def test_adjacency_matches_networkx(self):
+        nx_graph = nx.erdos_renyi_graph(25, 0.2, seed=4)
+        graph = from_networkx(nx_graph)
+        ours = graph.adjacency_matrix().toarray()
+        theirs = nx.to_numpy_array(nx_graph, nodelist=sorted(nx_graph.nodes()))
+        np.testing.assert_allclose(ours, theirs)

@@ -1,0 +1,181 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    dumbbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    lollipop_graph,
+    modular_social_graph,
+    path_graph,
+    power_law_cluster_graph,
+    star_graph,
+    stochastic_block_model_graph,
+    toy_running_example,
+    watts_strogatz_graph,
+)
+from repro.graph.properties import is_bipartite, is_connected
+
+
+class TestDeterministicGraphs:
+    def test_path(self):
+        graph = path_graph(6)
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 5
+        assert graph.degree(0) == 1 and graph.degree(3) == 2
+
+    def test_path_too_small(self):
+        with pytest.raises(ValueError):
+            path_graph(1)
+
+    def test_cycle(self):
+        graph = cycle_graph(7)
+        assert graph.num_edges == 7
+        assert set(graph.degrees.tolist()) == {2}
+
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert set(graph.degrees.tolist()) == {5}
+
+    def test_star(self):
+        graph = star_graph(9)
+        assert graph.num_nodes == 10
+        assert graph.degree(0) == 9
+        assert all(graph.degree(v) == 1 for v in range(1, 10))
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert is_connected(graph)
+        assert is_bipartite(graph)
+
+    def test_dumbbell(self):
+        graph = dumbbell_graph(5, 3)
+        assert is_connected(graph)
+        assert graph.num_nodes == 2 * 5 + 2
+        # two cliques worth of edges plus the path
+        assert graph.num_edges == 2 * 10 + 3
+
+    def test_lollipop(self):
+        graph = lollipop_graph(4, 3)
+        assert is_connected(graph)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 6 + 3
+
+    def test_toy_running_example(self):
+        graph, s, t = toy_running_example()
+        assert graph.num_nodes == 11
+        assert graph.degree(s) == 2
+        assert graph.degree(t) == 7
+        assert is_connected(graph)
+        assert not is_bipartite(graph)
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_edge_count(self):
+        graph = erdos_renyi_graph(50, 120, rng=1)
+        assert graph.num_nodes == 50
+        assert graph.num_edges == 120
+        assert is_connected(graph)
+
+    def test_erdos_renyi_reproducible(self):
+        a = erdos_renyi_graph(40, 90, rng=7)
+        b = erdos_renyi_graph(40, 90, rng=7)
+        assert a == b
+
+    def test_erdos_renyi_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 100)
+
+    def test_erdos_renyi_too_few_for_connectivity(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 5, connect=True)
+
+    def test_barabasi_albert_connected_and_dense(self):
+        graph = barabasi_albert_graph(200, 5, rng=3)
+        assert graph.num_nodes == 200
+        assert is_connected(graph)
+        # average degree close to 2 * attach_edges
+        assert 7.0 <= graph.average_degree <= 11.0
+
+    def test_barabasi_albert_heavy_tail(self):
+        graph = barabasi_albert_graph(400, 4, rng=5)
+        assert graph.degrees.max() > 4 * graph.average_degree
+
+    def test_barabasi_albert_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+
+    def test_watts_strogatz(self):
+        graph = watts_strogatz_graph(100, 6, 0.2, rng=2)
+        assert graph.num_nodes == 100
+        assert is_connected(graph)
+        assert abs(graph.average_degree - 6.0) < 0.5
+
+    def test_watts_strogatz_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(20, 3, 0.1)
+
+    def test_power_law_cluster(self):
+        graph = power_law_cluster_graph(300, 3, 0.4, rng=4)
+        assert graph.num_nodes == 300
+        assert is_connected(graph)
+        assert 4.0 <= graph.average_degree <= 7.0
+
+    def test_sbm_blocks_denser_inside(self):
+        graph = stochastic_block_model_graph([40, 40], 0.4, 0.02, rng=6)
+        labels = np.repeat([0, 1], 40)
+        intra = inter = 0
+        for u, v in graph.edges():
+            if labels[u] == labels[v]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 5 * inter
+        assert is_connected(graph)
+
+    def test_sbm_invalid_probability(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model_graph([10, 10], 1.5, 0.1)
+
+    def test_modular_social_graph_structure(self):
+        graph = modular_social_graph(4, 100, 5, 40, rng=8)
+        assert graph.num_nodes == 400
+        assert is_connected(graph)
+        # most edges stay inside the planted communities
+        labels = np.repeat(np.arange(4), 100)
+        inter = sum(1 for u, v in graph.edges() if labels[u] != labels[v])
+        assert inter <= 60  # the requested bridges (plus the spanning cycle)
+        assert inter >= 3
+
+    def test_modular_social_graph_slow_mixing(self):
+        """The planted communities must slow the walk down (large lambda)."""
+        from repro.linalg.eigen import spectral_radius_second
+
+        modular = modular_social_graph(4, 100, 5, 10, rng=9)
+        expander = barabasi_albert_graph(400, 5, rng=9)
+        assert spectral_radius_second(modular) > spectral_radius_second(expander) + 0.2
+
+    def test_modular_social_graph_needs_bridges(self):
+        with pytest.raises(ValueError):
+            modular_social_graph(3, 50, 3, 1, rng=1)
+
+    def test_modular_single_community_is_plain_ba(self):
+        graph = modular_social_graph(1, 120, 4, 0, rng=10)
+        assert graph.num_nodes == 120
+        assert is_connected(graph)
+
+    def test_generators_reproducible_with_seed(self):
+        for factory in (
+            lambda seed: barabasi_albert_graph(80, 4, rng=seed),
+            lambda seed: watts_strogatz_graph(60, 4, 0.3, rng=seed),
+            lambda seed: power_law_cluster_graph(80, 3, 0.2, rng=seed),
+        ):
+            assert factory(9) == factory(9)

@@ -1,0 +1,163 @@
+"""Unit tests for the CSR Graph container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import from_edges
+from repro.graph.graph import Graph
+
+
+@pytest.fixture()
+def triangle():
+    return from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_basic_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert len(triangle) == 3
+
+    def test_degrees(self, triangle):
+        assert list(triangle.degrees) == [2, 2, 2]
+        assert triangle.degree(0) == 2
+        assert triangle.average_degree == pytest.approx(2.0)
+
+    def test_degree_invalid_node(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.degree(5)
+        with pytest.raises(ValueError):
+            triangle.degree(-1)
+
+    def test_rejects_self_loop_in_validation(self):
+        indptr = np.array([0, 1, 2])
+        indices = np.array([0, 1])
+        with pytest.raises(GraphStructureError):
+            Graph(indptr, indices)
+
+    def test_rejects_asymmetric_structure(self):
+        # arc 0->1 without 1->0
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        with pytest.raises(GraphStructureError):
+            Graph(indptr, indices)
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 2]), np.array([0]))
+
+    def test_immutable_arrays(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.degrees[0] = 99
+        with pytest.raises(ValueError):
+            triangle.indices[0] = 99
+
+
+class TestAccessors:
+    def test_neighbors(self, triangle):
+        assert sorted(triangle.neighbors(0).tolist()) == [1, 2]
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 0)
+
+    def test_has_edge_missing(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert not graph.has_edge(0, 2)
+
+    def test_edges_iteration(self, triangle):
+        assert sorted(triangle.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_matches_edges(self, triangle):
+        array = triangle.edge_array()
+        assert sorted(map(tuple, array.tolist())) == sorted(triangle.edges())
+
+    def test_repr_contains_counts(self, triangle):
+        assert "num_nodes=3" in repr(triangle)
+        assert "num_edges=3" in repr(triangle)
+
+
+class TestMatrices:
+    def test_adjacency_symmetric(self, triangle):
+        adjacency = triangle.adjacency_matrix()
+        assert (adjacency != adjacency.T).nnz == 0
+        assert adjacency.sum() == 6  # 2m
+
+    def test_laplacian_row_sums_zero(self, triangle):
+        laplacian = triangle.laplacian_matrix()
+        np.testing.assert_allclose(np.asarray(laplacian.sum(axis=1)).ravel(), 0.0)
+
+    def test_transition_rows_sum_to_one(self, triangle):
+        transition = triangle.transition_matrix()
+        np.testing.assert_allclose(np.asarray(transition.sum(axis=1)).ravel(), 1.0)
+
+    def test_transition_matches_definition(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        transition = graph.transition_matrix().toarray()
+        degrees = graph.degrees
+        adjacency = graph.adjacency_matrix().toarray()
+        expected = adjacency / degrees[:, None]
+        np.testing.assert_allclose(transition, expected)
+
+    def test_stationary_distribution(self, triangle):
+        pi = triangle.stationary_distribution()
+        np.testing.assert_allclose(pi, np.full(3, 1 / 3))
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_stationary_is_degree_proportional(self):
+        graph = from_edges([(0, 1), (1, 2), (1, 3)])
+        pi = graph.stationary_distribution()
+        np.testing.assert_allclose(pi, graph.degrees / (2 * graph.num_edges))
+
+
+class TestDerivedGraphs:
+    def test_subgraph_relabels(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_subgraph_duplicate_nodes_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.subgraph([0, 0, 1])
+
+    def test_remove_edges(self, triangle):
+        reduced = triangle.remove_edges([(0, 1)])
+        assert reduced.num_edges == 2
+        assert not reduced.has_edge(0, 1)
+        # original is untouched (immutability)
+        assert triangle.has_edge(0, 1)
+
+    def test_add_edges(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        extended = graph.add_edges([(0, 2)])
+        assert extended.num_edges == 3
+        assert extended.has_edge(0, 2)
+
+    def test_add_existing_edge_is_noop(self, triangle):
+        same = triangle.add_edges([(0, 1)])
+        assert same.num_edges == triangle.num_edges
+
+    def test_add_self_loop_rejected(self, triangle):
+        with pytest.raises(GraphStructureError):
+            triangle.add_edges([(1, 1)])
+
+
+class TestEqualityHash:
+    def test_equal_graphs(self):
+        a = from_edges([(0, 1), (1, 2)])
+        b = from_edges([(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        a = from_edges([(0, 1), (1, 2)])
+        b = from_edges([(0, 1), (0, 2)])
+        assert a != b
+
+    def test_graph_not_equal_other_types(self):
+        a = from_edges([(0, 1)])
+        assert (a == 42) is False

@@ -1,0 +1,67 @@
+"""Unit tests for edge-list IO."""
+
+import pytest
+
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        graph = barabasi_albert_graph(60, 3, rng=8)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path, header="synthetic test graph")
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n# trailing\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_relabelling_of_sparse_ids(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("10 200\n200 4000\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_no_relabel_keeps_ids(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 5\n")
+        graph = read_edge_list(path, relabel=False)
+        assert graph.num_nodes == 6
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 0\n0 1\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_duplicate_edges_merged(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 0\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("justonetoken\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_written_file_has_header(self, tmp_path):
+        graph = barabasi_albert_graph(20, 2, rng=1)
+        path = tmp_path / "out.txt"
+        write_edge_list(graph, path, header="hello")
+        text = path.read_text()
+        assert text.startswith("# hello")
+        assert f"nodes: {graph.num_nodes}" in text

@@ -1,0 +1,107 @@
+"""Unit tests for structural graph properties."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import from_edges
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.properties import (
+    connected_components,
+    degree_statistics,
+    is_bipartite,
+    is_connected,
+    largest_connected_component,
+    require_connected,
+    require_walkable,
+    summarize,
+)
+
+
+@pytest.fixture()
+def disconnected():
+    return from_edges([(0, 1), (2, 3)], num_nodes=5)
+
+
+class TestConnectivity:
+    def test_connected(self, path5):
+        assert is_connected(path5)
+
+    def test_disconnected(self, disconnected):
+        assert not is_connected(disconnected)
+
+    def test_components_sorted_by_size(self, disconnected):
+        components = connected_components(disconnected)
+        assert len(components) == 3
+        assert len(components[0]) == 2
+
+    def test_largest_connected_component(self, disconnected):
+        largest = largest_connected_component(disconnected)
+        assert largest.num_nodes == 2
+        assert largest.num_edges == 1
+
+    def test_require_connected_raises(self, disconnected):
+        with pytest.raises(GraphStructureError):
+            require_connected(disconnected)
+
+
+class TestBipartiteness:
+    def test_even_cycle_bipartite(self):
+        assert is_bipartite(cycle_graph(6))
+
+    def test_odd_cycle_not_bipartite(self):
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_path_bipartite(self, path5):
+        assert is_bipartite(path5)
+
+    def test_star_bipartite(self, star6):
+        assert is_bipartite(star6)
+
+    def test_grid_bipartite(self, grid4x4):
+        assert is_bipartite(grid4x4)
+
+    def test_complete_not_bipartite(self, complete8):
+        assert not is_bipartite(complete8)
+
+
+class TestWalkable:
+    def test_complete_graph_walkable(self, complete8):
+        require_walkable(complete8)  # does not raise
+
+    def test_bipartite_rejected(self, path5):
+        with pytest.raises(GraphStructureError):
+            require_walkable(path5)
+
+    def test_disconnected_rejected(self, disconnected):
+        with pytest.raises(GraphStructureError):
+            require_walkable(disconnected)
+
+    def test_isolated_node_rejected(self):
+        graph = from_edges([(0, 1), (1, 2), (0, 2)], num_nodes=4)
+        with pytest.raises(GraphStructureError):
+            require_walkable(graph)
+
+
+class TestSummaries:
+    def test_degree_statistics(self, star6):
+        stats = degree_statistics(star6)
+        assert stats["max"] == 6
+        assert stats["min"] == 1
+        assert stats["mean"] == pytest.approx(2 * 6 / 7)
+
+    def test_summarize_row(self, complete8):
+        summary = summarize(complete8, name="K8")
+        row = summary.as_row()
+        assert row["name"] == "K8"
+        assert row["#nodes (n)"] == 8
+        assert row["#edges (m)"] == 28
+        assert row["connected"] is True
+        assert row["bipartite"] is False
+        assert row["avg. degree"] == pytest.approx(7.0)

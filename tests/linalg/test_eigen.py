@@ -1,0 +1,87 @@
+"""Unit tests for spectral quantities of the transition matrix."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    dumbbell_graph,
+)
+from repro.linalg.eigen import (
+    SpectralInfo,
+    power_iteration_lambda2,
+    spectral_gap,
+    spectral_radius_second,
+    transition_eigenvalues,
+)
+
+
+def dense_transition_eigenvalues(graph):
+    transition = graph.transition_matrix().toarray()
+    return np.sort(np.real(np.linalg.eigvals(transition)))[::-1]
+
+
+class TestTransitionEigenvalues:
+    def test_complete_graph_closed_form(self):
+        # K_n transition matrix has eigenvalues 1 and -1/(n-1) (multiplicity n-1)
+        graph = complete_graph(12)
+        info = transition_eigenvalues(graph)
+        assert info.lambda_2 == pytest.approx(-1 / 11, abs=1e-9)
+        assert info.lambda_n == pytest.approx(-1 / 11, abs=1e-9)
+        assert info.lambda_max_abs == pytest.approx(1 / 11, abs=1e-9)
+
+    def test_odd_cycle_closed_form(self):
+        # cycle C_n: eigenvalues cos(2 pi k / n)
+        graph = cycle_graph(9)
+        info = transition_eigenvalues(graph)
+        assert info.lambda_2 == pytest.approx(np.cos(2 * np.pi / 9), abs=1e-9)
+        assert info.lambda_n == pytest.approx(np.cos(2 * np.pi * 4 / 9), abs=1e-9)
+
+    def test_matches_dense_eigensolver(self):
+        graph = barabasi_albert_graph(120, 4, rng=3)
+        info = transition_eigenvalues(graph)
+        dense = dense_transition_eigenvalues(graph)
+        assert info.lambda_2 == pytest.approx(dense[1], abs=1e-8)
+        assert info.lambda_n == pytest.approx(dense[-1], abs=1e-8)
+
+    def test_sparse_path_matches_dense(self):
+        # force the ARPACK branch with a low dense_threshold
+        graph = barabasi_albert_graph(300, 5, rng=4)
+        sparse_info = transition_eigenvalues(graph, dense_threshold=10, rng=0)
+        dense_info = transition_eigenvalues(graph, dense_threshold=1000)
+        assert sparse_info.lambda_max_abs == pytest.approx(
+            dense_info.lambda_max_abs, abs=1e-6
+        )
+
+    def test_lambda_in_unit_interval(self, ba_small):
+        lam = spectral_radius_second(ba_small)
+        assert 0.0 < lam < 1.0
+
+    def test_spectral_gap_complement(self, ba_small):
+        assert spectral_gap(ba_small) == pytest.approx(
+            1.0 - spectral_radius_second(ba_small)
+        )
+
+    def test_dumbbell_has_small_gap(self):
+        # two cliques joined by a path mix slowly -> lambda close to 1
+        graph = dumbbell_graph(8, 4)
+        lam = spectral_radius_second(graph)
+        assert lam > 0.9
+
+    def test_spectral_info_dataclass(self):
+        info = SpectralInfo(lambda_2=0.3, lambda_n=-0.7)
+        assert info.lambda_max_abs == pytest.approx(0.7)
+        assert info.spectral_gap == pytest.approx(0.3)
+
+
+class TestPowerIteration:
+    def test_matches_arpack(self):
+        graph = barabasi_albert_graph(150, 5, rng=6)
+        reference = transition_eigenvalues(graph)
+        estimate = power_iteration_lambda2(graph, rng=1)
+        expected = max(abs(reference.lambda_2), 0.0)
+        # power iteration returns |lambda_2| of the normalised adjacency, i.e. the
+        # second-largest magnitude after deflating the Perron vector
+        assert estimate == pytest.approx(reference.lambda_max_abs, abs=5e-3)

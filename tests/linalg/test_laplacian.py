@@ -1,0 +1,90 @@
+"""Unit tests for matrix construction and the dense pseudo-inverse."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.linalg.laplacian import (
+    effective_resistance_from_pinv,
+    incidence_matrix,
+    laplacian_matrix,
+    laplacian_pseudoinverse,
+    normalized_laplacian_matrix,
+    transition_matrix,
+)
+
+
+class TestMatrices:
+    def test_laplacian_psd(self, complete8):
+        laplacian = laplacian_matrix(complete8).toarray()
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        assert eigenvalues.min() >= -1e-10
+
+    def test_laplacian_nullspace_is_ones(self, grid4x4):
+        laplacian = laplacian_matrix(grid4x4).toarray()
+        ones = np.ones(grid4x4.num_nodes)
+        np.testing.assert_allclose(laplacian @ ones, 0.0, atol=1e-12)
+
+    def test_normalized_laplacian_eigen_range(self, complete8):
+        norm_lap = normalized_laplacian_matrix(complete8).toarray()
+        eigenvalues = np.linalg.eigvalsh(norm_lap)
+        assert eigenvalues.min() >= -1e-10
+        assert eigenvalues.max() <= 2 + 1e-10
+
+    def test_transition_is_row_stochastic(self, grid4x4):
+        transition = transition_matrix(grid4x4)
+        np.testing.assert_allclose(np.asarray(transition.sum(axis=1)).ravel(), 1.0)
+
+    def test_incidence_btb_is_laplacian(self, grid4x4):
+        incidence = incidence_matrix(grid4x4)
+        laplacian = laplacian_matrix(grid4x4)
+        np.testing.assert_allclose(
+            (incidence.T @ incidence).toarray(), laplacian.toarray()
+        )
+
+    def test_incidence_shape(self, complete8):
+        incidence = incidence_matrix(complete8)
+        assert incidence.shape == (complete8.num_edges, complete8.num_nodes)
+
+
+class TestPseudoinverse:
+    def test_pinv_matches_numpy(self, grid4x4):
+        ours = laplacian_pseudoinverse(grid4x4)
+        reference = np.linalg.pinv(laplacian_matrix(grid4x4).toarray())
+        np.testing.assert_allclose(ours, reference, atol=1e-8)
+
+    def test_pinv_symmetric(self, complete8):
+        pinv = laplacian_pseudoinverse(complete8)
+        np.testing.assert_allclose(pinv, pinv.T, atol=1e-10)
+
+    def test_pinv_rows_sum_to_zero(self, complete8):
+        pinv = laplacian_pseudoinverse(complete8)
+        np.testing.assert_allclose(pinv.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_effective_resistance_path(self):
+        graph = path_graph(5)
+        pinv = laplacian_pseudoinverse(graph)
+        assert effective_resistance_from_pinv(pinv, 0, 4) == pytest.approx(4.0)
+        assert effective_resistance_from_pinv(pinv, 1, 3) == pytest.approx(2.0)
+
+    def test_effective_resistance_complete(self):
+        graph = complete_graph(10)
+        pinv = laplacian_pseudoinverse(graph)
+        assert effective_resistance_from_pinv(pinv, 2, 7) == pytest.approx(0.2)
+
+    def test_effective_resistance_cycle(self):
+        graph = cycle_graph(8)
+        pinv = laplacian_pseudoinverse(graph)
+        # r(i, j) at hop distance k on an n-cycle is k (n - k) / n
+        assert effective_resistance_from_pinv(pinv, 0, 4) == pytest.approx(4 * 4 / 8)
+        assert effective_resistance_from_pinv(pinv, 0, 1) == pytest.approx(1 * 7 / 8)
+
+    def test_effective_resistance_star(self):
+        graph = star_graph(5)
+        pinv = laplacian_pseudoinverse(graph)
+        assert effective_resistance_from_pinv(pinv, 0, 3) == pytest.approx(1.0)
+        assert effective_resistance_from_pinv(pinv, 1, 2) == pytest.approx(2.0)
+
+    def test_same_node_is_zero(self, complete8):
+        pinv = laplacian_pseudoinverse(complete8)
+        assert effective_resistance_from_pinv(pinv, 3, 3) == 0.0

@@ -1,0 +1,61 @@
+"""Unit tests for random projection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.projection import (
+    gaussian_projection_matrix,
+    johnson_lindenstrauss_dimension,
+    rademacher_projection_matrix,
+)
+
+
+class TestRademacher:
+    def test_shape_and_values(self):
+        matrix = rademacher_projection_matrix(10, 20, rng=1)
+        assert matrix.shape == (10, 20)
+        np.testing.assert_allclose(np.abs(matrix), 1 / np.sqrt(10))
+
+    def test_reproducible(self):
+        a = rademacher_projection_matrix(5, 7, rng=3)
+        b = rademacher_projection_matrix(5, 7, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_norm_preservation_in_expectation(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(400)
+        matrix = rademacher_projection_matrix(600, 400, rng=1)
+        projected = matrix @ x
+        assert np.linalg.norm(projected) ** 2 == pytest.approx(
+            np.linalg.norm(x) ** 2, rel=0.2
+        )
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            rademacher_projection_matrix(0, 5)
+
+
+class TestGaussian:
+    def test_shape(self):
+        matrix = gaussian_projection_matrix(4, 9, rng=2)
+        assert matrix.shape == (4, 9)
+
+    def test_variance_scaling(self):
+        matrix = gaussian_projection_matrix(2000, 3, rng=2)
+        assert matrix.var() == pytest.approx(1 / 2000, rel=0.1)
+
+
+class TestJLDimension:
+    def test_formula(self):
+        assert johnson_lindenstrauss_dimension(1000, 0.5, c=24.0) == int(
+            np.ceil(24 * np.log(1000) / 0.25)
+        )
+
+    def test_decreases_with_epsilon(self):
+        assert johnson_lindenstrauss_dimension(1000, 0.5) < johnson_lindenstrauss_dimension(
+            1000, 0.1
+        )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            johnson_lindenstrauss_dimension(100, 1.5)

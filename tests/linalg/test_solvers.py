@@ -1,0 +1,82 @@
+"""Unit tests for the Laplacian CG solver."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.linalg.laplacian import laplacian_pseudoinverse
+from repro.linalg.solvers import LaplacianSolver, solve_laplacian
+
+
+class TestSolve:
+    def test_solution_satisfies_system(self, ba_small):
+        solver = LaplacianSolver(ba_small)
+        rhs = np.zeros(ba_small.num_nodes)
+        rhs[0], rhs[5] = 1.0, -1.0
+        x = solver.solve(rhs)
+        laplacian = ba_small.laplacian_matrix()
+        np.testing.assert_allclose(laplacian @ x, rhs - rhs.mean(), atol=1e-7)
+        assert solver.last_stats is not None
+        assert solver.last_stats.converged
+
+    def test_solution_zero_mean(self, ba_small):
+        solver = LaplacianSolver(ba_small)
+        rhs = np.zeros(ba_small.num_nodes)
+        rhs[3], rhs[9] = 1.0, -1.0
+        x = solver.solve(rhs)
+        assert abs(x.mean()) < 1e-12
+
+    def test_rhs_projected_if_not_orthogonal(self, ba_small):
+        solver = LaplacianSolver(ba_small)
+        rhs = np.ones(ba_small.num_nodes)  # entirely in the null space
+        x = solver.solve(rhs)
+        np.testing.assert_allclose(x, 0.0, atol=1e-9)
+
+    def test_wrong_shape_rejected(self, ba_small):
+        solver = LaplacianSolver(ba_small)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(3))
+
+    def test_functional_helper(self, complete8):
+        rhs = np.zeros(8)
+        rhs[0], rhs[7] = 1.0, -1.0
+        x = solve_laplacian(complete8, rhs)
+        assert x[0] - x[7] == pytest.approx(0.25, abs=1e-9)
+
+
+class TestEffectiveResistance:
+    def test_path_distances(self):
+        solver = LaplacianSolver(path_graph(6))
+        assert solver.effective_resistance(0, 5) == pytest.approx(5.0, abs=1e-8)
+        assert solver.effective_resistance(2, 4) == pytest.approx(2.0, abs=1e-8)
+
+    def test_cycle_closed_form(self):
+        solver = LaplacianSolver(cycle_graph(10))
+        assert solver.effective_resistance(0, 5) == pytest.approx(2.5, abs=1e-8)
+
+    def test_same_node(self, ba_small):
+        assert LaplacianSolver(ba_small).effective_resistance(4, 4) == 0.0
+
+    def test_matches_pseudoinverse(self, ba_small):
+        solver = LaplacianSolver(ba_small)
+        pinv = laplacian_pseudoinverse(ba_small)
+        for s, t in [(0, 10), (3, 77), (50, 150)]:
+            expected = pinv[s, s] + pinv[t, t] - 2 * pinv[s, t]
+            assert solver.effective_resistance(s, t) == pytest.approx(expected, abs=1e-8)
+
+    def test_potential_vector_drop(self, ba_small):
+        solver = LaplacianSolver(ba_small)
+        potential = solver.potential_vector(2, 9)
+        assert potential[2] - potential[9] == pytest.approx(
+            solver.effective_resistance(2, 9), abs=1e-9
+        )
+
+    def test_invalid_nodes(self, ba_small):
+        solver = LaplacianSolver(ba_small)
+        with pytest.raises(ValueError):
+            solver.effective_resistance(0, ba_small.num_nodes)

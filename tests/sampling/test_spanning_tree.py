@@ -1,0 +1,83 @@
+"""Unit tests for spanning-tree samplers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import from_edges
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+from repro.graph.properties import is_connected
+from repro.sampling.spanning_tree import (
+    aldous_broder_spanning_tree,
+    spanning_tree_edge_indicator,
+    wilson_spanning_tree,
+)
+
+
+def _is_spanning_tree(graph, tree_edges) -> bool:
+    if len(tree_edges) != graph.num_nodes - 1:
+        return False
+    tree_graph = from_edges(tree_edges, num_nodes=graph.num_nodes)
+    if not is_connected(tree_graph):
+        return False
+    return all(graph.has_edge(int(u), int(v)) for u, v in tree_edges)
+
+
+class TestWilson:
+    def test_produces_spanning_tree(self, ba_small):
+        tree = wilson_spanning_tree(ba_small, rng=1)
+        assert _is_spanning_tree(ba_small, tree)
+
+    def test_path_graph_tree_is_the_path(self):
+        graph = path_graph(6)
+        tree = wilson_spanning_tree(graph, rng=2)
+        assert len(tree) == 5
+        assert _is_spanning_tree(graph, tree)
+
+    def test_root_argument(self, complete8):
+        tree = wilson_spanning_tree(complete8, root=3, rng=3)
+        assert _is_spanning_tree(complete8, tree)
+
+    def test_disconnected_rejected(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        with pytest.raises(GraphStructureError):
+            wilson_spanning_tree(graph)
+
+    def test_cycle_edge_frequency_uniform(self):
+        # On a cycle of length n, each spanning tree omits exactly one edge, so each
+        # edge appears in a uniform spanning tree with probability (n-1)/n.
+        graph = cycle_graph(6)
+        target = (0, 1)
+        hits = 0
+        trials = 600
+        for seed in range(trials):
+            tree = wilson_spanning_tree(graph, rng=seed)
+            hits += int(spanning_tree_edge_indicator(tree, np.array([target]))[0])
+        assert hits / trials == pytest.approx(5 / 6, abs=0.05)
+
+
+class TestAldousBroder:
+    def test_produces_spanning_tree(self, complete8):
+        tree = aldous_broder_spanning_tree(complete8, rng=4)
+        assert _is_spanning_tree(complete8, tree)
+
+    def test_matches_wilson_edge_probability(self):
+        # complete graph K5: every edge is in a UST with probability r(e) = 2/5
+        graph = complete_graph(5)
+        trials = 500
+        hits_wilson = hits_ab = 0
+        for seed in range(trials):
+            tw = wilson_spanning_tree(graph, rng=seed)
+            ta = aldous_broder_spanning_tree(graph, rng=seed + 10_000)
+            hits_wilson += int(spanning_tree_edge_indicator(tw, np.array([(0, 1)]))[0])
+            hits_ab += int(spanning_tree_edge_indicator(ta, np.array([(0, 1)]))[0])
+        assert hits_wilson / trials == pytest.approx(0.4, abs=0.07)
+        assert hits_ab / trials == pytest.approx(0.4, abs=0.07)
+
+
+class TestIndicator:
+    def test_indicator(self):
+        tree = np.array([(0, 1), (1, 2)])
+        queries = np.array([(1, 0), (2, 1), (0, 2)])
+        result = spanning_tree_edge_indicator(tree, queries)
+        np.testing.assert_array_equal(result, [True, True, False])

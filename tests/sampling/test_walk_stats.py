@@ -1,0 +1,65 @@
+"""Unit tests for walk statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import complete_graph
+from repro.sampling.walk_stats import (
+    empirical_transition_power,
+    endpoint_histogram,
+    score_walks,
+    visit_counts,
+)
+
+
+class TestEndpointHistogram:
+    def test_simple(self):
+        hist = endpoint_histogram(np.array([0, 0, 1, 2]), 4)
+        np.testing.assert_allclose(hist, [0.5, 0.25, 0.25, 0.0])
+
+    def test_empty(self):
+        np.testing.assert_allclose(endpoint_histogram(np.array([]), 3), 0.0)
+
+    def test_sums_to_one(self):
+        hist = endpoint_histogram(np.array([2, 2, 2, 1]), 5)
+        assert hist.sum() == pytest.approx(1.0)
+
+
+class TestVisitCounts:
+    def test_counts(self):
+        walks = np.array([[0, 1], [1, 1]])
+        counts = visit_counts(walks, 3)
+        np.testing.assert_array_equal(counts, [1, 3, 0])
+
+    def test_empty(self):
+        counts = visit_counts(np.empty((0, 0), dtype=np.int64), 2)
+        np.testing.assert_array_equal(counts, [0, 0])
+
+
+class TestScoreWalks:
+    def test_per_walk_sums(self):
+        walks = np.array([[0, 1, 0], [2, 2, 2]])
+        weights = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(score_walks(walks, weights), [12.0, 300.0])
+
+    def test_zero_length_walks(self):
+        scores = score_walks(np.empty((3, 0), dtype=np.int64), np.array([1.0]))
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_matches_manual_loop(self, ba_small, rng):
+        from repro.sampling.walks import simulate_walks
+
+        walks = simulate_walks(ba_small, 0, 50, 6, rng=1)
+        weights = rng.random(ba_small.num_nodes)
+        fast = score_walks(walks, weights)
+        slow = np.array([sum(weights[node] for node in row) for row in walks])
+        np.testing.assert_allclose(fast, slow)
+
+
+class TestEmpiricalTransitionPower:
+    def test_close_to_matrix_power(self):
+        graph = complete_graph(5)
+        empirical = empirical_transition_power(graph, 0, 2, 30000, rng=2)
+        transition = graph.transition_matrix().toarray()
+        expected = np.linalg.matrix_power(transition, 2)[0]
+        assert np.abs(empirical - expected).max() < 0.02

@@ -1,0 +1,92 @@
+"""Tests for the repro-er command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.datasets import load_dataset
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture()
+def edge_list_file(tmp_path):
+    graph = load_dataset("facebook-tiny")
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "--dataset", "facebook-tiny", "0,1"])
+        assert args.method == "geer"
+        assert args.epsilon == 0.1
+
+
+class TestDatasetsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "facebook-syn" in output
+        assert "dblp-syn" in output
+
+
+class TestQueryCommand:
+    def test_query_on_registry_dataset(self, capsys):
+        exit_code = main(
+            ["query", "--dataset", "facebook-tiny", "--epsilon", "0.3", "--exact", "0,5", "3,17"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "effective resistance queries" in output
+        assert "abs error" in output
+
+    def test_query_on_edge_list(self, edge_list_file, capsys):
+        exit_code = main(
+            ["query", "--edge-list", edge_list_file, "--method", "smm", "1,2"]
+        )
+        assert exit_code == 0
+        assert "smm" in capsys.readouterr().out
+
+    def test_malformed_pair(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "facebook-tiny", "notapair"])
+
+    def test_requires_exactly_one_graph_source(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(["query", "0,1"])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--dataset",
+                    "facebook-tiny",
+                    "--edge-list",
+                    edge_list_file,
+                    "0,1",
+                ]
+            )
+
+
+class TestSweepCommand:
+    def test_small_sweep(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--dataset",
+                "facebook-tiny",
+                "--epsilons",
+                "0.5",
+                "--num-queries",
+                "3",
+                "--methods",
+                "geer",
+                "smm",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "geer" in output and "smm" in output

@@ -1,0 +1,88 @@
+"""End-to-end integration tests: the full query pipeline on registry datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EffectiveResistanceEstimator
+from repro.experiments.datasets import load_dataset
+from repro.experiments.figures import fig2_running_example, run_dataset_sweep
+from repro.experiments.harness import build_context, run_method
+from repro.experiments.queries import edge_query_set, random_query_set
+from repro.experiments.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("orkut-tiny")
+
+
+@pytest.fixture(scope="module")
+def context(dataset):
+    return build_context(dataset, rng=17)
+
+
+class TestFullPipeline:
+    def test_random_query_pipeline_all_methods(self, context):
+        """Every random-query method answers the same query set within ε."""
+        queries = random_query_set(context.graph, 5, rng=18)
+        epsilon = 0.2
+        for method in ("geer", "amc", "smm", "tp", "tpc", "rp", "exact"):
+            sweep = run_method(context, method, queries, epsilon)
+            assert sweep.completed == 5, method
+            assert sweep.average_absolute_error <= epsilon, method
+
+    def test_edge_query_pipeline_all_methods(self, context):
+        queries = edge_query_set(context.graph, 5, rng=19)
+        epsilon = 0.2
+        for method in ("geer", "amc", "smm", "mc2", "hay"):
+            sweep = run_method(context, method, queries, epsilon)
+            assert sweep.completed == 5, method
+            assert sweep.average_absolute_error <= epsilon, method
+
+    def test_geer_beats_amc_on_walks_for_small_epsilon(self, dataset):
+        """The paper's headline: GEER needs far fewer random walks than AMC."""
+        estimator = EffectiveResistanceEstimator(dataset, rng=20)
+        rng = np.random.default_rng(21)
+        total_geer = total_amc = 0
+        for _ in range(5):
+            s, t = rng.choice(dataset.num_nodes, size=2, replace=False)
+            total_geer += estimator.estimate(int(s), int(t), 0.02, method="geer").num_walks
+            total_amc += estimator.estimate(
+                int(s), int(t), 0.02, method="amc", max_total_steps=10_000_000
+            ).num_walks
+        assert total_geer < total_amc
+
+    def test_sweep_driver_produces_consistent_rows(self, dataset):
+        rows = run_dataset_sweep(
+            dataset,
+            query_kind="random",
+            epsilons=(0.5, 0.1),
+            num_queries=4,
+            methods=("geer", "smm"),
+            dataset_label="orkut-tiny",
+            rng=22,
+        )
+        text = format_table(rows, title="integration sweep")
+        assert "geer" in text and "orkut-tiny" in text
+        for row in rows:
+            assert row["avg_abs_error"] <= row["epsilon"]
+
+    def test_fig2_driver_runs(self):
+        rows = fig2_running_example(max_length=6)
+        assert len(rows) == 6
+
+    def test_error_decreases_with_epsilon_on_average(self, dataset):
+        estimator = EffectiveResistanceEstimator(dataset, rng=23)
+        rng = np.random.default_rng(24)
+        pairs = [tuple(rng.choice(dataset.num_nodes, size=2, replace=False)) for _ in range(6)]
+        from repro.baselines.ground_truth import GroundTruthOracle
+
+        oracle = GroundTruthOracle(dataset)
+        errors = {}
+        for epsilon in (0.5, 0.05):
+            errs = []
+            for s, t in pairs:
+                result = estimator.estimate(int(s), int(t), epsilon, method="geer")
+                errs.append(abs(result.value - oracle.query(int(s), int(t))))
+            errors[epsilon] = np.mean(errs)
+        assert errors[0.05] <= errors[0.5] + 1e-6

@@ -1,0 +1,144 @@
+"""Property-based tests of the ε-approximation guarantee of the paper's estimators.
+
+For random connected non-bipartite graphs and random node pairs, GEER, AMC and
+SMM must return values within ε of the exact effective resistance (the failure
+probability δ = 0.01 per query makes violations across ~25 examples extremely
+unlikely; a small slack is added to keep the test robust).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.walk_length import peng_walk_length, refined_walk_length
+from repro.graph.builders import from_edges
+from repro.graph.properties import is_bipartite, is_connected
+from repro.sampling.concentration import (
+    empirical_bernstein_error,
+    hoeffding_error,
+)
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def walkable_graphs(draw, min_nodes=6, max_nodes=30):
+    """Connected, non-bipartite random graphs (a triangle is always included)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    edges = {(min(int(a), int(b)), max(int(a), int(b))) for a, b in zip(order[:-1], order[1:])}
+    # force a triangle on the first three nodes of the spanning order
+    a, b, c = (int(order[0]), int(order[1]), int(order[2]))
+    for u, v in ((a, b), (b, c), (a, c)):
+        edges.add((min(u, v), max(u, v)))
+    # keep the graphs reasonably dense: sparse near-path graphs have a tiny
+    # spectral gap, which makes the (correct) walk budgets of the Monte Carlo
+    # estimators astronomically large and the test needlessly slow.
+    extra = draw(st.integers(n, 3 * n))
+    target = min(n - 1 + 3 + extra, n * (n - 1) // 2)
+    while len(edges) < target:
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    graph = from_edges(sorted(edges), num_nodes=n)
+    return graph
+
+
+@st.composite
+def estimation_cases(draw):
+    graph = draw(walkable_graphs())
+    s = draw(st.integers(0, graph.num_nodes - 1))
+    t = draw(st.integers(0, graph.num_nodes - 1))
+    epsilon = draw(st.sampled_from([0.5, 0.25]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return graph, s, t, epsilon, seed
+
+
+class TestEpsilonGuarantee:
+    @SETTINGS
+    @given(estimation_cases())
+    def test_geer_within_epsilon(self, case):
+        graph, s, t, epsilon, seed = case
+        assert is_connected(graph) and not is_bipartite(graph)
+        estimator = EffectiveResistanceEstimator(graph, rng=seed)
+        truth = GroundTruthOracle(graph).query(s, t)
+        result = estimator.estimate(s, t, epsilon, method="geer")
+        assert abs(result.value - truth) <= epsilon + 1e-9
+
+    @SETTINGS
+    @given(estimation_cases())
+    def test_amc_within_epsilon(self, case):
+        graph, s, t, epsilon, seed = case
+        estimator = EffectiveResistanceEstimator(graph, rng=seed)
+        truth = GroundTruthOracle(graph).query(s, t)
+        # the step cap keeps pathological low-gap samples fast; when it fires the
+        # accuracy guarantee is void, so only uncapped runs are checked
+        result = estimator.estimate(s, t, epsilon, method="amc", max_total_steps=2_000_000)
+        if not result.budget_exhausted:
+            assert abs(result.value - truth) <= epsilon + 1e-9
+
+    @SETTINGS
+    @given(estimation_cases())
+    def test_smm_within_half_epsilon(self, case):
+        graph, s, t, epsilon, seed = case
+        estimator = EffectiveResistanceEstimator(graph, rng=seed)
+        truth = GroundTruthOracle(graph).query(s, t)
+        result = estimator.estimate(s, t, epsilon, method="smm")
+        # SMM is deterministic: the truncation bound alone must hold
+        assert abs(result.value - truth) <= epsilon / 2 + 1e-9
+
+
+class TestWalkLengthProperties:
+    @SETTINGS
+    @given(
+        st.floats(0.01, 0.9),
+        st.floats(0.05, 0.99),
+        st.integers(1, 500),
+        st.integers(1, 500),
+    )
+    def test_refined_never_longer_than_peng(self, epsilon, lam, ds, dt):
+        assert refined_walk_length(epsilon, lam, ds, dt) <= peng_walk_length(epsilon, lam)
+
+    @SETTINGS
+    @given(st.floats(0.01, 0.9), st.floats(0.05, 0.99), st.integers(1, 100))
+    def test_refined_monotone_in_degree(self, epsilon, lam, degree):
+        shorter = refined_walk_length(epsilon, lam, degree + 1, degree + 1)
+        longer = refined_walk_length(epsilon, lam, degree, degree)
+        assert shorter <= longer
+
+    @SETTINGS
+    @given(st.floats(0.9, 0.999), st.integers(1, 50))
+    def test_length_positive(self, lam, degree):
+        assert refined_walk_length(0.05, lam, degree, degree) >= 1
+
+
+class TestConcentrationProperties:
+    @SETTINGS
+    @given(
+        st.integers(1, 10_000),
+        st.floats(0.0, 5.0),
+        st.floats(0.001, 10.0),
+        st.floats(0.001, 0.5),
+    )
+    def test_bernstein_radius_nonnegative_and_monotone(self, n, variance, psi, delta):
+        radius = empirical_bernstein_error(n, variance, psi, delta)
+        assert radius >= 0
+        assert empirical_bernstein_error(2 * n, variance, psi, delta) <= radius + 1e-12
+
+    @SETTINGS
+    @given(st.integers(1, 10_000), st.floats(0.001, 10.0), st.floats(0.001, 0.5))
+    def test_hoeffding_radius_monotone_in_samples(self, n, value_range, delta):
+        assert hoeffding_error(2 * n, value_range, delta) <= hoeffding_error(
+            n, value_range, delta
+        )

@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) of effective-resistance invariants.
+
+Effective resistance obeys a rich set of exact identities; the estimators and
+the linear-algebra substrate must reproduce them on arbitrary connected graphs:
+
+* symmetry and non-negativity, zero iff the endpoints coincide;
+* the triangle inequality (ER is a metric);
+* Rayleigh monotonicity (adding an edge never increases any resistance);
+* Foster's theorem (edge resistances sum to ``n - 1``);
+* series/parallel closed forms on paths, cycles and complete graphs;
+* ``1/d``-style bounds for adjacent pairs;
+* agreement between the pseudo-inverse, the CG solver and SMM run to convergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactEffectiveResistance
+from repro.baselines.ground_truth import GroundTruthOracle
+from repro.core.smm import smm_estimate
+from repro.graph.builders import from_edges
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+)
+from repro.graph.properties import is_connected
+from repro.linalg.solvers import LaplacianSolver
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=4, max_nodes=24):
+    """Random connected graphs: a random spanning path plus random extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    edges = {(min(int(a), int(b)), max(int(a), int(b))) for a, b in zip(order[:-1], order[1:])}
+    max_extra = n * (n - 1) // 2 - (n - 1)
+    extra = draw(st.integers(0, min(max_extra, 3 * n)))
+    while len(edges) < (n - 1) + extra:
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return from_edges(sorted(edges), num_nodes=n)
+
+
+@st.composite
+def graph_with_pair(draw):
+    graph = draw(connected_graphs())
+    s = draw(st.integers(0, graph.num_nodes - 1))
+    t = draw(st.integers(0, graph.num_nodes - 1))
+    return graph, s, t
+
+
+class TestMetricProperties:
+    @SETTINGS
+    @given(graph_with_pair())
+    def test_symmetry_and_nonnegativity(self, data):
+        graph, s, t = data
+        oracle = ExactEffectiveResistance(graph)
+        r_st = oracle.query(s, t)
+        r_ts = oracle.query(t, s)
+        assert r_st == pytest.approx(r_ts, abs=1e-9)
+        assert r_st >= -1e-12
+        if s == t:
+            assert r_st == pytest.approx(0.0, abs=1e-12)
+        else:
+            assert r_st > 0
+
+    @SETTINGS
+    @given(connected_graphs(), st.data())
+    def test_triangle_inequality(self, graph, data):
+        oracle = ExactEffectiveResistance(graph)
+        n = graph.num_nodes
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        c = data.draw(st.integers(0, n - 1))
+        assert oracle.query(a, c) <= oracle.query(a, b) + oracle.query(b, c) + 1e-9
+
+    @SETTINGS
+    @given(connected_graphs())
+    def test_upper_bounded_by_shortest_path(self, graph):
+        import networkx as nx
+
+        from repro.graph.builders import to_networkx
+
+        oracle = ExactEffectiveResistance(graph)
+        nx_graph = to_networkx(graph)
+        lengths = dict(nx.shortest_path_length(nx_graph))
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            s, t = rng.integers(0, graph.num_nodes, size=2)
+            assert oracle.query(int(s), int(t)) <= lengths[int(s)][int(t)] + 1e-9
+
+
+class TestStructuralTheorems:
+    @SETTINGS
+    @given(connected_graphs())
+    def test_fosters_theorem(self, graph):
+        oracle = ExactEffectiveResistance(graph)
+        total = sum(oracle.query(u, v) for u, v in graph.edges())
+        assert total == pytest.approx(graph.num_nodes - 1, abs=1e-7)
+
+    @SETTINGS
+    @given(graph_with_pair(), st.data())
+    def test_rayleigh_monotonicity(self, data, extra):
+        graph, s, t = data
+        oracle = ExactEffectiveResistance(graph)
+        before = oracle.query(s, t)
+        # add a random missing edge (if any exist)
+        n = graph.num_nodes
+        missing = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if not graph.has_edge(u, v)
+        ]
+        if not missing:
+            return
+        index = extra.draw(st.integers(0, len(missing) - 1))
+        denser = graph.add_edges([missing[index]])
+        after = ExactEffectiveResistance(denser).query(s, t)
+        assert after <= before + 1e-9
+
+    @SETTINGS
+    @given(graph_with_pair())
+    def test_adjacent_pair_bounds(self, data):
+        graph, s, t = data
+        if s == t or not graph.has_edge(s, t):
+            return
+        oracle = ExactEffectiveResistance(graph)
+        value = oracle.query(s, t)
+        # for an edge: 1/(2m) <= ... actually parallel-cut bound and <= 1
+        assert value <= 1.0 + 1e-9
+        assert value >= 1.0 / (2.0 * graph.num_edges) - 1e-12
+
+    @SETTINGS
+    @given(graph_with_pair())
+    def test_general_pair_lower_bound(self, data):
+        """r(s, t) >= 1/d(s) + 1/d(t) - (2/d(s)d(t) if adjacent else 0) is loose;
+        use the standard bound r(s, t) >= max(1/d(s), 1/d(t)) for non-adjacent pairs."""
+        graph, s, t = data
+        if s == t:
+            return
+        oracle = ExactEffectiveResistance(graph)
+        value = oracle.query(s, t)
+        if not graph.has_edge(s, t):
+            assert value >= max(1.0 / graph.degree(s), 1.0 / graph.degree(t)) - 1e-9
+
+
+class TestClosedForms:
+    @SETTINGS
+    @given(st.integers(3, 30), st.data())
+    def test_path_graph(self, n, data):
+        graph = path_graph(n)
+        oracle = LaplacianSolver(graph)
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(0, n - 1))
+        assert oracle.effective_resistance(i, j) == pytest.approx(abs(i - j), abs=1e-7)
+
+    @SETTINGS
+    @given(st.integers(3, 25), st.data())
+    def test_cycle_graph(self, n, data):
+        graph = cycle_graph(n)
+        oracle = LaplacianSolver(graph)
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(0, n - 1))
+        k = abs(i - j)
+        k = min(k, n - k)
+        assert oracle.effective_resistance(i, j) == pytest.approx(k * (n - k) / n, abs=1e-7)
+
+    @SETTINGS
+    @given(st.integers(2, 25), st.data())
+    def test_complete_graph(self, n, data):
+        graph = complete_graph(n)
+        oracle = LaplacianSolver(graph)
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(0, n - 1))
+        expected = 0.0 if i == j else 2.0 / n
+        assert oracle.effective_resistance(i, j) == pytest.approx(expected, abs=1e-8)
+
+    def test_series_law(self):
+        # two edges in series: resistances add
+        graph = from_edges([(0, 1), (1, 2)])
+        oracle = ExactEffectiveResistance(graph)
+        assert oracle.query(0, 2) == pytest.approx(2.0)
+
+    def test_parallel_law(self):
+        # two parallel length-2 paths between 0 and 3: 2 || 2 = 1
+        graph = from_edges([(0, 1), (1, 3), (0, 2), (2, 3)])
+        oracle = ExactEffectiveResistance(graph)
+        assert oracle.query(0, 3) == pytest.approx(1.0)
+
+
+class TestBackendAgreement:
+    @SETTINGS
+    @given(graph_with_pair())
+    def test_solver_matches_pseudoinverse(self, data):
+        graph, s, t = data
+        exact = ExactEffectiveResistance(graph).query(s, t)
+        solver = LaplacianSolver(graph).effective_resistance(s, t)
+        assert solver == pytest.approx(exact, abs=1e-7)
+
+    @SETTINGS
+    @given(graph_with_pair())
+    def test_smm_converges_to_exact(self, data):
+        """SMM truncated at the Eq. (6) length for ε = 2e-3 lands within 1e-3 of exact.
+
+        The number of iterations is taken from the refined bound itself (rather
+        than a fixed constant) because hypothesis happily generates graphs with
+        a tiny spectral gap, where a fixed truncation would not have converged.
+        """
+        graph, s, t = data
+        if is_bipartite_safe(graph):
+            return
+        from repro.core.walk_length import refined_walk_length
+        from repro.linalg.eigen import transition_eigenvalues
+
+        lam = transition_eigenvalues(graph).lambda_max_abs
+        if lam >= 1.0 - 1e-12:
+            return  # numerically degenerate sample
+        length = min(refined_walk_length(2e-3, lam, graph.degree(s), graph.degree(t)), 50_000)
+        exact = ExactEffectiveResistance(graph).query(s, t)
+        approx = smm_estimate(graph, s, t, length).value
+        assert approx == pytest.approx(exact, abs=1e-3)
+
+
+def is_bipartite_safe(graph) -> bool:
+    from repro.graph.properties import is_bipartite
+
+    return is_bipartite(graph)

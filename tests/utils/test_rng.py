@@ -1,0 +1,69 @@
+"""Unit tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edges
+from repro.utils.rng import as_generator, derive_seed, random_choice_csr, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(5).integers(0, 1000, size=10)
+        b = as_generator(5).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn_generators(3, 4)
+        assert len(children) == 4
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_generators(3, 2)
+        assert not np.array_equal(a.integers(0, 100, 20), b.integers(0, 100, 20))
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(4, "x", 1) == derive_seed(4, "x", 1)
+
+
+class TestRandomChoiceCSR:
+    def test_samples_are_neighbors(self):
+        graph = from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        gen = np.random.default_rng(0)
+        nodes = np.zeros(500, dtype=np.int64)
+        samples = random_choice_csr(gen, graph.indptr, graph.indices, nodes)
+        assert set(np.unique(samples)) <= {1, 2, 3}
+
+    def test_roughly_uniform(self):
+        graph = from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        gen = np.random.default_rng(0)
+        nodes = np.zeros(6000, dtype=np.int64)
+        samples = random_choice_csr(gen, graph.indptr, graph.indices, nodes)
+        counts = np.bincount(samples, minlength=4)[1:]
+        assert counts.min() > 1700  # each neighbour ~2000 expected
+
+    def test_isolated_node_rejected(self):
+        graph = from_edges([(0, 1)], num_nodes=3)
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_choice_csr(gen, graph.indptr, graph.indices, np.array([2]))

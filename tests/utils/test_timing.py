@@ -1,0 +1,69 @@
+"""Unit tests for timing helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import TimeBudget, Timer, time_call, timed
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+        assert timer.elapsed_ms >= 9
+
+    def test_multiple_sections_accumulate(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.005)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed > first
+
+    def test_double_start_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running
+
+    def test_timed_contextmanager(self):
+        with timed() as timer:
+            time.sleep(0.002)
+        assert timer.elapsed >= 0.001
+
+    def test_time_call(self):
+        value, elapsed = time_call(lambda: 41 + 1)
+        assert value == 42
+        assert elapsed >= 0.0
+
+
+class TestTimeBudget:
+    def test_not_exceeded_by_default(self):
+        assert not TimeBudget().exceeded()
+
+    def test_exceeded(self):
+        budget = TimeBudget(seconds=0.001)
+        time.sleep(0.01)
+        assert budget.exceeded()
+        assert budget.remaining < 0
+
+    def test_restart(self):
+        budget = TimeBudget(seconds=0.05)
+        time.sleep(0.01)
+        budget.restart()
+        assert budget.elapsed < 0.01

@@ -1,0 +1,98 @@
+"""Unit tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_integer,
+    check_node,
+    check_node_pair,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_valid(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_zero_rejected_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_zero_allowed_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(math.nan, "x")
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(math.inf, "x")
+
+    def test_non_number_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive("0.2", "x")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            check_positive(-1, "epsilon")
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability(0.01, "delta") == 0.01
+
+    def test_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability(1.0, "delta")
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, "delta")
+
+
+class TestCheckInteger:
+    def test_valid(self):
+        assert check_integer(3, "tau") == 3
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_integer(0, "tau", minimum=1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            check_integer(True, "tau")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValueError):
+            check_integer(2.5, "tau")
+
+
+class TestCheckNode:
+    def test_valid(self):
+        assert check_node(3, 10) == 3
+
+    def test_numpy_ints_accepted(self):
+        import numpy as np
+
+        assert check_node(np.int64(4), 10) == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_node(10, 10)
+        with pytest.raises(ValueError):
+            check_node(-1, 10)
+
+    def test_pair(self):
+        assert check_node_pair(0, 9, 10) == (0, 9)
+
+    def test_pair_invalid(self):
+        with pytest.raises(ValueError):
+            check_node_pair(0, 10, 10)
