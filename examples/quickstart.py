@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quickstart: build a graph, answer ε-approximate PER queries, compare methods.
+"""Quickstart: open a query session, answer single and batched PER queries.
 
 Run with:  python examples/quickstart.py
 """
@@ -15,12 +15,16 @@ def main() -> None:
     graph = repro.barabasi_albert_graph(1000, 10, rng=42)
     print(f"graph: {graph}")
 
-    # 2. Create the estimator.  The spectral radius λ (the paper's one-off
-    #    preprocessing step) is computed lazily on first use and reused.
-    estimator = repro.EffectiveResistanceEstimator(graph, rng=42)
-    print(f"lambda = max(|λ2|, |λn|) = {estimator.lambda_max_abs:.4f}")
+    # 2. Open a query session.  The engine owns the per-graph preprocessing —
+    #    the spectral radius λ, the transition matrix, the walk engine — and
+    #    reuses it for every query issued through the session.
+    engine = repro.QueryEngine(graph, rng=42)
+    print(f"lambda = max(|λ2|, |λn|) = {engine.lambda_max_abs:.4f}")
+    print(f"registered methods: {', '.join(engine.available_methods())}")
 
-    # 3. Answer a few queries with GEER, AMC and SMM and compare with ground truth.
+    # 3. Answer a few queries with GEER, AMC and SMM and compare with ground
+    #    truth.  Any registered method name works here — including every
+    #    baseline the paper compares against (try method="rp" or "exact").
     oracle = GroundTruthOracle(graph)
     epsilon = 0.05
     pairs = [(0, 500), (13, 77), (250, 999)]
@@ -31,18 +35,36 @@ def main() -> None:
         truth = oracle.query(s, t)
         row = [f"({s},{t})".rjust(12), f"{truth:10.5f}"]
         for method in ("geer", "amc", "smm"):
-            result = estimator.estimate(s, t, epsilon, method=method)
+            result = engine.query(s, t, epsilon, method=method)
             assert abs(result.value - truth) <= epsilon, "outside the ε guarantee!"
             row.append(f"{result.value:10.5f}")
         print(" ".join(row))
 
-    # 4. Look at the work GEER actually did for the last query.
-    result = estimator.estimate(250, 999, epsilon, method="geer")
+    # 4. Batch execution: a QueryPlan groups the pair set by degree bucket,
+    #    derives each walk length once per bucket (instead of once per pair)
+    #    and runs SMM vectorized across pairs.  Values match a per-pair loop
+    #    under the same seed.
+    batch = engine.query_many(pairs * 10, epsilon, method="geer")
+    print(
+        f"\nbatched {len(batch)} queries in {batch.num_buckets} degree buckets "
+        f"({batch.walk_length_computations} walk-length computations, "
+        f"{batch.elapsed_seconds * 1000:.1f} ms total, "
+        f"{batch.total_steps} walk steps)"
+    )
+
+    # 5. Look at the work GEER actually did for the last query, and what the
+    #    session accumulated overall.
+    result = engine.query(250, 999, epsilon, method="geer")
     print(
         f"\nGEER internals for (250, 999): walk length ℓ = {result.walk_length}, "
         f"SMM iterations ℓ_b = {result.smm_iterations}, "
         f"random walks = {result.num_walks}, batches = {result.num_batches}, "
         f"time = {result.elapsed_seconds * 1000:.2f} ms"
+    )
+    stats = engine.stats
+    print(
+        f"session totals: {stats.num_queries} queries, "
+        f"{stats.total_steps} walk steps, {stats.spmv_operations} SpMV edge ops"
     )
 
 

@@ -9,13 +9,33 @@ downstream applications (sparsification, clustering, recommendation,
 centrality, robustness) and an experiment harness that regenerates every table
 and figure of the paper's evaluation at laptop scale.
 
+Every method — core and baseline alike — is reachable through one registry
+(:func:`repro.available_methods`) and one session API (:class:`repro.QueryEngine`).
+
 Quickstart
 ----------
+Open a query session; the spectral radius λ, the transition matrix and the
+walk engine are computed once and shared by every query in the session:
+
 >>> import repro
 >>> graph = repro.barabasi_albert_graph(1000, 8, rng=1)
->>> est = repro.EffectiveResistanceEstimator(graph, rng=1)
->>> est.estimate(3, 77, epsilon=0.1).value  # doctest: +SKIP
+>>> engine = repro.QueryEngine(graph, rng=1)
+>>> engine.query(3, 77, epsilon=0.1).value           # doctest: +SKIP
 0.2471...
+>>> engine.query(3, 77, epsilon=0.1, method="rp").value  # any registered method
+... # doctest: +SKIP
+
+Batches execute through a degree-bucketed :class:`repro.QueryPlan`: the walk
+length is derived once per degree signature (not once per pair) and SMM runs
+vectorized across pairs:
+
+>>> pairs = [(0, 500), (13, 77), (250, 999)]
+>>> batch = engine.query_many(pairs, epsilon=0.1)     # doctest: +SKIP
+>>> batch.values, batch.num_buckets                   # doctest: +SKIP
+(array([...]), 3)
+
+``repro.EffectiveResistanceEstimator`` remains as a backward-compatible façade
+over the same machinery (``estimate`` / ``estimate_many``).
 """
 
 from repro.exceptions import (
@@ -46,12 +66,22 @@ from repro.graph import (
     write_edge_list,
 )
 from repro.core import (
+    BatchResult,
     EffectiveResistanceEstimator,
     EstimateResult,
+    MethodSpec,
+    QueryBudget,
+    QueryContext,
+    QueryEngine,
+    QueryPlan,
     amc_query,
+    available_methods,
     geer_query,
+    method_table,
     peng_walk_length,
     refined_walk_length,
+    register_method,
+    resolve_method,
     smm_estimate,
 )
 from repro.linalg import spectral_radius_second
@@ -95,6 +125,17 @@ __all__ = [
     "refined_walk_length",
     "peng_walk_length",
     "spectral_radius_second",
+    # unified query layer
+    "QueryEngine",
+    "QueryContext",
+    "QueryBudget",
+    "QueryPlan",
+    "BatchResult",
+    "MethodSpec",
+    "register_method",
+    "resolve_method",
+    "available_methods",
+    "method_table",
     # baselines
     "exact_effective_resistance",
     "ground_truth_resistance",

@@ -17,12 +17,12 @@ that idea on top of the library's estimators:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.baselines.ground_truth import GroundTruthOracle
-from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.engine import QueryEngine
 from repro.graph.graph import Graph
 from repro.graph.properties import require_connected
 from repro.utils.rng import RngLike
@@ -51,21 +51,21 @@ class EdgeChange:
         return self.resistance_after
 
 
-def _resistance_fn(
+def _resistance_values(
     graph: Graph,
+    pairs: list[tuple[int, int]],
     epsilon: Optional[float],
     method: str,
     rng: RngLike,
-) -> Callable[[int, int], float]:
+) -> np.ndarray:
+    """Resistances for ``pairs`` on ``graph`` — exact, or one batched query plan."""
+    if not pairs:
+        return np.empty(0, dtype=np.float64)
     if epsilon is None:
         oracle = GroundTruthOracle(graph)
-        return oracle.query
-    estimator = EffectiveResistanceEstimator(graph, rng=rng)
-
-    def query(u: int, v: int) -> float:
-        return estimator.estimate(u, v, epsilon, method=method).value
-
-    return query
+        return np.array([oracle.query(u, v) for u, v in pairs], dtype=np.float64)
+    engine = QueryEngine(graph, rng=rng)
+    return engine.query_many(pairs, epsilon, method=method).values
 
 
 def edge_change_scores(
@@ -102,26 +102,20 @@ def edge_change_scores(
     removed = sorted(before_edges - after_edges)
     if not added and not removed:
         return []
-    resist_before = _resistance_fn(before, epsilon, method, rng)
-    resist_after = _resistance_fn(after, epsilon, method, rng)
+    # All changed pairs are scored on each snapshot as one batched query plan,
+    # so both sweeps share walk-length planning and preprocessing artefacts.
+    pairs = added + removed
+    before_values = _resistance_values(before, pairs, epsilon, method, rng)
+    after_values = _resistance_values(after, pairs, epsilon, method, rng)
 
     changes: list[EdgeChange] = []
-    for u, v in added:
+    for index, (u, v) in enumerate(pairs):
         changes.append(
             EdgeChange(
                 edge=(u, v),
-                kind="added",
-                resistance_before=resist_before(u, v),
-                resistance_after=resist_after(u, v),
-            )
-        )
-    for u, v in removed:
-        changes.append(
-            EdgeChange(
-                edge=(u, v),
-                kind="removed",
-                resistance_before=resist_before(u, v),
-                resistance_after=resist_after(u, v),
+                kind="added" if index < len(added) else "removed",
+                resistance_before=float(before_values[index]),
+                resistance_after=float(after_values[index]),
             )
         )
     changes.sort(key=lambda change: change.score, reverse=True)

@@ -14,7 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.baselines.ground_truth import GroundTruthOracle
-from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.engine import QueryEngine
 from repro.graph.graph import Graph
 from repro.graph.properties import require_connected
 from repro.utils.rng import RngLike
@@ -30,22 +30,22 @@ def spanning_edge_centrality(
     """Effective resistance of every edge (its spanning-tree probability).
 
     With ``epsilon=None`` the values are exact (Laplacian solves / dense
-    pseudo-inverse).  With an ``epsilon``, each edge is answered by the chosen
-    ε-approximate PER estimator — this is precisely the "ER values for all
-    edges" workload that motivates fast single-pair estimation.
+    pseudo-inverse).  With an ``epsilon``, the full edge set is executed as
+    one degree-bucketed batch by any registered method — this is precisely
+    the "ER values for all edges" workload that motivates fast single-pair
+    estimation, and the all-pairs batch planner amortises the walk-length
+    computations across edges sharing a degree signature.
     """
     require_connected(graph)
     edges = graph.edge_array()
-    values = np.empty(len(edges), dtype=np.float64)
     if epsilon is None:
         oracle = GroundTruthOracle(graph)
+        values = np.empty(len(edges), dtype=np.float64)
         for i, (u, v) in enumerate(edges):
             values[i] = oracle.query(int(u), int(v))
-    else:
-        estimator = EffectiveResistanceEstimator(graph, rng=rng)
-        for i, (u, v) in enumerate(edges):
-            values[i] = estimator.estimate(int(u), int(v), epsilon, method=method).value
-    return values
+        return values
+    engine = QueryEngine(graph, rng=rng)
+    return engine.query_many(edges, epsilon, method=method).values
 
 
 def current_flow_closeness(

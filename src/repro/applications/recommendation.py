@@ -138,15 +138,27 @@ class BipartiteRecommender:
         top_k: int = 10,
         exclude_seen: bool = True,
     ) -> list[tuple[object, float]]:
-        """Rank items for ``user`` by increasing effective resistance."""
+        """Rank items for ``user`` by increasing effective resistance.
+
+        With the ``"estimate"`` backend the whole candidate list is scored as
+        one degree-bucketed batch through the session API instead of one
+        estimator call per item.
+        """
         if user not in self.user_index:
             raise KeyError(f"unknown user {user!r}")
         seen = self._seen.get(user, set())
-        scored: list[tuple[object, float]] = []
-        for item in self.item_index:
-            if exclude_seen and item in seen:
-                continue
-            scored.append((item, self.score(user, item)))
+        user_node = self.user_index[user]
+        candidates = [
+            item for item in self.item_index if not (exclude_seen and item in seen)
+        ]
+        if not candidates:
+            return []
+        if self._estimator is not None:
+            pairs = [(user_node, self.item_index[item]) for item in candidates]
+            values = self._estimator.query_many(pairs, self.epsilon).values
+            scored = list(zip(candidates, (float(v) for v in values)))
+        else:
+            scored = [(item, self.score(user, item)) for item in candidates]
         scored.sort(key=lambda pair: pair[1])
         return scored[:top_k]
 

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.exceptions import BudgetExceededError
 from repro.graph.graph import Graph
@@ -79,5 +80,26 @@ def exact_effective_resistance(
         elapsed_seconds=timer.elapsed,
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _exact_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    if kwargs:
+        raise TypeError(f"exact accepts no per-query options, got {sorted(kwargs)}")
+    timer = Timer()
+    with timer:
+        value = context.exact_oracle().query(s, t)
+    return EstimateResult(
+        value=value, method="exact", s=s, t=t, epsilon=epsilon, elapsed_seconds=timer.elapsed
+    )
+
+
+register_method(
+    "exact",
+    description="Dense Laplacian pseudo-inverse: exact values, O(n³) preprocessing",
+    deterministic=True,
+    func=_exact_registry_query,
+)
 
 __all__ = ["ExactEffectiveResistance", "exact_effective_resistance"]

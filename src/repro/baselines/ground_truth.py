@@ -15,11 +15,14 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.registry import register_method
+from repro.core.result import EstimateResult
 from repro.graph.graph import Graph
 from repro.graph.properties import require_connected
 from repro.linalg.laplacian import effective_resistance_from_pinv, laplacian_pseudoinverse
 from repro.linalg.solvers import LaplacianSolver
 from repro.utils.validation import check_node_pair
+from repro.utils.timing import Timer
 
 
 class GroundTruthOracle:
@@ -80,5 +83,33 @@ def ground_truth_resistance(graph: Graph, s: int, t: int, *, tol: float = 1e-12)
     """One-shot ground-truth query (builds a solver internally)."""
     return GroundTruthOracle(graph, tol=tol).query(s, t)
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _ground_truth_registry_query(
+    context, s: int, t: int, epsilon: float, **kwargs
+) -> EstimateResult:
+    if kwargs:
+        raise TypeError(f"ground-truth accepts no per-query options, got {sorted(kwargs)}")
+    timer = Timer()
+    with timer:
+        value = context.ground_truth.query(s, t)
+    return EstimateResult(
+        value=value,
+        method="ground-truth",
+        s=s,
+        t=t,
+        epsilon=epsilon,
+        elapsed_seconds=timer.elapsed,
+    )
+
+
+register_method(
+    "ground-truth",
+    description="Solver-precision reference values (PCG / dense pseudo-inverse)",
+    deterministic=True,
+    func=_ground_truth_registry_query,
+)
 
 __all__ = ["GroundTruthOracle", "ground_truth_resistance"]

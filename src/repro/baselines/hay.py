@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.graph.graph import Graph
 from repro.graph.properties import require_connected
@@ -83,5 +84,22 @@ def hay_query(
         details={"num_samples": num_samples},
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _hay_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    kwargs.setdefault("max_samples", context.budget.hay_max_samples)
+    kwargs.setdefault("delta", context.delta)
+    kwargs.setdefault("rng", context.rng)
+    return hay_query(context.graph, s, t, epsilon=epsilon, **kwargs)
+
+
+register_method(
+    "hay",
+    description="Uniform-spanning-tree sampling (Wilson walks) for edge queries",
+    kind="edge",
+    func=_hay_registry_query,
+)
 
 __all__ = ["hay_query", "hay_sample_budget"]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.graph.graph import Graph
 from repro.graph.properties import require_connected
@@ -124,5 +125,25 @@ def mc_query(
         details={"requested_walks": num_walks, "gamma": gamma},
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _mc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    if "num_walks" not in kwargs:
+        gamma = kwargs.get("gamma") or 1.0
+        walks = mc_walk_budget(int(context.graph.degrees[s]), gamma, epsilon, context.delta)
+        cap = context.budget.mc_max_walks
+        kwargs["num_walks"] = walks if cap is None else min(cap, walks)
+    kwargs.setdefault("delta", context.delta)
+    kwargs.setdefault("rng", context.rng)
+    return mc_query(context.graph, s, t, epsilon=epsilon, **kwargs)
+
+
+register_method(
+    "mc",
+    description="Commute-time Monte Carlo: average s→t→s tour lengths over 2m",
+    func=_mc_registry_query,
+)
 
 __all__ = ["mc_query", "mc_walk_budget"]

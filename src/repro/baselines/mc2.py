@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.graph.graph import Graph
 from repro.graph.properties import require_connected
@@ -104,5 +105,26 @@ def mc2_query(
         details={"requested_walks": num_walks, "gamma": gamma},
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _mc2_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    if "num_walks" not in kwargs:
+        walks = mc2_walk_budget(epsilon, context.delta, 1.0)
+        cap = context.budget.mc2_max_walks
+        kwargs["num_walks"] = walks if cap is None else min(cap, walks)
+    kwargs.setdefault("max_total_steps", context.budget.max_total_steps)
+    kwargs.setdefault("delta", context.delta)
+    kwargs.setdefault("rng", context.rng)
+    return mc2_query(context.graph, s, t, epsilon=epsilon, **kwargs)
+
+
+register_method(
+    "mc2",
+    description="Edge-query Monte Carlo: first-visit probability of the edge (s, t)",
+    kind="edge",
+    func=_mc2_registry_query,
+)
 
 __all__ = ["mc2_query", "mc2_walk_budget"]

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.exceptions import BudgetExceededError
 from repro.graph.graph import Graph
@@ -137,5 +138,35 @@ def rp_query(
         details={"sketch_dimension": sketch.sketch_dimension},
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _rp_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    if kwargs:
+        raise TypeError(
+            f"rp accepts no per-query options (tune the context budget instead), "
+            f"got {sorted(kwargs)}"
+        )
+    timer = Timer()
+    with timer:
+        sketch = context.rp_sketch(epsilon)
+        value = sketch.query(s, t)
+    return EstimateResult(
+        value=value,
+        method="rp",
+        s=s,
+        t=t,
+        epsilon=epsilon,
+        elapsed_seconds=timer.elapsed,
+        details={"sketch_dimension": sketch.sketch_dimension},
+    )
+
+
+register_method(
+    "rp",
+    description="Spielman–Srivastava JL sketch: O(k) queries after k Laplacian solves",
+    func=_rp_registry_query,
+)
 
 __all__ = ["RandomProjectionSketch", "rp_query"]

@@ -19,6 +19,7 @@ import math
 import time
 from typing import Optional
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.core.walk_length import peng_walk_length
 from repro.graph.graph import Graph
@@ -146,5 +147,26 @@ def tp_query(
         },
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _tp_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    kwargs.setdefault("budget_scale", context.budget.tp_budget_scale)
+    kwargs.setdefault("max_seconds", context.budget.baseline_max_seconds)
+    kwargs.setdefault("delta", context.delta)
+    kwargs.setdefault("rng", context.rng)
+    return tp_query(
+        context.graph, s, t, epsilon=epsilon, lambda_max_abs=context.lambda_max_abs, **kwargs
+    )
+
+
+register_method(
+    "tp",
+    description="Peng et al. truncated-walk Monte Carlo (per-length Hoeffding budget)",
+    walk_length_param="walk_length",
+    walk_length_kind="peng",
+    func=_tp_registry_query,
+)
 
 __all__ = ["tp_query", "tp_walks_per_length"]

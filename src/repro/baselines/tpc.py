@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.core.walk_length import peng_walk_length
 from repro.graph.graph import Graph
@@ -164,5 +165,26 @@ def tpc_query(
         },
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _tpc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    kwargs.setdefault("budget_scale", context.budget.tpc_budget_scale)
+    kwargs.setdefault("max_seconds", context.budget.baseline_max_seconds)
+    kwargs.setdefault("delta", context.delta)
+    kwargs.setdefault("rng", context.rng)
+    return tpc_query(
+        context.graph, s, t, epsilon=epsilon, lambda_max_abs=context.lambda_max_abs, **kwargs
+    )
+
+
+register_method(
+    "tpc",
+    description="Collision variant of TP: half-length walks, endpoint histograms",
+    walk_length_param="walk_length",
+    walk_length_kind="peng",
+    func=_tpc_registry_query,
+)
 
 __all__ = ["tpc_query", "tpc_walks_per_length"]

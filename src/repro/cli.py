@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Three subcommands cover the everyday uses of the library without writing any
+Four subcommands cover the everyday uses of the library without writing any
 Python:
 
 ``repro-er query``
     Answer ε-approximate PER queries on a graph loaded from an edge-list file
-    or taken from the benchmark dataset registry.
+    or taken from the benchmark dataset registry, with any registered method.
+
+``repro-er methods``
+    List every method in the registry (the paper's GEER/AMC/SMM and all eight
+    baselines) with one-line descriptions.  ``repro-er query --method list``
+    prints the same table.
 
 ``repro-er datasets``
     List the registered benchmark datasets (the laptop-scale SNAP stand-ins).
@@ -15,8 +20,9 @@ Python:
     evaluation figures are built from.
 
 The CLI is intentionally a thin shell over the public API
-(:class:`repro.EffectiveResistanceEstimator`, :mod:`repro.experiments`), so
-everything it does can also be done programmatically.
+(:class:`repro.QueryEngine`, the method registry in
+:mod:`repro.core.registry`, :mod:`repro.experiments`), so everything it does
+can also be done programmatically.
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.engine import QueryEngine
+from repro.core.registry import available_methods, method_table
 from repro.experiments.datasets import available_datasets, dataset_spec, load_dataset
 from repro.experiments.figures import run_dataset_sweep
 from repro.experiments.reporting import format_table
@@ -70,25 +77,50 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_methods(_args: argparse.Namespace) -> int:
+    print(format_table(method_table(), title="registered query methods"))
+    return 0
+
+
+def _parse_pairs(pair_texts: Sequence[str]) -> list[tuple[int, int]]:
+    pairs = []
+    for pair in pair_texts:
+        try:
+            s_text, t_text = pair.split(",")
+            pairs.append((int(s_text), int(t_text)))
+        except ValueError as exc:
+            raise SystemExit(f"malformed pair {pair!r}; expected 's,t'") from exc
+    return pairs
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.method == "list":
+        return _cmd_methods(args)
+    if not args.pairs:
+        raise SystemExit("provide at least one S,T query pair")
     graph, label = _load_graph(args)
     summary = summarize(graph, name=label)
     print(
         f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
         f"avg degree={summary.average_degree:.2f}"
     )
-    estimator = EffectiveResistanceEstimator(graph, rng=args.seed)
+    engine = QueryEngine(graph, rng=args.seed)
+    pairs = _parse_pairs(args.pairs)
     rows = []
-    for pair in args.pairs:
-        try:
-            s_text, t_text = pair.split(",")
-            s, t = int(s_text), int(t_text)
-        except ValueError as exc:
-            raise SystemExit(f"malformed pair {pair!r}; expected 's,t'") from exc
-        result = estimator.estimate(s, t, args.epsilon, method=args.method)
+    try:
+        if args.batch:
+            batch = engine.query_many(pairs, args.epsilon, method=args.method)
+            results = list(batch)
+        else:
+            results = [
+                engine.query(s, t, args.epsilon, method=args.method) for s, t in pairs
+            ]
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    for result in results:
         row = {
-            "s": s,
-            "t": t,
+            "s": result.s,
+            "t": result.t,
             "method": args.method,
             "epsilon": args.epsilon,
             "estimate": result.value,
@@ -97,11 +129,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "time (ms)": result.elapsed_seconds * 1000.0,
         }
         if args.exact:
-            truth = estimator.exact(s, t)
+            truth = engine.exact(result.s, result.t)
             row["exact"] = truth
             row["abs error"] = abs(result.value - truth)
         rows.append(row)
     print(format_table(rows, title="effective resistance queries"))
+    if args.batch:
+        print(
+            f"batch: {len(batch)} pairs in {batch.num_buckets} degree buckets, "
+            f"{batch.walk_length_computations} walk-length computations, "
+            f"{batch.elapsed_seconds * 1000.0:.2f} ms total"
+        )
     return 0
 
 
@@ -124,7 +162,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-er",
-        description="ε-approximate pairwise effective resistance queries (GEER / AMC / SMM)",
+        description=(
+            "ε-approximate pairwise effective resistance queries "
+            "(GEER / AMC / SMM and every baseline in the method registry)"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -133,20 +174,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     datasets_parser.set_defaults(func=_cmd_datasets)
 
+    methods_parser = subparsers.add_parser(
+        "methods", help="list every registered query method"
+    )
+    methods_parser.set_defaults(func=_cmd_methods)
+
     query_parser = subparsers.add_parser("query", help="answer PER queries")
     _add_graph_arguments(query_parser)
     query_parser.add_argument(
         "pairs",
-        nargs="+",
+        nargs="*",
         metavar="S,T",
         help="query node pairs, e.g. 12,708 3,99",
     )
     query_parser.add_argument("--epsilon", type=float, default=0.1, help="additive error ε")
     query_parser.add_argument(
         "--method",
-        choices=("geer", "amc", "smm"),
+        choices=(*available_methods(), "list"),
         default="geer",
-        help="estimator to use (default: geer)",
+        help="estimator to use (default: geer); 'list' prints the registry",
+    )
+    query_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="plan and execute all pairs as one degree-bucketed batch",
     )
     query_parser.add_argument(
         "--exact",
@@ -169,8 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--methods",
         nargs="+",
+        choices=available_methods(),
         default=None,
-        help="methods to run (default: the paper's line-up for the query kind)",
+        metavar="METHOD",
+        help=(
+            "methods to run (default: the paper's line-up for the query kind); "
+            f"choices: {', '.join(available_methods())}"
+        ),
     )
     sweep_parser.add_argument(
         "--time-budget",

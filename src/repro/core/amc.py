@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.core.walk_length import refined_walk_length
 from repro.graph.graph import Graph
@@ -273,5 +274,31 @@ def amc_query(
         },
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _amc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    kwargs.setdefault("max_total_steps", context.budget.max_total_steps)
+    return amc_query(
+        context.graph,
+        s,
+        t,
+        epsilon=epsilon,
+        lambda_max_abs=context.lambda_max_abs,
+        num_batches=context.num_batches,
+        delta=context.delta,
+        engine=context.engine,
+        **kwargs,
+    )
+
+
+register_method(
+    "amc",
+    description="Algorithm 1: adaptive Monte Carlo over truncated walks (refined ℓ)",
+    walk_length_param="walk_length",
+    walk_length_kind="refined",
+    func=_amc_registry_query,
+)
 
 __all__ = ["AMCResult", "amc_estimate", "amc_query"]

@@ -1,0 +1,252 @@
+"""The unified query session API.
+
+A :class:`QueryEngine` is a per-graph *query session*: it owns one
+:class:`~repro.core.registry.QueryContext` (spectral radius, transition
+matrix, walk engine, solvers, sketches — every preprocessing artefact the
+paper treats as one-off) and answers queries through the method registry, so
+every method — the paper's GEER/AMC/SMM *and* all eight baselines — is
+reachable through the same two calls:
+
+>>> from repro import QueryEngine, barabasi_albert_graph
+>>> graph = barabasi_albert_graph(500, 5, rng=7)
+>>> engine = QueryEngine(graph, rng=7)
+>>> engine.query(0, 42, epsilon=0.1).value            # doctest: +SKIP
+0.2471...
+>>> batch = engine.query_many([(0, 42), (3, 99)], epsilon=0.1)
+>>> len(batch) == 2 and batch.num_buckets >= 1
+True
+
+``query`` answers one pair; ``plan``/``query_many`` group a pair set by
+degree bucket and execute it with shared walk-length planning (see
+:mod:`repro.core.batch`).  Session-level counters track the cumulative work
+issued through the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+import scipy.sparse as sp
+
+from repro.core.batch import BatchResult, QueryPlan
+from repro.core.registry import (
+    QueryBudget,
+    QueryContext,
+    UnknownMethodError,
+    available_methods,
+    method_table,
+    resolve_method,
+)
+from repro.core.result import EstimateResult
+from repro.graph.graph import Graph
+from repro.linalg.eigen import SpectralInfo
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_node_pair, check_positive
+
+
+@dataclass
+class SessionStats:
+    """Cumulative work issued through one :class:`QueryEngine` session."""
+
+    num_queries: int = 0
+    total_steps: int = 0
+    spmv_operations: int = 0
+    elapsed_seconds: float = 0.0
+
+    def record(self, result: EstimateResult) -> None:
+        self.num_queries += 1
+        self.total_steps += result.total_steps
+        self.spmv_operations += result.spmv_operations
+        self.elapsed_seconds += result.elapsed_seconds
+
+
+class QueryEngine:
+    """Answer ε-approximate PER queries on one graph through the method registry.
+
+    Parameters
+    ----------
+    graph:
+        A connected, non-bipartite, undirected graph.
+    delta:
+        Failure probability δ shared by all randomised queries (paper default
+        0.01).
+    num_batches:
+        τ, the maximum number of adaptive batches in AMC/GEER (paper default 5).
+    lambda_max_abs:
+        Pre-computed ``λ = max(|λ₂|, |λ_n|)``.  When omitted it is computed on
+        first use via ARPACK (the paper's preprocessing step) and cached.
+    rng:
+        Seed or generator driving all randomised queries in this session.
+    validate:
+        When true (default), the graph is checked for connectivity and
+        non-bipartiteness up front.
+    budget:
+        Optional :class:`~repro.core.registry.QueryBudget` capping the
+        baselines' sampling budgets (default: the faithful, unbounded paper
+        budgets).
+    context:
+        An existing :class:`QueryContext` to adopt instead of building one
+        (used by the experiment harness to share preprocessing).
+    """
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        *,
+        delta: float = 0.01,
+        num_batches: int = 5,
+        lambda_max_abs: Optional[float] = None,
+        rng: RngLike = None,
+        validate: bool = True,
+        budget: Optional[QueryBudget] = None,
+        context: Optional[QueryContext] = None,
+    ) -> None:
+        if context is not None:
+            self._context = context
+        else:
+            if graph is None:
+                raise ValueError("provide a graph or an existing QueryContext")
+            self._context = QueryContext(
+                graph,
+                delta=delta,
+                num_batches=num_batches,
+                lambda_max_abs=lambda_max_abs,
+                rng=rng,
+                budget=budget,
+                validate=validate,
+            )
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------ #
+    # shared state
+    # ------------------------------------------------------------------ #
+    @property
+    def context(self) -> QueryContext:
+        return self._context
+
+    @property
+    def graph(self) -> Graph:
+        return self._context.graph
+
+    @property
+    def delta(self) -> float:
+        return self._context.delta
+
+    @property
+    def num_batches(self) -> int:
+        return self._context.num_batches
+
+    @property
+    def budget(self) -> QueryBudget:
+        return self._context.budget
+
+    @property
+    def lambda_max_abs(self) -> float:
+        """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
+        return self._context.lambda_max_abs
+
+    @property
+    def spectral_info(self) -> SpectralInfo:
+        return self._context.spectral_info
+
+    @property
+    def transition_matrix(self) -> sp.csr_matrix:
+        return self._context.transition
+
+    def walk_length(self, s: int, t: int, epsilon: float, *, refined: bool = True) -> int:
+        """The maximum walk length ℓ used for pair ``(s, t)`` at error ``epsilon``."""
+        return self._context.walk_length(s, t, epsilon, refined=refined)
+
+    # ------------------------------------------------------------------ #
+    # registry access
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def available_methods() -> tuple[str, ...]:
+        """Names of every method this engine can dispatch to."""
+        return available_methods()
+
+    @staticmethod
+    def describe_methods() -> list[dict[str, object]]:
+        """One metadata row per registered method."""
+        return method_table()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        s: int,
+        t: int,
+        epsilon: float,
+        *,
+        method: str = "geer",
+        **kwargs: Any,
+    ) -> EstimateResult:
+        """Answer a single ε-approximate PER query with any registered method.
+
+        ``kwargs`` are forwarded to the method implementation (e.g.
+        ``force_smm_iterations`` for GEER, ``max_total_steps`` for the Monte
+        Carlo methods, ``num_iterations`` for SMM).
+        """
+        try:
+            spec = resolve_method(method)
+        except UnknownMethodError as exc:
+            raise ValueError(str(exc)) from exc
+        epsilon = check_positive(epsilon, "epsilon")
+        s, t = check_node_pair(s, t, self._context.graph.num_nodes)
+        result = spec(self._context, s, t, epsilon, **kwargs)
+        self.stats.record(result)
+        return result
+
+    def plan(
+        self,
+        pairs: Iterable[Sequence[int]],
+        epsilon: float,
+        *,
+        method: str = "geer",
+        bucketing: str = "degree",
+    ) -> QueryPlan:
+        """Build a degree-bucketed execution plan for a set of queries."""
+        try:
+            return QueryPlan(
+                self._context, pairs, epsilon, method=method, bucketing=bucketing
+            )
+        except UnknownMethodError as exc:
+            raise ValueError(str(exc)) from exc
+
+    def query_many(
+        self,
+        pairs: Iterable[Sequence[int]],
+        epsilon: float,
+        *,
+        method: str = "geer",
+        bucketing: str = "degree",
+        **kwargs: Any,
+    ) -> BatchResult:
+        """Plan and execute a batch of queries; see :class:`QueryPlan`."""
+        batch = self.plan(pairs, epsilon, method=method, bucketing=bucketing).execute(
+            **kwargs
+        )
+        for result in batch:
+            self.stats.record(result)
+        return batch
+
+    def exact(self, s: int, t: int) -> float:
+        """Ground-truth ``r(s, t)`` via a preconditioned Laplacian solve."""
+        s, t = check_node_pair(s, t, self._context.graph.num_nodes)
+        return self._context.solver.effective_resistance(s, t)
+
+    def __repr__(self) -> str:
+        lam = (
+            f"{self._context._lambda:.4f}"
+            if self._context._lambda is not None
+            else "<lazy>"
+        )
+        return (
+            f"{type(self).__name__}(graph={self.graph!r}, delta={self.delta}, "
+            f"tau={self.num_batches}, lambda={lam}, queries={self.stats.num_queries})"
+        )
+
+
+__all__ = ["QueryEngine", "SessionStats"]

@@ -1,10 +1,12 @@
-"""High-level façade for answering ε-approximate PER queries.
+"""Backward-compatible façade over the unified :class:`QueryEngine`.
 
-:class:`EffectiveResistanceEstimator` owns the per-graph preprocessing that the
-paper treats as a one-off step — the spectral radius ``λ`` of the transition
-matrix and the transition matrix itself — and reuses them across queries, so a
-query sweep pays the eigen-solve only once (Section 3.1 notes that λ is reused
-for all node pairs).
+:class:`EffectiveResistanceEstimator` is the library's historical entry point.
+It is now a thin subclass of :class:`~repro.core.engine.QueryEngine`: the
+per-graph preprocessing lives in the shared
+:class:`~repro.core.registry.QueryContext` and ``estimate`` dispatches through
+the method registry, so *every* registered method — not just the original
+``{"geer", "amc", "smm"}`` — is accepted, while all previously valid calls
+keep their exact semantics (same validation, same rng stream, same kwargs).
 
 Example
 -------
@@ -14,32 +16,25 @@ Example
 >>> result = estimator.estimate(0, 42, epsilon=0.1)           # GEER by default
 >>> abs(result.value - estimator.exact(0, 42)) <= 0.1
 True
+
+New code should prefer :class:`~repro.core.engine.QueryEngine` directly — the
+session/batch API (``query`` / ``plan`` / ``query_many``) is inherited here
+too, so an existing estimator instance can already execute vectorized batches.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-import numpy as np
-
-from repro.core.amc import amc_query
-from repro.core.geer import geer_query
+from repro.core.engine import QueryEngine
 from repro.core.result import EstimateResult
-from repro.core.smm import smm_estimate
-from repro.core.walk_length import peng_walk_length, refined_walk_length
 from repro.graph.graph import Graph
-from repro.graph.properties import require_walkable
-from repro.linalg.eigen import SpectralInfo, transition_eigenvalues
-from repro.linalg.solvers import LaplacianSolver
-from repro.sampling.walks import RandomWalkEngine
-from repro.utils.rng import RngLike, as_generator
-from repro.utils.timing import Timer
-from repro.utils.validation import check_node_pair, check_positive
-
-_METHODS = ("geer", "amc", "smm")
+from repro.linalg.eigen import SpectralInfo
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_query_pairs
 
 
-class EffectiveResistanceEstimator:
+class EffectiveResistanceEstimator(QueryEngine):
     """Answer ε-approximate pairwise effective resistance queries on one graph.
 
     Parameters
@@ -70,59 +65,49 @@ class EffectiveResistanceEstimator:
         rng: RngLike = None,
         validate: bool = True,
     ) -> None:
-        if validate:
-            require_walkable(graph)
-        self._graph = graph
-        self._delta = check_positive(delta, "delta")
-        self._num_batches = int(num_batches)
-        self._rng = as_generator(rng)
-        self._lambda: Optional[float] = lambda_max_abs
-        self._spectral: Optional[SpectralInfo] = None
-        self._transition = graph.transition_matrix()
-        self._engine = RandomWalkEngine(graph, rng=self._rng)
-        self._solver: Optional[LaplacianSolver] = None
+        super().__init__(
+            graph,
+            delta=delta,
+            num_batches=num_batches,
+            lambda_max_abs=lambda_max_abs,
+            rng=rng,
+            validate=validate,
+        )
 
     # ------------------------------------------------------------------ #
-    # preprocessing artefacts
+    # legacy internals (kept for callers poking at the original attributes)
     # ------------------------------------------------------------------ #
     @property
-    def graph(self) -> Graph:
-        return self._graph
+    def _graph(self) -> Graph:
+        return self._context.graph
 
     @property
-    def delta(self) -> float:
-        return self._delta
+    def _lambda(self) -> Optional[float]:
+        return self._context._lambda
 
     @property
-    def num_batches(self) -> int:
-        return self._num_batches
+    def _spectral(self) -> Optional[SpectralInfo]:
+        return self._context._spectral
 
     @property
-    def lambda_max_abs(self) -> float:
-        """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
-        if self._lambda is None:
-            self._spectral = transition_eigenvalues(self._graph, rng=self._rng)
-            self._lambda = self._spectral.lambda_max_abs
-        return self._lambda
+    def _engine(self):
+        return self._context.engine
 
     @property
-    def spectral_info(self) -> SpectralInfo:
-        if self._spectral is None:
-            self._spectral = transition_eigenvalues(self._graph, rng=self._rng)
-            self._lambda = self._spectral.lambda_max_abs
-        return self._spectral
+    def _transition(self):
+        return self._context.transition
 
-    def walk_length(self, s: int, t: int, epsilon: float, *, refined: bool = True) -> int:
-        """The maximum walk length ℓ used for pair ``(s, t)`` at error ``epsilon``."""
-        s, t = check_node_pair(s, t, self._graph.num_nodes)
-        if refined:
-            return refined_walk_length(
-                epsilon,
-                self.lambda_max_abs,
-                int(self._graph.degrees[s]),
-                int(self._graph.degrees[t]),
-            )
-        return peng_walk_length(epsilon, self.lambda_max_abs)
+    @property
+    def _rng(self):
+        return self._context.rng
+
+    @property
+    def _delta(self) -> float:
+        return self._context.delta
+
+    @property
+    def _num_batches(self) -> int:
+        return self._context.num_batches
 
     # ------------------------------------------------------------------ #
     # queries
@@ -141,57 +126,18 @@ class EffectiveResistanceEstimator:
         Parameters
         ----------
         method:
-            ``"geer"`` (default, Algorithm 3), ``"amc"`` (Algorithm 1 with
-            one-hot inputs) or ``"smm"`` (Algorithm 2 run for the full ℓ
-            iterations — deterministic).
+            Any registered method name (see
+            :func:`repro.core.registry.available_methods`): ``"geer"``
+            (default, Algorithm 3), ``"amc"`` (Algorithm 1 with one-hot
+            inputs), ``"smm"`` (Algorithm 2 run for the full ℓ iterations —
+            deterministic), or any baseline (``"exact"``, ``"mc"``, ``"mc2"``,
+            ``"tp"``, ``"tpc"``, ``"rp"``, ``"hay"``, ``"ground-truth"``).
         kwargs:
             Forwarded to the underlying query function (e.g.
             ``force_smm_iterations`` for GEER, ``max_total_steps`` for the
             Monte Carlo methods).
         """
-        method = method.lower()
-        if method not in _METHODS:
-            raise ValueError(f"unknown method {method!r}; choose one of {_METHODS}")
-        epsilon = check_positive(epsilon, "epsilon")
-        s, t = check_node_pair(s, t, self._graph.num_nodes)
-
-        if method == "geer":
-            return geer_query(
-                self._graph,
-                s,
-                t,
-                epsilon=epsilon,
-                lambda_max_abs=self.lambda_max_abs,
-                num_batches=self._num_batches,
-                delta=self._delta,
-                engine=self._engine,
-                transition=self._transition,
-                **kwargs,
-            )
-        if method == "amc":
-            return amc_query(
-                self._graph,
-                s,
-                t,
-                epsilon=epsilon,
-                lambda_max_abs=self.lambda_max_abs,
-                num_batches=self._num_batches,
-                delta=self._delta,
-                engine=self._engine,
-                **kwargs,
-            )
-        # SMM: deterministic, run for the full refined length.
-        length = kwargs.pop("num_iterations", None)
-        if length is None:
-            length = self.walk_length(s, t, epsilon, refined=kwargs.pop("refined", True))
-        timer = Timer()
-        with timer:
-            result = smm_estimate(
-                self._graph, s, t, length, transition=self._transition, **kwargs
-            )
-        result.epsilon = epsilon
-        result.elapsed_seconds = timer.elapsed
-        return result
+        return self.query(s, t, epsilon, method=method, **kwargs)
 
     def estimate_many(
         self,
@@ -201,20 +147,30 @@ class EffectiveResistanceEstimator:
         method: str = "geer",
         **kwargs,
     ) -> list[EstimateResult]:
-        """Answer a batch of PER queries, reusing all preprocessing artefacts."""
-        return [self.estimate(int(s), int(t), epsilon, method=method, **kwargs) for s, t in pairs]
+        """Answer a batch of PER queries, reusing all preprocessing artefacts.
 
-    def exact(self, s: int, t: int) -> float:
-        """Ground-truth ``r(s, t)`` via a preconditioned Laplacian solve."""
-        if self._solver is None:
-            self._solver = LaplacianSolver(self._graph)
-        return self._solver.effective_resistance(s, t)
+        Every pair is validated up front (malformed entries — floats, strings,
+        out-of-range ids, including numpy scalar variants — raise a
+        :class:`ValueError` naming the offending pair) before any sampling
+        starts.  Returns per-pair results in input order; prefer
+        :meth:`query_many` for the planned/vectorized execution path with
+        aggregate diagnostics.
+        """
+        validated = check_query_pairs(pairs, self.graph.num_nodes)
+        return [
+            self.estimate(s, t, epsilon, method=method, **kwargs)
+            for s, t in validated
+        ]
 
     def __repr__(self) -> str:
-        lam = f"{self._lambda:.4f}" if self._lambda is not None else "<lazy>"
+        lam = (
+            f"{self._context._lambda:.4f}"
+            if self._context._lambda is not None
+            else "<lazy>"
+        )
         return (
-            f"EffectiveResistanceEstimator(graph={self._graph!r}, delta={self._delta}, "
-            f"tau={self._num_batches}, lambda={lam})"
+            f"EffectiveResistanceEstimator(graph={self.graph!r}, delta={self.delta}, "
+            f"tau={self.num_batches}, lambda={lam})"
         )
 
 

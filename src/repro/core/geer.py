@@ -26,6 +26,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.amc import AMCResult, amc_estimate
+from repro.core.registry import register_method
 from repro.core.result import EstimateResult
 from repro.core.smm import SMMState
 from repro.core.walk_length import refined_walk_length
@@ -202,5 +203,31 @@ def geer_query(
         },
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapter
+# --------------------------------------------------------------------------- #
+def _geer_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    return geer_query(
+        context.graph,
+        s,
+        t,
+        epsilon=epsilon,
+        lambda_max_abs=context.lambda_max_abs,
+        num_batches=context.num_batches,
+        delta=context.delta,
+        engine=context.engine,
+        transition=context.transition,
+        **kwargs,
+    )
+
+
+register_method(
+    "geer",
+    description="Algorithm 3: greedy SMM/AMC hybrid — the paper's fastest method",
+    walk_length_param="walk_length",
+    walk_length_kind="refined",
+    func=_geer_registry_query,
+)
 
 __all__ = ["GEERResult", "geer_query"]

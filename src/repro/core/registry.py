@@ -1,0 +1,470 @@
+"""Method registry: one namespace for every PER query method.
+
+The paper frames AMC/GEER and its eight baselines as interchangeable answers
+to the same ε-approximate pairwise-effective-resistance query, yet historically
+the codebase exposed them through three incompatible surfaces (the estimator's
+hardcoded method tuple, free baseline functions with heterogeneous signatures,
+and the experiment harness's private registry).  This module is the single
+seam they all plug into:
+
+* :class:`QueryContext` bundles the per-graph state every method shares — the
+  graph, the spectral radius λ, the transition matrix, a vectorised walk
+  engine, the random generator, Laplacian solvers and preprocessing caches —
+  so a method implementation receives one object instead of a bespoke
+  parameter list.
+* :class:`MethodSpec` wraps a method under the normalised signature
+  ``func(context, s, t, epsilon, **kwargs) -> EstimateResult`` together with
+  metadata (one-line description, pair vs. edge query kind, determinism, how
+  to inject a precomputed walk length).
+* :func:`register_method` / :func:`resolve_method` / :func:`available_methods`
+  manage the global registry.  Every core method (``geer``, ``amc``, ``smm``,
+  ``smm-peng``) and every baseline (``exact``, ``ground-truth``, ``mc``,
+  ``mc2``, ``tp``, ``tpc``, ``rp``, ``hay``) registers itself from its own
+  module; the registry imports them lazily on first lookup so importing this
+  module stays cheap and cycle-free.
+
+The batch layer (:mod:`repro.core.batch`), the session API
+(:mod:`repro.core.engine`), the CLI and the experiment harness all dispatch
+through this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol
+
+import scipy.sparse as sp
+
+from repro.core.result import EstimateResult
+from repro.core.walk_length import peng_walk_length, refined_walk_length
+from repro.graph.graph import Graph
+from repro.graph.properties import require_walkable
+from repro.linalg.eigen import SpectralInfo, transition_eigenvalues
+from repro.linalg.solvers import LaplacianSolver
+from repro.sampling.walks import RandomWalkEngine
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_node_pair, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.baselines.exact import ExactEffectiveResistance
+    from repro.baselines.ground_truth import GroundTruthOracle
+    from repro.baselines.rp import RandomProjectionSketch
+
+
+class DuplicateMethodError(ValueError):
+    """Raised when a method name is registered twice."""
+
+
+class UnknownMethodError(KeyError):
+    """Raised when resolving a name that is not in the registry."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.message
+
+
+# --------------------------------------------------------------------------- #
+# query budget
+# --------------------------------------------------------------------------- #
+@dataclass
+class QueryBudget:
+    """Resource caps shared by every method dispatched through one context.
+
+    The default profile is *unbounded*: methods run with their faithful paper
+    budgets, exactly like direct calls on the estimator façade always have.
+    :meth:`laptop` returns the capped profile the experiment harness uses so a
+    methods × ε sweep finishes on a laptop (runs that hit a cap are flagged on
+    the result, mirroring the paper's one-day cutoff).
+    """
+
+    max_total_steps: Optional[int] = None
+    mc_max_walks: Optional[int] = None
+    mc2_max_walks: Optional[int] = None
+    hay_max_samples: Optional[int] = None
+    tp_budget_scale: float = 1.0
+    tpc_budget_scale: float = 1.0
+    baseline_max_seconds: Optional[float] = None
+    rp_jl_constant: float = 24.0
+    rp_max_dimension: Optional[int] = None
+    exact_max_nodes: int = 20_000
+
+    @classmethod
+    def laptop(cls) -> "QueryBudget":
+        """The capped profile used by the experiment harness."""
+        return cls(
+            max_total_steps=20_000_000,
+            mc_max_walks=5000,
+            mc2_max_walks=20_000,
+            hay_max_samples=400,
+            baseline_max_seconds=5.0,
+            rp_jl_constant=4.0,
+            rp_max_dimension=2000,
+            exact_max_nodes=4000,
+        )
+
+    def copy(self) -> "QueryBudget":
+        return replace(self)
+
+
+# --------------------------------------------------------------------------- #
+# shared query context
+# --------------------------------------------------------------------------- #
+class QueryContext:
+    """Per-graph state shared by every registered method.
+
+    All expensive artefacts are created lazily and cached: the spectral radius
+    λ (one ARPACK solve), the CSR transition matrix, the vectorised random-walk
+    engine, the preconditioned Laplacian solver, the ground-truth oracle, the
+    dense ``L⁺`` oracle for EXACT and the per-ε RP sketches.  A context is what
+    makes a :class:`~repro.core.engine.QueryEngine` a *session*: queries issued
+    through the same context never repeat preprocessing.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        delta: float = 0.01,
+        num_batches: int = 5,
+        lambda_max_abs: Optional[float] = None,
+        rng: RngLike = None,
+        budget: Optional[QueryBudget] = None,
+        validate: bool = True,
+        transition: Optional[sp.csr_matrix] = None,
+    ) -> None:
+        if validate:
+            require_walkable(graph)
+        self.graph = graph
+        self.delta = check_positive(delta, "delta")
+        self.num_batches = int(num_batches)
+        self.rng = as_generator(rng)
+        self.budget = budget if budget is not None else QueryBudget()
+        self._lambda: Optional[float] = lambda_max_abs
+        self._spectral: Optional[SpectralInfo] = None
+        self._transition: Optional[sp.csr_matrix] = transition
+        self._engine: Optional[RandomWalkEngine] = None
+        self._solver: Optional[LaplacianSolver] = None
+        self._ground_truth: Optional["GroundTruthOracle"] = None
+        self._exact_oracle: Optional["ExactEffectiveResistance"] = None
+        self._rp_sketches: Dict[float, "RandomProjectionSketch"] = {}
+
+    # -- preprocessing artefacts ---------------------------------------- #
+    @property
+    def lambda_max_abs(self) -> float:
+        """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
+        if self._lambda is None:
+            self._spectral = transition_eigenvalues(self.graph, rng=self.rng)
+            self._lambda = self._spectral.lambda_max_abs
+        return self._lambda
+
+    @property
+    def spectral_info(self) -> SpectralInfo:
+        if self._spectral is None:
+            self._spectral = transition_eigenvalues(self.graph, rng=self.rng)
+            self._lambda = self._spectral.lambda_max_abs
+        return self._spectral
+
+    @property
+    def transition(self) -> sp.csr_matrix:
+        """The CSR transition matrix ``P = D⁻¹A``, built once per context."""
+        if self._transition is None:
+            self._transition = self.graph.transition_matrix()
+        return self._transition
+
+    @property
+    def engine(self) -> RandomWalkEngine:
+        """The shared vectorised random-walk engine (drives all walk methods)."""
+        if self._engine is None:
+            self._engine = RandomWalkEngine(self.graph, rng=self.rng)
+        return self._engine
+
+    @property
+    def solver(self) -> LaplacianSolver:
+        """Preconditioned Laplacian solver for exact reference queries."""
+        if self._solver is None:
+            self._solver = LaplacianSolver(self.graph)
+        return self._solver
+
+    @property
+    def ground_truth(self) -> "GroundTruthOracle":
+        """Solver-precision oracle used for error measurement."""
+        if self._ground_truth is None:
+            from repro.baselines.ground_truth import GroundTruthOracle
+
+            self._ground_truth = GroundTruthOracle(self.graph)
+        return self._ground_truth
+
+    @ground_truth.setter
+    def ground_truth(self, oracle: "GroundTruthOracle") -> None:
+        self._ground_truth = oracle
+
+    def exact_oracle(self) -> "ExactEffectiveResistance":
+        """The dense ``L⁺`` oracle behind EXACT (refuses oversized graphs)."""
+        if self._exact_oracle is None:
+            from repro.baselines.exact import ExactEffectiveResistance
+
+            self._exact_oracle = ExactEffectiveResistance(
+                self.graph, max_nodes=self.budget.exact_max_nodes
+            )
+        return self._exact_oracle
+
+    def rp_sketch(self, epsilon: float) -> "RandomProjectionSketch":
+        """The Spielman–Srivastava sketch for ``epsilon``, cached per ε.
+
+        Raises :class:`~repro.exceptions.BudgetExceededError` when the JL
+        dimension exceeds ``budget.rp_max_dimension`` — the paper's observation
+        that RP's preprocessing blows up at small ε, surfaced explicitly
+        instead of thrashing memory.
+        """
+        if epsilon not in self._rp_sketches:
+            from repro.baselines.rp import RandomProjectionSketch
+            from repro.exceptions import BudgetExceededError
+            from repro.linalg.projection import johnson_lindenstrauss_dimension
+
+            if self.budget.rp_max_dimension is not None:
+                dimension = johnson_lindenstrauss_dimension(
+                    self.graph.num_nodes, epsilon, c=self.budget.rp_jl_constant
+                )
+                if dimension > self.budget.rp_max_dimension:
+                    raise BudgetExceededError(
+                        f"RP sketch dimension {dimension} exceeds the configured cap "
+                        f"{self.budget.rp_max_dimension} (epsilon={epsilon})"
+                    )
+            self._rp_sketches[epsilon] = RandomProjectionSketch(
+                self.graph,
+                epsilon,
+                jl_constant=self.budget.rp_jl_constant,
+                rng=self.rng,
+            )
+        return self._rp_sketches[epsilon]
+
+    # -- helpers ---------------------------------------------------------- #
+    def walk_length(self, s: int, t: int, epsilon: float, *, refined: bool = True) -> int:
+        """The maximum walk length ℓ used for pair ``(s, t)`` at error ``epsilon``."""
+        s, t = check_node_pair(s, t, self.graph.num_nodes)
+        if refined:
+            return refined_walk_length(
+                epsilon,
+                self.lambda_max_abs,
+                int(self.graph.degrees[s]),
+                int(self.graph.degrees[t]),
+            )
+        return peng_walk_length(epsilon, self.lambda_max_abs)
+
+    def __repr__(self) -> str:
+        lam = f"{self._lambda:.4f}" if self._lambda is not None else "<lazy>"
+        return (
+            f"QueryContext(graph={self.graph!r}, delta={self.delta}, "
+            f"tau={self.num_batches}, lambda={lam})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# method specs
+# --------------------------------------------------------------------------- #
+class QueryMethod(Protocol):
+    """The normalised signature every registered method implements."""
+
+    def __call__(
+        self, context: QueryContext, s: int, t: int, epsilon: float, **kwargs: Any
+    ) -> EstimateResult: ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A registered query method plus the metadata the API layers need.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name (lower-case, hyphen-separated).
+    func:
+        The implementation under the normalised
+        ``(context, s, t, epsilon, **kwargs)`` signature.
+    description:
+        One-line summary shown by ``repro-er methods``.
+    kind:
+        ``"pair"`` for arbitrary node pairs, ``"edge"`` for methods whose
+        identity only holds for adjacent pairs (MC2, HAY).
+    deterministic:
+        True when repeated queries return bit-identical values (SMM, EXACT,
+        ground truth; RP is deterministic *given* its sketch).
+    walk_length_param:
+        Name of the keyword argument through which a precomputed maximum walk
+        length can be injected (``None`` when the method does not use one).
+        The batch planner uses this to compute each length once per degree
+        bucket instead of once per pair.
+    walk_length_kind:
+        ``"refined"`` (Eq. (6), degree-dependent), ``"peng"`` (Eq. (5),
+        degree-independent) or ``None``.
+    """
+
+    name: str
+    func: QueryMethod
+    description: str
+    kind: str = "pair"
+    deterministic: bool = False
+    walk_length_param: Optional[str] = None
+    walk_length_kind: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("pair", "edge"):
+            raise ValueError(f"kind must be 'pair' or 'edge', got {self.kind!r}")
+        if self.walk_length_kind not in (None, "refined", "peng"):
+            raise ValueError(f"invalid walk_length_kind {self.walk_length_kind!r}")
+
+    def __call__(
+        self, context: QueryContext, s: int, t: int, epsilon: float, **kwargs: Any
+    ) -> EstimateResult:
+        return self.func(context, s, t, epsilon, **kwargs)
+
+    def plan_walk_length(self, context: QueryContext, epsilon: float, degree_s: int, degree_t: int) -> Optional[int]:
+        """Compute the maximum walk length this method would use for a pair."""
+        if self.walk_length_kind == "refined":
+            return refined_walk_length(
+                epsilon, context.lambda_max_abs, degree_s, degree_t
+            )
+        if self.walk_length_kind == "peng":
+            return peng_walk_length(epsilon, context.lambda_max_abs)
+        return None
+
+
+_REGISTRY: Dict[str, MethodSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def normalize_method_name(name: str) -> str:
+    """Canonical form: lower-case with hyphens (``GROUND_TRUTH`` → ``ground-truth``)."""
+    return str(name).strip().lower().replace("_", "-")
+
+
+def register_method(
+    name: str,
+    *,
+    description: str,
+    kind: str = "pair",
+    deterministic: bool = False,
+    walk_length_param: Optional[str] = None,
+    walk_length_kind: Optional[str] = None,
+    func: Optional[QueryMethod] = None,
+) -> Callable[[QueryMethod], QueryMethod]:
+    """Register a method under ``name``; usable directly or as a decorator.
+
+    Raises
+    ------
+    DuplicateMethodError
+        If ``name`` (after normalisation) is already registered.
+    """
+
+    def _register(fn: QueryMethod) -> QueryMethod:
+        spec = MethodSpec(
+            name=normalize_method_name(name),
+            func=fn,
+            description=description,
+            kind=kind,
+            deterministic=deterministic,
+            walk_length_param=walk_length_param,
+            walk_length_kind=walk_length_kind,
+        )
+        if spec.name in _REGISTRY:
+            raise DuplicateMethodError(
+                f"method {spec.name!r} is already registered; "
+                "unregister it first or pick a different name"
+            )
+        _REGISTRY[spec.name] = spec
+        return fn
+
+    if func is not None:
+        _register(func)
+        return func
+    return _register
+
+
+def unregister_method(name: str) -> None:
+    """Remove a method from the registry (primarily for tests and plugins)."""
+    _REGISTRY.pop(normalize_method_name(name), None)
+
+
+def _ensure_builtin_methods() -> None:
+    """Import every module that registers a built-in method (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Core methods first, then the baselines; each module registers itself at
+    # import time.  Deferred to first lookup so `import repro` stays cheap and
+    # the baselines' imports of repro.core submodules cannot cycle.  The flag
+    # is only set once every import succeeded, so a transient ImportError
+    # surfaces again on the next lookup instead of leaving a silently partial
+    # registry (modules that already registered are skipped by Python's import
+    # cache, and register_method tolerates nothing — duplicates raise — so a
+    # retry only runs the modules that failed).
+    import repro.core.amc  # noqa: F401
+    import repro.core.geer  # noqa: F401
+    import repro.core.smm  # noqa: F401
+    import repro.baselines.exact  # noqa: F401
+    import repro.baselines.ground_truth  # noqa: F401
+    import repro.baselines.hay  # noqa: F401
+    import repro.baselines.mc  # noqa: F401
+    import repro.baselines.mc2  # noqa: F401
+    import repro.baselines.rp  # noqa: F401
+    import repro.baselines.tp  # noqa: F401
+    import repro.baselines.tpc  # noqa: F401
+    _BUILTINS_LOADED = True
+
+
+def resolve_method(name: str) -> MethodSpec:
+    """Look up a registered method by (normalised) name.
+
+    Raises
+    ------
+    UnknownMethodError
+        (a :class:`KeyError`) when the name is not registered; the message
+        lists every available method.
+    """
+    _ensure_builtin_methods()
+    key = normalize_method_name(name)
+    spec = _REGISTRY.get(key)
+    if spec is None:
+        raise UnknownMethodError(
+            f"unknown method {name!r}; available: {', '.join(available_methods())}"
+        )
+    return spec
+
+
+def available_methods() -> tuple[str, ...]:
+    """Sorted canonical names of every registered method."""
+    _ensure_builtin_methods()
+    return tuple(sorted(_REGISTRY))
+
+
+def method_table() -> list[dict[str, object]]:
+    """One row of metadata per registered method (drives ``repro-er methods``)."""
+    _ensure_builtin_methods()
+    return [
+        {
+            "method": spec.name,
+            "queries": spec.kind,
+            "deterministic": "yes" if spec.deterministic else "no",
+            "description": spec.description,
+        }
+        for spec in (_REGISTRY[name] for name in sorted(_REGISTRY))
+    ]
+
+
+__all__ = [
+    "DuplicateMethodError",
+    "UnknownMethodError",
+    "QueryBudget",
+    "QueryContext",
+    "QueryMethod",
+    "MethodSpec",
+    "normalize_method_name",
+    "register_method",
+    "unregister_method",
+    "resolve_method",
+    "available_methods",
+    "method_table",
+]

@@ -20,7 +20,9 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.registry import QueryContext, register_method
 from repro.core.result import EstimateResult
+from repro.core.walk_length import peng_walk_length
 from repro.graph.graph import Graph
 from repro.utils.timing import Timer
 from repro.utils.validation import check_integer, check_node_pair
@@ -212,5 +214,56 @@ def smm_estimate(
         elapsed_seconds=timer.elapsed,
     )
 
+
+# --------------------------------------------------------------------------- #
+# registry adapters
+# --------------------------------------------------------------------------- #
+def _smm_registry_query(
+    context: QueryContext, s: int, t: int, epsilon: float, **kwargs
+) -> EstimateResult:
+    num_iterations = kwargs.pop("num_iterations", None)
+    refined = kwargs.pop("refined", True)
+    if num_iterations is None:
+        num_iterations = context.walk_length(s, t, epsilon, refined=refined)
+    timer = Timer()
+    with timer:
+        result = smm_estimate(
+            context.graph, s, t, num_iterations, transition=context.transition, **kwargs
+        )
+    result.epsilon = epsilon
+    result.elapsed_seconds = timer.elapsed
+    return result
+
+
+def _smm_peng_registry_query(
+    context: QueryContext, s: int, t: int, epsilon: float, **kwargs
+) -> EstimateResult:
+    num_iterations = kwargs.pop("num_iterations", None)
+    if num_iterations is None:
+        num_iterations = peng_walk_length(epsilon, context.lambda_max_abs)
+    result = smm_estimate(
+        context.graph, s, t, num_iterations, transition=context.transition, **kwargs
+    )
+    result.epsilon = epsilon
+    result.method = "smm-peng"
+    return result
+
+
+register_method(
+    "smm",
+    description="Algorithm 2: deterministic SpMV propagation for the refined length ℓ",
+    deterministic=True,
+    walk_length_param="num_iterations",
+    walk_length_kind="refined",
+    func=_smm_registry_query,
+)
+register_method(
+    "smm-peng",
+    description="SMM run for the generic Eq. (5) length (the Fig. 11 comparison arm)",
+    deterministic=True,
+    walk_length_param="num_iterations",
+    walk_length_kind="peng",
+    func=_smm_peng_registry_query,
+)
 
 __all__ = ["SMMState", "smm_estimate"]

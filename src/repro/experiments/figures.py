@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.estimator import EffectiveResistanceEstimator
 from repro.core.geer import geer_query
+from repro.core.registry import normalize_method_name, resolve_method
 from repro.core.walk_length import peng_walk_length, refined_walk_length
 from repro.experiments.datasets import load_dataset
 from repro.experiments.harness import (
@@ -76,6 +77,11 @@ def run_dataset_sweep(
         raise ValueError("query_kind must be 'random' or 'edge'")
     if methods is None:
         methods = default_methods
+    else:
+        # Normalise and fail fast on typos before any sampling starts.
+        methods = tuple(normalize_method_name(m) for m in methods)
+        for method in methods:
+            resolve_method(method)
 
     rows: list[dict[str, object]] = []
     for epsilon in epsilons:

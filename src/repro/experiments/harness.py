@@ -1,11 +1,14 @@
 """The per-method experiment harness.
 
-A :class:`MethodContext` bundles everything the estimators share for one graph:
-the transition matrix, the spectral radius λ (the paper's preprocessing step),
-a ground-truth oracle for error measurement, cached RP sketches / dense
-pseudo-inverses and the random generator.  Every method in
-:data:`METHOD_REGISTRY` is a uniform callable ``(context, s, t, epsilon) ->
-EstimateResult`` so the figure drivers can sweep methods × ε grids uniformly.
+The harness is now a thin veneer over the central method registry
+(:mod:`repro.core.registry`): a :class:`MethodContext` bundles the shared
+per-graph state (estimator session, ground-truth oracle, the laptop-scale
+budget knobs documented in EXPERIMENTS.md) and exposes it as a
+:class:`~repro.core.registry.QueryContext`, and every entry in
+:data:`METHOD_REGISTRY` simply dispatches through
+:func:`~repro.core.registry.resolve_method`.  The uniform callable shape
+``(context, s, t, epsilon) -> EstimateResult`` is unchanged, so the figure
+drivers sweep methods × ε grids exactly as before.
 
 The paper excludes a method from a configuration when it cannot answer every
 query within one day; :func:`run_method` mirrors that with a configurable
@@ -15,28 +18,27 @@ per-configuration time budget, after which the method is marked as timed out.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.baselines.exact import ExactEffectiveResistance
 from repro.baselines.ground_truth import GroundTruthOracle
-from repro.baselines.hay import hay_query
-from repro.baselines.mc import mc_query
-from repro.baselines.mc2 import mc2_query
 from repro.baselines.rp import RandomProjectionSketch
-from repro.baselines.tp import tp_query
-from repro.baselines.tpc import tpc_query
 from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.registry import QueryBudget, QueryContext, available_methods, resolve_method
 from repro.core.result import EstimateResult
-from repro.core.smm import smm_estimate
-from repro.core.walk_length import peng_walk_length, refined_walk_length
 from repro.exceptions import BudgetExceededError
 from repro.experiments.queries import QuerySet
 from repro.graph.graph import Graph
 from repro.utils.rng import RngLike, as_generator
-from repro.utils.timing import TimeBudget, Timer
+from repro.utils.timing import TimeBudget
+
+
+# Single source for the laptop-scale caps shared by MethodContext's defaults
+# and the registry adapters.
+_LAPTOP_BUDGET = QueryBudget.laptop()
 
 
 @dataclass
@@ -47,56 +49,55 @@ class MethodContext:
     estimator: EffectiveResistanceEstimator
     ground_truth: GroundTruthOracle
     rng: np.random.Generator
-    # laptop-scale budget knobs (documented in EXPERIMENTS.md).  TP and TPC run
-    # with their faithful per-length budgets by default; `max_total_steps` is
-    # what keeps a single query bounded (runs that hit it are flagged).
-    tp_budget_scale: float = 1.0
-    tpc_budget_scale: float = 1.0
-    baseline_max_seconds: float = 5.0
-    mc_max_walks: int = 5000
-    mc2_max_walks: int = 20000
-    hay_max_samples: int = 400
-    rp_jl_constant: float = 4.0
-    rp_max_dimension: int = 2000
-    max_total_steps: Optional[int] = 20_000_000
-    exact_max_nodes: int = 4000
-    # caches
-    _rp_sketches: Dict[float, RandomProjectionSketch] = field(default_factory=dict)
-    _exact_oracle: Optional[ExactEffectiveResistance] = None
+    # laptop-scale budget knobs (documented in EXPERIMENTS.md), defaulting to
+    # the QueryBudget.laptop() profile.  TP and TPC run with their faithful
+    # per-length budgets by default; `max_total_steps` is what keeps a single
+    # query bounded (runs that hit it are flagged).
+    tp_budget_scale: float = _LAPTOP_BUDGET.tp_budget_scale
+    tpc_budget_scale: float = _LAPTOP_BUDGET.tpc_budget_scale
+    baseline_max_seconds: float = _LAPTOP_BUDGET.baseline_max_seconds
+    mc_max_walks: int = _LAPTOP_BUDGET.mc_max_walks
+    mc2_max_walks: int = _LAPTOP_BUDGET.mc2_max_walks
+    hay_max_samples: int = _LAPTOP_BUDGET.hay_max_samples
+    rp_jl_constant: float = _LAPTOP_BUDGET.rp_jl_constant
+    rp_max_dimension: int = _LAPTOP_BUDGET.rp_max_dimension
+    max_total_steps: Optional[int] = _LAPTOP_BUDGET.max_total_steps
+    exact_max_nodes: int = _LAPTOP_BUDGET.exact_max_nodes
 
     @property
     def lambda_max_abs(self) -> float:
         return self.estimator.lambda_max_abs
 
-    def rp_sketch(self, epsilon: float) -> RandomProjectionSketch:
-        if epsilon not in self._rp_sketches:
-            from repro.linalg.projection import johnson_lindenstrauss_dimension
+    @property
+    def query_context(self) -> QueryContext:
+        """The estimator's shared context, with this harness's budget applied.
 
-            dimension = johnson_lindenstrauss_dimension(
-                self.graph.num_nodes, epsilon, c=self.rp_jl_constant
-            )
-            if dimension > self.rp_max_dimension:
-                # Mirrors the paper's observation that RP's preprocessing blows up
-                # at small epsilon / on large graphs: report the configuration as
-                # infeasible instead of spending hours building the sketch.
-                raise BudgetExceededError(
-                    f"RP sketch dimension {dimension} exceeds the configured cap "
-                    f"{self.rp_max_dimension} (epsilon={epsilon})"
-                )
-            self._rp_sketches[epsilon] = RandomProjectionSketch(
-                self.graph,
-                epsilon,
-                jl_constant=self.rp_jl_constant,
-                rng=self.rng,
-            )
-        return self._rp_sketches[epsilon]
+        The budget is re-synchronised from the knob fields on every access so
+        overrides applied after construction (``build_context(**overrides)``,
+        direct attribute assignment in tests) take effect immediately.
+        """
+        context = self.estimator.context
+        context.budget = QueryBudget(
+            max_total_steps=self.max_total_steps,
+            mc_max_walks=self.mc_max_walks,
+            mc2_max_walks=self.mc2_max_walks,
+            hay_max_samples=self.hay_max_samples,
+            tp_budget_scale=self.tp_budget_scale,
+            tpc_budget_scale=self.tpc_budget_scale,
+            baseline_max_seconds=self.baseline_max_seconds,
+            rp_jl_constant=self.rp_jl_constant,
+            rp_max_dimension=self.rp_max_dimension,
+            exact_max_nodes=self.exact_max_nodes,
+        )
+        if self.ground_truth is not None:
+            context.ground_truth = self.ground_truth
+        return context
+
+    def rp_sketch(self, epsilon: float) -> RandomProjectionSketch:
+        return self.query_context.rp_sketch(epsilon)
 
     def exact_oracle(self) -> ExactEffectiveResistance:
-        if self._exact_oracle is None:
-            self._exact_oracle = ExactEffectiveResistance(
-                self.graph, max_nodes=self.exact_max_nodes
-            )
-        return self._exact_oracle
+        return self.query_context.exact_oracle()
 
 
 def build_context(graph: Graph, *, rng: RngLike = None, **overrides) -> MethodContext:
@@ -117,98 +118,16 @@ def build_context(graph: Graph, *, rng: RngLike = None, **overrides) -> MethodCo
 # --------------------------------------------------------------------------- #
 # method callables
 # --------------------------------------------------------------------------- #
-def _run_geer(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    return ctx.estimator.estimate(s, t, epsilon, method="geer")
+def _registry_runner(
+    name: str,
+) -> Callable[[MethodContext, int, int, float], EstimateResult]:
+    spec = resolve_method(name)
 
+    def _runner(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
+        return spec(ctx.query_context, int(s), int(t), float(epsilon))
 
-def _run_amc(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    return ctx.estimator.estimate(
-        s, t, epsilon, method="amc", max_total_steps=ctx.max_total_steps
-    )
-
-
-def _run_smm(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    # The paper sets SMM's iteration count from the refined Eq. (6) length.
-    length = refined_walk_length(
-        epsilon,
-        ctx.lambda_max_abs,
-        int(ctx.graph.degrees[s]),
-        int(ctx.graph.degrees[t]),
-    )
-    result = smm_estimate(ctx.graph, s, t, length)
-    result.epsilon = epsilon
-    return result
-
-
-def _run_smm_peng_length(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    """SMM with the generic Eq. (5) length — the Fig. 11 comparison arm."""
-    length = peng_walk_length(epsilon, ctx.lambda_max_abs)
-    result = smm_estimate(ctx.graph, s, t, length)
-    result.epsilon = epsilon
-    result.method = "smm-peng"
-    return result
-
-
-def _run_tp(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    return tp_query(
-        ctx.graph,
-        s,
-        t,
-        epsilon=epsilon,
-        lambda_max_abs=ctx.lambda_max_abs,
-        rng=ctx.rng,
-        budget_scale=ctx.tp_budget_scale,
-        max_seconds=ctx.baseline_max_seconds,
-    )
-
-
-def _run_tpc(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    return tpc_query(
-        ctx.graph,
-        s,
-        t,
-        epsilon=epsilon,
-        lambda_max_abs=ctx.lambda_max_abs,
-        rng=ctx.rng,
-        budget_scale=ctx.tpc_budget_scale,
-        max_seconds=ctx.baseline_max_seconds,
-    )
-
-
-def _run_rp(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    timer = Timer()
-    with timer:
-        sketch = ctx.rp_sketch(epsilon)
-        value = sketch.query(s, t)
-    return EstimateResult(
-        value=value,
-        method="rp",
-        s=s,
-        t=t,
-        epsilon=epsilon,
-        elapsed_seconds=timer.elapsed,
-        details={"sketch_dimension": sketch.sketch_dimension},
-    )
-
-
-def _run_exact(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    timer = Timer()
-    with timer:
-        value = ctx.exact_oracle().query(s, t)
-    return EstimateResult(
-        value=value, method="exact", s=s, t=t, epsilon=epsilon, elapsed_seconds=timer.elapsed
-    )
-
-
-def _run_mc(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    return mc_query(
-        ctx.graph,
-        s,
-        t,
-        epsilon=epsilon,
-        rng=ctx.rng,
-        num_walks=min(ctx.mc_max_walks, mc_default_walks(ctx.graph, s, epsilon)),
-    )
+    _runner.__name__ = f"run_{spec.name.replace('-', '_')}"
+    return _runner
 
 
 def mc_default_walks(graph: Graph, s: int, epsilon: float, delta: float = 0.01) -> int:
@@ -216,44 +135,8 @@ def mc_default_walks(graph: Graph, s: int, epsilon: float, delta: float = 0.01) 
     return max(1, int(math.ceil(3.0 * graph.degrees[s] * math.log(1.0 / delta) / epsilon**2)))
 
 
-def _run_mc2(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    return mc2_query(
-        ctx.graph,
-        s,
-        t,
-        epsilon=epsilon,
-        rng=ctx.rng,
-        max_total_steps=ctx.max_total_steps,
-        num_walks=min(
-            ctx.mc2_max_walks,
-            max(1, int(math.ceil(3.0 * math.log(1.0 / 0.01) / epsilon**2))),
-        ),
-    )
-
-
-def _run_hay(ctx: MethodContext, s: int, t: int, epsilon: float) -> EstimateResult:
-    return hay_query(
-        ctx.graph,
-        s,
-        t,
-        epsilon=epsilon,
-        rng=ctx.rng,
-        max_samples=ctx.hay_max_samples,
-    )
-
-
 METHOD_REGISTRY: Dict[str, Callable[[MethodContext, int, int, float], EstimateResult]] = {
-    "geer": _run_geer,
-    "amc": _run_amc,
-    "smm": _run_smm,
-    "smm-peng": _run_smm_peng_length,
-    "tp": _run_tp,
-    "tpc": _run_tpc,
-    "rp": _run_rp,
-    "exact": _run_exact,
-    "mc": _run_mc,
-    "mc2": _run_mc2,
-    "hay": _run_hay,
+    name: _registry_runner(name) for name in available_methods()
 }
 
 RANDOM_QUERY_METHODS = ("geer", "amc", "smm", "tp", "tpc", "rp", "exact")

@@ -127,8 +127,21 @@ def table1_theoretical_complexities() -> list[dict[str, object]]:
     ]
 
 
+def table2_method_overview() -> list[dict[str, object]]:
+    """Table 2-style overview of every implemented method, from the registry.
+
+    One row per registered method (core algorithms and baselines alike) with
+    its query kind, determinism and one-line description — the same data the
+    ``repro-er methods`` subcommand prints.
+    """
+    from repro.core.registry import method_table
+
+    return method_table()
+
+
 __all__ = [
     "table3_dataset_statistics",
     "table1_complexity_scaling",
     "table1_theoretical_complexities",
+    "table2_method_overview",
 ]

@@ -7,7 +7,8 @@ the offending argument, so estimator call sites stay small and consistent.
 from __future__ import annotations
 
 import math
-from typing import Any
+import operator
+from typing import Any, Iterable, Sequence
 
 
 def check_positive(value: float, name: str, *, strict: bool = True) -> float:
@@ -41,12 +42,21 @@ def check_integer(value: Any, name: str, *, minimum: int | None = None) -> int:
 
 
 def check_node(node: Any, num_nodes: int, name: str = "node") -> int:
-    """Validate that ``node`` is a valid node identifier in ``[0, num_nodes)``."""
-    if isinstance(node, bool) or not isinstance(node, (int,)):
-        try:
-            node = int(node)
-        except (TypeError, ValueError) as exc:
-            raise ValueError(f"{name} must be an integer node id") from exc
+    """Validate that ``node`` is a valid node identifier in ``[0, num_nodes)``.
+
+    Accepts anything with an integral ``__index__`` (Python ints, numpy
+    integer scalars); rejects bools, floats (even integral ones like ``3.0``)
+    and strings instead of silently coercing them with ``int(...)``.
+    """
+    if isinstance(node, bool):
+        raise ValueError(f"{name} must be an integer node id, got a bool")
+    try:
+        node = operator.index(node)
+    except TypeError as exc:
+        raise ValueError(
+            f"{name} must be an integer node id, got {node!r} "
+            f"of type {type(node).__name__}"
+        ) from exc
     if not 0 <= node < num_nodes:
         raise ValueError(f"{name}={node} out of range for graph with {num_nodes} nodes")
     return int(node)
@@ -57,10 +67,36 @@ def check_node_pair(s: Any, t: Any, num_nodes: int) -> tuple[int, int]:
     return check_node(s, num_nodes, "s"), check_node(t, num_nodes, "t")
 
 
+def check_query_pairs(
+    pairs: Iterable[Sequence[Any]], num_nodes: int
+) -> list[tuple[int, int]]:
+    """Validate an iterable of ``(s, t)`` query pairs.
+
+    Every entry must unpack into exactly two valid node ids (numpy integer
+    scalars are fine; floats, strings and out-of-range ids are not).  Errors
+    name the offending pair and its position so a bad entry in a long batch is
+    easy to locate.
+    """
+    validated: list[tuple[int, int]] = []
+    for index, pair in enumerate(pairs):
+        try:
+            s, t = pair
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"pair #{index} ({pair!r}) does not unpack into (s, t)"
+            ) from exc
+        try:
+            validated.append(check_node_pair(s, t, num_nodes))
+        except ValueError as exc:
+            raise ValueError(f"pair #{index} ({s!r}, {t!r}): {exc}") from exc
+    return validated
+
+
 __all__ = [
     "check_positive",
     "check_probability",
     "check_integer",
     "check_node",
     "check_node_pair",
+    "check_query_pairs",
 ]

@@ -1,0 +1,226 @@
+"""Unit tests for the QueryPlan / BatchResult batch execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import QueryPlan
+from repro.core.engine import QueryEngine
+from repro.core.registry import QueryContext
+from repro.core.walk_length import refined_walk_length
+from repro.experiments.queries import random_query_set
+from repro.graph.generators import barabasi_albert_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # BA graphs have a heavy-tailed degree distribution, so a random pair set
+    # is genuinely mixed-degree.
+    return barabasi_albert_graph(300, 5, rng=11)
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return list(random_query_set(graph, 120, rng=3))
+
+
+class TestPlanning:
+    def test_buckets_cover_all_pairs_once(self, graph, pairs):
+        plan = QueryPlan(QueryContext(graph, rng=0), pairs, 0.5, method="geer")
+        covered = sorted(i for bucket in plan.buckets for i in bucket.indices)
+        assert covered == list(range(len(pairs)))
+
+    def test_walk_length_computed_once_per_degree_bucket(self, graph, pairs):
+        context = QueryContext(graph, rng=0)
+        plan = QueryPlan(context, pairs, 0.5, method="geer")
+        degree_keys = {
+            tuple(sorted((int(graph.degrees[s]), int(graph.degrees[t]))))
+            for s, t in pairs
+        }
+        assert plan.num_buckets == len(degree_keys)
+        assert plan.walk_length_computations == plan.num_buckets
+        assert plan.walk_length_computations < len(pairs)
+
+    def test_bucket_lengths_match_refined_bound(self, graph, pairs):
+        context = QueryContext(graph, rng=0)
+        plan = QueryPlan(context, pairs, 0.5, method="geer")
+        for bucket in plan.buckets:
+            d_lo, d_hi = bucket.key
+            assert bucket.walk_length == refined_walk_length(
+                0.5, context.lambda_max_abs, d_lo, d_hi
+            )
+
+    def test_log2_bucketing_is_coarser_and_conservative(self, graph, pairs):
+        context = QueryContext(graph, rng=0)
+        exact_plan = QueryPlan(context, pairs, 0.5, method="geer", bucketing="degree")
+        coarse_plan = QueryPlan(context, pairs, 0.5, method="geer", bucketing="log2")
+        assert coarse_plan.num_buckets <= exact_plan.num_buckets
+        exact_lengths = exact_plan._lengths
+        coarse_lengths = coarse_plan._lengths
+        for exact_len, coarse_len in zip(exact_lengths, coarse_lengths):
+            assert coarse_len >= exact_len
+
+    def test_peng_methods_collapse_to_one_bucket(self, graph, pairs):
+        plan = QueryPlan(QueryContext(graph, rng=0), pairs, 0.5, method="tp")
+        assert plan.num_buckets == 1
+        assert plan.walk_length_computations == 1
+
+    def test_methods_without_walk_length_have_zero_computations(self, graph, pairs):
+        plan = QueryPlan(QueryContext(graph, rng=0), pairs, 0.5, method="ground-truth")
+        assert plan.num_buckets == 1
+        assert plan.walk_length_computations == 0
+
+    def test_unknown_bucketing_rejected(self, graph, pairs):
+        with pytest.raises(ValueError, match="bucketing"):
+            QueryPlan(QueryContext(graph, rng=0), pairs, 0.5, bucketing="nope")
+
+    def test_edge_method_rejects_non_edges(self, graph):
+        context = QueryContext(graph, rng=0)
+        non_edge = None
+        for u in range(graph.num_nodes):
+            for v in range(u + 1, graph.num_nodes):
+                if not graph.has_edge(u, v):
+                    non_edge = (u, v)
+                    break
+            if non_edge:
+                break
+        with pytest.raises(ValueError, match="edge"):
+            QueryPlan(context, [non_edge], 0.5, method="mc2")
+
+
+class TestMalformedPairs:
+    def test_float_pair_rejected(self, graph):
+        context = QueryContext(graph, rng=0)
+        with pytest.raises(ValueError, match="pair #0"):
+            QueryPlan(context, [(0.5, 3)], 0.5)
+
+    def test_numpy_float_scalar_rejected(self, graph):
+        context = QueryContext(graph, rng=0)
+        with pytest.raises(ValueError, match="pair #1"):
+            QueryPlan(context, [(0, 1), (np.float64(2.5), 3)], 0.5)
+
+    def test_string_pair_rejected(self, graph):
+        context = QueryContext(graph, rng=0)
+        with pytest.raises(ValueError, match="pair #0"):
+            QueryPlan(context, [("a", "b")], 0.5)
+
+    def test_out_of_range_rejected(self, graph):
+        context = QueryContext(graph, rng=0)
+        with pytest.raises(ValueError, match="out of range"):
+            QueryPlan(context, [(0, graph.num_nodes)], 0.5)
+
+    def test_wrong_arity_rejected(self, graph):
+        context = QueryContext(graph, rng=0)
+        with pytest.raises(ValueError, match="unpack"):
+            QueryPlan(context, [(0, 1, 2)], 0.5)
+
+    def test_numpy_integer_scalars_accepted(self, graph):
+        context = QueryContext(graph, rng=0)
+        plan = QueryPlan(context, [(np.int64(0), np.int32(1))], 0.5)
+        assert plan.pairs == [(0, 1)]
+
+
+class TestExecutionIdentity:
+    """A plan produces the same values as a per-pair loop under the same seed."""
+
+    def test_geer_batch_matches_per_pair_loop(self, graph, pairs):
+        loop_engine = QueryEngine(graph, rng=7)
+        loop_values = np.array(
+            [loop_engine.query(s, t, 0.5, method="geer").value for s, t in pairs]
+        )
+        batch_engine = QueryEngine(graph, rng=7)
+        batch = batch_engine.query_many(pairs, 0.5, method="geer")
+        assert len(batch) == len(pairs) >= 100
+        assert np.array_equal(loop_values, batch.values)
+
+    def test_amc_batch_matches_per_pair_loop(self, graph, pairs):
+        subset = pairs[:30]
+        loop_engine = QueryEngine(graph, rng=9)
+        loop_values = np.array(
+            [loop_engine.query(s, t, 0.5, method="amc").value for s, t in subset]
+        )
+        batch_engine = QueryEngine(graph, rng=9)
+        batch = batch_engine.query_many(subset, 0.5, method="amc")
+        assert np.array_equal(loop_values, batch.values)
+
+    def test_vectorized_smm_matches_per_pair_loop(self, graph, pairs):
+        subset = pairs[:40]
+        loop_engine = QueryEngine(graph, rng=1)
+        loop_values = np.array(
+            [loop_engine.query(s, t, 0.4, method="smm").value for s, t in subset]
+        )
+        batch = QueryEngine(graph, rng=1).query_many(subset, 0.4, method="smm")
+        assert any(r.details.get("vectorized") for r in batch)
+        np.testing.assert_allclose(batch.values, loop_values, atol=1e-12)
+
+    def test_scalar_smm_path_matches_vectorized(self, graph, pairs):
+        subset = pairs[:20]
+        engine = QueryEngine(graph, rng=1)
+        vec = engine.plan(subset, 0.4, method="smm").execute(vectorize=True)
+        scalar = engine.plan(subset, 0.4, method="smm").execute(vectorize=False)
+        np.testing.assert_allclose(vec.values, scalar.values, atol=1e-12)
+
+    def test_log2_bucketing_keeps_guarantee(self, graph, pairs):
+        engine = QueryEngine(graph, rng=5)
+        subset = pairs[:30]
+        batch = engine.query_many(subset, 0.5, method="smm", bucketing="log2")
+        for (s, t), value in zip(subset, batch.values):
+            assert abs(value - engine.exact(s, t)) <= 0.5
+
+
+class TestBatchResult:
+    def test_aggregates_consistent(self, graph, pairs):
+        batch = QueryEngine(graph, rng=2).query_many(pairs[:25], 0.5, method="geer")
+        assert batch.total_steps == sum(r.total_steps for r in batch)
+        assert batch.spmv_operations == sum(r.spmv_operations for r in batch)
+        assert batch.work == batch.total_steps + batch.spmv_operations
+        assert batch.elapsed_seconds > 0
+        assert batch[0].method == "geer"
+        assert batch.pairs == [tuple(p) for p in pairs[:25]]
+
+    def test_summary_row(self, graph, pairs):
+        batch = QueryEngine(graph, rng=2).query_many(pairs[:10], 0.5, method="smm")
+        row = batch.summary()
+        assert row["pairs"] == 10
+        assert row["method"] == "smm"
+        assert row["buckets"] == batch.num_buckets
+
+    def test_values_within_epsilon(self, graph, pairs):
+        engine = QueryEngine(graph, rng=6)
+        subset = pairs[:20]
+        batch = engine.query_many(subset, 0.4, method="geer")
+        for (s, t), value in zip(subset, batch.values):
+            assert abs(value - engine.exact(s, t)) <= 0.4
+
+
+class TestEstimateManyValidation:
+    """estimate_many routes through check_node_pair instead of int() coercion."""
+
+    def test_malformed_float_pair_raises(self, graph):
+        from repro.core.estimator import EffectiveResistanceEstimator
+
+        estimator = EffectiveResistanceEstimator(graph, rng=0)
+        with pytest.raises(ValueError, match="pair #0"):
+            estimator.estimate_many([(3.7, 5)], 0.5)
+
+    def test_malformed_numpy_scalar_raises(self, graph):
+        from repro.core.estimator import EffectiveResistanceEstimator
+
+        estimator = EffectiveResistanceEstimator(graph, rng=0)
+        with pytest.raises(ValueError, match="integer node id"):
+            estimator.estimate_many([(np.float32(2.0), 5)], 0.5)
+
+    def test_string_pair_raises(self, graph):
+        from repro.core.estimator import EffectiveResistanceEstimator
+
+        estimator = EffectiveResistanceEstimator(graph, rng=0)
+        with pytest.raises(ValueError, match="pair #1"):
+            estimator.estimate_many([(0, 1), ("3", "5")], 0.5)
+
+    def test_valid_numpy_pairs_accepted(self, graph):
+        from repro.core.estimator import EffectiveResistanceEstimator
+
+        estimator = EffectiveResistanceEstimator(graph, rng=0)
+        pairs = np.array([[0, 50], [1, 60]], dtype=np.int64)
+        results = estimator.estimate_many(pairs, 0.5, method="smm")
+        assert len(results) == 2
+        assert all(r.method == "smm" for r in results)

@@ -1,0 +1,232 @@
+"""Unit tests for the central method registry and the QueryContext."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import (
+    DuplicateMethodError,
+    MethodSpec,
+    QueryBudget,
+    QueryContext,
+    UnknownMethodError,
+    available_methods,
+    method_table,
+    normalize_method_name,
+    register_method,
+    resolve_method,
+    unregister_method,
+)
+from repro.graph.generators import barabasi_albert_graph, toy_running_example
+
+ALL_METHODS = (
+    "geer",
+    "amc",
+    "smm",
+    "exact",
+    "mc",
+    "mc2",
+    "tp",
+    "tpc",
+    "rp",
+    "hay",
+    "ground-truth",
+)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    graph, s, t = toy_running_example()
+    return graph, s, t
+
+
+@pytest.fixture(scope="module")
+def toy_context(toy):
+    graph, _, _ = toy
+    # Scaled-down TP/TPC budgets: the faithful Hoeffding constants are massively
+    # conservative, so even at 2% the empirical error stays far below ε.
+    budget = QueryBudget(
+        tp_budget_scale=0.02,
+        tpc_budget_scale=0.02,
+        baseline_max_seconds=5.0,
+        rp_max_dimension=5000,
+    )
+    return QueryContext(graph, rng=123, budget=budget)
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        names = available_methods()
+        for method in ALL_METHODS:
+            assert method in names
+        assert "smm-peng" in names
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_resolve_returns_callable_spec(self, method):
+        spec = resolve_method(method)
+        assert isinstance(spec, MethodSpec)
+        assert spec.name == method
+        assert callable(spec)
+        assert spec.description
+
+    def test_name_normalisation(self):
+        assert resolve_method("GEER").name == "geer"
+        assert resolve_method("ground_truth").name == "ground-truth"
+        assert normalize_method_name("  SMM_PENG ") == "smm-peng"
+
+    def test_unknown_method_raises_keyerror_with_listing(self):
+        with pytest.raises(UnknownMethodError) as excinfo:
+            resolve_method("nope")
+        assert "geer" in str(excinfo.value)
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(DuplicateMethodError):
+            register_method("geer", description="dup", func=lambda *a, **k: None)
+
+    def test_register_and_unregister_custom_method(self, toy_context):
+        def constant(context, s, t, epsilon, **kwargs):
+            from repro.core.result import EstimateResult
+
+            return EstimateResult(value=1.0, method="const", s=s, t=t, epsilon=epsilon)
+
+        register_method("test-const", description="constant", func=constant)
+        try:
+            assert "test-const" in available_methods()
+            result = resolve_method("test-const")(toy_context, 0, 1, 0.5)
+            assert result.value == 1.0
+        finally:
+            unregister_method("test-const")
+        assert "test-const" not in available_methods()
+
+    def test_method_table_rows(self):
+        rows = method_table()
+        assert {row["method"] for row in rows} >= set(ALL_METHODS)
+        for row in rows:
+            assert row["description"]
+            assert row["queries"] in ("pair", "edge")
+
+    def test_edge_kinds(self):
+        assert resolve_method("mc2").kind == "edge"
+        assert resolve_method("hay").kind == "edge"
+        assert resolve_method("geer").kind == "pair"
+
+    def test_deterministic_flags(self):
+        assert resolve_method("smm").deterministic
+        assert resolve_method("exact").deterministic
+        assert resolve_method("ground-truth").deterministic
+        assert not resolve_method("geer").deterministic
+
+
+class TestEpsilonGuarantees:
+    """Every registered method answers the toy running example within ε."""
+
+    EPSILON = 0.35
+
+    def _truth(self, toy_context, s, t):
+        return toy_context.ground_truth.query(s, t)
+
+    @pytest.mark.parametrize(
+        "method",
+        ["geer", "amc", "smm", "smm-peng", "tp", "tpc", "rp", "exact", "mc", "ground-truth"],
+    )
+    def test_pair_methods_within_epsilon(self, toy, toy_context, method):
+        _, s, t = toy
+        truth = self._truth(toy_context, s, t)
+        result = resolve_method(method)(toy_context, s, t, self.EPSILON)
+        assert abs(result.value - truth) <= self.EPSILON
+        assert result.s == s and result.t == t
+
+    @pytest.mark.parametrize("method", ["mc2", "hay"])
+    def test_edge_methods_within_epsilon(self, toy, toy_context, method):
+        graph, s, _ = toy
+        # s's first neighbour gives a guaranteed edge pair on the toy graph.
+        u = int(graph.neighbors(s)[0])
+        truth = self._truth(toy_context, s, u)
+        result = resolve_method(method)(toy_context, s, u, self.EPSILON)
+        assert abs(result.value - truth) <= self.EPSILON
+
+
+class TestQueryContext:
+    def test_lambda_lazy_and_cached(self):
+        graph = barabasi_albert_graph(120, 4, rng=2)
+        context = QueryContext(graph, rng=2)
+        assert context._lambda is None
+        lam = context.lambda_max_abs
+        assert context._lambda == lam
+        assert 0 < lam < 1
+
+    def test_transition_and_engine_shared(self):
+        graph = barabasi_albert_graph(120, 4, rng=2)
+        context = QueryContext(graph, rng=2)
+        assert context.transition is context.transition
+        assert context.engine is context.engine
+
+    def test_rp_sketch_cached_per_epsilon(self):
+        graph = barabasi_albert_graph(120, 4, rng=2)
+        context = QueryContext(graph, rng=2, budget=QueryBudget.laptop())
+        assert context.rp_sketch(0.5) is context.rp_sketch(0.5)
+
+    def test_rp_dimension_guard(self):
+        from repro.exceptions import BudgetExceededError
+
+        graph = barabasi_albert_graph(120, 4, rng=2)
+        budget = QueryBudget(rp_jl_constant=24.0, rp_max_dimension=3)
+        context = QueryContext(graph, rng=2, budget=budget)
+        with pytest.raises(BudgetExceededError):
+            context.rp_sketch(0.1)
+
+    def test_walk_length_matches_refined_bound(self):
+        from repro.core.walk_length import refined_walk_length
+
+        graph = barabasi_albert_graph(120, 4, rng=2)
+        context = QueryContext(graph, rng=2)
+        expected = refined_walk_length(
+            0.2,
+            context.lambda_max_abs,
+            int(graph.degrees[3]),
+            int(graph.degrees[40]),
+        )
+        assert context.walk_length(3, 40, 0.2) == expected
+
+    def test_budget_default_is_unbounded(self):
+        graph = barabasi_albert_graph(120, 4, rng=2)
+        context = QueryContext(graph, rng=2)
+        assert context.budget.max_total_steps is None
+        assert context.budget.mc_max_walks is None
+
+    def test_laptop_profile(self):
+        budget = QueryBudget.laptop()
+        assert budget.max_total_steps == 20_000_000
+        assert budget.rp_jl_constant == 4.0
+
+
+class TestEngineDispatch:
+    """The estimator façade accepts every registered method."""
+
+    def test_estimator_accepts_baseline_methods(self):
+        from repro.core.estimator import EffectiveResistanceEstimator
+
+        graph = barabasi_albert_graph(150, 5, rng=4)
+        estimator = EffectiveResistanceEstimator(graph, rng=4)
+        truth = estimator.exact(0, 60)
+        for method in ("rp", "exact", "ground-truth", "smm-peng"):
+            result = estimator.estimate(0, 60, 0.3, method=method)
+            assert abs(result.value - truth) <= 0.3
+
+    def test_estimator_unknown_method_raises_valueerror(self):
+        from repro.core.estimator import EffectiveResistanceEstimator
+
+        graph = barabasi_albert_graph(150, 5, rng=4)
+        estimator = EffectiveResistanceEstimator(graph, rng=4)
+        with pytest.raises(ValueError, match="unknown method"):
+            estimator.estimate(0, 1, 0.3, method="nope")
+
+    def test_session_stats_accumulate(self):
+        from repro.core.engine import QueryEngine
+
+        graph = barabasi_albert_graph(150, 5, rng=4)
+        engine = QueryEngine(graph, rng=4)
+        engine.query(0, 60, 0.4)
+        engine.query(1, 70, 0.4, method="smm")
+        assert engine.stats.num_queries == 2
+        assert engine.stats.elapsed_seconds > 0

@@ -71,6 +71,89 @@ class TestQueryCommand:
             )
 
 
+class TestMethodsCommand:
+    def test_lists_full_registry(self, capsys):
+        from repro.core.registry import available_methods
+
+        assert main(["methods"]) == 0
+        output = capsys.readouterr().out
+        for name in available_methods():
+            assert name in output
+
+    def test_query_method_list_prints_registry(self, capsys):
+        assert main(["query", "--method", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "registered query methods" in output
+        assert "geer" in output and "hay" in output
+
+    def test_query_with_registered_baseline(self, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--dataset",
+                "facebook-tiny",
+                "--method",
+                "smm-peng",
+                "--epsilon",
+                "0.4",
+                "1,2",
+            ]
+        )
+        assert exit_code == 0
+        assert "smm-peng" in capsys.readouterr().out
+
+    def test_query_batch_flag(self, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--dataset",
+                "facebook-tiny",
+                "--method",
+                "geer",
+                "--epsilon",
+                "0.4",
+                "--batch",
+                "0,5",
+                "3,17",
+                "9,4",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "degree buckets" in output
+
+    def test_query_without_pairs_errors(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "facebook-tiny"])
+
+    def test_edge_method_on_non_edge_exits_cleanly(self):
+        # (0, 1) is unlikely to matter: pick a pair that is certainly not an
+        # edge by construction of the error path — SystemExit either way.
+        from repro.experiments.datasets import load_dataset
+
+        graph = load_dataset("facebook-tiny")
+        non_edge = None
+        for u in range(graph.num_nodes):
+            for v in range(u + 1, graph.num_nodes):
+                if not graph.has_edge(u, v):
+                    non_edge = f"{u},{v}"
+                    break
+            if non_edge:
+                break
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--dataset",
+                    "facebook-tiny",
+                    "--method",
+                    "mc2",
+                    "--batch",
+                    non_edge,
+                ]
+            )
+
+
 class TestSweepCommand:
     def test_small_sweep(self, capsys):
         exit_code = main(
