@@ -34,6 +34,16 @@ vectorized across pairs:
 >>> batch.values, batch.num_buckets                   # doctest: +SKIP
 (array([...]), 3)
 
+For serving workloads, :class:`repro.ResistanceService` layers an ε-aware
+answer cache, landmark resistance sketches, request coalescing and persistent
+preprocessing artifacts (warm restarts skip the eigen-solve) on top of the
+engine:
+
+>>> service = repro.ResistanceService(graph, rng=1)       # doctest: +SKIP
+>>> service.query(3, 77, epsilon=0.1).value               # doctest: +SKIP
+>>> service.query(3, 77, epsilon=0.1).method              # doctest: +SKIP
+'cache'
+
 ``repro.EffectiveResistanceEstimator`` remains as a backward-compatible façade
 over the same machinery (``estimate`` / ``estimate_many``).
 """
@@ -86,6 +96,16 @@ from repro.core import (
 )
 from repro.linalg import spectral_radius_second
 from repro.baselines import exact_effective_resistance, ground_truth_resistance
+from repro.service import (
+    LandmarkSketchStore,
+    RequestCoalescer,
+    ResistanceCache,
+    ResistanceService,
+    ServiceConfig,
+    graph_fingerprint,
+    load_context,
+    save_artifacts,
+)
 
 __version__ = "1.0.0"
 
@@ -139,4 +159,13 @@ __all__ = [
     # baselines
     "exact_effective_resistance",
     "ground_truth_resistance",
+    # serving layer
+    "ResistanceService",
+    "ServiceConfig",
+    "ResistanceCache",
+    "LandmarkSketchStore",
+    "RequestCoalescer",
+    "save_artifacts",
+    "load_context",
+    "graph_fingerprint",
 ]

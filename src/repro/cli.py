@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the everyday uses of the library without writing any
+Six subcommands cover the everyday uses of the library without writing any
 Python:
 
 ``repro-er query``
@@ -19,10 +19,18 @@ Python:
     Run a small method × ε sweep on one dataset and print the table the
     evaluation figures are built from.
 
+``repro-er warm``
+    Build the preprocessing artifacts (spectral info, landmark sketch) for a
+    graph and persist them to an artifact directory for warm service starts.
+
+``repro-er serve``
+    Replay a request stream through :class:`repro.ResistanceService`
+    (cache → sketch → engine) and print per-layer serving statistics.
+
 The CLI is intentionally a thin shell over the public API
-(:class:`repro.QueryEngine`, the method registry in
-:mod:`repro.core.registry`, :mod:`repro.experiments`), so everything it does
-can also be done programmatically.
+(:class:`repro.QueryEngine`, :class:`repro.ResistanceService`, the method
+registry in :mod:`repro.core.registry`, :mod:`repro.experiments`), so
+everything it does can also be done programmatically.
 """
 
 from __future__ import annotations
@@ -38,6 +46,8 @@ from repro.experiments.figures import run_dataset_sweep
 from repro.experiments.reporting import format_table
 from repro.graph.io import read_edge_list
 from repro.graph.properties import summarize
+from repro.service import ResistanceService, ServiceConfig
+from repro.service.artifacts import ArtifactError
 
 
 def _load_graph(args: argparse.Namespace):
@@ -140,6 +150,87 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{batch.walk_length_computations} walk-length computations, "
             f"{batch.elapsed_seconds * 1000.0:.2f} ms total"
         )
+        print(format_table([engine.stats.summary()], title="session stats"))
+    return 0
+
+
+def _print_layer_summaries(summary: dict) -> None:
+    """Render one table per serving layer from ``ResistanceService.summary()``."""
+    for layer, counters in summary.items():
+        print(format_table([counters], title=f"{layer} stats"))
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    graph, label = _load_graph(args)
+    summary = summarize(graph, name=label)
+    print(
+        f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
+        f"avg degree={summary.average_degree:.2f}"
+    )
+    config = ServiceConfig(
+        use_sketch=not args.no_sketch,
+        num_landmarks=args.landmarks,
+        landmark_strategy=args.strategy,
+    )
+    service = ResistanceService(graph, config=config, rng=args.seed)
+    service.warm_up()
+    manifest = service.save_artifacts(args.artifacts)
+    state = service.engine.export_preprocessing()
+    print(
+        f"lambda={state['lambda_max_abs']:.6f} "
+        f"(lambda_2={state['lambda_2']:.6f}, lambda_n={state['lambda_n']:.6f})"
+    )
+    if service.sketch is not None:
+        print(
+            f"landmark sketch: {service.sketch.num_landmarks} landmarks "
+            f"({service.sketch.strategy})"
+        )
+    print(f"artifacts saved to {manifest.parent}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if not args.pairs:
+        raise SystemExit("provide at least one S,T request pair")
+    graph, label = _load_graph(args)
+    config = ServiceConfig(
+        method=args.method,
+        use_cache=not args.no_cache,
+        use_sketch=not args.no_sketch,
+        num_landmarks=args.landmarks,
+    )
+    try:
+        service = ResistanceService(
+            graph, config=config, rng=args.seed, artifact_dir=args.artifacts
+        )
+    except ArtifactError as exc:
+        raise SystemExit(str(exc)) from exc
+    start_state = "warm (artifacts)" if service.warm_started else "cold"
+    print(f"serving {label} [{start_state} start, method={args.method}]")
+    pairs = _parse_pairs(args.pairs)
+    rows = []
+    try:
+        for _ in range(args.repeat):
+            for s, t in pairs:
+                result = service.query(s, t, args.epsilon)
+                rows.append(
+                    {
+                        "s": result.s,
+                        "t": result.t,
+                        "epsilon": args.epsilon,
+                        "estimate": result.value,
+                        "source": result.details.get("source", result.method),
+                        "walk steps": result.total_steps,
+                        "time (ms)": result.elapsed_seconds * 1000.0,
+                    }
+                )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(format_table(rows, title="served effective resistance requests"))
+    _print_layer_summaries(service.summary())
+    if args.artifacts and not service.warm_started:
+        manifest = service.save_artifacts(args.artifacts)
+        print(f"artifacts saved to {manifest.parent} (next start will be warm)")
     return 0
 
 
@@ -235,6 +326,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-configuration time budget in seconds",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    warm_parser = subparsers.add_parser(
+        "warm",
+        help="build preprocessing artifacts (spectral info, landmark sketch) "
+        "and persist them for warm service starts",
+    )
+    _add_graph_arguments(warm_parser)
+    warm_parser.add_argument(
+        "--artifacts", required=True, help="artifact directory to write"
+    )
+    warm_parser.add_argument(
+        "--landmarks", type=int, default=8, help="number of landmark nodes (default: 8)"
+    )
+    warm_parser.add_argument(
+        "--strategy",
+        choices=("degree", "random"),
+        default="degree",
+        help="landmark selection strategy (default: degree)",
+    )
+    warm_parser.add_argument(
+        "--no-sketch", action="store_true", help="skip building the landmark sketch"
+    )
+    warm_parser.set_defaults(func=_cmd_warm)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="replay a request stream through the serving layer "
+        "(cache -> sketch -> engine) and print per-layer stats",
+    )
+    _add_graph_arguments(serve_parser)
+    serve_parser.add_argument(
+        "pairs",
+        nargs="*",
+        metavar="S,T",
+        help="request node pairs, e.g. 12,708 3,99",
+    )
+    serve_parser.add_argument("--epsilon", type=float, default=0.1, help="additive error ε")
+    serve_parser.add_argument(
+        "--method",
+        choices=available_methods(),
+        default="geer",
+        help="engine method for layer misses (default: geer)",
+    )
+    serve_parser.add_argument(
+        "--artifacts",
+        help="artifact directory: loaded when fresh (warm start), written after "
+        "a cold run",
+    )
+    serve_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="number of times the request stream is replayed (default: 2, "
+        "so cache behaviour is visible)",
+    )
+    serve_parser.add_argument(
+        "--landmarks", type=int, default=8, help="number of landmark nodes (default: 8)"
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the answer cache"
+    )
+    serve_parser.add_argument(
+        "--no-sketch", action="store_true", help="disable the landmark sketch"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -25,7 +25,7 @@ issued through the engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 import scipy.sparse as sp
 
@@ -59,6 +59,18 @@ class SessionStats:
         self.total_steps += result.total_steps
         self.spmv_operations += result.spmv_operations
         self.elapsed_seconds += result.elapsed_seconds
+
+    def summary(self) -> dict[str, object]:
+        """One table row of session-level counters (printed by the CLI)."""
+        return {
+            "queries": self.num_queries,
+            "walk_steps": self.total_steps,
+            "spmv_operations": self.spmv_operations,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "steps_per_query": (
+                round(self.total_steps / self.num_queries, 1) if self.num_queries else 0.0
+            ),
+        }
 
 
 class QueryEngine:
@@ -117,6 +129,7 @@ class QueryEngine:
                 validate=validate,
             )
         self.stats = SessionStats()
+        self._result_hooks: list[Callable[[EstimateResult], None]] = []
 
     # ------------------------------------------------------------------ #
     # shared state
@@ -159,6 +172,32 @@ class QueryEngine:
         return self._context.walk_length(s, t, epsilon, refined=refined)
 
     # ------------------------------------------------------------------ #
+    # result hooks
+    # ------------------------------------------------------------------ #
+    def add_result_hook(self, hook: Callable[[EstimateResult], None]) -> None:
+        """Register a callable invoked with every result this engine records.
+
+        Hooks see single-pair and batch results alike, which is what lets a
+        serving layer (:class:`repro.service.ResistanceService`) observe every
+        engine-produced answer — e.g. to populate an answer cache — no matter
+        which execution path produced it.  Hooks run synchronously in
+        registration order; a raising hook propagates to the caller.
+        """
+        self._result_hooks.append(hook)
+
+    def remove_result_hook(self, hook: Callable[[EstimateResult], None]) -> None:
+        """Deregister a hook added with :meth:`add_result_hook` (no-op if absent)."""
+        try:
+            self._result_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _record(self, result: EstimateResult) -> None:
+        self.stats.record(result)
+        for hook in self._result_hooks:
+            hook(result)
+
+    # ------------------------------------------------------------------ #
     # registry access
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -196,7 +235,7 @@ class QueryEngine:
         epsilon = check_positive(epsilon, "epsilon")
         s, t = check_node_pair(s, t, self._context.graph.num_nodes)
         result = spec(self._context, s, t, epsilon, **kwargs)
-        self.stats.record(result)
+        self._record(result)
         return result
 
     def plan(
@@ -229,8 +268,17 @@ class QueryEngine:
             **kwargs
         )
         for result in batch:
-            self.stats.record(result)
+            self._record(result)
         return batch
+
+    def export_preprocessing(self) -> dict[str, float]:
+        """Scalar preprocessing state of this session's context, for persistence.
+
+        See :meth:`repro.core.registry.QueryContext.export_preprocessing` and
+        :mod:`repro.service.artifacts` (which adds the graph fingerprint and
+        the on-disk format around this dict).
+        """
+        return self._context.export_preprocessing()
 
     def exact(self, s: int, t: int) -> float:
         """Ground-truth ``r(s, t)`` via a preconditioned Laplacian solve."""

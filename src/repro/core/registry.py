@@ -134,6 +134,7 @@ class QueryContext:
         budget: Optional[QueryBudget] = None,
         validate: bool = True,
         transition: Optional[sp.csr_matrix] = None,
+        spectral_info: Optional[SpectralInfo] = None,
     ) -> None:
         if validate:
             require_walkable(graph)
@@ -143,7 +144,9 @@ class QueryContext:
         self.rng = as_generator(rng)
         self.budget = budget if budget is not None else QueryBudget()
         self._lambda: Optional[float] = lambda_max_abs
-        self._spectral: Optional[SpectralInfo] = None
+        self._spectral: Optional[SpectralInfo] = spectral_info
+        if spectral_info is not None and self._lambda is None:
+            self._lambda = spectral_info.lambda_max_abs
         self._transition: Optional[sp.csr_matrix] = transition
         self._engine: Optional[RandomWalkEngine] = None
         self._solver: Optional[LaplacianSolver] = None
@@ -152,19 +155,31 @@ class QueryContext:
         self._rp_sketches: Dict[float, "RandomProjectionSketch"] = {}
 
     # -- preprocessing artefacts ---------------------------------------- #
+    # The ARPACK starting vector is drawn from its own fixed-seed generator,
+    # NOT from the shared session stream: v0 only affects convergence, and
+    # keeping the eigen-solve off the query stream means a context restored
+    # from persisted artifacts (which skips the solve entirely) sees exactly
+    # the same generator state as a cold one — warm starts stay bit-for-bit
+    # reproducible at any graph size.
+    _SPECTRAL_V0_SEED = 0x5EED
+
+    def _solve_spectral(self) -> None:
+        self._spectral = transition_eigenvalues(
+            self.graph, rng=self._SPECTRAL_V0_SEED
+        )
+        self._lambda = self._spectral.lambda_max_abs
+
     @property
     def lambda_max_abs(self) -> float:
         """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
         if self._lambda is None:
-            self._spectral = transition_eigenvalues(self.graph, rng=self.rng)
-            self._lambda = self._spectral.lambda_max_abs
+            self._solve_spectral()
         return self._lambda
 
     @property
     def spectral_info(self) -> SpectralInfo:
         if self._spectral is None:
-            self._spectral = transition_eigenvalues(self.graph, rng=self.rng)
-            self._lambda = self._spectral.lambda_max_abs
+            self._solve_spectral()
         return self._spectral
 
     @property
@@ -240,6 +255,52 @@ class QueryContext:
                 rng=self.rng,
             )
         return self._rp_sketches[epsilon]
+
+    # -- serialization ----------------------------------------------------- #
+    def export_preprocessing(self) -> Dict[str, float]:
+        """The scalar preprocessing state, for persistence.
+
+        Forces the spectral solve if it has not happened yet (there is nothing
+        to persist otherwise) and returns a plain-scalar dict suitable for a
+        JSON manifest; see :mod:`repro.service.artifacts` for the on-disk
+        format and the graph fingerprint that guards staleness.
+        """
+        spectral = self.spectral_info
+        return {
+            "delta": self.delta,
+            "num_batches": self.num_batches,
+            "lambda_2": spectral.lambda_2,
+            "lambda_n": spectral.lambda_n,
+            "lambda_max_abs": spectral.lambda_max_abs,
+        }
+
+    @classmethod
+    def from_preprocessing(
+        cls,
+        graph: Graph,
+        state: Dict[str, float],
+        *,
+        rng: RngLike = None,
+        budget: Optional[QueryBudget] = None,
+        validate: bool = True,
+    ) -> "QueryContext":
+        """Rebuild a context from :meth:`export_preprocessing` output.
+
+        The restored context never re-runs the eigen-solve: its
+        :class:`SpectralInfo` is reconstructed from the persisted scalars.
+        """
+        spectral = SpectralInfo(
+            lambda_2=float(state["lambda_2"]), lambda_n=float(state["lambda_n"])
+        )
+        return cls(
+            graph,
+            delta=float(state["delta"]),
+            num_batches=int(state["num_batches"]),
+            rng=rng,
+            budget=budget,
+            validate=validate,
+            spectral_info=spectral,
+        )
 
     # -- helpers ---------------------------------------------------------- #
     def walk_length(self, s: int, t: int, epsilon: float, *, refined: bool = True) -> int:

@@ -1,0 +1,67 @@
+"""The serving layer above the unified query engine.
+
+Four building blocks and one facade turn the per-graph query session
+(:class:`repro.QueryEngine`) into something that can sit behind traffic:
+
+* :mod:`repro.service.cache` — ε-aware LRU answer cache
+  (:class:`ResistanceCache`): a cached value answers every query with a looser
+  tolerance, with zero sampling work.
+* :mod:`repro.service.sketch` — exact landmark resistance vectors
+  (:class:`LandmarkSketchStore`) serving triangle-inequality bounds and
+  O(k) approximate answers without the walk engine.
+* :mod:`repro.service.coalesce` — size- and deadline-bounded micro-batching
+  (:class:`RequestCoalescer`) that flushes concurrent point queries through
+  the vectorized :class:`~repro.core.batch.QueryPlan` path.
+* :mod:`repro.service.artifacts` — persistent preprocessing artifacts with a
+  graph fingerprint for staleness detection, so warm process starts skip the
+  ARPACK eigen-solve.
+* :mod:`repro.service.server` — :class:`ResistanceService`, wiring
+  cache → sketch → coalescer → engine with per-layer statistics, exposed on
+  the CLI as ``repro-er serve`` / ``repro-er warm``.
+"""
+
+from repro.service.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    StaleArtifactError,
+    graph_fingerprint,
+    has_artifacts,
+    load_bundle,
+    load_context,
+    load_sketch,
+    save_artifacts,
+)
+from repro.service.cache import CacheEntry, CacheStats, ResistanceCache, canonical_pair
+from repro.service.coalesce import CoalescerStats, PendingQuery, RequestCoalescer
+from repro.service.sketch import LandmarkSketchStore, SketchAnswer, SketchStats
+from repro.service.server import ResistanceService, ServiceConfig, ServiceStats
+
+__all__ = [
+    # cache
+    "canonical_pair",
+    "CacheEntry",
+    "CacheStats",
+    "ResistanceCache",
+    # sketch
+    "LandmarkSketchStore",
+    "SketchAnswer",
+    "SketchStats",
+    # coalescing
+    "PendingQuery",
+    "CoalescerStats",
+    "RequestCoalescer",
+    # artifacts
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "StaleArtifactError",
+    "graph_fingerprint",
+    "has_artifacts",
+    "load_bundle",
+    "load_context",
+    "load_sketch",
+    "save_artifacts",
+    # facade
+    "ResistanceService",
+    "ServiceConfig",
+    "ServiceStats",
+]

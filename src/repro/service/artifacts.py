@@ -1,0 +1,249 @@
+"""Persistent preprocessing artifacts: warm process starts without ARPACK.
+
+The paper treats preprocessing — the spectral radius λ of the transition
+matrix and anything derived from it — as a one-off per graph, but a process
+restart used to repeat all of it.  This module persists the preprocessing
+state of a :class:`~repro.core.registry.QueryContext` (and optionally a
+:class:`~repro.service.sketch.LandmarkSketchStore`) to an artifact directory:
+
+``manifest.json``
+    Format version, a SHA-256 **graph fingerprint** (over the CSR arrays, so
+    any structural change to the graph invalidates the artifacts), and the
+    scalar preprocessing state from
+    :meth:`QueryContext.export_preprocessing`.
+``sketch.npz``
+    The landmark ids and the exact ``(k, n)`` landmark resistance matrix,
+    when a sketch was saved alongside the context.
+
+:func:`load_context` rebuilds a context whose spectral info comes from the
+manifest — the eigen-decomposition is *skipped*, and because the restored
+:class:`SpectralInfo` carries the exact persisted scalars, a warm engine
+returns values identical to a cold one under the same seed.  A fingerprint
+mismatch raises :class:`StaleArtifactError` instead of silently serving
+answers for a different graph.
+
+Writes go through a temporary file followed by :func:`os.replace`, so a
+crashed save never leaves a half-written manifest behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.registry import QueryBudget, QueryContext
+from repro.exceptions import ReproError
+from repro.graph.graph import Graph
+from repro.service.sketch import LandmarkSketchStore
+from repro.utils.rng import RngLike
+
+PathLike = Union[str, os.PathLike]
+
+ARTIFACT_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+SKETCH_NAME = "sketch.npz"
+
+
+class ArtifactError(ReproError):
+    """Raised when an artifact directory is missing, corrupt, or incompatible."""
+
+
+class StaleArtifactError(ArtifactError):
+    """Raised when artifacts were built for a different graph than the one given."""
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """A SHA-256 digest of the graph's CSR structure.
+
+    Two graphs share a fingerprint iff they are structurally identical
+    (same node count, same adjacency in the same canonical CSR layout), which
+    is exactly the condition under which preprocessing artifacts transfer.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-graph-v1")
+    digest.update(int(graph.num_nodes).to_bytes(8, "little"))
+    digest.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.indices, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def save_artifacts(
+    context: QueryContext,
+    directory: PathLike,
+    *,
+    sketch: Optional[LandmarkSketchStore] = None,
+) -> Path:
+    """Persist a context's preprocessing (and optionally a sketch) to disk.
+
+    Forces the spectral solve if it has not happened yet, then writes the
+    sketch arrays first and the manifest last — a directory containing a valid
+    manifest is therefore always complete.  Returns the manifest path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, object] = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "fingerprint": graph_fingerprint(context.graph),
+        "num_nodes": context.graph.num_nodes,
+        "num_edges": context.graph.num_edges,
+        "preprocessing": context.export_preprocessing(),
+        "has_sketch": sketch is not None,
+    }
+    if sketch is not None:
+        manifest["sketch"] = {
+            "num_landmarks": sketch.num_landmarks,
+            "strategy": sketch.strategy,
+        }
+        sketch_path = directory / SKETCH_NAME
+        sketch_tmp = sketch_path.with_name(sketch_path.name + ".tmp")
+        with open(sketch_tmp, "wb") as handle:
+            np.savez(
+                handle,
+                landmarks=sketch.landmarks,
+                resistances=sketch.resistances,
+            )
+        os.replace(sketch_tmp, sketch_path)
+    manifest_path = directory / MANIFEST_NAME
+    _atomic_write_text(manifest_path, json.dumps(manifest, indent=2, sort_keys=True))
+    return manifest_path
+
+
+def has_artifacts(directory: PathLike) -> bool:
+    """Whether ``directory`` holds a readable manifest."""
+    return (Path(directory) / MANIFEST_NAME).is_file()
+
+
+def load_manifest(directory: PathLike) -> dict:
+    """Read and validate the manifest of an artifact directory."""
+    manifest_path = Path(directory) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no artifact manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"corrupt artifact manifest at {manifest_path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact format version {version!r} is not supported "
+            f"(expected {ARTIFACT_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _check_fingerprint(graph: Graph, manifest: dict, directory: Path) -> None:
+    expected = manifest.get("fingerprint")
+    actual = graph_fingerprint(graph)
+    if expected != actual:
+        raise StaleArtifactError(
+            f"artifacts in {directory} were built for a different graph "
+            f"(stored fingerprint {str(expected)[:12]}…, graph has {actual[:12]}…); "
+            "re-run warm-up to rebuild them"
+        )
+
+
+def load_bundle(
+    graph: Graph,
+    directory: PathLike,
+    *,
+    rng: RngLike = None,
+    budget: Optional[QueryBudget] = None,
+    validate: bool = True,
+    with_sketch: bool = True,
+) -> tuple[QueryContext, Optional[LandmarkSketchStore]]:
+    """Restore the context and (optionally) the sketch in one validated pass.
+
+    The manifest is parsed and the O(m) graph fingerprint computed exactly
+    once, which is what :class:`~repro.service.server.ResistanceService` uses
+    for warm starts.
+
+    Raises
+    ------
+    ArtifactError
+        When the directory has no (or a corrupt/incompatible) manifest.
+    StaleArtifactError
+        When the artifacts were built for a structurally different graph.
+    """
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    _check_fingerprint(graph, manifest, directory)
+    context = QueryContext.from_preprocessing(
+        graph,
+        manifest["preprocessing"],
+        rng=rng,
+        budget=budget,
+        validate=validate,
+    )
+    sketch = None
+    if with_sketch and manifest.get("has_sketch"):
+        sketch = _read_sketch(graph, directory, manifest)
+    return context, sketch
+
+
+def _read_sketch(graph: Graph, directory: Path, manifest: dict) -> LandmarkSketchStore:
+    sketch_path = directory / SKETCH_NAME
+    if not sketch_path.is_file():
+        raise ArtifactError(f"manifest promises a sketch but {sketch_path} is missing")
+    with np.load(sketch_path) as payload:
+        landmarks = payload["landmarks"]
+        resistances = payload["resistances"]
+    strategy = str(manifest.get("sketch", {}).get("strategy", "degree"))
+    return LandmarkSketchStore.from_arrays(
+        graph, landmarks, resistances, strategy=strategy
+    )
+
+
+def load_context(
+    graph: Graph,
+    directory: PathLike,
+    *,
+    rng: RngLike = None,
+    budget: Optional[QueryBudget] = None,
+    validate: bool = True,
+) -> QueryContext:
+    """Rebuild a :class:`QueryContext` from saved artifacts, skipping ARPACK.
+
+    See :func:`load_bundle` for the raised errors (and for restoring the
+    context and sketch together without re-validating the manifest).
+    """
+    context, _ = load_bundle(
+        graph, directory, rng=rng, budget=budget, validate=validate, with_sketch=False
+    )
+    return context
+
+
+def load_sketch(graph: Graph, directory: PathLike) -> Optional[LandmarkSketchStore]:
+    """Restore the persisted landmark sketch, or None when none was saved."""
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    if not manifest.get("has_sketch"):
+        return None
+    _check_fingerprint(graph, manifest, directory)
+    return _read_sketch(graph, directory, manifest)
+
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "SKETCH_NAME",
+    "ArtifactError",
+    "StaleArtifactError",
+    "graph_fingerprint",
+    "save_artifacts",
+    "has_artifacts",
+    "load_manifest",
+    "load_bundle",
+    "load_context",
+    "load_sketch",
+]

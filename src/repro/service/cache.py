@@ -1,0 +1,152 @@
+"""The ε-aware answer cache of the serving layer.
+
+Effective resistance is symmetric and a cached ε-approximate answer remains
+valid for every *looser* tolerance: if ``|r'(s, t) - r(s, t)| <= ε₀`` then the
+same value answers any query with ``ε >= ε₀``.  :class:`ResistanceCache`
+exploits both facts — keys are canonicalised ``(min(s, t), max(s, t))`` pairs
+and a lookup hits whenever the stored entry's ε *dominates* (is at most) the
+requested one.  Storage is a plain LRU: recently used entries survive, and a
+tighter answer for a pair replaces a looser one in place ("refinement") so the
+cache monotonically improves under repeated traffic.
+
+The cache stores plain floats; it never touches the walk engine, which is what
+lets :class:`~repro.service.server.ResistanceService` answer repeated queries
+with zero sampling work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import check_positive
+
+
+def canonical_pair(s: int, t: int) -> tuple[int, int]:
+    """The undirected pair key: ``r`` is symmetric, so ``(s, t) ≡ (t, s)``.
+
+    Shared by the cache, the coalescer's duplicate detection and the service's
+    batch dedup, so all three always agree on pair identity.
+    """
+    return (s, t) if s <= t else (t, s)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached answer: the value, the ε it is guaranteed at, its producer."""
+
+    value: float
+    epsilon: float
+    method: str = ""
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResistanceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    refinements: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "insertions": self.insertions,
+            "refinements": self.refinements,
+            "evictions": self.evictions,
+        }
+
+
+class ResistanceCache:
+    """An LRU cache of ε-approximate PER answers with ε-dominance lookups.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; the least-recently-used pair is evicted when exceeded.
+
+    Notes
+    -----
+    * ``get(s, t, epsilon)`` hits iff the pair is cached with
+      ``entry.epsilon <= epsilon``.  A cached-but-too-loose entry counts as a
+      miss and is left untouched (its recency is not refreshed).
+    * ``put`` keeps the *tighter* of the stored and offered answers: offering a
+      looser value for an already-cached pair only refreshes recency.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple[int, int], CacheEntry] = OrderedDict()
+        self.stats = CacheStats()
+
+    canonical_key = staticmethod(canonical_pair)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return self.canonical_key(*pair) in self._entries
+
+    def get(self, s: int, t: int, epsilon: float) -> Optional[CacheEntry]:
+        """Return the cached entry iff it answers an ε-query for ``(s, t)``."""
+        epsilon = check_positive(epsilon, "epsilon")
+        key = self.canonical_key(s, t)
+        entry = self._entries.get(key)
+        if entry is None or entry.epsilon > epsilon:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, s: int, t: int, epsilon: float, value: float, method: str = "") -> bool:
+        """Offer an answer; returns True when it was stored (new or tighter).
+
+        ``epsilon`` may be zero for exact answers (sketch landmark hits,
+        deterministic solvers) — such entries dominate every future lookup.
+        """
+        epsilon = check_positive(epsilon, "epsilon", strict=False)
+        key = self.canonical_key(s, t)
+        existing = self._entries.get(key)
+        if existing is not None:
+            self._entries.move_to_end(key)
+            if existing.epsilon <= epsilon:
+                return False
+            self._entries[key] = CacheEntry(float(value), epsilon, method)
+            self.stats.refinements += 1
+            return True
+        self._entries[key] = CacheEntry(float(value), epsilon, method)
+        self.stats.insertions += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(entries={len(self._entries)}/{self.max_entries}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )
+
+
+__all__ = ["canonical_pair", "CacheEntry", "CacheStats", "ResistanceCache"]

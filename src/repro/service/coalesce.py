@@ -1,0 +1,277 @@
+"""Micro-batching of concurrent single-pair requests.
+
+Point queries arriving one at a time pay the scalar execution path, while
+:class:`~repro.core.batch.QueryPlan` gives batches shared walk-length planning
+and (for SMM) one SpMM per iteration instead of ``2k`` SpMVs.  A
+:class:`RequestCoalescer` bridges the two: :meth:`~RequestCoalescer.submit`
+buffers a request and returns a :class:`PendingQuery` immediately; the buffer
+is flushed through one ``QueryPlan`` when it reaches ``max_batch`` requests
+(**size flush**), when the oldest buffered request has waited
+``max_delay_seconds`` (**deadline flush**), or when a caller forces resolution
+(**demand flush** — reading an unresolved :meth:`PendingQuery.result` flushes,
+so no request can dangle).
+
+Two forms of coalescing happen at flush time:
+
+* duplicate pairs — including reversed duplicates, since ``r`` is symmetric —
+  are executed once and fan the one result back out to every requester;
+* the batch executes at the *tightest* requested ε, so every buffered
+  tolerance is honoured by a single plan.
+
+The clock is injectable, which keeps deadline behaviour deterministic in
+tests; the coalescer itself is synchronous (single-threaded), mirroring how an
+event-loop server would drive it via :meth:`poll`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.result import EstimateResult
+from repro.service.cache import canonical_pair
+from repro.utils.validation import check_node_pair, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import BatchResult
+    from repro.core.engine import QueryEngine
+
+
+class PendingQuery:
+    """A buffered request; resolves when its batch flushes.
+
+    Reading :meth:`result` before the batch flushed forces a demand flush, so
+    a pending query can always be resolved synchronously.
+    """
+
+    __slots__ = ("s", "t", "epsilon", "_coalescer", "_result", "_error")
+
+    def __init__(
+        self,
+        coalescer: Optional["RequestCoalescer"],
+        s: int,
+        t: int,
+        epsilon: float,
+    ) -> None:
+        self.s = s
+        self.t = t
+        self.epsilon = epsilon
+        self._coalescer = coalescer
+        self._result: Optional[EstimateResult] = None
+        self._error: Optional[BaseException] = None
+
+    @classmethod
+    def resolved(
+        cls, s: int, t: int, epsilon: float, result: EstimateResult
+    ) -> "PendingQuery":
+        """A pending query born answered (layer hits resolve at submit time)."""
+        pending = cls(None, s, t, epsilon)
+        pending._result = result
+        return pending
+
+    @property
+    def done(self) -> bool:
+        """True once the request settled — answered or failed."""
+        return self._result is not None or self._error is not None
+
+    def result(self) -> EstimateResult:
+        """The answer, flushing the owning coalescer first if still buffered.
+
+        Re-raises the batch's exception when the flush that covered this
+        request failed (every waiter of a failed batch sees the same error,
+        not just the submitter that happened to trigger the flush).
+        """
+        if self._result is None and self._error is None:
+            self._coalescer.flush()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None  # flush settles every buffered request
+        return self._result
+
+    def _resolve(self, result: EstimateResult) -> None:
+        self._result = result
+        self._coalescer = None  # break the cycle
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._coalescer = None
+
+    def __repr__(self) -> str:
+        if self._result is not None:
+            state = f"value={self._result.value:.4g}"
+        elif self._error is not None:
+            state = f"failed({type(self._error).__name__})"
+        else:
+            state = "pending"
+        return f"{type(self).__name__}(s={self.s}, t={self.t}, eps={self.epsilon}, {state})"
+
+
+@dataclass
+class CoalescerStats:
+    """Counters for one :class:`RequestCoalescer`."""
+
+    submitted: int = 0
+    executed_pairs: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    demand_flushes: int = 0
+    largest_batch: int = 0
+
+    @property
+    def deduplicated(self) -> int:
+        """Requests answered by piggybacking on an identical in-batch pair."""
+        return self.submitted - self.executed_pairs
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "executed_pairs": self.executed_pairs,
+            "deduplicated": self.deduplicated,
+            "flushes": self.flushes,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "demand_flushes": self.demand_flushes,
+            "largest_batch": self.largest_batch,
+        }
+
+
+class RequestCoalescer:
+    """Buffer single-pair requests and flush them through one ``QueryPlan``.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.core.engine.QueryEngine` batches execute on.
+    max_batch:
+        Flush as soon as this many requests are buffered.
+    max_delay_seconds:
+        Flush on the next :meth:`submit`/:meth:`poll` once the oldest buffered
+        request has waited this long.
+    method:
+        Registered method every flushed batch runs with (SMM gets the
+        vectorized multi-column path, which is the headline win).
+    bucketing:
+        Forwarded to :meth:`QueryEngine.plan`.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        *,
+        max_batch: int = 32,
+        max_delay_seconds: float = 0.005,
+        method: str = "geer",
+        bucketing: str = "degree",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_delay_seconds = check_positive(
+            float(max_delay_seconds), "max_delay_seconds", strict=False
+        )
+        self.method = method
+        self.bucketing = bucketing
+        self._clock = clock
+        self._buffer: list[PendingQuery] = []
+        self._oldest: Optional[float] = None
+        self.stats = CoalescerStats()
+
+    # ------------------------------------------------------------------ #
+    # buffering
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def deadline_expired(self) -> bool:
+        return (
+            self._oldest is not None
+            and self._clock() - self._oldest >= self.max_delay_seconds
+        )
+
+    def submit(self, s: int, t: int, epsilon: float) -> PendingQuery:
+        """Buffer one request; may trigger a size or deadline flush."""
+        epsilon = check_positive(epsilon, "epsilon")
+        s, t = check_node_pair(s, t, self.engine.graph.num_nodes)
+        pending = PendingQuery(self, s, t, epsilon)
+        if self._oldest is None:
+            self._oldest = self._clock()
+        self._buffer.append(pending)
+        self.stats.submitted += 1
+        if len(self._buffer) >= self.max_batch:
+            self._flush("size")
+        elif self.deadline_expired:
+            self._flush("deadline")
+        return pending
+
+    def poll(self) -> bool:
+        """Flush if the oldest buffered request has exceeded its deadline."""
+        if self._buffer and self.deadline_expired:
+            self._flush("deadline")
+            return True
+        return False
+
+    def flush(self) -> Optional["BatchResult"]:
+        """Force-resolve everything currently buffered (demand flush)."""
+        return self._flush("demand")
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _flush(self, reason: str) -> Optional["BatchResult"]:
+        if not self._buffer:
+            return None
+        buffered, self._buffer = self._buffer, []
+        self._oldest = None
+
+        # Coalesce duplicates: one canonical pair per distinct request.
+        order: list[tuple[int, int]] = []
+        groups: dict[tuple[int, int], list[PendingQuery]] = {}
+        for pending in buffered:
+            key = canonical_pair(pending.s, pending.t)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(pending)
+        epsilon = min(pending.epsilon for pending in buffered)
+
+        try:
+            batch = self.engine.query_many(
+                order, epsilon, method=self.method, bucketing=self.bucketing
+            )
+        except BaseException as exc:
+            # Settle every waiter with the batch's error — the submitter that
+            # happened to trigger the flush must not be the only one to see it.
+            for pending in buffered:
+                pending._fail(exc)
+            raise
+        for key, result in zip(order, batch):
+            for pending in groups[key]:
+                pending._resolve(result)
+
+        self.stats.flushes += 1
+        self.stats.executed_pairs += len(order)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(buffered))
+        if reason == "size":
+            self.stats.size_flushes += 1
+        elif reason == "deadline":
+            self.stats.deadline_flushes += 1
+        else:
+            self.stats.demand_flushes += 1
+        return batch
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(buffered={len(self._buffer)}, "
+            f"max_batch={self.max_batch}, max_delay={self.max_delay_seconds}s, "
+            f"method={self.method!r})"
+        )
+
+
+__all__ = ["PendingQuery", "CoalescerStats", "RequestCoalescer"]

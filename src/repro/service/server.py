@@ -1,0 +1,399 @@
+"""The serving facade: cache → sketch → (coalesced) engine.
+
+A :class:`ResistanceService` wires the serving layers around one
+:class:`~repro.core.engine.QueryEngine` session:
+
+1. the ε-aware :class:`~repro.service.cache.ResistanceCache` answers repeats
+   with zero sampling work;
+2. the :class:`~repro.service.sketch.LandmarkSketchStore` answers loose
+   queries (and any query touching a landmark) from precomputed exact landmark
+   resistances, still without the walk engine;
+3. everything else reaches the engine — directly (:meth:`ResistanceService.query`),
+   as a planned batch (:meth:`ResistanceService.query_many`), or buffered
+   through the :class:`~repro.service.coalesce.RequestCoalescer`
+   (:meth:`ResistanceService.submit`) so concurrent point queries ride the
+   vectorized ``QueryPlan`` path.
+
+Every engine-produced answer flows back into the cache through the engine's
+result hook, so the cache warms no matter which path executed the query.  All
+answers are ordinary :class:`~repro.core.result.EstimateResult` objects;
+layer-served ones carry ``method="cache"``/``"sketch"`` with zeroed work
+counters and name their origin in ``details["source"]``.
+
+With an ``artifact_dir`` the service starts warm: the spectral preprocessing
+and the sketch are restored from disk (fingerprint-checked, see
+:mod:`repro.service.artifacts`) and the eigen-decomposition is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.engine import QueryEngine
+from repro.core.registry import QueryBudget, QueryContext
+from repro.core.result import EstimateResult
+from repro.service import artifacts as artifacts_io
+from repro.service.cache import ResistanceCache, canonical_pair
+from repro.service.coalesce import PendingQuery, RequestCoalescer
+from repro.service.sketch import LandmarkSketchStore
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_node_pair, check_positive, check_query_pairs
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`ResistanceService`.
+
+    ``landmark_seed`` (not the engine's rng) drives random landmark selection
+    so that building the sketch never advances the engine's random stream —
+    a warm start therefore reproduces a cold engine's values bit-for-bit.
+    """
+
+    method: str = "geer"
+    delta: float = 0.01
+    num_batches: int = 5
+    use_cache: bool = True
+    cache_size: int = 65536
+    use_sketch: bool = True
+    num_landmarks: int = 8
+    landmark_strategy: str = "degree"
+    landmark_seed: int = 0
+    sketch_max_nodes: int = 50_000
+    coalesce_max_batch: int = 32
+    coalesce_max_delay_seconds: float = 0.005
+    bucketing: str = "degree"
+
+
+@dataclass
+class ServiceStats:
+    """Per-layer request accounting for one :class:`ResistanceService`."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    sketch_hits: int = 0
+    engine_queries: int = 0
+    coalesced_submissions: int = 0
+
+    @property
+    def offloaded(self) -> int:
+        """Requests answered without touching the walk engine."""
+        return self.cache_hits + self.sketch_hits
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "sketch_hits": self.sketch_hits,
+            "engine_queries": self.engine_queries,
+            "coalesced_submissions": self.coalesced_submissions,
+            "offload_rate": (
+                round(self.offloaded / self.requests, 4) if self.requests else 0.0
+            ),
+        }
+
+
+class ResistanceService:
+    """Serve ε-approximate PER queries on one graph through layered shortcuts.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve (connected, non-bipartite, undirected).
+    config:
+        A :class:`ServiceConfig`; defaults are serving-friendly (cache and
+        sketch on, GEER as the engine method).
+    rng:
+        Seed/generator for the engine session (all randomised queries).
+    budget:
+        Optional :class:`~repro.core.registry.QueryBudget` for the engine.
+    artifact_dir:
+        When given and the directory holds fresh artifacts, the service starts
+        *warm*: spectral preprocessing and the sketch are loaded instead of
+        computed.  :meth:`save_artifacts` writes back to the same directory by
+        default.
+    validate:
+        Forwarded to the context (connectivity/non-bipartiteness check).
+    """
+
+    def __init__(
+        self,
+        graph=None,
+        *,
+        config: Optional[ServiceConfig] = None,
+        rng: RngLike = None,
+        budget: Optional[QueryBudget] = None,
+        artifact_dir=None,
+        validate: bool = True,
+        context: Optional[QueryContext] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.artifact_dir = artifact_dir
+        self.stats = ServiceStats()
+        self.warm_started = False
+
+        sketch: Optional[LandmarkSketchStore] = None
+        if context is None:
+            if graph is None:
+                raise ValueError("provide a graph or an existing QueryContext")
+            if artifact_dir is not None and artifacts_io.has_artifacts(artifact_dir):
+                context, sketch = artifacts_io.load_bundle(
+                    graph,
+                    artifact_dir,
+                    rng=rng,
+                    budget=budget,
+                    validate=validate,
+                    with_sketch=self.config.use_sketch,
+                )
+                # The manifest records the builder's δ/τ, but neither affects
+                # the persisted spectral state — the caller's config wins.
+                context.delta = check_positive(self.config.delta, "delta")
+                context.num_batches = int(self.config.num_batches)
+                self.warm_started = True
+            else:
+                context = QueryContext(
+                    graph,
+                    delta=self.config.delta,
+                    num_batches=self.config.num_batches,
+                    rng=rng,
+                    budget=budget,
+                    validate=validate,
+                )
+        self.engine = QueryEngine(context=context)
+        self.cache = (
+            ResistanceCache(self.config.cache_size) if self.config.use_cache else None
+        )
+        if (
+            sketch is None
+            and self.config.use_sketch
+            and self.graph.num_nodes <= self.config.sketch_max_nodes
+        ):
+            sketch = LandmarkSketchStore.build(
+                self.graph,
+                num_landmarks=self.config.num_landmarks,
+                strategy=self.config.landmark_strategy,
+                rng=self.config.landmark_seed,
+            )
+        self.sketch = sketch
+        self._coalescer: Optional[RequestCoalescer] = None
+        self.engine.add_result_hook(self._on_engine_result)
+
+    # ------------------------------------------------------------------ #
+    # shared state
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self):
+        return self.engine.graph
+
+    @property
+    def coalescer(self) -> RequestCoalescer:
+        """The micro-batcher behind :meth:`submit`, created on first use."""
+        if self._coalescer is None:
+            self._coalescer = RequestCoalescer(
+                self.engine,
+                max_batch=self.config.coalesce_max_batch,
+                max_delay_seconds=self.config.coalesce_max_delay_seconds,
+                method=self.config.method,
+                bucketing=self.config.bucketing,
+            )
+        return self._coalescer
+
+    def warm_up(self) -> "ResistanceService":
+        """Force every preprocessing artefact (the λ eigen-solve) eagerly."""
+        self.engine.lambda_max_abs
+        return self
+
+    def _on_engine_result(self, result: EstimateResult) -> None:
+        # Every engine-produced answer — single query, planned batch or
+        # coalescer flush — is counted here (so duplicates removed by
+        # coalescing are *not* counted) and offered to the cache.  Results
+        # whose sampling was cut off by a budget cap carry no ε guarantee and
+        # must never be served as one.
+        self.stats.engine_queries += 1
+        if self.cache is not None and not result.budget_exhausted:
+            self.cache.put(
+                result.s, result.t, result.epsilon, result.value, result.method
+            )
+
+    # ------------------------------------------------------------------ #
+    # serving layers
+    # ------------------------------------------------------------------ #
+    def _layered_answer(
+        self, s: int, t: int, epsilon: float
+    ) -> Optional[EstimateResult]:
+        """Try the cache then the sketch; None when the engine must run."""
+        if self.cache is not None:
+            entry = self.cache.get(s, t, epsilon)
+            if entry is not None:
+                self.stats.cache_hits += 1
+                return EstimateResult(
+                    value=entry.value,
+                    method="cache",
+                    s=s,
+                    t=t,
+                    epsilon=epsilon,
+                    details={
+                        "source": "cache",
+                        "cached_epsilon": entry.epsilon,
+                        "cached_method": entry.method,
+                    },
+                )
+        if self.sketch is not None:
+            answer = self.sketch.query(s, t, epsilon)
+            if answer is not None:
+                self.stats.sketch_hits += 1
+                if self.cache is not None:
+                    self.cache.put(s, t, answer.half_width, answer.midpoint, "sketch")
+                return EstimateResult(
+                    value=answer.midpoint,
+                    method="sketch",
+                    s=s,
+                    t=t,
+                    epsilon=epsilon,
+                    details={
+                        "source": "sketch",
+                        "lower": answer.lower,
+                        "upper": answer.upper,
+                        "half_width": answer.half_width,
+                    },
+                )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self, s: int, t: int, epsilon: float, *, method: Optional[str] = None, **kwargs: Any
+    ) -> EstimateResult:
+        """Answer one ε-approximate PER query through the serving layers.
+
+        The result's ``details["source"]`` names the layer that answered:
+        ``"cache"`` and ``"sketch"`` answers carry zero walk/SpMV work.
+        """
+        epsilon = check_positive(epsilon, "epsilon")
+        s, t = check_node_pair(s, t, self.graph.num_nodes)
+        self.stats.requests += 1
+        served = self._layered_answer(s, t, epsilon)
+        if served is not None:
+            return served
+        result = self.engine.query(
+            s, t, epsilon, method=method or self.config.method, **kwargs
+        )
+        result.details.setdefault("source", "engine")
+        return result
+
+    def query_many(
+        self,
+        pairs: Iterable[Sequence[int]],
+        epsilon: float,
+        *,
+        method: Optional[str] = None,
+    ) -> list[EstimateResult]:
+        """Answer a batch: layer hits short-circuit, the rest run as one plan.
+
+        Duplicate pairs (including reversed duplicates — ``r`` is symmetric)
+        among the layer misses execute once and share their result.
+        """
+        epsilon = check_positive(epsilon, "epsilon")
+        validated = check_query_pairs(pairs, self.graph.num_nodes)
+        self.stats.requests += len(validated)
+        results: list[Optional[EstimateResult]] = [None] * len(validated)
+        missed: list[tuple[int, int]] = []
+        missed_indices: dict[tuple[int, int], list[int]] = {}
+        for index, (s, t) in enumerate(validated):
+            served = self._layered_answer(s, t, epsilon)
+            if served is not None:
+                results[index] = served
+                continue
+            key = canonical_pair(s, t)
+            if key not in missed_indices:
+                missed_indices[key] = []
+                missed.append(key)
+            missed_indices[key].append(index)
+        if missed:
+            batch = self.engine.query_many(
+                missed, epsilon, method=method or self.config.method,
+                bucketing=self.config.bucketing,
+            )
+            for key, result in zip(missed, batch):
+                result.details.setdefault("source", "engine")
+                for index in missed_indices[key]:
+                    results[index] = result
+        return list(results)  # type: ignore[arg-type]
+
+    def submit(self, s: int, t: int, epsilon: float) -> PendingQuery:
+        """Buffer one request for micro-batched execution.
+
+        Cache/sketch hits resolve immediately; everything else joins the
+        coalescer's current batch (see
+        :class:`~repro.service.coalesce.RequestCoalescer` for the flush
+        rules).  Engine results reach the cache through the result hook when
+        the batch flushes.
+        """
+        epsilon = check_positive(epsilon, "epsilon")
+        s, t = check_node_pair(s, t, self.graph.num_nodes)
+        self.stats.requests += 1
+        served = self._layered_answer(s, t, epsilon)
+        if served is not None:
+            return PendingQuery.resolved(s, t, epsilon, served)
+        self.stats.coalesced_submissions += 1
+        return self.coalescer.submit(s, t, epsilon)
+
+    def poll(self) -> bool:
+        """Drive the coalescer's deadline: flush when the oldest request expired."""
+        return self._coalescer.poll() if self._coalescer is not None else False
+
+    def flush(self) -> None:
+        """Force-resolve every buffered request."""
+        if self._coalescer is not None:
+            self._coalescer.flush()
+
+    def exact(self, s: int, t: int) -> float:
+        """Ground-truth ``r(s, t)`` via the engine's Laplacian solver."""
+        return self.engine.exact(s, t)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save_artifacts(self, directory=None):
+        """Persist preprocessing (λ, spectral info, sketch) for warm restarts."""
+        target = directory if directory is not None else self.artifact_dir
+        if target is None:
+            raise ValueError("no artifact directory given (argument or artifact_dir)")
+        return artifacts_io.save_artifacts(
+            self.engine.context, target, sketch=self.sketch
+        )
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, dict[str, object]]:
+        """Per-layer counters: service routing, cache, sketch, coalescer, engine."""
+        summary: dict[str, dict[str, object]] = {"service": self.stats.summary()}
+        if self.cache is not None:
+            summary["cache"] = self.cache.stats.summary()
+        if self.sketch is not None:
+            summary["sketch"] = self.sketch.stats.summary()
+        if self._coalescer is not None:
+            summary["coalescer"] = self._coalescer.stats.summary()
+        summary["session"] = self.engine.stats.summary()
+        return summary
+
+    def __repr__(self) -> str:
+        layers = [
+            name
+            for name, active in (
+                ("cache", self.cache is not None),
+                ("sketch", self.sketch is not None),
+                ("coalescer", self._coalescer is not None),
+            )
+            if active
+        ]
+        return (
+            f"{type(self).__name__}(graph={self.graph!r}, method={self.config.method!r}, "
+            f"layers=[{', '.join(layers)}], requests={self.stats.requests}, "
+            f"warm_started={self.warm_started})"
+        )
+
+
+__all__ = ["ServiceConfig", "ServiceStats", "ResistanceService"]

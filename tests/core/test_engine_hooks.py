@@ -1,0 +1,81 @@
+"""Tests for QueryEngine result hooks and session-stats summaries."""
+
+import pytest
+
+from repro.core.engine import QueryEngine, SessionStats
+from repro.graph.generators import barabasi_albert_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(120, 3, rng=1)
+
+
+class TestResultHooks:
+    def test_hook_sees_single_queries(self, graph):
+        engine = QueryEngine(graph, rng=1)
+        seen = []
+        engine.add_result_hook(seen.append)
+        result = engine.query(0, 50, 0.2)
+        assert seen == [result]
+
+    def test_hook_sees_every_batch_result(self, graph):
+        engine = QueryEngine(graph, rng=1)
+        seen = []
+        engine.add_result_hook(seen.append)
+        batch = engine.query_many([(0, 50), (3, 77)], 0.2, method="smm")
+        assert seen == list(batch)
+
+    def test_hooks_run_in_registration_order(self, graph):
+        engine = QueryEngine(graph, rng=1)
+        calls = []
+        engine.add_result_hook(lambda r: calls.append("a"))
+        engine.add_result_hook(lambda r: calls.append("b"))
+        engine.query(0, 50, 0.2)
+        assert calls == ["a", "b"]
+
+    def test_remove_hook(self, graph):
+        engine = QueryEngine(graph, rng=1)
+        seen = []
+        engine.add_result_hook(seen.append)
+        engine.remove_result_hook(seen.append)
+        engine.remove_result_hook(seen.append)  # absent: no-op
+        engine.query(0, 50, 0.2)
+        assert seen == []
+
+    def test_hooks_fire_after_stats_recorded(self, graph):
+        engine = QueryEngine(graph, rng=1)
+        counts = []
+        engine.add_result_hook(lambda r: counts.append(engine.stats.num_queries))
+        engine.query(0, 50, 0.2)
+        assert counts == [1]
+
+
+class TestSessionStatsSummary:
+    def test_empty_session(self):
+        summary = SessionStats().summary()
+        assert summary["queries"] == 0
+        assert summary["steps_per_query"] == 0.0
+
+    def test_summary_tracks_recorded_work(self, graph):
+        engine = QueryEngine(graph, rng=1)
+        engine.query(0, 50, 0.2)
+        engine.query(3, 77, 0.2)
+        summary = engine.stats.summary()
+        assert summary["queries"] == 2
+        assert summary["walk_steps"] == engine.stats.total_steps
+        assert summary["steps_per_query"] == pytest.approx(
+            engine.stats.total_steps / 2, abs=0.1
+        )
+
+    def test_export_preprocessing_round_trips_through_context(self, graph):
+        engine = QueryEngine(graph, rng=1)
+        state = engine.export_preprocessing()
+        assert state["lambda_max_abs"] == engine.lambda_max_abs
+        assert set(state) == {
+            "delta",
+            "num_batches",
+            "lambda_2",
+            "lambda_n",
+            "lambda_max_abs",
+        }

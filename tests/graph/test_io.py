@@ -1,9 +1,60 @@
 """Unit tests for edge-list IO."""
 
+import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.graph.builders import from_edges
 from repro.graph.generators import barabasi_albert_graph
 from repro.graph.io import read_edge_list, write_edge_list
+
+IO_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def arbitrary_graphs(draw, min_nodes=2, max_nodes=30):
+    """Random graphs (not necessarily connected) with at least one edge."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    num_edges = draw(st.integers(1, min(3 * n, n * (n - 1) // 2)))
+    edges = set()
+    while len(edges) < num_edges:
+        u, v = map(int, rng.integers(0, n, size=2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    # Compact the ids so relabel=False reads see exactly the written graph
+    # (ids beyond the last endpoint are not representable in an edge list).
+    used = sorted({v for edge in edges for v in edge})
+    remap = {old: new for new, old in enumerate(used)}
+    return from_edges(
+        sorted((remap[u], remap[v]) for u, v in edges), num_nodes=len(used)
+    )
+
+
+@st.composite
+def messy_edge_files(draw):
+    """A clean graph plus a messy textual rendering of the same edge set."""
+    graph = draw(arbitrary_graphs())
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    lines = []
+    for u, v in graph.edges():
+        lines.append(f"{u} {v}")
+        if rng.random() < 0.3:
+            lines.append(f"{v} {u}")  # reversed duplicate
+        if rng.random() < 0.2:
+            lines.append(f"{u} {v}")  # plain duplicate
+    loops = [f"{v} {v}" for v in rng.integers(0, graph.num_nodes, size=3)]
+    comments = ["# comment", "", "#tight comment"]
+    extras = loops + comments
+    for extra in extras:
+        lines.insert(int(rng.integers(0, len(lines) + 1)), extra)
+    return graph, "\n".join(lines) + "\n"
 
 
 class TestRoundTrip:
@@ -65,3 +116,77 @@ class TestRoundTrip:
         text = path.read_text()
         assert text.startswith("# hello")
         assert f"nodes: {graph.num_nodes}" in text
+
+
+class TestRoundTripHypothesis:
+    """Property tests: write → read is the identity on representable graphs."""
+
+    @IO_SETTINGS
+    @given(graph=arbitrary_graphs())
+    def test_round_trip_identity_both_relabel_modes(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        write_edge_list(graph, path)
+        assert read_edge_list(path, relabel=True) == graph
+        assert read_edge_list(path, relabel=False) == graph
+
+    @IO_SETTINGS
+    @given(data=messy_edge_files())
+    def test_messy_input_reads_as_clean_graph(self, tmp_path_factory, data):
+        # Comments, blank lines, duplicate/reversed edges and self-loops must
+        # all be dropped, leaving exactly the clean edge set.
+        graph, text = data
+        path = tmp_path_factory.mktemp("io") / "messy.txt"
+        path.write_text(text)
+        assert read_edge_list(path) == graph
+
+    @IO_SETTINGS
+    @given(graph=arbitrary_graphs())
+    def test_relabel_of_shifted_ids_recovers_graph(self, tmp_path_factory, graph):
+        # Sparse/shifted id spaces (SNAP-style) compact back to the original.
+        path = tmp_path_factory.mktemp("io") / "shifted.txt"
+        with path.open("w") as handle:
+            for u, v in graph.edges():
+                handle.write(f"{10 * u + 7} {10 * v + 7}\n")
+        assert read_edge_list(path, relabel=True) == graph
+
+
+class TestRoundTripProperties:
+    """Edge cases the hypothesis identity tests above do not cover."""
+
+    def test_round_trip_is_idempotent_on_file_content(self, tmp_path):
+        # Writing what was read reproduces the same edge section bit-for-bit.
+        graph = barabasi_albert_graph(60, 3, rng=4)
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        write_edge_list(graph, first)
+        write_edge_list(read_edge_list(first), second)
+        assert first.read_text() == second.read_text()
+
+    def test_relabel_compacts_sparse_ids_order_preserving(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("5 900\n900 42\n42 5\n")
+        graph = read_edge_list(path, relabel=True)
+        # Sorted original ids 5 < 42 < 900 map to 0, 1, 2.
+        assert graph == from_edges([(0, 2), (2, 1), (1, 0)], num_nodes=3)
+
+    def test_custom_comment_character(self, tmp_path):
+        path = tmp_path / "pct.txt"
+        path.write_text("% header\n0 1\n% middle\n1 2\n")
+        graph = read_edge_list(path, comment="%")
+        assert graph.num_edges == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        # SNAP-style files sometimes carry weights/timestamps; only the first
+        # two columns define the edge.
+        path = tmp_path / "cols.txt"
+        path.write_text("0 1 0.5\n1 2 0.25 extra\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    @pytest.mark.parametrize("relabel", [True, False])
+    def test_round_trip_preserves_degrees(self, relabel, tmp_path):
+        graph = barabasi_albert_graph(80, 4, rng=12)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, relabel=relabel)
+        assert np.array_equal(loaded.degrees, graph.degrees)

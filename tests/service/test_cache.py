@@ -1,0 +1,98 @@
+"""Unit tests for the ε-aware LRU resistance cache."""
+
+import pytest
+
+from repro.service.cache import CacheEntry, ResistanceCache
+
+
+class TestEpsilonDominance:
+    def test_hit_when_cached_epsilon_dominates(self):
+        cache = ResistanceCache()
+        cache.put(3, 7, 0.1, 0.42, "geer")
+        entry = cache.get(3, 7, 0.1)
+        assert entry == CacheEntry(0.42, 0.1, "geer")
+        assert cache.get(3, 7, 0.5).value == 0.42  # looser request: still a hit
+
+    def test_miss_when_request_is_tighter(self):
+        cache = ResistanceCache()
+        cache.put(3, 7, 0.1, 0.42)
+        assert cache.get(3, 7, 0.05) is None
+        assert cache.stats.misses == 1
+
+    def test_symmetric_keys(self):
+        cache = ResistanceCache()
+        cache.put(7, 3, 0.1, 0.42)
+        assert cache.get(3, 7, 0.1).value == 0.42
+        assert (7, 3) in cache and (3, 7) in cache
+
+    def test_tighter_put_refines_entry(self):
+        cache = ResistanceCache()
+        cache.put(1, 2, 0.5, 0.40)
+        assert cache.put(1, 2, 0.1, 0.43) is True
+        assert cache.get(1, 2, 0.2).value == 0.43
+        assert cache.stats.refinements == 1
+
+    def test_looser_put_is_ignored(self):
+        cache = ResistanceCache()
+        cache.put(1, 2, 0.1, 0.43)
+        assert cache.put(1, 2, 0.5, 0.99) is False
+        assert cache.get(1, 2, 0.1).value == 0.43
+
+    def test_zero_epsilon_entry_answers_everything(self):
+        cache = ResistanceCache()
+        cache.put(1, 2, 0.0, 0.5, "exact")
+        assert cache.get(1, 2, 1e-9).value == 0.5
+
+    def test_invalid_epsilon_rejected(self):
+        cache = ResistanceCache()
+        with pytest.raises(ValueError):
+            cache.get(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            cache.put(0, 1, -0.1, 0.5)
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = ResistanceCache(max_entries=2)
+        cache.put(0, 1, 0.1, 1.0)
+        cache.put(0, 2, 0.1, 2.0)
+        cache.get(0, 1, 0.1)  # refresh (0, 1)
+        cache.put(0, 3, 0.1, 3.0)  # evicts (0, 2)
+        assert cache.get(0, 2, 0.1) is None
+        assert cache.get(0, 1, 0.1).value == 1.0
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_dominated_miss_does_not_refresh_recency(self):
+        cache = ResistanceCache(max_entries=2)
+        cache.put(0, 1, 0.1, 1.0)
+        cache.put(0, 2, 0.1, 2.0)
+        cache.get(0, 1, 0.05)  # miss: entry too loose, recency untouched
+        cache.put(0, 3, 0.1, 3.0)  # evicts (0, 1), the least recently used
+        assert cache.get(0, 1, 0.1) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResistanceCache(max_entries=0)
+
+    def test_clear_keeps_stats(self):
+        cache = ResistanceCache()
+        cache.put(0, 1, 0.1, 1.0)
+        cache.get(0, 1, 0.1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestStats:
+    def test_summary_shape(self):
+        cache = ResistanceCache()
+        cache.put(0, 1, 0.1, 1.0)
+        cache.get(0, 1, 0.1)
+        cache.get(0, 2, 0.1)
+        summary = cache.stats.summary()
+        assert summary["lookups"] == 2
+        assert summary["hits"] == 1
+        assert summary["misses"] == 1
+        assert summary["hit_rate"] == 0.5
+        assert summary["insertions"] == 1

@@ -1,0 +1,162 @@
+"""Unit tests for request coalescing: size, deadline and demand flushes."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.graph.generators import barabasi_albert_graph
+from repro.service.coalesce import RequestCoalescer
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(120, 3, rng=9)
+
+
+@pytest.fixture()
+def engine(graph):
+    return QueryEngine(graph, rng=9)
+
+
+class TestSizeFlush:
+    def test_flushes_exactly_at_max_batch(self, engine):
+        coalescer = RequestCoalescer(engine, max_batch=3, method="smm")
+        first = [coalescer.submit(i, 50 + i, 0.2) for i in range(2)]
+        assert not any(p.done for p in first)
+        assert len(coalescer) == 2
+        third = coalescer.submit(2, 52, 0.2)
+        assert third.done and all(p.done for p in first)
+        assert len(coalescer) == 0
+        assert coalescer.stats.size_flushes == 1
+        assert coalescer.stats.flushes == 1
+
+    def test_results_match_direct_engine_queries(self, graph):
+        pairs = [(0, 40), (3, 99), (7, 77)]
+        direct = QueryEngine(graph, rng=4)
+        expected = [direct.query(s, t, 0.2, method="smm").value for s, t in pairs]
+        batched = QueryEngine(graph, rng=4)
+        coalescer = RequestCoalescer(batched, max_batch=3, method="smm")
+        pending = [coalescer.submit(s, t, 0.2) for s, t in pairs]
+        np.testing.assert_allclose(
+            [p.result().value for p in pending], expected, atol=1e-9
+        )
+
+
+class TestDeadlineFlush:
+    def test_flush_on_deadline_at_next_submit(self, engine):
+        clock = FakeClock()
+        coalescer = RequestCoalescer(
+            engine, max_batch=100, max_delay_seconds=0.01, method="smm", clock=clock
+        )
+        first = coalescer.submit(0, 50, 0.2)
+        clock.advance(0.02)
+        second = coalescer.submit(1, 51, 0.2)
+        assert first.done and second.done
+        assert coalescer.stats.deadline_flushes == 1
+
+    def test_poll_flushes_expired_buffer(self, engine):
+        clock = FakeClock()
+        coalescer = RequestCoalescer(
+            engine, max_batch=100, max_delay_seconds=0.01, method="smm", clock=clock
+        )
+        pending = coalescer.submit(0, 50, 0.2)
+        assert coalescer.poll() is False  # deadline not reached yet
+        clock.advance(0.5)
+        assert coalescer.poll() is True
+        assert pending.done
+        assert coalescer.stats.deadline_flushes == 1
+
+    def test_deadline_measured_from_oldest_request(self, engine):
+        clock = FakeClock()
+        coalescer = RequestCoalescer(
+            engine, max_batch=100, max_delay_seconds=0.01, method="smm", clock=clock
+        )
+        coalescer.submit(0, 50, 0.2)
+        clock.advance(0.006)
+        coalescer.submit(1, 51, 0.2)  # young, but the buffer's oldest is 6ms old
+        clock.advance(0.006)
+        third = coalescer.submit(2, 52, 0.2)  # oldest now 12ms > 10ms: flush
+        assert third.done
+        assert coalescer.stats.deadline_flushes == 1
+
+
+class TestDemandFlushAndCoalescing:
+    def test_result_forces_flush(self, engine):
+        coalescer = RequestCoalescer(engine, max_batch=100, method="smm")
+        pending = coalescer.submit(0, 50, 0.2)
+        assert not pending.done
+        value = pending.result()
+        assert pending.done and value.value == pending.result().value
+        assert coalescer.stats.demand_flushes == 1
+
+    def test_duplicate_pairs_execute_once(self, engine):
+        coalescer = RequestCoalescer(engine, max_batch=100, method="smm")
+        a = coalescer.submit(3, 40, 0.2)
+        b = coalescer.submit(40, 3, 0.2)  # reversed duplicate
+        c = coalescer.submit(3, 40, 0.3)  # looser duplicate
+        coalescer.flush()
+        assert a.result().value == b.result().value == c.result().value
+        assert coalescer.stats.executed_pairs == 1
+        assert coalescer.stats.deduplicated == 2
+        assert engine.stats.num_queries == 1
+
+    def test_batch_runs_at_tightest_epsilon(self, engine):
+        coalescer = RequestCoalescer(engine, max_batch=100, method="smm")
+        loose = coalescer.submit(0, 50, 0.5)
+        tight = coalescer.submit(1, 51, 0.05)
+        batch = coalescer.flush()
+        assert batch.epsilon == 0.05
+        assert loose.result().epsilon == tight.result().epsilon == 0.05
+
+    def test_flush_with_empty_buffer_is_noop(self, engine):
+        coalescer = RequestCoalescer(engine, max_batch=4, method="smm")
+        assert coalescer.flush() is None
+        assert coalescer.stats.flushes == 0
+
+
+class TestFlushFailure:
+    def test_failed_batch_settles_every_waiter(self, graph):
+        from repro.core.registry import QueryBudget
+        from repro.exceptions import BudgetExceededError
+
+        # rp at a tiny dimension cap fails when the sketch is built at flush
+        # time — every buffered request must see the error, not just the
+        # submitter whose call triggered the flush.
+        engine = QueryEngine(graph, rng=9, budget=QueryBudget(rp_max_dimension=1))
+        coalescer = RequestCoalescer(engine, max_batch=100, method="rp")
+        first = coalescer.submit(0, 50, 0.1)
+        second = coalescer.submit(1, 51, 0.1)
+        with pytest.raises(BudgetExceededError):
+            coalescer.flush()
+        assert first.done and second.done
+        for pending in (first, second):
+            with pytest.raises(BudgetExceededError):
+                pending.result()
+        assert "failed" in repr(first)
+
+
+class TestValidation:
+    def test_invalid_pair_fails_at_submit(self, engine):
+        coalescer = RequestCoalescer(engine, max_batch=4)
+        with pytest.raises(ValueError):
+            coalescer.submit(0, 10_000, 0.2)
+        with pytest.raises(ValueError):
+            coalescer.submit(0, 5, -1.0)
+        assert len(coalescer) == 0
+
+    def test_invalid_max_batch(self, engine):
+        with pytest.raises(ValueError):
+            RequestCoalescer(engine, max_batch=0)

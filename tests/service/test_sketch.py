@@ -1,0 +1,133 @@
+"""Unit tests for the landmark sketch store: bound validity and exact hits."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.graph.generators import barabasi_albert_graph, dumbbell_graph, grid_graph
+from repro.linalg.solvers import LaplacianSolver
+from repro.service.sketch import LandmarkSketchStore
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(150, 3, rng=5)
+
+
+@pytest.fixture(scope="module")
+def store(graph):
+    return LandmarkSketchStore.build(graph, num_landmarks=6)
+
+
+@pytest.fixture(scope="module")
+def solver(graph):
+    return LaplacianSolver(graph)
+
+
+class TestBoundValidity:
+    def test_envelope_contains_exact_value(self, graph, store, solver):
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            s, t = map(int, rng.choice(graph.num_nodes, size=2, replace=False))
+            exact = solver.effective_resistance(s, t)
+            answer = store.bounds(s, t)
+            assert answer.lower <= exact + 1e-7
+            assert answer.upper >= exact - 1e-7
+            assert answer.lower <= answer.upper
+
+    def test_landmark_queries_are_exact(self, store, solver):
+        for landmark in map(int, store.landmarks):
+            other = 17 if landmark != 17 else 18
+            answer = store.bounds(landmark, other)
+            exact = solver.effective_resistance(landmark, other)
+            assert answer.half_width <= 1e-7
+            assert answer.midpoint == pytest.approx(exact, abs=1e-6)
+
+    def test_same_node_is_zero(self, store):
+        answer = store.bounds(9, 9)
+        assert answer.lower == answer.upper == 0.0
+
+    def test_bounds_on_structured_graphs(self):
+        # A dumbbell stresses the bounds: cross-bar pairs have resistance
+        # dominated by the bridge, which any landmark on either side captures.
+        for graph in (dumbbell_graph(20, 4), grid_graph(6, 6)):
+            store = LandmarkSketchStore.build(graph, num_landmarks=4)
+            solver = LaplacianSolver(graph)
+            rng = np.random.default_rng(3)
+            for _ in range(20):
+                s, t = map(int, rng.choice(graph.num_nodes, size=2, replace=False))
+                exact = solver.effective_resistance(s, t)
+                answer = store.bounds(s, t)
+                assert answer.lower <= exact + 1e-7 <= answer.upper + 2e-7
+
+
+class TestQuery:
+    def test_query_answers_within_epsilon(self, graph, store, solver):
+        rng = np.random.default_rng(2)
+        hits = 0
+        for _ in range(40):
+            s, t = map(int, rng.choice(graph.num_nodes, size=2, replace=False))
+            answer = store.query(s, t, 0.2)
+            if answer is None:
+                continue
+            hits += 1
+            exact = solver.effective_resistance(s, t)
+            assert abs(answer.midpoint - exact) <= 0.2 + 1e-7
+        assert hits > 0  # ε=0.2 is loose enough for a BA graph to hit often
+        assert store.stats.hits == hits
+
+    def test_query_declines_when_gap_too_wide(self, store):
+        # ε below achievable precision for a non-landmark pair: must decline
+        # rather than serve an invalid answer (unless the envelope is exact).
+        non_landmarks = [
+            v for v in range(store.graph.num_nodes) if not store.is_landmark(v)
+        ]
+        s, t = non_landmarks[0], non_landmarks[1]
+        answer = store.bounds(s, t)
+        if answer.half_width > 0:
+            epsilon = answer.half_width / 2
+            assert store.query(s, t, epsilon) is None
+
+
+class TestConstruction:
+    def test_degree_strategy_picks_top_degrees(self, graph):
+        landmarks = LandmarkSketchStore.select_landmarks(graph, 5, strategy="degree")
+        degrees = graph.degrees
+        cutoff = np.sort(degrees)[::-1][4]
+        assert all(degrees[l] >= cutoff for l in landmarks)
+
+    def test_random_strategy_is_seeded(self, graph):
+        a = LandmarkSketchStore.select_landmarks(graph, 5, strategy="random", rng=3)
+        b = LandmarkSketchStore.select_landmarks(graph, 5, strategy="random", rng=3)
+        assert np.array_equal(a, b)
+        assert len(np.unique(a)) == 5
+
+    def test_unknown_strategy_rejected(self, graph):
+        with pytest.raises(ValueError):
+            LandmarkSketchStore.select_landmarks(graph, 5, strategy="bogus")
+
+    def test_num_landmarks_clamped_to_graph(self):
+        graph = grid_graph(2, 2)
+        store = LandmarkSketchStore.build(graph, num_landmarks=50)
+        assert store.num_landmarks == graph.num_nodes
+
+    def test_disconnected_graph_rejected(self):
+        from repro.graph.builders import from_edges
+
+        graph = from_edges([(0, 1), (2, 3)], num_nodes=4)
+        with pytest.raises(GraphStructureError):
+            LandmarkSketchStore.build(graph, num_landmarks=2)
+
+    def test_shape_validation(self, graph):
+        with pytest.raises(ValueError):
+            LandmarkSketchStore(graph, np.array([0, 1]), np.zeros((3, graph.num_nodes)))
+
+    def test_resistances_match_solver(self, graph, store, solver):
+        # Spot-check the stored matrix itself, not just the bounds it implies.
+        for i, landmark in enumerate(map(int, store.landmarks[:3])):
+            for v in (10, 77, 149):
+                if v == landmark:
+                    continue
+                assert store.resistances[i, v] == pytest.approx(
+                    solver.effective_resistance(landmark, v), abs=1e-6
+                )

@@ -122,6 +122,24 @@ class TestMethodsCommand:
         output = capsys.readouterr().out
         assert "degree buckets" in output
 
+    def test_query_batch_prints_session_stats(self, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--dataset",
+                "facebook-tiny",
+                "--epsilon",
+                "0.4",
+                "--batch",
+                "0,5",
+                "3,17",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "session stats" in output
+        assert "walk_steps" in output and "spmv_operations" in output
+
     def test_query_without_pairs_errors(self):
         with pytest.raises(SystemExit):
             main(["query", "--dataset", "facebook-tiny"])
@@ -152,6 +170,118 @@ class TestMethodsCommand:
                     non_edge,
                 ]
             )
+
+
+class TestWarmCommand:
+    def test_warm_writes_artifacts(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        exit_code = main(
+            [
+                "warm",
+                "--dataset",
+                "facebook-tiny",
+                "--artifacts",
+                str(artifacts),
+                "--landmarks",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "lambda=" in output
+        assert "4 landmarks" in output
+        assert (artifacts / "manifest.json").is_file()
+        assert (artifacts / "sketch.npz").is_file()
+
+    def test_warm_no_sketch(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        exit_code = main(
+            [
+                "warm",
+                "--dataset",
+                "facebook-tiny",
+                "--artifacts",
+                str(artifacts),
+                "--no-sketch",
+            ]
+        )
+        assert exit_code == 0
+        assert (artifacts / "manifest.json").is_file()
+        assert not (artifacts / "sketch.npz").exists()
+
+
+class TestServeCommand:
+    def test_serve_repeats_hit_the_cache(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--dataset",
+                "facebook-tiny",
+                "--epsilon",
+                "0.3",
+                "--repeat",
+                "2",
+                "0,5",
+                "3,17",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cold start" in output
+        assert "cache" in output
+        assert "service stats" in output and "session stats" in output
+
+    def test_serve_warm_start_from_artifacts(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        assert main(["warm", "--dataset", "facebook-tiny", "--artifacts", str(artifacts)]) == 0
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "serve",
+                "--dataset",
+                "facebook-tiny",
+                "--artifacts",
+                str(artifacts),
+                "0,5",
+            ]
+        )
+        assert exit_code == 0
+        assert "warm (artifacts) start" in capsys.readouterr().out
+
+    def test_serve_cold_run_saves_artifacts(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        exit_code = main(
+            [
+                "serve",
+                "--dataset",
+                "facebook-tiny",
+                "--artifacts",
+                str(artifacts),
+                "0,5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "next start will be warm" in output
+        assert (artifacts / "manifest.json").is_file()
+
+    def test_serve_without_pairs_errors(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--dataset", "facebook-tiny"])
+
+    def test_serve_stale_artifacts_exit_cleanly(self, tmp_path, edge_list_file):
+        # Artifacts built for facebook-tiny must be rejected for another graph
+        # with a CLI error, not a traceback.
+        artifacts = tmp_path / "artifacts"
+        assert main(["warm", "--dataset", "facebook-tiny", "--artifacts", str(artifacts)]) == 0
+        from repro.experiments.datasets import load_dataset
+        from repro.graph.io import write_edge_list
+
+        graph = load_dataset("facebook-tiny")
+        other = tmp_path / "other.txt"
+        write_edge_list(graph.remove_edges([next(graph.edges())]), other)
+        with pytest.raises(SystemExit, match="different graph"):
+            main(["serve", "--edge-list", str(other), "--artifacts", str(artifacts), "0,5"])
 
 
 class TestSweepCommand:
