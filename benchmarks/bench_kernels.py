@@ -5,20 +5,257 @@ hot kernels with full statistical repetition: the vectorised walk kernel, the
 SMM sparse mat-vec iteration, Wilson's spanning-tree sampler, the Laplacian CG
 solve and a single GEER query.  They are the ablation evidence for the
 "vectorised walk kernel" design choice called out in DESIGN.md.
+
+Two comparison benchmarks additionally start the repo's **machine-readable
+perf record**: :func:`test_fused_vs_materialised_scoring` pits the fused
+``walk_scores`` kernel against a faithful replica of the historical
+materialise-then-score path (bit-identical results, so the comparison is pure
+speed), and :func:`test_parallel_batch_execution` measures a 100-query GEER
+batch serial vs ``workers > 1``.  Both write their measurements into
+``benchmarks/results/BENCH_kernels.json`` so future PRs can track the
+trajectory.  Set ``REPRO_BENCH_QUICK=1`` (as CI does) for a smaller, faster
+workload; the JSON records which mode produced it.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+import tracemalloc
+
+import numpy as np
 import pytest
 
+from conftest import RESULTS_DIR
+from repro.core.engine import QueryEngine
 from repro.core.estimator import EffectiveResistanceEstimator
+from repro.core.registry import resolve_method
 from repro.core.smm import SMMState
 from repro.experiments.datasets import load_dataset
+from repro.experiments.queries import random_query_set
+from repro.graph.generators import barabasi_albert_graph
 from repro.linalg.solvers import LaplacianSolver
 from repro.sampling.spanning_tree import wilson_spanning_tree
 from repro.sampling.walks import RandomWalkEngine
 
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+JSON_PATH = RESULTS_DIR / "BENCH_kernels.json"
 
+# Fused-kernel workload: the huge-η*, long-ℓ regime of Figs. 8-9 (small ε),
+# where the materialised path's (η, ℓ) buffers dwarf the fused kernel's
+# 128-column score blocks.  Quick mode shrinks η for CI runners.
+FUSED_ETA = 40_000 if QUICK else 150_000
+FUSED_LENGTH = 160
+FUSED_CHUNK = 8_192 if QUICK else 16_384
+FUSED_REPEATS = 2 if QUICK else 3
+
+PARALLEL_PAIRS = 50 if QUICK else 100
+PARALLEL_EPSILON = 0.1
+PARALLEL_WORKERS = min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) > 1 else 2
+
+
+def _update_json(section: str, payload: dict) -> None:
+    """Merge one benchmark section into BENCH_kernels.json."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    record: dict = {}
+    if JSON_PATH.exists():
+        try:
+            record = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            record = {}
+    record["benchmark"] = "kernels"
+    record["mode"] = "quick" if QUICK else "full"
+    record["available_cpus"] = os.cpu_count() or 1
+    record[section] = payload
+    JSON_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\n[BENCH_kernels.json::{section}] {json.dumps(payload, sort_keys=True)}")
+
+
+# --------------------------------------------------------------------------- #
+# historical (pre-fused-kernel) reference path
+# --------------------------------------------------------------------------- #
+def _materialised_step(rng, indptr, indices, nodes):
+    """Replica of the historical per-step kernel: degrees re-derived from
+    ``indptr`` and the isolated-node guard re-run on every step."""
+    starts = indptr[nodes]
+    degrees = indptr[nodes + 1] - starts
+    if np.any(degrees == 0):
+        raise ValueError("isolated node")
+    offsets = np.floor(rng.random(len(nodes)) * degrees).astype(np.int64)
+    np.minimum(offsets, degrees - 1, out=offsets)
+    return indices[starts + offsets]
+
+
+def _materialised_scores(graph, start, num_walks, length, weights, seed):
+    """The historical AMC scoring path: materialise the full (η, ℓ) walk
+    matrix, then gather and pairwise-sum the visited weights."""
+    rng = np.random.default_rng(seed)
+    visits = np.empty((num_walks, length), dtype=np.int64)
+    current = np.full(num_walks, start, dtype=np.int64)
+    for i in range(length):
+        current = np.asarray(current, dtype=np.int64)
+        current = _materialised_step(rng, graph.indptr, graph.indices, current)
+        visits[:, i] = current
+    return weights[visits].sum(axis=1)
+
+
+def _best_of(repeats, fn):
+    """Min-of-N wall-clock (the standard noise filter for micro-benchmarks)."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _peak_bytes(fn):
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak)
+
+
+# --------------------------------------------------------------------------- #
+# comparison benchmarks (write BENCH_kernels.json)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def big_graph():
+    return barabasi_albert_graph(5000, 8, rng=1)
+
+
+def test_fused_vs_materialised_scoring(big_graph):
+    """Fused ``walk_scores`` vs the historical materialise-then-score path.
+
+    Bit-identity is asserted (same draws, same pairwise summation tree), so
+    the timing comparison is apples-to-apples; the chunked driver is measured
+    too, with ``tracemalloc`` peaks showing its memory bound.
+    """
+    weights = np.random.default_rng(2).random(big_graph.num_nodes)
+    seed = 5
+
+    mat_seconds, mat_scores = _best_of(
+        FUSED_REPEATS,
+        lambda: _materialised_scores(
+            big_graph, 0, FUSED_ETA, FUSED_LENGTH, weights, seed
+        ),
+    )
+    fused_seconds, fused_scores = _best_of(
+        FUSED_REPEATS,
+        lambda: RandomWalkEngine(big_graph, rng=seed).walk_scores(
+            0, FUSED_ETA, FUSED_LENGTH, weights
+        ),
+    )
+    chunked_seconds, chunked_scores = _best_of(
+        FUSED_REPEATS,
+        lambda: RandomWalkEngine(big_graph, rng=seed).walk_scores(
+            0, FUSED_ETA, FUSED_LENGTH, weights, chunk_size=FUSED_CHUNK
+        ),
+    )
+    assert np.array_equal(mat_scores, fused_scores), "fused kernel diverged"
+    assert np.array_equal(mat_scores, chunked_scores), "chunked kernel diverged"
+
+    peak_materialised = _peak_bytes(
+        lambda: _materialised_scores(big_graph, 0, FUSED_ETA, FUSED_LENGTH, weights, seed)
+    )
+    peak_chunked = _peak_bytes(
+        lambda: RandomWalkEngine(big_graph, rng=seed).walk_scores(
+            0, FUSED_ETA, FUSED_LENGTH, weights, chunk_size=FUSED_CHUNK
+        )
+    )
+
+    _update_json(
+        "fused_walk_scores",
+        {
+            "eta": FUSED_ETA,
+            "length": FUSED_LENGTH,
+            "chunk_size": FUSED_CHUNK,
+            "repeats": FUSED_REPEATS,
+            "materialised_seconds": round(mat_seconds, 4),
+            "fused_seconds": round(fused_seconds, 4),
+            "fused_chunked_seconds": round(chunked_seconds, 4),
+            "speedup_fused": round(mat_seconds / fused_seconds, 2),
+            "speedup_fused_chunked": round(mat_seconds / chunked_seconds, 2),
+            "bit_identical": True,
+            # The materialised path holds the (η, ℓ) int64 visit matrix plus
+            # the (η, ℓ) float gather; the chunked kernel's walk buffer is
+            # bounded by chunk_size · min(ℓ, 128) floats regardless of η.
+            "walk_buffer_bytes_materialised": FUSED_ETA * FUSED_LENGTH * 8,
+            "walk_buffer_bytes_chunked": FUSED_CHUNK * min(FUSED_LENGTH, 128) * 8,
+            "tracemalloc_peak_bytes_materialised": peak_materialised,
+            "tracemalloc_peak_bytes_chunked": peak_chunked,
+        },
+    )
+    # the chunked walk buffer must stay bounded by the chunk size, not η
+    assert peak_chunked < peak_materialised
+
+
+def test_parallel_batch_execution():
+    """A 100-query GEER batch: sequential vs ``workers > 1`` pool execution.
+
+    Sequential (``workers=1``) replays the per-pair session stream
+    bit-for-bit; the parallel run uses per-query derived streams and must be
+    identical across worker counts (asserted here across 2 vs 3 workers).
+    """
+    graph = barabasi_albert_graph(2000, 8, rng=23)
+    pairs = list(random_query_set(graph, PARALLEL_PAIRS, rng=23))
+
+    serial_engine = QueryEngine(graph, rng=23)
+    serial_engine.context.prepare_for(resolve_method("geer"), PARALLEL_EPSILON)
+    start = time.perf_counter()
+    serial = serial_engine.query_many(pairs, PARALLEL_EPSILON, method="geer")
+    serial_seconds = time.perf_counter() - start
+
+    parallel_engine = QueryEngine(graph, rng=23)
+    parallel_engine.context.lambda_max_abs  # preprocessing outside the timed region
+    parallel_engine.context.transition
+    start = time.perf_counter()
+    parallel = parallel_engine.query_many(
+        pairs, PARALLEL_EPSILON, method="geer", workers=PARALLEL_WORKERS
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    check_engine = QueryEngine(graph, rng=23)
+    check = check_engine.query_many(
+        pairs,
+        PARALLEL_EPSILON,
+        method="geer",
+        workers=PARALLEL_WORKERS + 1,
+        executor="thread",
+    )
+    assert np.array_equal(parallel.values, check.values), (
+        "parallel results must not depend on worker count or executor kind"
+    )
+    truth = QueryEngine(graph, rng=23)
+    errors = [
+        abs(r.value - truth.exact(r.s, r.t)) for r in list(parallel)[: 10]
+    ]
+    assert max(errors) <= PARALLEL_EPSILON, "parallel estimates broke the ε guarantee"
+
+    payload = {
+        "pairs": PARALLEL_PAIRS,
+        "method": "geer",
+        "epsilon": PARALLEL_EPSILON,
+        "workers": PARALLEL_WORKERS,
+        "executor": parallel.executor,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "deterministic_across_worker_counts": True,
+    }
+    if (os.cpu_count() or 1) <= 1:
+        payload["note"] = (
+            "single-CPU host: pool overhead dominates and no wall-clock gain "
+            "is possible; rerun on a multi-core machine for the speedup"
+        )
+    _update_json("parallel_batch", payload)
+
+
+# --------------------------------------------------------------------------- #
+# micro-benchmarks (pytest-benchmark statistics; no JSON)
+# --------------------------------------------------------------------------- #
 @pytest.fixture(scope="module")
 def graph():
     return load_dataset("facebook-syn")
@@ -35,6 +272,13 @@ def test_kernel_vectorised_walks(benchmark, graph):
     """500 walks of 20 steps advanced in lock-step (one CSR gather per step)."""
     engine = RandomWalkEngine(graph, rng=1)
     benchmark(engine.walk_matrix, 0, 500, 20)
+
+
+def test_kernel_fused_walk_scores(benchmark, graph):
+    """The same 500 x 20-step workload through the fused scoring kernel."""
+    engine = RandomWalkEngine(graph, rng=1)
+    weights = np.random.default_rng(4).random(graph.num_nodes)
+    benchmark(engine.walk_scores, 0, 500, 20, weights)
 
 
 def test_kernel_python_reference_walks(benchmark, graph):

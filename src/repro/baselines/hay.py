@@ -99,6 +99,7 @@ register_method(
     "hay",
     description="Uniform-spanning-tree sampling (Wilson walks) for edge queries",
     kind="edge",
+    parallel_seed="rng",
     func=_hay_registry_query,
 )
 

@@ -49,6 +49,7 @@ def mc_query(
     delta: float = 0.01,
     gamma: Optional[float] = None,
     rng: RngLike = None,
+    engine: Optional[RandomWalkEngine] = None,
     num_walks: Optional[int] = None,
     max_steps_per_walk: Optional[int] = None,
     max_total_steps: Optional[int] = None,
@@ -62,6 +63,10 @@ def mc_query(
         to 1 (always valid when ``(s, t)`` share an edge; a loose but common
         default otherwise — the worst-case bound ``n³/2m`` in the paper is
         never practical).
+    engine:
+        Optional shared :class:`RandomWalkEngine` (lets a sweep reuse one RNG
+        stream and the precomputed degree metadata instead of rebuilding an
+        engine per query).
     num_walks:
         Explicit override of the walk budget.
     max_steps_per_walk / max_total_steps:
@@ -84,7 +89,9 @@ def mc_query(
             num_walks = mc_walk_budget(deg_s, gamma, epsilon, delta)
         if max_steps_per_walk is None:
             max_steps_per_walk = 50 * graph.num_edges
-        engine = RandomWalkEngine(graph, rng=rng)
+        if engine is None:
+            engine = RandomWalkEngine(graph, rng=rng)
+        start_steps = engine.total_steps
 
         # All tours are simulated in lock-step: one batch of hitting walks
         # s -> t, one batch t -> s; tour length = sum of the two legs.
@@ -119,7 +126,7 @@ def mc_query(
         t=t,
         epsilon=epsilon,
         num_walks=completed,
-        total_steps=engine.total_steps,
+        total_steps=engine.total_steps - start_steps,
         elapsed_seconds=timer.elapsed,
         budget_exhausted=truncated,
         details={"requested_walks": num_walks, "gamma": gamma},
@@ -136,13 +143,17 @@ def _mc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> Est
         cap = context.budget.mc_max_walks
         kwargs["num_walks"] = walks if cap is None else min(cap, walks)
     kwargs.setdefault("delta", context.delta)
-    kwargs.setdefault("rng", context.rng)
+    if "rng" not in kwargs:
+        # A caller-supplied rng still gets its own fresh engine; otherwise the
+        # context's engine (and its precomputed degree metadata) is shared.
+        kwargs.setdefault("engine", context.engine)
     return mc_query(context.graph, s, t, epsilon=epsilon, **kwargs)
 
 
 register_method(
     "mc",
     description="Commute-time Monte Carlo: average s→t→s tour lengths over 2m",
+    parallel_seed="engine",
     func=_mc_registry_query,
 )
 

@@ -44,6 +44,7 @@ def mc2_query(
     delta: float = 0.01,
     gamma: Optional[float] = None,
     rng: RngLike = None,
+    engine: Optional[RandomWalkEngine] = None,
     num_walks: Optional[int] = None,
     max_steps_per_walk: Optional[int] = None,
     max_total_steps: Optional[int] = None,
@@ -73,7 +74,9 @@ def mc2_query(
             num_walks = mc2_walk_budget(epsilon, delta, gamma)
         if max_steps_per_walk is None:
             max_steps_per_walk = 20 * graph.num_edges
-        engine = RandomWalkEngine(graph, rng=rng)
+        if engine is None:
+            engine = RandomWalkEngine(graph, rng=rng)
+        start_steps = engine.total_steps
 
         truncated = False
         if max_total_steps is not None:
@@ -99,7 +102,7 @@ def mc2_query(
         t=t,
         epsilon=epsilon,
         num_walks=completed,
-        total_steps=engine.total_steps,
+        total_steps=engine.total_steps - start_steps,
         elapsed_seconds=timer.elapsed,
         budget_exhausted=truncated,
         details={"requested_walks": num_walks, "gamma": gamma},
@@ -116,7 +119,8 @@ def _mc2_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> Es
         kwargs["num_walks"] = walks if cap is None else min(cap, walks)
     kwargs.setdefault("max_total_steps", context.budget.max_total_steps)
     kwargs.setdefault("delta", context.delta)
-    kwargs.setdefault("rng", context.rng)
+    if "rng" not in kwargs:
+        kwargs.setdefault("engine", context.engine)
     return mc2_query(context.graph, s, t, epsilon=epsilon, **kwargs)
 
 
@@ -124,6 +128,7 @@ register_method(
     "mc2",
     description="Edge-query Monte Carlo: first-visit probability of the edge (s, t)",
     kind="edge",
+    parallel_seed="engine",
     func=_mc2_registry_query,
 )
 

@@ -155,7 +155,8 @@ def _tp_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> Est
     kwargs.setdefault("budget_scale", context.budget.tp_budget_scale)
     kwargs.setdefault("max_seconds", context.budget.baseline_max_seconds)
     kwargs.setdefault("delta", context.delta)
-    kwargs.setdefault("rng", context.rng)
+    if "rng" not in kwargs:
+        kwargs.setdefault("engine", context.engine)
     return tp_query(
         context.graph, s, t, epsilon=epsilon, lambda_max_abs=context.lambda_max_abs, **kwargs
     )
@@ -166,6 +167,7 @@ register_method(
     description="Peng et al. truncated-walk Monte Carlo (per-length Hoeffding budget)",
     walk_length_param="walk_length",
     walk_length_kind="peng",
+    parallel_seed="engine",
     func=_tp_registry_query,
 )
 

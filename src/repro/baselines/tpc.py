@@ -173,7 +173,8 @@ def _tpc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> Es
     kwargs.setdefault("budget_scale", context.budget.tpc_budget_scale)
     kwargs.setdefault("max_seconds", context.budget.baseline_max_seconds)
     kwargs.setdefault("delta", context.delta)
-    kwargs.setdefault("rng", context.rng)
+    if "rng" not in kwargs:
+        kwargs.setdefault("engine", context.engine)
     return tpc_query(
         context.graph, s, t, epsilon=epsilon, lambda_max_abs=context.lambda_max_abs, **kwargs
     )
@@ -184,6 +185,7 @@ register_method(
     description="Collision variant of TP: half-length walks, endpoint histograms",
     walk_length_param="walk_length",
     walk_length_kind="peng",
+    parallel_seed="engine",
     func=_tpc_registry_query,
 )
 

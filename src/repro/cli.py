@@ -119,7 +119,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     rows = []
     try:
         if args.batch:
-            batch = engine.query_many(pairs, args.epsilon, method=args.method)
+            batch = engine.query_many(
+                pairs, args.epsilon, method=args.method, workers=args.workers
+            )
             results = list(batch)
         else:
             results = [
@@ -148,7 +150,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(
             f"batch: {len(batch)} pairs in {batch.num_buckets} degree buckets, "
             f"{batch.walk_length_computations} walk-length computations, "
-            f"{batch.elapsed_seconds * 1000.0:.2f} ms total"
+            f"{batch.elapsed_seconds * 1000.0:.2f} ms total "
+            f"({batch.executor}, workers={batch.workers})"
         )
         print(format_table([engine.stats.summary()], title="session stats"))
     return 0
@@ -198,6 +201,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         use_sketch=not args.no_sketch,
         num_landmarks=args.landmarks,
+        workers=args.workers,
     )
     try:
         service = ResistanceService(
@@ -289,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch",
         action="store_true",
         help="plan and execute all pairs as one degree-bucketed batch",
+    )
+    query_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for --batch execution (default: 1 = sequential, "
+        "bit-identical to per-pair queries; >1 = parallel pool with one "
+        "deterministic derived stream per query)",
     )
     query_parser.add_argument(
         "--exact",
@@ -383,6 +395,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--landmarks", type=int, default=8, help="number of landmark nodes (default: 8)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for engine batches behind the serving layers "
+        "(default: 1)",
     )
     serve_parser.add_argument(
         "--no-cache", action="store_true", help="disable the answer cache"

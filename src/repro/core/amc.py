@@ -77,6 +77,7 @@ def amc_estimate(
     rng: RngLike = None,
     engine: Optional[RandomWalkEngine] = None,
     max_total_steps: Optional[int] = None,
+    walk_chunk_size: Optional[int] = None,
 ) -> AMCResult:
     """Algorithm 1: adaptively estimate ``q(s, t)`` with truncated random walks.
 
@@ -107,6 +108,12 @@ def amc_estimate(
         sweeps can include configurations whose faithful cost would be
         excessive.  When the cap triggers, ``budget_exhausted`` is set and the
         ε guarantee no longer holds.
+    walk_chunk_size:
+        Optional bound on the number of walks simulated simultaneously by the
+        fused scoring kernel (see
+        :meth:`~repro.sampling.walks.RandomWalkEngine.walk_scores`).  Chunking
+        bounds peak memory in the huge ``η*`` regimes and is bit-identical to
+        the unchunked kernel under the same seed.
 
     Returns
     -------
@@ -176,9 +183,16 @@ def amc_estimate(
             if allowed < eta_batch:
                 eta_batch = int(allowed)
                 budget_exhausted = True
-        walks_s = engine.walk_matrix(s, eta_batch, walk_length)
-        walks_t = engine.walk_matrix(t, eta_batch, walk_length)
-        scores = weights[walks_s].sum(axis=1) - weights[walks_t].sum(axis=1)
+        # Fused stepping + scoring: never materialises the (η, ℓ) walk
+        # matrices, yet is bit-identical to scoring them (same draw sequence,
+        # same pairwise summation tree — see RandomWalkEngine.walk_scores).
+        scores_s = engine.walk_scores(
+            s, eta_batch, walk_length, weights, chunk_size=walk_chunk_size
+        )
+        scores_t = engine.walk_scores(
+            t, eta_batch, walk_length, weights, chunk_size=walk_chunk_size
+        )
+        scores = scores_s - scores_t
         total_steps += 2 * eta_batch * walk_length
         total_walks = 2 * eta_batch
         batches_run += 1
@@ -220,6 +234,7 @@ def amc_query(
     engine: Optional[RandomWalkEngine] = None,
     walk_length: Optional[int] = None,
     max_total_steps: Optional[int] = None,
+    walk_chunk_size: Optional[int] = None,
 ) -> EstimateResult:
     """Answer an ε-approximate PER query with plain AMC (Theorem 3.4).
 
@@ -252,6 +267,7 @@ def amc_query(
             rng=rng,
             engine=engine,
             max_total_steps=max_total_steps,
+            walk_chunk_size=walk_chunk_size,
         )
         value = core.value + (1.0 / deg_s + 1.0 / deg_t)
     return EstimateResult(
@@ -280,6 +296,8 @@ def amc_query(
 # --------------------------------------------------------------------------- #
 def _amc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
     kwargs.setdefault("max_total_steps", context.budget.max_total_steps)
+    kwargs.setdefault("walk_chunk_size", context.budget.walk_chunk_size)
+    kwargs.setdefault("engine", context.engine)
     return amc_query(
         context.graph,
         s,
@@ -288,7 +306,6 @@ def _amc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> Es
         lambda_max_abs=context.lambda_max_abs,
         num_batches=context.num_batches,
         delta=context.delta,
-        engine=context.engine,
         **kwargs,
     )
 
@@ -298,6 +315,7 @@ register_method(
     description="Algorithm 1: adaptive Monte Carlo over truncated walks (refined ℓ)",
     walk_length_param="walk_length",
     walk_length_kind="refined",
+    parallel_seed="engine",
     func=_amc_registry_query,
 )
 

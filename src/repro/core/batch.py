@@ -17,15 +17,27 @@ before executing it:
    matrix and advanced with a single sparse multiply per iteration, turning
    ``2k`` SpMVs into one SpMM.
 
-Randomised methods (GEER, AMC, MC, …) execute in input order against the
-context's shared generator, so a plan produces *exactly* the same values as a
-per-pair loop over ``estimate`` under the same seed — batching changes the
-bookkeeping, never the estimates.
+Execution comes in two modes with two distinct determinism contracts
+(documented in DESIGN.md):
+
+* ``workers=1`` (default): randomised methods execute in input order against
+  the context's shared generator, so a plan produces *exactly* the same
+  values as a per-pair loop over ``estimate`` under the same seed — batching
+  changes the bookkeeping, never the estimates.
+* ``workers>1``: queries fan out over a thread or process pool.  Each query
+  runs against its **own deterministic random stream**, derived from the
+  session generator and the query's position via
+  :func:`~repro.utils.rng.derive_seed`, so a parallel batch is reproducible
+  for a fixed seed — and identical across worker counts and executor kinds —
+  but deliberately does *not* replay the sequential stream (interleaving a
+  single generator across workers would make results scheduling-dependent).
 """
 
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
@@ -33,6 +45,8 @@ import numpy as np
 
 from repro.core.registry import MethodSpec, QueryContext, resolve_method
 from repro.core.result import EstimateResult
+from repro.sampling.walks import RandomWalkEngine
+from repro.utils.rng import derive_seed
 from repro.utils.timing import Timer
 from repro.utils.validation import check_positive, check_query_pairs
 
@@ -78,6 +92,8 @@ class BatchResult:
     walk_length_computations: int
     elapsed_seconds: float
     bucketing: str
+    workers: int = 1
+    executor: str = "serial"
 
     # -- sequence protocol ------------------------------------------------ #
     def __len__(self) -> int:
@@ -137,6 +153,8 @@ class BatchResult:
             "total_steps": self.total_steps,
             "spmv_operations": self.spmv_operations,
             "elapsed_seconds": self.elapsed_seconds,
+            "workers": self.workers,
+            "executor": self.executor,
         }
 
 
@@ -274,42 +292,75 @@ class QueryPlan:
         *,
         vectorize: bool = True,
         max_batch_columns: int = 256,
+        workers: int = 1,
+        executor: str = "auto",
         **kwargs: Any,
     ) -> BatchResult:
         """Run every query in the plan and return an aggregate result.
 
-        Randomised methods execute in input order against the context's shared
-        generator (reproducible against a per-pair loop under the same seed);
-        the precomputed bucket walk length is injected through the method's
-        ``walk_length_param``.  SMM executes bucket-wise with multi-column
-        propagation when ``vectorize`` is true (deterministic, so ordering is
-        irrelevant); extra ``kwargs`` fall back to the scalar path.
+        With ``workers=1`` (default) randomised methods execute in input order
+        against the context's shared generator (bit-for-bit reproducible
+        against a per-pair loop under the same seed); the precomputed bucket
+        walk length is injected through the method's ``walk_length_param``.
+        SMM executes bucket-wise with multi-column propagation when
+        ``vectorize`` is true (deterministic, so ordering is irrelevant);
+        extra ``kwargs`` fall back to the scalar path.
+
+        With ``workers>1`` queries fan out over a pool.  Every query gets a
+        private random stream derived deterministically from the session
+        generator and its input position, so a parallel batch is reproducible
+        for a fixed seed — and produces the same values for any worker count
+        or executor kind — but follows a different stream than sequential
+        execution (the *own-stream* contract; see DESIGN.md).  ``executor``
+        selects ``"thread"``, ``"process"`` or ``"auto"`` (processes where
+        ``fork`` is available and the method is process-safe, else threads).
         """
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in ("auto", "thread", "process"):
+            raise ValueError(
+                f"executor must be 'auto', 'thread' or 'process', got {executor!r}"
+            )
         timer = Timer()
         results: list[Optional[EstimateResult]] = [None] * len(self._pairs)
-        with timer:
-            if vectorize and self.spec.name == "smm" and not kwargs:
-                for bucket in self._buckets:
-                    bucket_pairs = [self._pairs[i] for i in bucket.indices]
-                    bucket_results = _execute_smm_bucket_vectorized(
-                        self.context,
-                        bucket_pairs,
-                        int(bucket.walk_length or 0),
-                        self.epsilon,
-                        max_batch_columns=max_batch_columns,
-                    )
-                    for index, result in zip(bucket.indices, bucket_results):
-                        results[index] = result
-            else:
-                param = self.spec.walk_length_param
-                for index, (s, t) in enumerate(self._pairs):
-                    call_kwargs = dict(kwargs)
-                    length = self._lengths[index]
-                    if param is not None and length is not None and param not in call_kwargs:
-                        call_kwargs[param] = length
-                    results[index] = self.spec(
-                        self.context, s, t, self.epsilon, **call_kwargs
-                    )
+        vectorized_smm = vectorize and self.spec.name == "smm" and not kwargs
+        if workers == 1:
+            executor_used = "serial"
+            with timer:
+                if vectorized_smm:
+                    for bucket in self._buckets:
+                        bucket_pairs = [self._pairs[i] for i in bucket.indices]
+                        bucket_results = _execute_smm_bucket_vectorized(
+                            self.context,
+                            bucket_pairs,
+                            int(bucket.walk_length or 0),
+                            self.epsilon,
+                            max_batch_columns=max_batch_columns,
+                        )
+                        for index, result in zip(bucket.indices, bucket_results):
+                            results[index] = result
+                else:
+                    param = self.spec.walk_length_param
+                    for index, (s, t) in enumerate(self._pairs):
+                        call_kwargs = dict(kwargs)
+                        length = self._lengths[index]
+                        if param is not None and length is not None and param not in call_kwargs:
+                            call_kwargs[param] = length
+                        results[index] = self.spec(
+                            self.context, s, t, self.epsilon, **call_kwargs
+                        )
+        else:
+            executor_used = self._resolve_executor(executor)
+            with timer:
+                self._execute_parallel(
+                    results,
+                    workers=workers,
+                    executor=executor_used,
+                    vectorized_smm=vectorized_smm,
+                    max_batch_columns=max_batch_columns,
+                    kwargs=kwargs,
+                )
         return BatchResult(
             method=self.spec.name,
             epsilon=self.epsilon,
@@ -318,7 +369,220 @@ class QueryPlan:
             walk_length_computations=self.walk_length_computations,
             elapsed_seconds=timer.elapsed,
             bucketing=self.bucketing,
+            workers=workers,
+            executor=executor_used,
         )
+
+    # ------------------------------------------------------------------ #
+    # parallel execution
+    # ------------------------------------------------------------------ #
+    #: Methods that must not run on a process pool: RP answers from a sketch
+    #: drawn lazily from the *session* stream — per-worker rebuilds would
+    #: silently change (and de-determinise) the answers.
+    _PROCESS_UNSAFE = frozenset({"rp"})
+
+    def _resolve_executor(self, executor: str) -> str:
+        if executor == "process" and self.spec.name in self._PROCESS_UNSAFE:
+            raise ValueError(
+                f"method {self.spec.name!r} cannot run on a process pool "
+                "(its shared sketch lives in the session context); use threads"
+            )
+        if executor != "auto":
+            return executor
+        if self.spec.name in self._PROCESS_UNSAFE or not hasattr(os, "fork"):
+            return "thread"
+        return "process"
+
+    def _parallel_tasks(
+        self, kwargs: dict[str, Any]
+    ) -> list[tuple[int, int, int, Optional[int], Optional[int], dict[str, Any]]]:
+        """One ``(index, s, t, walk_length, seed, kwargs)`` tuple per query.
+
+        Seeds are derived from the session generator and the query index, so
+        they depend on the seed and the input order only — never on worker
+        count, scheduling or executor kind.  Deriving the base consumes one
+        draw from the session stream (documented in DESIGN.md).
+        """
+        seeded = self.spec.parallel_seed is not None
+        if seeded and ("engine" in kwargs or "rng" in kwargs):
+            raise ValueError(
+                "cannot combine workers > 1 with an explicit engine/rng kwarg: "
+                "parallel queries each need a private random stream"
+            )
+        # Deterministic methods consume nothing from the session stream — only
+        # seeded methods pay the one base draw.
+        base_seed = int(self.context.rng.integers(0, 2**62)) if seeded else None
+        param = self.spec.walk_length_param
+        tasks = []
+        for index, (s, t) in enumerate(self._pairs):
+            length = self._lengths[index] if param is not None else None
+            seed = derive_seed(base_seed, index, s, t) if seeded else None
+            tasks.append((index, s, t, length, seed, kwargs))
+        return tasks
+
+    def _execute_parallel(
+        self,
+        results: list[Optional[EstimateResult]],
+        *,
+        workers: int,
+        executor: str,
+        vectorized_smm: bool,
+        max_batch_columns: int,
+        kwargs: dict[str, Any],
+    ) -> None:
+        # Build every shared artefact up front so pool workers only read the
+        # context (and a process pool inherits/receives finished state).
+        self.context.prepare_for(self.spec, self.epsilon)
+        if vectorized_smm:
+            # SMM parallelises at the chunk level: the multi-column SpMM path
+            # is kept, chunks are the unit of work (deterministic, so the
+            # completion order is irrelevant).
+            chunk_tasks = []
+            pairs_per_chunk = max(1, int(max_batch_columns) // 2)
+            for bucket in self._buckets:
+                for lo in range(0, len(bucket.indices), pairs_per_chunk):
+                    indices = bucket.indices[lo : lo + pairs_per_chunk]
+                    chunk_tasks.append(
+                        (indices, [self._pairs[i] for i in indices], int(bucket.walk_length or 0))
+                    )
+            if executor == "process":
+                jobs = [
+                    (_process_smm_chunk, (pairs, length, self.epsilon))
+                    for (_, pairs, length) in chunk_tasks
+                ]
+            else:
+                jobs = [
+                    (_run_smm_chunk, (self.context, pairs, length, self.epsilon))
+                    for (_, pairs, length) in chunk_tasks
+                ]
+
+            def assign(position: int, chunk_results) -> None:
+                for index, result in zip(chunk_tasks[position][0], chunk_results):
+                    results[index] = result
+
+        else:
+            tasks = self._parallel_tasks(kwargs)
+            if executor == "process":
+                jobs = [(_process_query_task, (task,)) for task in tasks]
+            else:
+                context = self.context
+
+                def run(task: tuple) -> EstimateResult:
+                    _index, s, t, _length, _seed, _kwargs = task
+                    return self.spec(
+                        context, s, t, self.epsilon,
+                        **_task_kwargs(self.spec, context, task),
+                    )
+
+                jobs = [(run, (task,)) for task in tasks]
+
+            def assign(position: int, result) -> None:
+                results[tasks[position][0]] = result
+
+        self._fan_out(executor, workers, jobs, assign)
+
+    def _fan_out(self, executor: str, workers: int, jobs, assign) -> None:
+        """Submit ``(fn, args)`` jobs to the pool and scatter their results."""
+        if executor == "process":
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_process_worker,
+                initargs=(self._process_payload(),),
+            )
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+        with pool:
+            futures = [pool.submit(fn, *args) for fn, args in jobs]
+            self._collect(futures)
+            for position, future in enumerate(futures):
+                assign(position, future.result())
+
+    @staticmethod
+    def _collect(futures: Sequence[Any]) -> None:
+        """Wait for all futures; cancel the rest as soon as one fails."""
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next((f for f in done if f.exception() is not None), None)
+        if failed is not None:
+            for future in pending:
+                future.cancel()
+            raise failed.exception()
+        if pending:  # pragma: no cover - FIRST_EXCEPTION without failure waits for all
+            wait(pending)
+
+    def _process_payload(self) -> dict[str, Any]:
+        """Everything a process-pool worker needs to rebuild the context."""
+        context = self.context
+        return {
+            "graph": context.graph,
+            "delta": context.delta,
+            "num_batches": context.num_batches,
+            "lambda_max_abs": context._lambda,
+            "budget": context.budget,
+            "method": self.spec.name,
+            "epsilon": self.epsilon,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# process-pool workers
+# --------------------------------------------------------------------------- #
+# Worker-process state, installed once per worker by the pool initializer.  A
+# worker rebuilds a QueryContext from the pickled payload (graph + scalars) and
+# prebuilds the artefacts the planned method needs, so tasks are pure function
+# calls.  Results are identical to thread execution: tasks carry their own
+# derived seeds and every shared artefact (transition matrix, λ, oracles) is
+# reconstructed deterministically.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_process_worker(payload: dict[str, Any]) -> None:
+    context = QueryContext(
+        payload["graph"],
+        delta=payload["delta"],
+        num_batches=payload["num_batches"],
+        lambda_max_abs=payload["lambda_max_abs"],
+        budget=payload["budget"],
+        validate=False,
+    )
+    spec = resolve_method(payload["method"])
+    context.prepare_for(spec, payload["epsilon"])
+    _WORKER_STATE["context"] = context
+    _WORKER_STATE["spec"] = spec
+    _WORKER_STATE["epsilon"] = payload["epsilon"]
+
+
+def _task_kwargs(
+    spec: MethodSpec,
+    context: QueryContext,
+    task: tuple[int, int, int, Optional[int], Optional[int], dict[str, Any]],
+) -> dict[str, Any]:
+    """Per-query kwargs: planned walk length plus the private random stream."""
+    _index, _s, _t, length, seed, kwargs = task
+    call_kwargs = dict(kwargs)
+    param = spec.walk_length_param
+    if param is not None and length is not None and param not in call_kwargs:
+        call_kwargs[param] = length
+    if spec.parallel_seed == "engine":
+        call_kwargs["engine"] = RandomWalkEngine(context.graph, rng=seed)
+    elif spec.parallel_seed == "rng":
+        call_kwargs["rng"] = seed
+    return call_kwargs
+
+
+def _process_query_task(
+    task: tuple[int, int, int, Optional[int], Optional[int], dict[str, Any]],
+) -> EstimateResult:
+    context = _WORKER_STATE["context"]
+    spec = _WORKER_STATE["spec"]
+    epsilon = _WORKER_STATE["epsilon"]
+    _index, s, t, _length, _seed, _kwargs = task
+    return spec(context, s, t, epsilon, **_task_kwargs(spec, context, task))
+
+
+def _process_smm_chunk(
+    pairs: Sequence[tuple[int, int]], num_iterations: int, epsilon: float
+) -> list[EstimateResult]:
+    return _run_smm_chunk(_WORKER_STATE["context"], pairs, num_iterations, epsilon)
 
 
 def _execute_smm_bucket_vectorized(
@@ -355,7 +619,7 @@ def _run_smm_chunk(
 ) -> list[EstimateResult]:
     graph = context.graph
     transition = context.transition
-    degrees = graph.degrees.astype(np.float64)
+    degrees = context.degrees_float
     n = graph.num_nodes
     k = len(pairs)
     timer = Timer()

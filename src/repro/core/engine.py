@@ -261,11 +261,18 @@ class QueryEngine:
         *,
         method: str = "geer",
         bucketing: str = "degree",
+        workers: int = 1,
+        executor: str = "auto",
         **kwargs: Any,
     ) -> BatchResult:
-        """Plan and execute a batch of queries; see :class:`QueryPlan`."""
+        """Plan and execute a batch of queries; see :class:`QueryPlan`.
+
+        ``workers > 1`` executes the plan on a thread/process pool with one
+        deterministic derived stream per query (see
+        :meth:`QueryPlan.execute` for the two determinism contracts).
+        """
         batch = self.plan(pairs, epsilon, method=method, bucketing=bucketing).execute(
-            **kwargs
+            workers=workers, executor=executor, **kwargs
         )
         for result in batch:
             self._record(result)

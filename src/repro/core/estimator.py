@@ -145,6 +145,7 @@ class EffectiveResistanceEstimator(QueryEngine):
         epsilon: float,
         *,
         method: str = "geer",
+        workers: int = 1,
         **kwargs,
     ) -> list[EstimateResult]:
         """Answer a batch of PER queries, reusing all preprocessing artefacts.
@@ -155,7 +156,17 @@ class EffectiveResistanceEstimator(QueryEngine):
         starts.  Returns per-pair results in input order; prefer
         :meth:`query_many` for the planned/vectorized execution path with
         aggregate diagnostics.
+
+        ``workers > 1`` routes the batch through the planned execution path on
+        a pool, with one deterministic derived stream per query (the
+        *own-stream* contract of :meth:`~repro.core.batch.QueryPlan.execute`);
+        ``workers=1`` keeps the historical per-pair loop on the session
+        stream, bit-for-bit.
         """
+        if workers != 1:
+            return list(
+                self.query_many(pairs, epsilon, method=method, workers=workers, **kwargs)
+            )
         validated = check_query_pairs(pairs, self.graph.num_nodes)
         return [
             self.estimate(s, t, epsilon, method=method, **kwargs)

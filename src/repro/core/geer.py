@@ -98,6 +98,7 @@ def geer_query(
     walk_length: Optional[int] = None,
     force_smm_iterations: Optional[int] = None,
     max_total_steps: Optional[int] = None,
+    walk_chunk_size: Optional[int] = None,
 ) -> EstimateResult:
     """Answer an ε-approximate PER query with GEER (Algorithm 3).
 
@@ -115,6 +116,10 @@ def geer_query(
     max_total_steps:
         Optional safety cap forwarded to the AMC stage (see
         :func:`repro.core.amc.amc_estimate`).
+    walk_chunk_size:
+        Optional memory bound on the fused AMC scoring kernel (bit-identical
+        to the unchunked kernel; see
+        :meth:`repro.sampling.walks.RandomWalkEngine.walk_scores`).
     """
     s, t = check_node_pair(s, t, graph.num_nodes)
     epsilon = check_positive(epsilon, "epsilon")
@@ -176,6 +181,7 @@ def geer_query(
             rng=rng,
             engine=engine,
             max_total_steps=max_total_steps,
+            walk_chunk_size=walk_chunk_size,
         )
         value = state.estimate + amc_result.value
 
@@ -208,6 +214,9 @@ def geer_query(
 # registry adapter
 # --------------------------------------------------------------------------- #
 def _geer_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
+    kwargs.setdefault("walk_chunk_size", context.budget.walk_chunk_size)
+    kwargs.setdefault("engine", context.engine)
+    kwargs.setdefault("transition", context.transition)
     return geer_query(
         context.graph,
         s,
@@ -216,8 +225,6 @@ def _geer_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> E
         lambda_max_abs=context.lambda_max_abs,
         num_batches=context.num_batches,
         delta=context.delta,
-        engine=context.engine,
-        transition=context.transition,
         **kwargs,
     )
 
@@ -227,6 +234,7 @@ register_method(
     description="Algorithm 3: greedy SMM/AMC hybrid — the paper's fastest method",
     walk_length_param="walk_length",
     walk_length_kind="refined",
+    parallel_seed="engine",
     func=_geer_registry_query,
 )
 

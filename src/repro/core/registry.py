@@ -30,9 +30,11 @@ through this registry.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.core.result import EstimateResult
@@ -90,6 +92,14 @@ class QueryBudget:
     rp_jl_constant: float = 24.0
     rp_max_dimension: Optional[int] = None
     exact_max_nodes: int = 20_000
+    #: Bound on the number of walks the fused AMC/GEER scoring kernel keeps in
+    #: flight (peak walk-buffer memory is O(walk_chunk_size · 128) floats).
+    #: Chunked and unchunked execution are bit-identical under the same seed
+    #: (see RandomWalkEngine.walk_scores), so this is a memory/cache knob for
+    #: the huge η* regimes, not a semantics knob; the default keeps the walk
+    #: slabs cache-resident (~2x over the unchunked kernel on large batches).
+    #: ``None`` = unchunked.
+    walk_chunk_size: Optional[int] = 16_384
 
     @classmethod
     def laptop(cls) -> "QueryBudget":
@@ -153,6 +163,10 @@ class QueryContext:
         self._ground_truth: Optional["GroundTruthOracle"] = None
         self._exact_oracle: Optional["ExactEffectiveResistance"] = None
         self._rp_sketches: Dict[float, "RandomProjectionSketch"] = {}
+        self._degrees_float: Optional[np.ndarray] = None
+        # Guards lazy artefact construction when a parallel QueryPlan fans
+        # queries out over threads (each artefact is still built exactly once).
+        self._artifact_lock = threading.Lock()
 
     # -- preprocessing artefacts ---------------------------------------- #
     # The ARPACK starting vector is drawn from its own fixed-seed generator,
@@ -173,34 +187,55 @@ class QueryContext:
     def lambda_max_abs(self) -> float:
         """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
         if self._lambda is None:
-            self._solve_spectral()
+            with self._artifact_lock:
+                if self._lambda is None:
+                    self._solve_spectral()
         return self._lambda
 
     @property
     def spectral_info(self) -> SpectralInfo:
         if self._spectral is None:
-            self._solve_spectral()
+            with self._artifact_lock:
+                if self._spectral is None:
+                    self._solve_spectral()
         return self._spectral
 
     @property
     def transition(self) -> sp.csr_matrix:
         """The CSR transition matrix ``P = D⁻¹A``, built once per context."""
         if self._transition is None:
-            self._transition = self.graph.transition_matrix()
+            with self._artifact_lock:
+                if self._transition is None:
+                    self._transition = self.graph.transition_matrix()
         return self._transition
+
+    @property
+    def degrees_float(self) -> np.ndarray:
+        """Node degrees as ``float64``, derived once per context.
+
+        Shared by the vectorised SMM bucket executor and anything else that
+        would otherwise re-run ``degrees.astype(float64)`` per query/chunk.
+        """
+        if self._degrees_float is None:
+            self._degrees_float = self.graph.degrees.astype(np.float64)
+        return self._degrees_float
 
     @property
     def engine(self) -> RandomWalkEngine:
         """The shared vectorised random-walk engine (drives all walk methods)."""
         if self._engine is None:
-            self._engine = RandomWalkEngine(self.graph, rng=self.rng)
+            with self._artifact_lock:
+                if self._engine is None:
+                    self._engine = RandomWalkEngine(self.graph, rng=self.rng)
         return self._engine
 
     @property
     def solver(self) -> LaplacianSolver:
         """Preconditioned Laplacian solver for exact reference queries."""
         if self._solver is None:
-            self._solver = LaplacianSolver(self.graph)
+            with self._artifact_lock:
+                if self._solver is None:
+                    self._solver = LaplacianSolver(self.graph)
         return self._solver
 
     @property
@@ -303,6 +338,27 @@ class QueryContext:
         )
 
     # -- helpers ---------------------------------------------------------- #
+    def prepare_for(self, spec: "MethodSpec", epsilon: float) -> None:
+        """Eagerly build the shared artefacts ``spec`` will touch.
+
+        Called by the parallel batch executor before fanning queries out so
+        worker threads only ever *read* the context (the lazy properties are
+        lock-guarded too, but a single up-front build avoids serialising the
+        pool behind the first query's ARPACK solve).
+        """
+        if spec.walk_length_kind is not None:
+            self.lambda_max_abs
+        name = spec.name
+        if name in ("geer", "smm", "smm-peng"):
+            self.transition
+            self.degrees_float
+        if name == "rp":
+            self.rp_sketch(epsilon)
+        if name == "exact":
+            self.exact_oracle()
+        if name == "ground-truth":
+            self.ground_truth
+
     def walk_length(self, s: int, t: int, epsilon: float, *, refined: bool = True) -> int:
         """The maximum walk length ℓ used for pair ``(s, t)`` at error ``epsilon``."""
         s, t = check_node_pair(s, t, self.graph.num_nodes)
@@ -361,6 +417,13 @@ class MethodSpec:
     walk_length_kind:
         ``"refined"`` (Eq. (6), degree-dependent), ``"peng"`` (Eq. (5),
         degree-independent) or ``None``.
+    parallel_seed:
+        How a parallel :class:`~repro.core.batch.QueryPlan` hands the method a
+        private, deterministic random stream: ``"engine"`` (the method accepts
+        an ``engine=`` kwarg taking a :class:`RandomWalkEngine`), ``"rng"``
+        (an ``rng=`` kwarg taking any ``RngLike``) or ``None`` (the method is
+        deterministic, or — like RP — reads only prebuilt shared state and
+        needs no private stream).
     """
 
     name: str
@@ -370,12 +433,15 @@ class MethodSpec:
     deterministic: bool = False
     walk_length_param: Optional[str] = None
     walk_length_kind: Optional[str] = None
+    parallel_seed: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("pair", "edge"):
             raise ValueError(f"kind must be 'pair' or 'edge', got {self.kind!r}")
         if self.walk_length_kind not in (None, "refined", "peng"):
             raise ValueError(f"invalid walk_length_kind {self.walk_length_kind!r}")
+        if self.parallel_seed not in (None, "engine", "rng"):
+            raise ValueError(f"invalid parallel_seed {self.parallel_seed!r}")
 
     def __call__(
         self, context: QueryContext, s: int, t: int, epsilon: float, **kwargs: Any
@@ -410,6 +476,7 @@ def register_method(
     deterministic: bool = False,
     walk_length_param: Optional[str] = None,
     walk_length_kind: Optional[str] = None,
+    parallel_seed: Optional[str] = None,
     func: Optional[QueryMethod] = None,
 ) -> Callable[[QueryMethod], QueryMethod]:
     """Register a method under ``name``; usable directly or as a decorator.
@@ -429,6 +496,7 @@ def register_method(
             deterministic=deterministic,
             walk_length_param=walk_length_param,
             walk_length_kind=walk_length_kind,
+            parallel_seed=parallel_seed,
         )
         if spec.name in _REGISTRY:
             raise DuplicateMethodError(

@@ -4,6 +4,7 @@ from repro.sampling.walks import (
     RandomWalkEngine,
     simulate_walks,
     walk_endpoints,
+    walk_scores,
 )
 from repro.sampling.walk_stats import (
     endpoint_histogram,
@@ -27,6 +28,7 @@ __all__ = [
     "RandomWalkEngine",
     "simulate_walks",
     "walk_endpoints",
+    "walk_scores",
     "endpoint_histogram",
     "visit_counts",
     "score_walks",

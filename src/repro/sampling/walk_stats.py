@@ -28,7 +28,11 @@ def score_walks(walks: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Per-walk sums of ``weights[node]`` over all visited nodes.
 
     This is the vectorised form of the inner loop of Algorithm 1 (Line 7):
-    each walk ``W`` contributes ``sum_{w in W} weights(w)``.
+    each walk ``W`` contributes ``sum_{w in W} weights(w)``.  The hot path
+    (AMC, GEER) uses the *fused* streaming equivalent
+    :meth:`repro.sampling.walks.RandomWalkEngine.walk_scores`, which returns
+    bit-identical values without materialising ``walks``; this materialised
+    form remains for post-hoc analysis of an existing walk matrix.
 
     Parameters
     ----------

@@ -4,17 +4,44 @@ Every Monte Carlo estimator in the paper (MC, MC2, TP, TPC, AMC and the AMC
 stage of GEER) boils down to simulating many independent simple random walks.
 A pure-Python step loop is far too slow, so the engine advances *all* walks of
 a batch simultaneously: one step for ``k`` walks is a single vectorised gather
-into the CSR ``indices`` array (see :func:`repro.utils.rng.random_choice_csr`).
+into the CSR ``indices`` array.
 
-Two access patterns are provided:
+Three access patterns are provided:
 
+* :meth:`RandomWalkEngine.walk_scores` **fuses stepping and score
+  accumulation**: walks are advanced in lock-step and every visited node's
+  weight is folded into a per-walk running score, so the caller never
+  materialises a walk matrix.  This is the hot kernel behind AMC and GEER's
+  tail stage — peak memory is ``O(num_walks · min(length, 128))`` instead of
+  the ``O(num_walks · length)`` of the materialised path, and an optional
+  chunked driver (``chunk_size``) bounds it further by processing walks in
+  slabs.  Both modes are **bit-identical** to scoring a materialised walk
+  matrix under the same seed — see *Determinism* below.
 * :meth:`RandomWalkEngine.walk_matrix` materialises the full ``(k, length)``
-  matrix of visited nodes — needed by AMC, which scores every visited node.
+  matrix of visited nodes — kept for callers that genuinely need every
+  visited node, and as the reference the fused kernel is tested against.
 * :meth:`RandomWalkEngine.walk_endpoints` only tracks the current frontier —
   enough for TP/TPC style endpoint statistics and much lighter on memory.
 
 A slow, step-by-step reference implementation (:meth:`walk_single_python`) is
 kept for cross-checking the vectorised kernel in the test-suite.
+
+Determinism
+-----------
+The engine upholds two exact-equivalence contracts (see DESIGN.md):
+
+1. **Fused ≡ materialised.**  ``walk_scores(s, k, ℓ, w)`` consumes the random
+   stream exactly like ``walk_matrix(s, k, ℓ)`` (one ``rng.random(k)`` draw
+   per step) and accumulates scores with the same floating-point association
+   as ``w[matrix].sum(axis=1)`` — NumPy's pairwise summation tree is
+   replicated over bounded step blocks — so the returned scores are
+   bit-for-bit identical to the materialised computation.
+2. **Chunked ≡ unchunked.**  With ``chunk_size`` set, walks are processed in
+   slabs, but each slab's generator is *advanced* to the exact offsets the
+   unchunked kernel would have used (``PCG64.advance``), so every walk sees
+   the very same draws and the result is bit-identical to ``chunk_size=None``.
+   Bit generators without ``advance`` (e.g. MT19937) fall back to a single
+   chunk rather than silently changing the walks.
 """
 
 from __future__ import annotations
@@ -26,6 +53,41 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.utils.rng import RngLike, as_generator, random_choice_csr
 from repro.utils.validation import check_integer, check_node
+
+#: Leaf size of NumPy's pairwise-summation tree (``PW_BLOCKSIZE`` in
+#: numpy/_core/src/umath/loops.c.src).  Score accumulation buffers at most
+#: this many step columns so that leaf sums — and therefore the full
+#: reduction — match ``weights[walk_matrix].sum(axis=1)`` bit-for-bit.
+_PAIRWISE_BLOCK = 128
+
+
+def _pairwise_plan(length: int) -> tuple[list[int], list[int]]:
+    """Leaf lengths and post-merge counts of NumPy's pairwise-sum recursion.
+
+    ``np.add.reduce`` over a contiguous axis of ``length`` elements splits the
+    range recursively (``n2 = (n // 2) - (n // 2) % 8`` on the left) until a
+    leaf of at most :data:`_PAIRWISE_BLOCK` elements remains, then combines
+    partial sums bottom-up as ``left + right``.  The returned ``merges[i]``
+    says how many stack merges to perform after leaf ``i`` completes, which
+    lets a streaming kernel reproduce the exact reduction tree with
+    ``O(log(length))`` partial-sum vectors.
+    """
+    leaves: list[int] = []
+    merges: list[int] = []
+
+    def recurse(n: int) -> None:
+        if n <= _PAIRWISE_BLOCK:
+            leaves.append(n)
+            merges.append(0)
+            return
+        n2 = (n // 2) - ((n // 2) % 8)
+        recurse(n2)
+        recurse(n - n2)
+        merges[-1] += 1
+
+    if length > 0:
+        recurse(length)
+    return leaves, merges
 
 
 class RandomWalkEngine:
@@ -39,6 +101,15 @@ class RandomWalkEngine:
         self._graph = graph
         self._indptr = graph.indptr
         self._indices = graph.indices
+        # Degree metadata is derived once: the float copy feeds the offset
+        # multiply without a per-step int→float conversion pass, and a
+        # uniform-degree graph (cycles, complete graphs, tori) skips the
+        # per-step degree gather entirely.  Both paths draw identical offsets.
+        self._degrees_float = graph.degrees.astype(np.float64)
+        first_degree = int(graph.degrees[0])
+        self._uniform_degree: Optional[int] = (
+            first_degree if np.all(graph.degrees == first_degree) else None
+        )
         self._rng = as_generator(rng)
         self.total_steps = 0  # cumulative number of single-node transitions taken
 
@@ -53,11 +124,40 @@ class RandomWalkEngine:
     # ------------------------------------------------------------------ #
     # batch kernels
     # ------------------------------------------------------------------ #
+    def _advance(
+        self, nodes: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """One lock-step transition for ``nodes``; draws ``rng.random(len(nodes))``.
+
+        The constructor has already rejected isolated nodes, so the kernel
+        skips re-deriving degrees from ``indptr`` and the per-step isolated
+        check — both value-preserving optimisations (the drawn offsets are
+        bit-identical to the checked public kernel).
+        """
+        generator = self._rng if rng is None else rng
+        if self._uniform_degree is not None:
+            degree = self._uniform_degree
+            starts = self._indptr[nodes]
+            draws = generator.random(len(nodes))
+            draws *= float(degree)
+            offsets = draws.astype(np.int64)
+            np.minimum(offsets, degree - 1, out=offsets)
+            starts += offsets
+            return self._indices[starts]
+        return random_choice_csr(
+            generator,
+            self._indptr,
+            self._indices,
+            nodes,
+            degrees=self._degrees_float,
+            checked=False,
+        )
+
     def step(self, nodes: np.ndarray) -> np.ndarray:
         """Advance every walk currently at ``nodes`` by one step."""
         nodes = np.asarray(nodes, dtype=np.int64)
         self.total_steps += len(nodes)
-        return random_choice_csr(self._rng, self._indptr, self._indices, nodes)
+        return self._advance(nodes)
 
     def walk_matrix(self, start: int, num_walks: int, length: int) -> np.ndarray:
         """Simulate ``num_walks`` walks of ``length`` steps from ``start``.
@@ -74,9 +174,145 @@ class RandomWalkEngine:
         visits = np.empty((num_walks, length), dtype=np.int64)
         current = np.full(num_walks, start, dtype=np.int64)
         for i in range(length):
-            current = self.step(current)
+            current = self._advance(current)
+            self.total_steps += num_walks
             visits[:, i] = current
         return visits
+
+    def walk_scores(
+        self,
+        start: int,
+        num_walks: int,
+        length: int,
+        weights: np.ndarray,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Fused walk simulation and scoring (the AMC/GEER hot kernel).
+
+        Returns the length-``num_walks`` vector whose entry ``k`` equals
+        ``weights[walk_matrix(start, num_walks, length)[k]].sum()`` — the
+        per-walk sum of visited-node weights of Algorithm 1 — **bit-for-bit**,
+        without ever materialising the walk matrix.  Peak memory is
+        ``O(num_walks · min(length, 128))`` for the pairwise score blocks, or
+        ``O(chunk_size · min(length, 128))`` when ``chunk_size`` bounds the
+        number of walks in flight (the huge ``η*`` regimes of Figs. 8–9).
+
+        Parameters
+        ----------
+        weights:
+            Dense length-``n`` weight vector ``w`` scoring visited nodes.
+        chunk_size:
+            Optional bound on the number of simultaneous walks.  Chunking
+            preserves the exact draw assignment of the unchunked kernel by
+            advancing a cloned generator to each slab's stream offsets, so
+            results are identical for every chunk size (requires a bit
+            generator with ``advance`` — the ``default_rng`` PCG64 qualifies;
+            others fall back to one chunk).
+        """
+        start = check_node(start, self._graph.num_nodes, "start")
+        check_integer(num_walks, "num_walks", minimum=0)
+        check_integer(length, "length", minimum=0)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self._graph.num_nodes,):
+            raise ValueError("weights must be a length-n vector")
+        if num_walks == 0 or length == 0:
+            return np.zeros(num_walks, dtype=np.float64)
+        if (
+            chunk_size is None
+            or chunk_size >= num_walks
+            or not hasattr(self._rng.bit_generator, "advance")
+        ):
+            scores = np.empty(num_walks, dtype=np.float64)
+            self._scores_block(start, num_walks, length, weights, self._rng, 0, scores)
+            self.total_steps += num_walks * length
+            return scores
+        chunk_size = check_integer(chunk_size, "chunk_size", minimum=1)
+        scores = np.empty(num_walks, dtype=np.float64)
+        base = self._rng.bit_generator
+        for lo in range(0, num_walks, chunk_size):
+            hi = min(lo + chunk_size, num_walks)
+            # A cloned generator advanced to the slab's first stream offset;
+            # _scores_block skips the other slabs' draws after every step, so
+            # walk k consumes the exact double the unchunked kernel would
+            # have handed it (stream position step·num_walks + k).
+            child = np.random.Generator(type(base)())
+            child.bit_generator.state = base.state
+            child.bit_generator.advance(lo)
+            self._scores_block(
+                start, hi - lo, length, weights, child, num_walks - (hi - lo),
+                scores[lo:hi],
+            )
+            self.total_steps += (hi - lo) * length
+        # The main stream consumed nothing directly; move it past the draws
+        # the slabs used so subsequent calls see the unchunked stream state.
+        base.advance(num_walks * length)
+        return scores
+
+    def _scores_block(
+        self,
+        start: int,
+        num_walks: int,
+        length: int,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+        stream_skip: int,
+        out: np.ndarray,
+    ) -> None:
+        """Advance ``num_walks`` walks for ``length`` steps, scoring as we go.
+
+        ``stream_skip`` > 0 (chunked mode) advances ``rng`` past the other
+        slabs' draws after every step so the slab stays aligned with the
+        global stream.  Scores accumulate through NumPy's exact pairwise
+        reduction tree (:func:`_pairwise_plan`): visited-node weights are
+        buffered in blocks of at most 128 step columns, each block reduced
+        with ``.sum(axis=1)`` and the partial sums merged ``left + right`` in
+        recursion order — reproducing ``weights[matrix].sum(axis=1)``
+        bit-for-bit with bounded memory.
+        """
+        leaves, merges = _pairwise_plan(length)
+        block = np.empty((num_walks, min(length, _PAIRWISE_BLOCK)), dtype=np.float64)
+        stack: list[np.ndarray] = []
+        current = np.full(num_walks, start, dtype=np.int64)
+        # Buffered replica of ``_advance``: every per-step array is
+        # preallocated and written through ``out=`` so the hot loop performs
+        # no allocations.  The arithmetic is op-for-op identical (same draws,
+        # same products, truncation == floor for non-negative values), so the
+        # sampled walks match the unbuffered kernel bit-for-bit.
+        starts = np.empty(num_walks, dtype=np.int64)
+        draws = np.empty(num_walks, dtype=np.float64)
+        offsets = np.empty(num_walks, dtype=np.int64)
+        clip = np.empty(num_walks, dtype=np.int64)
+        degrees = np.empty(num_walks, dtype=np.float64)
+        uniform = self._uniform_degree
+        for leaf_length, merge_count in zip(leaves, merges):
+            for column in range(leaf_length):
+                np.take(self._indptr, current, out=starts)
+                rng.random(out=draws)
+                if stream_skip:
+                    rng.bit_generator.advance(stream_skip)
+                if uniform is not None:
+                    np.multiply(draws, float(uniform), out=draws)
+                    np.copyto(offsets, draws, casting="unsafe")
+                    np.minimum(offsets, uniform - 1, out=offsets)
+                else:
+                    np.take(self._degrees_float, current, out=degrees)
+                    np.multiply(draws, degrees, out=draws)
+                    np.copyto(offsets, draws, casting="unsafe")
+                    np.copyto(clip, degrees, casting="unsafe")
+                    clip -= 1
+                    np.minimum(offsets, clip, out=offsets)
+                starts += offsets
+                np.take(self._indices, starts, out=current)
+                block[:, column] = weights[current]
+            partial = block[:, :leaf_length].sum(axis=1)
+            for _ in range(merge_count):
+                right = partial
+                partial = stack.pop()
+                partial += right
+            stack.append(partial)
+        assert len(stack) == 1
+        out[:] = stack[0]
 
     def walk_endpoints(self, start: int, num_walks: int, length: int) -> np.ndarray:
         """End nodes of ``num_walks`` independent length-``length`` walks from ``start``."""
@@ -84,10 +320,11 @@ class RandomWalkEngine:
         check_integer(num_walks, "num_walks", minimum=0)
         check_integer(length, "length", minimum=0)
         current = np.full(num_walks, start, dtype=np.int64)
+        if num_walks == 0 or length == 0:
+            return current
         for _ in range(length):
-            if len(current) == 0:
-                break
-            current = self.step(current)
+            current = self._advance(current)
+            self.total_steps += num_walks
         return current
 
     def hitting_walks(
@@ -204,4 +441,20 @@ def walk_endpoints(
     return RandomWalkEngine(graph, rng=rng).walk_endpoints(start, num_walks, length)
 
 
-__all__ = ["RandomWalkEngine", "simulate_walks", "walk_endpoints"]
+def walk_scores(
+    graph: Graph,
+    start: int,
+    num_walks: int,
+    length: int,
+    weights: np.ndarray,
+    *,
+    rng: RngLike = None,
+    chunk_size: Optional[int] = None,
+) -> np.ndarray:
+    """Functional shortcut for :meth:`RandomWalkEngine.walk_scores`."""
+    return RandomWalkEngine(graph, rng=rng).walk_scores(
+        start, num_walks, length, weights, chunk_size=chunk_size
+    )
+
+
+__all__ = ["RandomWalkEngine", "simulate_walks", "walk_endpoints", "walk_scores"]

@@ -154,6 +154,11 @@ class RequestCoalescer:
         vectorized multi-column path, which is the headline win).
     bucketing:
         Forwarded to :meth:`QueryEngine.plan`.
+    workers:
+        Worker count for flushed batches (forwarded to
+        :meth:`QueryEngine.query_many`).  ``1`` (default) keeps the
+        sequential, session-stream execution; ``> 1`` executes each flush on a
+        pool with per-query derived streams.
     clock:
         Monotonic time source; injectable for deterministic tests.
     """
@@ -166,6 +171,7 @@ class RequestCoalescer:
         max_delay_seconds: float = 0.005,
         method: str = "geer",
         bucketing: str = "degree",
+        workers: int = 1,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
@@ -177,6 +183,7 @@ class RequestCoalescer:
         )
         self.method = method
         self.bucketing = bucketing
+        self.workers = int(workers)
         self._clock = clock
         self._buffer: list[PendingQuery] = []
         self._oldest: Optional[float] = None
@@ -243,7 +250,11 @@ class RequestCoalescer:
 
         try:
             batch = self.engine.query_many(
-                order, epsilon, method=self.method, bucketing=self.bucketing
+                order,
+                epsilon,
+                method=self.method,
+                bucketing=self.bucketing,
+                workers=self.workers,
             )
         except BaseException as exc:
             # Settle every waiter with the batch's error — the submitter that

@@ -63,6 +63,10 @@ class ServiceConfig:
     coalesce_max_batch: int = 32
     coalesce_max_delay_seconds: float = 0.005
     bucketing: str = "degree"
+    #: Worker count for engine batches (query_many and coalescer flushes).
+    #: 1 = sequential session-stream execution; >1 = pool execution with
+    #: per-query derived streams (see QueryPlan.execute).
+    workers: int = 1
 
 
 @dataclass
@@ -195,6 +199,7 @@ class ResistanceService:
                 max_delay_seconds=self.config.coalesce_max_delay_seconds,
                 method=self.config.method,
                 bucketing=self.config.bucketing,
+                workers=self.config.workers,
             )
         return self._coalescer
 
@@ -313,7 +318,7 @@ class ResistanceService:
         if missed:
             batch = self.engine.query_many(
                 missed, epsilon, method=method or self.config.method,
-                bucketing=self.config.bucketing,
+                bucketing=self.config.bucketing, workers=self.config.workers,
             )
             for key, result in zip(missed, batch):
                 result.details.setdefault("source", "engine")

@@ -140,6 +140,28 @@ class TestMethodsCommand:
         assert "session stats" in output
         assert "walk_steps" in output and "spmv_operations" in output
 
+    def test_query_batch_workers_flag(self, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--dataset",
+                "facebook-tiny",
+                "--method",
+                "geer",
+                "--epsilon",
+                "0.4",
+                "--batch",
+                "--workers",
+                "2",
+                "0,5",
+                "3,17",
+                "9,4",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "workers=2" in output
+
     def test_query_without_pairs_errors(self):
         with pytest.raises(SystemExit):
             main(["query", "--dataset", "facebook-tiny"])
