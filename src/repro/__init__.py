@@ -73,6 +73,7 @@ from repro.graph import (
     stochastic_block_model_graph,
     toy_running_example,
     watts_strogatz_graph,
+    with_random_weights,
     write_edge_list,
 )
 from repro.core import (
@@ -123,6 +124,7 @@ __all__ = [
     "from_scipy_sparse",
     "read_edge_list",
     "write_edge_list",
+    "with_random_weights",
     "barabasi_albert_graph",
     "erdos_renyi_graph",
     "watts_strogatz_graph",

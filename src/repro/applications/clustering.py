@@ -74,7 +74,7 @@ def effective_resistance_clustering(
         distance_fn = oracle.query
     if degree_corrected:
         raw_distance = distance_fn
-        inverse_degree = 1.0 / graph.degrees.astype(np.float64)
+        inverse_degree = 1.0 / np.asarray(graph.weighted_degrees, dtype=np.float64)
 
         def distance_fn(u: int, v: int) -> float:  # noqa: F811 - deliberate wrap
             if u == v:

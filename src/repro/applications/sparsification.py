@@ -116,21 +116,27 @@ def spectral_sparsify(
             estimator = EffectiveResistanceEstimator(graph, rng=gen)
         batch = estimator.query_many(edges, resistance_epsilon, method=method)
         # An ε-approximate estimate can undershoot; every edge resistance is at
-        # least 1/(2m), so floor there to keep sampling probabilities sane.
-        resistances = np.maximum(batch.values, 1.0 / (2.0 * graph.num_edges))
+        # least 1/(2W), so floor there to keep sampling probabilities sane.
+        resistances = np.maximum(batch.values, 1.0 / (2.0 * graph.total_weight))
     else:
         resistances = np.array([resistance_fn(int(u), int(v)) for u, v in edges])
     resistances = np.clip(resistances, 1e-12, None)
-    probabilities = resistances / resistances.sum()
+    # Spielman-Srivastava importance: p_e proportional to w_e * r(e) (w_e = 1 on
+    # unweighted graphs).
+    edge_weights = graph.edge_weight_array()
+    importance = resistances * edge_weights
+    probabilities = importance / importance.sum()
 
     n = graph.num_nodes
     num_samples = int(math.ceil(oversampling * n * math.log(max(n, 2)) / epsilon**2))
     counts = gen.multinomial(num_samples, probabilities)
     sampled = counts > 0
     sampled_edges = edges[sampled]
-    # Each sample of edge e carries weight 1 / (q * p_e); summing over the
-    # counts keeps the Laplacian unbiased.
-    weights = counts[sampled] / (num_samples * probabilities[sampled])
+    # Each sample of edge e carries weight w_e / (q * p_e); summing over the
+    # counts keeps the (weighted) Laplacian unbiased.
+    weights = (
+        edge_weights[sampled] * counts[sampled] / (num_samples * probabilities[sampled])
+    )
 
     from repro.graph.builders import from_edge_array
 

@@ -54,8 +54,15 @@ def hay_query(
     timer = Timer()
     with timer:
         gen = as_generator(rng)
+        edge_weight = graph.edge_weight(s, t) if graph.is_weighted else 1.0
         if num_samples is None:
             num_samples = hay_sample_budget(epsilon, delta)
+            if edge_weight != 1.0:
+                # The Hoeffding bound controls the error of the hit fraction
+                # p = w(e)·r(e); dividing by w(e) afterwards inflates it by
+                # 1/w(e), so the budget must grow by 1/w(e)² to keep the ε
+                # guarantee on r itself.
+                num_samples = int(math.ceil(num_samples / edge_weight**2))
         truncated = False
         if max_samples is not None and num_samples > max_samples:
             num_samples = max_samples
@@ -69,7 +76,11 @@ def hay_query(
                 if u == lo and v == hi:
                     hits += 1
                     break
+        # Weighted matrix-tree identity: Pr[e in weighted UST] = w(e) · r(e)
+        # (Wilson's walk on a weighted graph samples the weighted UST).
         value = hits / num_samples
+        if graph.is_weighted:
+            value /= edge_weight
 
     return EstimateResult(
         value=value,

@@ -35,7 +35,7 @@ from repro.utils.validation import (
 )
 
 
-def mc_walk_budget(degree_s: int, gamma: float, epsilon: float, delta: float) -> int:
+def mc_walk_budget(degree_s: float, gamma: float, epsilon: float, delta: float) -> int:
     """The paper's walk budget ``η = 3 γ d(s) log(1/δ) / ε²``."""
     return max(1, int(math.ceil(3.0 * gamma * degree_s * math.log(1.0 / delta) / epsilon**2)))
 
@@ -82,7 +82,7 @@ def mc_query(
     with timer:
         if s == t:
             return EstimateResult(value=0.0, method="mc", s=s, t=t, epsilon=epsilon)
-        deg_s = int(graph.degrees[s])
+        deg_s = float(graph.weighted_degrees[s])
         if gamma is None:
             gamma = 1.0
         if num_walks is None:
@@ -117,7 +117,9 @@ def mc_query(
             value = float("nan")
         else:
             commute_time = float((steps_out[finished] + steps_back[finished]).mean())
-            value = commute_time / (2.0 * graph.num_edges)
+            # c(s, t) = 2 W r(s, t) for the weighted walk (W = total edge
+            # weight; equals m on unweighted graphs).
+            value = commute_time / (2.0 * graph.total_weight)
 
     return EstimateResult(
         value=value,
@@ -139,7 +141,7 @@ def mc_query(
 def _mc_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
     if "num_walks" not in kwargs:
         gamma = kwargs.get("gamma") or 1.0
-        walks = mc_walk_budget(int(context.graph.degrees[s]), gamma, epsilon, context.delta)
+        walks = mc_walk_budget(float(context.weighted_degrees[s]), gamma, epsilon, context.delta)
         cap = context.budget.mc_max_walks
         kwargs["num_walks"] = walks if cap is None else min(cap, walks)
     kwargs.setdefault("delta", context.delta)

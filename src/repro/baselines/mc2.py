@@ -66,12 +66,19 @@ def mc2_query(
 
     timer = Timer()
     with timer:
+        edge_weight = graph.edge_weight(s, t) if graph.is_weighted else 1.0
         if gamma is None:
             # paper: r(s,t) >= 1/(2m) for every edge; but a practical default is
-            # the trivial parallel-resistance lower bound 1/min(d(s), d(t)).
-            gamma = 1.0 / min(int(graph.degrees[s]), int(graph.degrees[t]))
+            # the trivial parallel-resistance lower bound 1/min(d(s), d(t))
+            # (weighted degrees on weighted graphs).
+            gamma = 1.0 / min(
+                float(graph.weighted_degrees[s]), float(graph.weighted_degrees[t])
+            )
         if num_walks is None:
-            num_walks = mc2_walk_budget(epsilon, delta, gamma)
+            # gamma lower-bounds r(s, t); the Bernoulli actually sampled has
+            # mean p = w(s,t)·r(s,t), so the budget's probability lower bound
+            # is w·gamma (relative error on p equals relative error on r).
+            num_walks = mc2_walk_budget(epsilon, delta, edge_weight * gamma)
         if max_steps_per_walk is None:
             max_steps_per_walk = 20 * graph.num_edges
         if engine is None:
@@ -93,7 +100,15 @@ def mc2_query(
         if completed < num_walks:
             truncated = True
         direct_hits = int((previous_nodes[finished] == s).sum())
-        value = direct_hits / completed if completed else float("nan")
+        # For the weighted walk the first-visit identity reads
+        # Pr[arrive via the direct edge] = w(s, t) · r(s, t), so the hit
+        # fraction is scaled by the edge weight (1 on unweighted graphs).
+        if completed:
+            value = direct_hits / completed
+            if graph.is_weighted:
+                value /= edge_weight
+        else:
+            value = float("nan")
 
     return EstimateResult(
         value=value,
@@ -114,7 +129,13 @@ def mc2_query(
 # --------------------------------------------------------------------------- #
 def _mc2_registry_query(context, s: int, t: int, epsilon: float, **kwargs) -> EstimateResult:
     if "num_walks" not in kwargs:
-        walks = mc2_walk_budget(epsilon, context.delta, 1.0)
+        gamma = 1.0
+        # the sampled Bernoulli's mean is w(s,t)·r(s,t) (see mc2_query); the
+        # has_edge guard leaves non-edge queries to mc2_query's own
+        # validation (a ValueError, not edge_weight's GraphStructureError)
+        if context.graph.is_weighted and context.graph.has_edge(s, t):
+            gamma = context.graph.edge_weight(s, t)
+        walks = mc2_walk_budget(epsilon, context.delta, gamma)
         cap = context.budget.mc2_max_walks
         kwargs["num_walks"] = walks if cap is None else min(cap, walks)
     kwargs.setdefault("max_total_steps", context.budget.max_total_steps)

@@ -86,8 +86,8 @@ def tp_query(
     with timer:
         if s == t:
             return EstimateResult(value=0.0, method="tp", s=s, t=t, epsilon=epsilon)
-        deg_s = float(graph.degrees[s])
-        deg_t = float(graph.degrees[t])
+        deg_s = float(graph.weighted_degrees[s])
+        deg_t = float(graph.weighted_degrees[t])
         if walk_length is None:
             walk_length = peng_walk_length(epsilon, lambda_max_abs)
         if walks_per_length is None:

@@ -86,15 +86,15 @@ def tpc_query(
         if s == t:
             return EstimateResult(value=0.0, method="tpc", s=s, t=t, epsilon=epsilon)
         n = graph.num_nodes
-        degrees = graph.degrees.astype(np.float64)
+        degrees = np.asarray(graph.weighted_degrees, dtype=np.float64)
         deg_s = float(degrees[s])
         deg_t = float(degrees[t])
         if walk_length is None:
             walk_length = peng_walk_length(epsilon, lambda_max_abs)
         if beta is None:
             # Heuristic: beta_i must upper-bound sum_v p_i(s,v)^2 / d(v); at
-            # stationarity that sum equals sum_v d(v) / (2m)^2 = 1 / (2m).
-            beta = 1.0 / (2.0 * graph.num_edges)
+            # stationarity that sum equals sum_v d(v) / (2W)^2 = 1 / (2W).
+            beta = 1.0 / (2.0 * graph.total_weight)
         if walks_per_length is None:
             walks_per_length = tpc_walks_per_length(walk_length, epsilon, beta)
         walks_per_length = max(1, int(math.ceil(walks_per_length * budget_scale)))

@@ -56,7 +56,8 @@ def _load_graph(args: argparse.Namespace):
         raise SystemExit("specify exactly one of --dataset or --edge-list")
     if args.dataset:
         return load_dataset(args.dataset), args.dataset
-    return read_edge_list(args.edge_list), args.edge_list
+    weighted = False if getattr(args, "ignore_weights", False) else None
+    return read_edge_list(args.edge_list, weighted=weighted), args.edge_list
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -66,7 +67,14 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--edge-list",
-        help="path to a whitespace-separated edge-list file (SNAP format)",
+        help="path to a whitespace-separated edge-list file (SNAP format; "
+        "a third 'u v w' column is read as edge weights)",
+    )
+    parser.add_argument(
+        "--ignore-weights",
+        action="store_true",
+        help="treat the edge list as unweighted even if it has a third column "
+        "(for SNAP files carrying timestamps/annotations there)",
     )
     parser.add_argument("--seed", type=int, default=1, help="random seed (default: 1)")
 
@@ -110,9 +118,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit("provide at least one S,T query pair")
     graph, label = _load_graph(args)
     summary = summarize(graph, name=label)
+    weighted_note = (
+        f", weighted (W={summary.total_weight:.2f})" if summary.weighted else ""
+    )
     print(
         f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
-        f"avg degree={summary.average_degree:.2f}"
+        f"avg degree={summary.average_degree:.2f}{weighted_note}"
     )
     engine = QueryEngine(graph, rng=args.seed)
     pairs = _parse_pairs(args.pairs)
@@ -166,9 +177,12 @@ def _print_layer_summaries(summary: dict) -> None:
 def _cmd_warm(args: argparse.Namespace) -> int:
     graph, label = _load_graph(args)
     summary = summarize(graph, name=label)
+    weighted_note = (
+        f", weighted (W={summary.total_weight:.2f})" if summary.weighted else ""
+    )
     print(
         f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
-        f"avg degree={summary.average_degree:.2f}"
+        f"avg degree={summary.average_degree:.2f}{weighted_note}"
     )
     config = ServiceConfig(
         use_sketch=not args.no_sketch,

@@ -134,8 +134,8 @@ def amc_estimate(
     if s_vector.min() < 0 or t_vector.min() < 0:
         raise ValueError("s_vector and t_vector must be non-negative (Lemma 3.3)")
 
-    deg_s = int(graph.degrees[s])
-    deg_t = int(graph.degrees[t])
+    deg_s = float(graph.weighted_degrees[s])
+    deg_t = float(graph.weighted_degrees[t])
     s_max1, s_max2 = top_two_values(s_vector)
     t_max1, t_max2 = top_two_values(t_vector)
     psi = amc_psi(walk_length, deg_s, deg_t, s_max1, s_max2, t_max1, t_max2)
@@ -250,8 +250,8 @@ def amc_query(
                 value=0.0, method="amc", s=s, t=t, epsilon=epsilon,
                 elapsed_seconds=0.0,
             )
-        deg_s = int(graph.degrees[s])
-        deg_t = int(graph.degrees[t])
+        deg_s = float(graph.weighted_degrees[s])
+        deg_t = float(graph.weighted_degrees[t])
         if walk_length is None:
             walk_length = refined_walk_length(epsilon, lambda_max_abs, deg_s, deg_t)
         e_s = np.zeros(graph.num_nodes)

@@ -176,10 +176,14 @@ class QueryPlan:
     bucketing:
         ``"degree"`` (default) buckets by the exact sorted degree pair — the
         shared walk length equals the per-pair Eq. (6) value, so results are
-        identical to per-pair execution.  ``"log2"`` buckets by
-        ``floor(log2(degree))`` and uses each bucket's smallest possible
-        degrees, giving fewer (conservative, never shorter) walk-length
-        computations on heavy-tailed degree distributions.
+        identical to per-pair execution.  On weighted graphs the (float)
+        weighted degrees are almost surely distinct, so exact bucketing
+        degenerates towards one bucket per pair — harmless (the length
+        formula is closed-form) but no dedup; pick ``"log2"`` there when
+        planning cost matters more than exact per-pair lengths.  ``"log2"``
+        buckets by ``floor(log2(degree))`` and uses each bucket's smallest
+        possible degrees, giving fewer (conservative, never shorter)
+        walk-length computations on heavy-tailed degree distributions.
     """
 
     def __init__(
@@ -210,15 +214,17 @@ class QueryPlan:
     # ------------------------------------------------------------------ #
     # planning
     # ------------------------------------------------------------------ #
-    def _bucket_key_and_degrees(self, s: int, t: int) -> tuple[tuple, int, int]:
-        degrees = self.context.graph.degrees
-        d_lo, d_hi = sorted((int(degrees[s]), int(degrees[t])))
+    def _bucket_key_and_degrees(self, s: int, t: int) -> tuple[tuple, float, float]:
+        # Weighted degrees are what Eq. (6) depends on; on unweighted graphs
+        # they equal the integer degrees, so the buckets are unchanged.
+        degrees = self.context.weighted_degrees
+        d_lo, d_hi = sorted((float(degrees[s]), float(degrees[t])))
         if self.bucketing == "degree":
             return (d_lo, d_hi), d_lo, d_hi
         b_lo, b_hi = int(math.floor(math.log2(d_lo))), int(math.floor(math.log2(d_hi)))
         # The smallest degrees the bucket can contain give the longest (and
         # therefore safe-for-every-member) walk length.
-        return (b_lo, b_hi), 2**b_lo, 2**b_hi
+        return (b_lo, b_hi), float(2.0**b_lo), float(2.0**b_hi)
 
     def _build_buckets(self) -> tuple[list[WalkBucket], list[Optional[int]], int]:
         spec = self.spec
@@ -239,7 +245,7 @@ class QueryPlan:
             return [bucket], lengths, 1
 
         grouped: dict[tuple, list[int]] = {}
-        bucket_degrees: dict[tuple, tuple[int, int]] = {}
+        bucket_degrees: dict[tuple, tuple[float, float]] = {}
         for index, (s, t) in enumerate(self._pairs):
             key, d_lo, d_hi = self._bucket_key_and_degrees(s, t)
             grouped.setdefault(key, []).append(index)
@@ -620,14 +626,15 @@ def _run_smm_chunk(
     graph = context.graph
     transition = context.transition
     degrees = context.degrees_float
+    weighted_degrees = context.weighted_degrees
     n = graph.num_nodes
     k = len(pairs)
     timer = Timer()
     with timer:
         s_idx = np.array([s for s, _ in pairs], dtype=np.int64)
         t_idx = np.array([t for _, t in pairs], dtype=np.int64)
-        d_s = degrees[s_idx]
-        d_t = degrees[t_idx]
+        d_s = weighted_degrees[s_idx]
+        d_t = weighted_degrees[t_idx]
         s_cols = 2 * np.arange(k)
         t_cols = s_cols + 1
 

@@ -60,8 +60,8 @@ def _worst_case_walk_budget(
     tail_length: int,
     s_vector: np.ndarray,
     t_vector: np.ndarray,
-    degree_s: int,
-    degree_t: int,
+    degree_s: float,
+    degree_t: float,
     epsilon: float,
     delta: float,
     num_batches: int,
@@ -132,8 +132,8 @@ def geer_query(
             return EstimateResult(
                 value=0.0, method="geer", s=s, t=t, epsilon=epsilon,
             )
-        deg_s = int(graph.degrees[s])
-        deg_t = int(graph.degrees[t])
+        deg_s = float(graph.weighted_degrees[s])
+        deg_t = float(graph.weighted_degrees[t])
         if walk_length is None:
             walk_length = refined_walk_length(epsilon, lambda_max_abs, deg_s, deg_t)
         walk_length = check_integer(walk_length, "walk_length", minimum=0)

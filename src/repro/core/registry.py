@@ -211,14 +211,22 @@ class QueryContext:
 
     @property
     def degrees_float(self) -> np.ndarray:
-        """Node degrees as ``float64``, derived once per context.
+        """Structural node degrees as ``float64``, derived once per context.
 
-        Shared by the vectorised SMM bucket executor and anything else that
-        would otherwise re-run ``degrees.astype(float64)`` per query/chunk.
+        Drives cost accounting (edge traversals per SpMV); the estimator
+        formulas use :attr:`weighted_degrees` instead.
         """
         if self._degrees_float is None:
             self._degrees_float = self.graph.degrees.astype(np.float64)
         return self._degrees_float
+
+    @property
+    def weighted_degrees(self) -> np.ndarray:
+        """Weighted degrees ``d(v)`` — the quantity the paper's formulas use.
+
+        Identical to :attr:`degrees_float` on unweighted graphs.
+        """
+        return self.graph.weighted_degrees
 
     @property
     def engine(self) -> RandomWalkEngine:
@@ -348,6 +356,11 @@ class QueryContext:
         """
         if spec.walk_length_kind is not None:
             self.lambda_max_abs
+        if spec.parallel_seed == "engine" and self.graph.is_weighted:
+            # Building the shared engine memoises the weighted-step alias
+            # tables on the graph, so per-query worker engines reuse them
+            # instead of stampeding N duplicate O(m) Vose builds.
+            self.engine
         name = spec.name
         if name in ("geer", "smm", "smm-peng"):
             self.transition
@@ -366,8 +379,8 @@ class QueryContext:
             return refined_walk_length(
                 epsilon,
                 self.lambda_max_abs,
-                int(self.graph.degrees[s]),
-                int(self.graph.degrees[t]),
+                float(self.graph.weighted_degrees[s]),
+                float(self.graph.weighted_degrees[t]),
             )
         return peng_walk_length(epsilon, self.lambda_max_abs)
 
@@ -448,7 +461,7 @@ class MethodSpec:
     ) -> EstimateResult:
         return self.func(context, s, t, epsilon, **kwargs)
 
-    def plan_walk_length(self, context: QueryContext, epsilon: float, degree_s: int, degree_t: int) -> Optional[int]:
+    def plan_walk_length(self, context: QueryContext, epsilon: float, degree_s: float, degree_t: float) -> Optional[int]:
         """Compute the maximum walk length this method would use for a pair."""
         if self.walk_length_kind == "refined":
             return refined_walk_length(

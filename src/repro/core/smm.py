@@ -60,9 +60,11 @@ class SMMState:
         self._s = s
         self._t = t
         self._transition = transition if transition is not None else graph.transition_matrix()
+        # Structural degrees drive the Eq. (17) frontier-cost accounting
+        # (edge traversals); the *weighted* degrees enter the estimate terms.
         self._degrees = graph.degrees
-        self._deg_s = float(graph.degrees[s])
-        self._deg_t = float(graph.degrees[t])
+        self._deg_s = float(graph.weighted_degrees[s])
+        self._deg_t = float(graph.weighted_degrees[t])
         self._dense_switch = max(int(dense_switch_fraction * graph.num_nodes), 1)
 
         n = graph.num_nodes

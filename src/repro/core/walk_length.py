@@ -51,8 +51,8 @@ def peng_walk_length(epsilon: float, lambda_max_abs: float) -> int:
 def refined_walk_length(
     epsilon: float,
     lambda_max_abs: float,
-    degree_s: int,
-    degree_t: int,
+    degree_s: float,
+    degree_t: float,
 ) -> int:
     """The paper's refined maximum walk length (Theorem 3.1, Eq. (6)).
 
@@ -60,12 +60,15 @@ def refined_walk_length(
 
     guaranteeing ``|r(s,t) - r_ℓ(s,t)| <= ε/2`` for the specific pair ``(s, t)``.
     The bound shrinks as the endpoint degrees grow, which is what makes AMC and
-    GEER fast on dense graphs (Section 5.4 / Fig. 11).
+    GEER fast on dense graphs (Section 5.4 / Fig. 11).  On weighted graphs the
+    degrees are the *weighted* degrees (any positive reals); the proof of
+    Theorem 3.1 only uses ``p_i(s, s) <= 1`` and the reversibility identity,
+    both of which hold for the weighted walk.
     """
     epsilon = check_positive(epsilon, "epsilon")
     lam = _validated_lambda(lambda_max_abs)
-    degree_s = check_integer(degree_s, "degree_s", minimum=1)
-    degree_t = check_integer(degree_t, "degree_t", minimum=1)
+    degree_s = check_positive(degree_s, "degree_s")
+    degree_t = check_positive(degree_t, "degree_t")
     if lam == 0.0:
         return 1
     numerator_arg = (2.0 / degree_s + 2.0 / degree_t) / (epsilon * (1.0 - lam))
@@ -78,8 +81,8 @@ def refined_walk_length(
 def truncation_error_bound(
     length: int,
     lambda_max_abs: float,
-    degree_s: int,
-    degree_t: int,
+    degree_s: float,
+    degree_t: float,
 ) -> float:
     """Upper bound on ``|r(s,t) - r_ℓ(s,t)|`` from the proof of Theorem 3.1.
 
@@ -88,8 +91,8 @@ def truncation_error_bound(
     """
     check_integer(length, "length", minimum=0)
     lam = _validated_lambda(lambda_max_abs)
-    degree_s = check_integer(degree_s, "degree_s", minimum=1)
-    degree_t = check_integer(degree_t, "degree_t", minimum=1)
+    degree_s = check_positive(degree_s, "degree_s")
+    degree_t = check_positive(degree_t, "degree_t")
     if lam == 0.0:
         return 0.0
     return (lam ** (length + 1)) / (1.0 - lam) * (1.0 / degree_s + 1.0 / degree_t)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.graph.builders import with_random_weights
 from repro.graph.graph import Graph
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -179,6 +180,17 @@ def _test_specs() -> None:
             role="Orkut (test profile)",
             regime="large-dense",
             builder=lambda: barabasi_albert_graph(400, 20, rng=203),
+        )
+    )
+    _register(
+        DatasetSpec(
+            name="roadnet-tiny",
+            role="weighted road network (test profile)",
+            regime="weighted",
+            builder=lambda: with_random_weights(
+                watts_strogatz_graph(300, 4, 0.1, rng=204), low=0.5, high=3.0, rng=205
+            ),
+            description="small-world topology with travel-time-like edge weights",
         )
     )
 

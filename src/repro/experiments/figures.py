@@ -144,8 +144,8 @@ def fig2_running_example(
     """
     graph, s, t = toy_running_example()
     adjacency = graph.adjacency_matrix()
-    deg_s = int(graph.degrees[s])
-    deg_t = int(graph.degrees[t])
+    deg_s = float(graph.weighted_degrees[s])
+    deg_t = float(graph.weighted_degrees[t])
 
     def walk_counts(start: int) -> list[int]:
         counts = []
@@ -327,8 +327,8 @@ def fig11_walk_length_comparison(
                     length = refined_walk_length(
                         epsilon,
                         context.lambda_max_abs,
-                        int(graph.degrees[sample_pair[0]]),
-                        int(graph.degrees[sample_pair[1]]),
+                        float(graph.weighted_degrees[sample_pair[0]]),
+                        float(graph.weighted_degrees[sample_pair[1]]),
                     )
                 else:
                     length = peng_walk_length(epsilon, context.lambda_max_abs)

@@ -132,7 +132,7 @@ def _registry_runner(
 
 def mc_default_walks(graph: Graph, s: int, epsilon: float, delta: float = 0.01) -> int:
     """The paper's MC budget with γ = 1."""
-    return max(1, int(math.ceil(3.0 * graph.degrees[s] * math.log(1.0 / delta) / epsilon**2)))
+    return max(1, int(math.ceil(3.0 * graph.weighted_degrees[s] * math.log(1.0 / delta) / epsilon**2)))
 
 
 METHOD_REGISTRY: Dict[str, Callable[[MethodContext, int, int, float], EstimateResult]] = {

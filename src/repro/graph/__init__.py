@@ -7,6 +7,7 @@ from repro.graph.builders import (
     from_networkx,
     from_scipy_sparse,
     to_networkx,
+    with_random_weights,
 )
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -41,6 +42,7 @@ __all__ = [
     "from_networkx",
     "from_scipy_sparse",
     "to_networkx",
+    "with_random_weights",
     "barabasi_albert_graph",
     "erdos_renyi_graph",
     "watts_strogatz_graph",

@@ -9,12 +9,14 @@ import scipy.sparse as sp
 
 from repro.exceptions import GraphStructureError
 from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, as_generator
 
 
 def from_edge_array(
     edges: np.ndarray,
     *,
     num_nodes: Optional[int] = None,
+    weights: Optional[np.ndarray] = None,
     deduplicate: bool = True,
 ) -> Graph:
     """Build a :class:`Graph` from an ``(m, 2)`` integer edge array.
@@ -25,15 +27,25 @@ def from_edge_array(
         An array of undirected edges.  Orientation and ordering do not matter.
     num_nodes:
         The number of nodes.  Defaults to ``edges.max() + 1``.
+    weights:
+        Optional length-``m`` array of positive edge weights aligned with
+        ``edges``.  ``None`` builds an unweighted graph.
     deduplicate:
-        Remove duplicate edges (and reversed duplicates).  Self-loops always
-        raise :class:`GraphStructureError`.
+        Remove duplicate edges (and reversed duplicates).  Weighted duplicates
+        dedupe only when their weights agree exactly; conflicting weights
+        raise :class:`GraphStructureError`.  Self-loops always raise.
     """
     edges = np.asarray(edges, dtype=np.int64)
     if edges.size == 0:
         edges = edges.reshape(0, 2)
     if edges.ndim != 2 or edges.shape[1] != 2:
         raise ValueError("edges must be an (m, 2) array")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(edges),):
+            raise ValueError("weights must be a length-m array aligned with edges")
+        if len(weights) and (not np.all(np.isfinite(weights)) or np.any(weights <= 0)):
+            raise GraphStructureError("edge weights must be positive and finite")
     if num_nodes is None:
         num_nodes = int(edges.max()) + 1 if len(edges) else 0
     if len(edges):
@@ -46,7 +58,10 @@ def from_edge_array(
     hi = np.maximum(edges[:, 0], edges[:, 1])
     canonical = np.column_stack((lo, hi))
     if deduplicate and len(canonical):
-        canonical = np.unique(canonical, axis=0)
+        if weights is None:
+            canonical = np.unique(canonical, axis=0)
+        else:
+            canonical, weights = _deduplicate_weighted(canonical, weights, num_nodes)
     elif len(canonical):
         keys = canonical[:, 0] * num_nodes + canonical[:, 1]
         if len(np.unique(keys)) != len(keys):
@@ -55,46 +70,109 @@ def from_edge_array(
     # Build CSR of the symmetrised arc list.
     arcs_src = np.concatenate((canonical[:, 0], canonical[:, 1]))
     arcs_dst = np.concatenate((canonical[:, 1], canonical[:, 0]))
+    if weights is not None:
+        arc_weights = np.concatenate((weights, weights))
     order = np.lexsort((arcs_dst, arcs_src))
     arcs_src = arcs_src[order]
     arcs_dst = arcs_dst[order]
     counts = np.bincount(arcs_src, minlength=num_nodes)
     indptr = np.zeros(num_nodes + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
-    return Graph(indptr, arcs_dst, validate=False)
+    if weights is None:
+        return Graph(indptr, arcs_dst, validate=False)
+    return Graph(indptr, arcs_dst, arc_weights[order], validate=False)
+
+
+def _deduplicate_weighted(
+    canonical: np.ndarray, weights: np.ndarray, num_nodes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dedupe canonical weighted edges; conflicting duplicate weights raise."""
+    keys = canonical[:, 0] * num_nodes + canonical[:, 1]
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    sorted_weights = weights[order]
+    first = np.ones(len(keys), dtype=bool)
+    first[1:] = keys[1:] != keys[:-1]
+    # every duplicate must carry the same weight as the first occurrence
+    group_ids = np.cumsum(first) - 1
+    reference = sorted_weights[first][group_ids]
+    if not np.array_equal(reference, sorted_weights):
+        raise GraphStructureError(
+            "conflicting weights for duplicate edges are not supported"
+        )
+    return canonical[order][first], sorted_weights[first]
 
 
 def from_edges(
-    edges: Iterable[Sequence[int]],
+    edges: Iterable[Sequence[float]],
     *,
     num_nodes: Optional[int] = None,
+    weights: Optional[Sequence[float]] = None,
     deduplicate: bool = True,
 ) -> Graph:
-    """Build a :class:`Graph` from an iterable of ``(u, v)`` pairs."""
-    edge_list = [(int(u), int(v)) for u, v in edges]
+    """Build a :class:`Graph` from an iterable of ``(u, v)`` or ``(u, v, w)`` entries.
+
+    Weights can come either inline as triples or through the ``weights``
+    keyword (aligned with ``edges``); mixing both raises.
+    """
+    edge_list: list[tuple[int, int]] = []
+    inline_weights: list[float] = []
+    for edge in edges:
+        entry = tuple(edge)
+        if len(entry) == 3:
+            edge_list.append((int(entry[0]), int(entry[1])))
+            inline_weights.append(float(entry[2]))
+        elif len(entry) == 2:
+            edge_list.append((int(entry[0]), int(entry[1])))
+        else:
+            raise ValueError(f"edges must be (u, v) or (u, v, w), got {entry!r}")
+    if inline_weights and len(inline_weights) != len(edge_list):
+        raise ValueError("either all or none of the edges may carry inline weights")
+    if inline_weights and weights is not None:
+        raise ValueError("pass weights inline or via weights=, not both")
+    if inline_weights:
+        weights = inline_weights
     array = np.asarray(edge_list, dtype=np.int64).reshape(-1, 2)
-    return from_edge_array(array, num_nodes=num_nodes, deduplicate=deduplicate)
+    weight_array = (
+        np.asarray(weights, dtype=np.float64) if weights is not None else None
+    )
+    return from_edge_array(
+        array, num_nodes=num_nodes, weights=weight_array, deduplicate=deduplicate
+    )
 
 
-def from_scipy_sparse(matrix: sp.spmatrix, *, deduplicate: bool = True) -> Graph:
+def from_scipy_sparse(
+    matrix: sp.spmatrix, *, weighted: bool = False, deduplicate: bool = True
+) -> Graph:
     """Build a :class:`Graph` from a (possibly weighted) sparse adjacency matrix.
 
-    Weights are ignored; only the non-zero pattern matters.  The pattern is
-    symmetrised (an edge exists if either direction is present).
+    By default weights are ignored and only the non-zero pattern matters (the
+    pattern is symmetrised: an edge exists if either direction is present).
+    With ``weighted=True`` the matrix values become edge weights and must be
+    symmetric and positive.
     """
     coo = sp.coo_matrix(matrix)
     if coo.shape[0] != coo.shape[1]:
         raise ValueError("adjacency matrix must be square")
     mask = coo.row != coo.col
     edges = np.column_stack((coo.row[mask], coo.col[mask]))
-    return from_edge_array(edges, num_nodes=coo.shape[0], deduplicate=True)
+    if not weighted:
+        return from_edge_array(edges, num_nodes=coo.shape[0], deduplicate=True)
+    return from_edge_array(
+        edges,
+        num_nodes=coo.shape[0],
+        weights=np.asarray(coo.data[mask], dtype=np.float64),
+        deduplicate=True,
+    )
 
 
-def from_networkx(nx_graph) -> Graph:
+def from_networkx(nx_graph, *, weight: Optional[str] = None) -> Graph:
     """Build a :class:`Graph` from a ``networkx`` graph.
 
     Node labels are relabelled to ``0..n-1`` in sorted order when possible,
-    otherwise in insertion order.
+    otherwise in insertion order.  With ``weight`` set (e.g. ``"weight"``),
+    that edge attribute becomes the edge weight (missing attributes default
+    to 1.0).
     """
     import networkx as nx
 
@@ -106,18 +184,57 @@ def from_networkx(nx_graph) -> Graph:
     except TypeError:
         pass
     index = {node: i for i, node in enumerate(nodes)}
-    edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
-    return from_edges(edges, num_nodes=len(nodes))
+    if weight is None:
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+        return from_edges(edges, num_nodes=len(nodes))
+    edges = []
+    weights = []
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        edges.append((index[u], index[v]))
+        weights.append(float(data.get(weight, 1.0)))
+    return from_edges(edges, num_nodes=len(nodes), weights=weights)
 
 
 def to_networkx(graph: Graph):
-    """Convert a :class:`Graph` to a ``networkx.Graph`` (for plotting / checks)."""
+    """Convert a :class:`Graph` to a ``networkx.Graph`` (for plotting / checks).
+
+    Edge weights (when present) are exported as the ``"weight"`` attribute.
+    """
     import networkx as nx
 
     nx_graph = nx.Graph()
     nx_graph.add_nodes_from(range(graph.num_nodes))
-    nx_graph.add_edges_from(graph.edges())
+    if graph.is_weighted:
+        nx_graph.add_weighted_edges_from(
+            (int(u), int(v), float(w))
+            for (u, v), w in zip(graph.edge_array(), graph.edge_weight_array())
+        )
+    else:
+        nx_graph.add_edges_from(graph.edges())
     return nx_graph
+
+
+def with_random_weights(
+    graph: Graph,
+    *,
+    low: float = 0.5,
+    high: float = 2.0,
+    rng: RngLike = None,
+) -> Graph:
+    """A weighted copy of ``graph`` with i.i.d. uniform weights in ``[low, high)``.
+
+    The workhorse behind the weighted test fixtures and the weighted golden
+    regression graphs: the topology (and therefore connectivity and
+    non-bipartiteness) is preserved while every estimator must handle
+    non-uniform transition probabilities.
+    """
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high for positive edge weights")
+    gen = as_generator(rng)
+    weights = gen.uniform(low, high, size=graph.num_edges)
+    return graph.with_weights(weights)
 
 
 __all__ = [
@@ -126,4 +243,5 @@ __all__ = [
     "from_scipy_sparse",
     "from_networkx",
     "to_networkx",
+    "with_random_weights",
 ]

@@ -2,7 +2,10 @@
 
 The SNAP datasets ship as whitespace-separated edge lists with optional ``#``
 comment lines.  The same format is used here for reading and writing so that a
-user with the real datasets can drop them in directly.
+user with the real datasets can drop them in directly.  An optional third
+column carries edge weights (the common format of road networks and
+similarity graphs): ``u v w`` lines produce a weighted :class:`Graph`, plain
+``u v`` lines an unweighted one.  Mixing the two within one file raises.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.exceptions import GraphStructureError
 from repro.graph.builders import from_edge_array
 from repro.graph.graph import Graph
 
@@ -24,23 +28,32 @@ def read_edge_list(
     *,
     comment: str = "#",
     relabel: bool = True,
+    weighted: Optional[bool] = None,
 ) -> Graph:
     """Read an undirected graph from a whitespace-separated edge list.
 
     Parameters
     ----------
     path:
-        Text file with one ``u v`` pair per line.  Lines starting with
-        ``comment`` are ignored.  Duplicate edges, reversed duplicates and
-        self-loops are dropped.
+        Text file with one ``u v`` (or weighted ``u v w``) line per edge.
+        Lines starting with ``comment`` are ignored.  Duplicate edges,
+        reversed duplicates and self-loops are dropped; a weighted duplicate
+        whose weight conflicts with an earlier copy raises.
     relabel:
         When true (default), node identifiers are compacted to ``0..n-1`` in
         sorted order of their original ids, which is what SNAP files need
         (their id spaces are sparse).  When false, the original integer ids are
         used directly and must already be ``0..n-1``.
+    weighted:
+        ``None`` (default) auto-detects: a third column, when present, is read
+        as the edge weight.  ``False`` ignores any extra columns (for SNAP
+        files whose third column is a timestamp or annotation — the historic
+        behaviour).  ``True`` requires every line to carry a weight.
     """
     path = Path(path)
     rows: list[tuple[int, int]] = []
+    weight_rows: list[float] = []
+    use_weights: Optional[bool] = weighted
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -51,8 +64,31 @@ def read_edge_list(
                 raise ValueError(f"malformed edge line: {line!r}")
             u, v = int(parts[0]), int(parts[1])
             if u == v:
+                # dropped entirely, *before* format detection: a self-loop
+                # line must not latch the weighted/unweighted mode
                 continue
+            line_weighted = len(parts) >= 3
+            if weighted is True and not line_weighted:
+                raise ValueError(f"expected a weight column, got: {line!r}")
+            if weighted is False:
+                line_weighted = False
+            elif use_weights is None:
+                use_weights = line_weighted
+            elif use_weights != line_weighted:
+                # symmetric check: fires whichever format came first
+                raise ValueError(
+                    "edge list mixes weighted (u v w) and unweighted (u v) lines"
+                )
             rows.append((u, v))
+            if line_weighted:
+                try:
+                    weight_rows.append(float(parts[2]))
+                except ValueError:
+                    raise ValueError(
+                        f"third column is not a numeric weight in line {line!r}; "
+                        "pass weighted=False (--ignore-weights on the CLI) if it "
+                        "is a timestamp or annotation"
+                    ) from None
     if not rows:
         raise ValueError(f"no edges found in {path}")
     edges = np.asarray(rows, dtype=np.int64)
@@ -63,7 +99,17 @@ def read_edge_list(
         num_nodes = len(unique_ids)
     else:
         num_nodes = int(edges.max()) + 1
-    return from_edge_array(edges, num_nodes=num_nodes)
+    weights = np.asarray(weight_rows, dtype=np.float64) if weight_rows else None
+    try:
+        return from_edge_array(edges, num_nodes=num_nodes, weights=weights)
+    except GraphStructureError as exc:
+        if weights is None:
+            raise
+        raise GraphStructureError(
+            f"{exc} (while reading the third column of {path} as edge weights; "
+            "pass weighted=False — --ignore-weights on the CLI — if that column "
+            "is a timestamp or annotation)"
+        ) from exc
 
 
 def write_edge_list(
@@ -72,7 +118,11 @@ def write_edge_list(
     *,
     header: Optional[str] = None,
 ) -> None:
-    """Write ``graph`` as a whitespace-separated edge list (one edge per line)."""
+    """Write ``graph`` as a whitespace-separated edge list (one edge per line).
+
+    Weighted graphs emit ``u v w`` lines with full-precision (``repr``)
+    weights, so a write → read round-trip reproduces the weights exactly.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
@@ -80,8 +130,12 @@ def write_edge_list(
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
         handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
-        for u, v in graph.edges():
-            handle.write(f"{u} {v}\n")
+        if graph.is_weighted:
+            for (u, v), w in zip(graph.edge_array(), graph.edge_weight_array()):
+                handle.write(f"{u} {v} {float(w)!r}\n")
+        else:
+            for u, v in graph.edges():
+                handle.write(f"{u} {v}\n")
 
 
 __all__ = ["read_edge_list", "write_edge_list"]

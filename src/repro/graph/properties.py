@@ -116,10 +116,12 @@ class GraphSummary:
     max_degree: int
     connected: bool
     bipartite: bool
+    weighted: bool = False
+    total_weight: float = 0.0
 
     def as_row(self) -> dict[str, object]:
         """Render as a plain dict suitable for tabular reporting."""
-        return {
+        row = {
             "name": self.name,
             "#nodes (n)": self.num_nodes,
             "#edges (m)": self.num_edges,
@@ -129,6 +131,9 @@ class GraphSummary:
             "connected": self.connected,
             "bipartite": self.bipartite,
         }
+        if self.weighted:
+            row["total weight (W)"] = round(self.total_weight, 2)
+        return row
 
 
 def summarize(graph: Graph, name: str = "graph") -> GraphSummary:
@@ -143,6 +148,8 @@ def summarize(graph: Graph, name: str = "graph") -> GraphSummary:
         max_degree=int(stats["max"]),
         connected=is_connected(graph),
         bipartite=is_bipartite(graph),
+        weighted=graph.is_weighted,
+        total_weight=graph.total_weight,
     )
 
 

@@ -54,7 +54,7 @@ class SpectralInfo:
 
 def _normalized_adjacency(graph: Graph) -> sp.csr_matrix:
     """``N = D^{-1/2} A D^{-1/2}``, symmetric and similar to ``P = D^{-1}A``."""
-    degrees = graph.degrees.astype(np.float64)
+    degrees = np.asarray(graph.weighted_degrees, dtype=np.float64)
     if np.any(degrees == 0):
         raise ValueError("spectral quantities undefined for graphs with isolated nodes")
     inv_sqrt = sp.diags(1.0 / np.sqrt(degrees), format="csr")
@@ -138,7 +138,7 @@ def power_iteration_lambda2(
     """
     normalized = _normalized_adjacency(graph)
     n = graph.num_nodes
-    degrees = graph.degrees.astype(np.float64)
+    degrees = np.asarray(graph.weighted_degrees, dtype=np.float64)
     leading = np.sqrt(degrees)
     leading /= np.linalg.norm(leading)
     gen = as_generator(rng)

@@ -19,8 +19,8 @@ def adjacency_matrix(graph: Graph) -> sp.csr_matrix:
 
 
 def degree_vector(graph: Graph) -> np.ndarray:
-    """The degree vector ``d`` as floats."""
-    return graph.degrees.astype(np.float64)
+    """The (weighted) degree vector ``d`` as floats."""
+    return np.asarray(graph.weighted_degrees, dtype=np.float64)
 
 
 def laplacian_matrix(graph: Graph) -> sp.csr_matrix:
@@ -44,17 +44,20 @@ def transition_matrix(graph: Graph) -> sp.csr_matrix:
 
 
 def incidence_matrix(graph: Graph) -> sp.csr_matrix:
-    """The signed edge-node incidence matrix ``B`` of shape ``(m, n)``.
+    """The signed, weight-scaled edge-node incidence matrix ``B`` of shape ``(m, n)``.
 
-    Row ``e = (u, v)`` (with ``u < v``) has ``+1`` at column ``u`` and ``-1`` at
-    column ``v``; therefore ``BᵀB = L``.  Used by the RP baseline
-    (Spielman–Srivastava) and the sparsification application.
+    Row ``e = (u, v)`` (with ``u < v``) has ``+√w(e)`` at column ``u`` and
+    ``-√w(e)`` at column ``v``; therefore ``BᵀB = L`` (the weighted
+    Laplacian).  On unweighted graphs this is the classic ±1 matrix.  Used by
+    the RP baseline (Spielman–Srivastava) and the sparsification application.
     """
     edges = graph.edge_array()
     m = len(edges)
     rows = np.repeat(np.arange(m), 2)
     cols = edges.reshape(-1)
     data = np.tile(np.array([1.0, -1.0]), m)
+    if graph.is_weighted:
+        data = data * np.repeat(np.sqrt(graph.edge_weight_array()), 2)
     return sp.csr_matrix((data, (rows, cols)), shape=(m, graph.num_nodes))
 
 

@@ -63,9 +63,9 @@ class LaplacianSolver:
             raise ValueError("graph must contain at least two nodes")
         self._graph = graph
         self._laplacian = graph.laplacian_matrix().tocsr()
-        degrees = graph.degrees.astype(np.float64)
-        if np.any(degrees == 0):
+        if np.any(graph.degrees == 0):
             raise ValueError("Laplacian solves require a graph without isolated nodes")
+        degrees = np.asarray(graph.weighted_degrees, dtype=np.float64)
         self._preconditioner = sp.diags(1.0 / degrees, format="csr")
         self._tol = tol
         self._max_iterations = max_iterations

@@ -107,8 +107,8 @@ def empirical_bernstein_sample_size(
 # --------------------------------------------------------------------------- #
 def amc_psi(
     walk_length: int,
-    degree_s: int,
-    degree_t: int,
+    degree_s: float,
+    degree_t: float,
     s_max1: float,
     s_max2: float,
     t_max1: float,
@@ -125,8 +125,8 @@ def amc_psi(
     range fed to empirical Bernstein.
     """
     check_integer(walk_length, "walk_length", minimum=0)
-    check_integer(degree_s, "degree_s", minimum=1)
-    check_integer(degree_t, "degree_t", minimum=1)
+    check_positive(degree_s, "degree_s")
+    check_positive(degree_t, "degree_t")
     if walk_length == 0:
         return 0.0
     half_up = math.ceil(walk_length / 2)

@@ -18,6 +18,42 @@ from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_node
 
 
+def _neighbor_sampler(graph: Graph):
+    """A single-node neighbour sampler: uniform, or weight-proportional.
+
+    Unweighted graphs keep the historical ``gen.integers(0, degree)`` draw
+    (bit-identical trees under the same seed); weighted graphs run inverse-CDF
+    sampling over the row's cumulative weights, which is what makes Wilson's
+    algorithm sample from the *weighted* UST distribution
+    (``Pr[e ∈ T] = w(e) · r(e)``, the weighted matrix-tree identity HAY needs).
+    """
+    indptr, indices = graph.indptr, graph.indices
+    if not graph.is_weighted:
+        def uniform_step(node: int, gen: np.random.Generator) -> int:
+            degree = indptr[node + 1] - indptr[node]
+            return int(indices[indptr[node] + gen.integers(0, degree)])
+
+        return uniform_step
+
+    # The O(m) cumulative-weight array is memoised on the (immutable) graph:
+    # HAY samples hundreds of trees per query and must not rebuild it per tree.
+    cumulative = graph._cumweights_cache
+    if cumulative is None:
+        cumulative = np.cumsum(graph.weights)
+        cumulative.setflags(write=False)
+        graph._cumweights_cache = cumulative
+
+    def weighted_step(node: int, gen: np.random.Generator) -> int:
+        lo, hi = int(indptr[node]), int(indptr[node + 1])
+        base = cumulative[lo - 1] if lo > 0 else 0.0
+        total = cumulative[hi - 1] - base
+        draw = base + gen.random() * total
+        position = int(np.searchsorted(cumulative[lo:hi], draw, side="right"))
+        return int(indices[lo + min(position, hi - lo - 1)])
+
+    return weighted_step
+
+
 def wilson_spanning_tree(
     graph: Graph,
     *,
@@ -41,7 +77,7 @@ def wilson_spanning_tree(
     in_tree = np.zeros(n, dtype=bool)
     in_tree[root] = True
     successor = -np.ones(n, dtype=np.int64)
-    indptr, indices = graph.indptr, graph.indices
+    step = _neighbor_sampler(graph)
 
     for start in range(n):
         if in_tree[start]:
@@ -50,8 +86,7 @@ def wilson_spanning_tree(
         # loops are erased implicitly because the successor is overwritten.
         node = start
         while not in_tree[node]:
-            degree = indptr[node + 1] - indptr[node]
-            nxt = int(indices[indptr[node] + gen.integers(0, degree)])
+            nxt = step(node, gen)
             successor[node] = nxt
             node = nxt
         # retrace the loop-erased path and add it to the tree
@@ -95,11 +130,10 @@ def aldous_broder_spanning_tree(
     visited[start] = True
     num_visited = 1
     edges: list[tuple[int, int]] = []
-    indptr, indices = graph.indptr, graph.indices
+    step = _neighbor_sampler(graph)
     node = start
     for _ in range(max_steps):
-        degree = indptr[node + 1] - indptr[node]
-        nxt = int(indices[indptr[node] + gen.integers(0, degree)])
+        nxt = step(node, gen)
         if not visited[nxt]:
             visited[nxt] = True
             num_visited += 1

@@ -90,8 +90,73 @@ def _pairwise_plan(length: int) -> tuple[list[int], list[int]]:
     return leaves, merges
 
 
+def _build_alias_tables(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node Vose alias tables for weight-proportional neighbour sampling.
+
+    Returns CSR-aligned arrays ``(prob, alias_node)``: slot ``k`` of node
+    ``v``'s row accepts its own neighbour ``indices[k]`` when the draw's
+    fractional part is below ``prob[k]`` and redirects to ``alias_node[k]``
+    otherwise.  Construction is ``O(d(v))`` per node, ``O(m)`` total; the
+    expected per-slot probability mass is exactly ``w / Σw`` up to float
+    round-off.  The result is memoised on the (immutable) graph, so the cost
+    is paid once per graph no matter how many engines are built on it (a
+    parallel QueryPlan builds one engine per query).
+    """
+    cached = graph._alias_cache
+    if cached is not None:
+        return cached
+    indptr = graph.indptr
+    indices = graph.indices
+    weights = graph.weights
+    prob = np.ones(len(indices), dtype=np.float64)
+    alias_node = indices.copy()
+    # Normalised slot masses for every row in one vectorised pass: slot k of
+    # node v carries scaled[k] = w[k] · d(v) / Σ_row w.
+    degrees = graph.degrees
+    all_scaled = weights * np.repeat(
+        degrees / np.maximum(graph.weighted_degrees, 1e-300), degrees
+    )
+    for lo, hi in zip(indptr[:-1], indptr[1:]):
+        degree = int(hi - lo)
+        if degree <= 1:
+            continue
+        scaled = all_scaled[lo:hi]
+        small = [k for k in range(degree) if scaled[k] < 1.0]
+        if not small:
+            continue  # uniform row: every slot accepts itself
+        large = [k for k in range(degree) if scaled[k] >= 1.0]
+        remaining = scaled.copy()
+        while small and large:
+            s = small.pop()
+            g = large.pop()
+            prob[lo + s] = remaining[s]
+            alias_node[lo + s] = indices[lo + g]
+            remaining[g] = (remaining[g] + remaining[s]) - 1.0
+            if remaining[g] < 1.0:
+                small.append(g)
+            else:
+                large.append(g)
+        # leftovers (round-off) keep prob = 1.0: the slot always accepts itself
+        for k in small + large:
+            prob[lo + k] = 1.0
+            alias_node[lo + k] = indices[lo + k]
+    prob.setflags(write=False)
+    alias_node.setflags(write=False)
+    graph._alias_cache = (prob, alias_node)
+    return prob, alias_node
+
+
 class RandomWalkEngine:
-    """Simulates simple random walks on a :class:`Graph` using CSR gathers."""
+    """Simulates random walks on a :class:`Graph` using CSR gathers.
+
+    On weighted graphs each step is weight-proportional
+    (``P(v → u) = w(v, u) / d(v)``), implemented with per-node **alias
+    tables** so a batch step stays a constant number of vectorised gathers:
+    one uniform draw per walk selects a slot (exactly like the unweighted
+    kernel) and the alias probability/partner arrays redirect the slot with
+    the Vose acceptance test.  Unweighted graphs never build the tables and
+    run the original kernel bit-for-bit.
+    """
 
     def __init__(self, graph: Graph, *, rng: RngLike = None) -> None:
         if graph.num_nodes == 0:
@@ -108,8 +173,15 @@ class RandomWalkEngine:
         self._degrees_float = graph.degrees.astype(np.float64)
         first_degree = int(graph.degrees[0])
         self._uniform_degree: Optional[int] = (
-            first_degree if np.all(graph.degrees == first_degree) else None
+            first_degree
+            if not graph.is_weighted and np.all(graph.degrees == first_degree)
+            else None
         )
+        if graph.is_weighted:
+            self._alias_prob, self._alias_node = _build_alias_tables(graph)
+        else:
+            self._alias_prob = None
+            self._alias_node = None
         self._rng = as_generator(rng)
         self.total_steps = 0  # cumulative number of single-node transitions taken
 
@@ -144,6 +216,24 @@ class RandomWalkEngine:
             np.minimum(offsets, degree - 1, out=offsets)
             starts += offsets
             return self._indices[starts]
+        if self._alias_prob is not None:
+            # Weighted step: the slot draw consumes exactly one uniform per
+            # walk (same stream schedule as the unweighted kernel, which is
+            # what keeps the chunked driver's `advance` bookkeeping valid);
+            # the fractional part runs the Vose acceptance test.
+            starts = self._indptr[nodes]
+            degrees = self._degrees_float[nodes]
+            draws = generator.random(len(nodes))
+            draws *= degrees
+            offsets = draws.astype(np.int64)
+            np.minimum(offsets, degrees.astype(np.int64) - 1, out=offsets)
+            frac = draws - offsets
+            positions = starts + offsets
+            return np.where(
+                frac < self._alias_prob[positions],
+                self._indices[positions],
+                self._alias_node[positions],
+            )
         return random_choice_csr(
             generator,
             self._indptr,
@@ -285,6 +375,12 @@ class RandomWalkEngine:
         clip = np.empty(num_walks, dtype=np.int64)
         degrees = np.empty(num_walks, dtype=np.float64)
         uniform = self._uniform_degree
+        weighted = self._alias_prob is not None
+        if weighted:
+            frac = np.empty(num_walks, dtype=np.float64)
+            prob = np.empty(num_walks, dtype=np.float64)
+            alias = np.empty(num_walks, dtype=np.int64)
+            reject = np.empty(num_walks, dtype=bool)
         for leaf_length, merge_count in zip(leaves, merges):
             for column in range(leaf_length):
                 np.take(self._indptr, current, out=starts)
@@ -303,7 +399,17 @@ class RandomWalkEngine:
                     clip -= 1
                     np.minimum(offsets, clip, out=offsets)
                 starts += offsets
-                np.take(self._indices, starts, out=current)
+                if weighted:
+                    # Vose acceptance on the draw's fractional part: same
+                    # buffered discipline, three extra gathers per step.
+                    np.subtract(draws, offsets, out=frac)
+                    np.take(self._alias_prob, starts, out=prob)
+                    np.greater_equal(frac, prob, out=reject)
+                    np.take(self._indices, starts, out=current)
+                    np.take(self._alias_node, starts, out=alias)
+                    np.copyto(current, alias, where=reject)
+                else:
+                    np.take(self._indices, starts, out=current)
                 block[:, column] = weights[current]
             partial = block[:, :leaf_length].sum(axis=1)
             for _ in range(merge_count):
@@ -411,7 +517,16 @@ class RandomWalkEngine:
         current = start
         for _ in range(length):
             neighbors = self._graph.neighbors(current)
-            current = int(neighbors[self._rng.integers(0, len(neighbors))])
+            if self._graph.is_weighted:
+                # inverse-CDF sampling over the row weights — an independent
+                # formulation the alias kernel is cross-checked against
+                row_weights = self._graph.neighbor_weights(current)
+                cumulative = np.cumsum(row_weights)
+                draw = self._rng.random() * cumulative[-1]
+                position = int(np.searchsorted(cumulative, draw, side="right"))
+                current = int(neighbors[min(position, len(neighbors) - 1)])
+            else:
+                current = int(neighbors[self._rng.integers(0, len(neighbors))])
             path.append(current)
         self.total_steps += length
         return path

@@ -58,17 +58,23 @@ class StaleArtifactError(ArtifactError):
 
 
 def graph_fingerprint(graph: Graph) -> str:
-    """A SHA-256 digest of the graph's CSR structure.
+    """A SHA-256 digest of the graph's CSR structure (and edge weights).
 
-    Two graphs share a fingerprint iff they are structurally identical
-    (same node count, same adjacency in the same canonical CSR layout), which
-    is exactly the condition under which preprocessing artifacts transfer.
+    Two graphs share a fingerprint iff they are identical as *weighted*
+    graphs: same node count, same adjacency in the same canonical CSR layout
+    and — when weighted — bit-identical weight arrays.  That is exactly the
+    condition under which preprocessing artifacts (λ, landmark resistances)
+    transfer.  Unweighted graphs hash exactly as before this field existed,
+    so pre-existing artifact directories stay valid.
     """
     digest = hashlib.sha256()
     digest.update(b"repro-graph-v1")
     digest.update(int(graph.num_nodes).to_bytes(8, "little"))
     digest.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
     digest.update(np.ascontiguousarray(graph.indices, dtype=np.int64).tobytes())
+    if graph.is_weighted:
+        digest.update(b"weights-v1")
+        digest.update(np.ascontiguousarray(graph.weights, dtype=np.float64).tobytes())
     return digest.hexdigest()
 
 

@@ -150,8 +150,10 @@ class LandmarkSketchStore:
         if k < 1:
             raise ValueError(f"num_landmarks must be >= 1, got {num_landmarks}")
         if strategy == "degree":
-            # Stable sort so ties break towards the lowest node id.
-            return np.argsort(-graph.degrees, kind="stable")[:k].astype(np.int64)
+            # Stable sort so ties break towards the lowest node id.  Weighted
+            # degrees pick heavy hubs on weighted graphs and reduce to the
+            # structural degrees (same ordering) otherwise.
+            return np.argsort(-graph.weighted_degrees, kind="stable")[:k].astype(np.int64)
         gen = as_generator(rng)
         return np.sort(gen.choice(graph.num_nodes, size=k, replace=False)).astype(
             np.int64

@@ -14,7 +14,11 @@ def dense_graph():
     return barabasi_albert_graph(150, 12, rng=81)
 
 
+@pytest.mark.slow
 class TestSparsify:
+    """Statistical sampling tests — the heaviest block in the suite, skipped
+    by CI quick mode (-m "not slow")."""
+
     def test_reduces_edges(self, dense_graph):
         sparsifier = spectral_sparsify(
             dense_graph, epsilon=1.0, oversampling=1.0, resistance_epsilon=0.2, rng=1

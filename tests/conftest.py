@@ -6,10 +6,21 @@ random graphs (fixed seeds) used by the estimator and application tests.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+# Make the shared strategy module (tests/strategies.py) importable from the
+# nested test packages (tests/graph, tests/sampling, ...), which pytest does
+# not put on sys.path in rootdir-relative layouts without __init__.py files.
+_TESTS_DIR = Path(__file__).resolve().parent
+if str(_TESTS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TESTS_DIR))
+
 from repro.baselines.ground_truth import GroundTruthOracle
+from repro.graph.builders import from_edges, with_random_weights
 from repro.graph.generators import (
     barabasi_albert_graph,
     complete_graph,
@@ -72,6 +83,21 @@ def ws_small():
 @pytest.fixture(scope="session")
 def sbm_two_blocks():
     return stochastic_block_model_graph([30, 30], 0.4, 0.04, rng=14)
+
+
+@pytest.fixture(scope="session")
+def weighted_triangle():
+    """Weighted triangle with distinct weights; closed-form resistances.
+
+    Parallel/series rules give e.g. r(0, 1) = 1 / (w01 + 1/(1/w02 + 1/w12)).
+    """
+    return from_edges([(0, 1, 2.0), (1, 2, 0.5), (0, 2, 1.5)])
+
+
+@pytest.fixture(scope="session")
+def ba_weighted():
+    """Weighted Barabási–Albert graph (same topology as ``ba_small``)."""
+    return with_random_weights(barabasi_albert_graph(200, 6, rng=11), rng=21)
 
 
 @pytest.fixture(scope="session")

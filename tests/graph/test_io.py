@@ -1,40 +1,21 @@
-"""Unit tests for edge-list IO."""
+"""Unit tests for edge-list IO (unweighted ``u v`` and weighted ``u v w``)."""
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.graph.builders import from_edges
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import from_edges, with_random_weights
 from repro.graph.generators import barabasi_albert_graph
 from repro.graph.io import read_edge_list, write_edge_list
+from strategies import arbitrary_graphs
 
 IO_SETTINGS = settings(
     max_examples=30,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-
-
-@st.composite
-def arbitrary_graphs(draw, min_nodes=2, max_nodes=30):
-    """Random graphs (not necessarily connected) with at least one edge."""
-    n = draw(st.integers(min_nodes, max_nodes))
-    seed = draw(st.integers(0, 2**31 - 1))
-    rng = np.random.default_rng(seed)
-    num_edges = draw(st.integers(1, min(3 * n, n * (n - 1) // 2)))
-    edges = set()
-    while len(edges) < num_edges:
-        u, v = map(int, rng.integers(0, n, size=2))
-        if u != v:
-            edges.add((min(u, v), max(u, v)))
-    # Compact the ids so relabel=False reads see exactly the written graph
-    # (ids beyond the last endpoint are not representable in an edge list).
-    used = sorted({v for edge in edges for v in edge})
-    remap = {old: new for new, old in enumerate(used)}
-    return from_edges(
-        sorted((remap[u], remap[v]) for u, v in edges), num_nodes=len(used)
-    )
 
 
 @st.composite
@@ -175,13 +156,16 @@ class TestRoundTripProperties:
         graph = read_edge_list(path, comment="%")
         assert graph.num_edges == 2
 
-    def test_extra_columns_ignored(self, tmp_path):
-        # SNAP-style files sometimes carry weights/timestamps; only the first
-        # two columns define the edge.
+    def test_third_column_is_a_weight(self, tmp_path):
+        # `u v w` lines build a weighted graph; columns past the third are
+        # ignored (SNAP files sometimes carry timestamps there).
         path = tmp_path / "cols.txt"
         path.write_text("0 1 0.5\n1 2 0.25 extra\n")
         graph = read_edge_list(path)
         assert graph.num_edges == 2
+        assert graph.is_weighted
+        assert graph.edge_weight(0, 1) == 0.5
+        assert graph.edge_weight(1, 2) == 0.25
 
     @pytest.mark.parametrize("relabel", [True, False])
     def test_round_trip_preserves_degrees(self, relabel, tmp_path):
@@ -190,3 +174,87 @@ class TestRoundTripProperties:
         write_edge_list(graph, path)
         loaded = read_edge_list(path, relabel=relabel)
         assert np.array_equal(loaded.degrees, graph.degrees)
+
+
+class TestWeightedEdgeLists:
+    """Weighted `u v w` parsing and write → read exactness."""
+
+    @IO_SETTINGS
+    @given(graph=arbitrary_graphs(weighted=True))
+    def test_weighted_round_trip_identity(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("io") / "weighted.txt"
+        write_edge_list(graph, path)
+        for relabel in (True, False):
+            loaded = read_edge_list(path, relabel=relabel)
+            assert loaded.is_weighted
+            # repr()-precision writes make the round trip bit-exact
+            assert loaded == graph
+
+    def test_weighted_read(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("# weighted\n0 1 2.5\n1 2 0.125\n")
+        graph = read_edge_list(path)
+        assert graph.is_weighted
+        assert graph.total_weight == 2.625
+        assert graph.weighted_degree(1) == 2.625
+
+    @pytest.mark.parametrize(
+        "content", ["0 1 2.5\n1 2\n", "0 1\n1 2 5.0\n"], ids=["w-first", "u-first"]
+    )
+    def test_mixed_weighted_unweighted_lines_raise(self, tmp_path, content):
+        # the check is symmetric: whichever format comes first, mixing raises
+        path = tmp_path / "mixed.txt"
+        path.write_text(content)
+        with pytest.raises(ValueError, match="mixes"):
+            read_edge_list(path)
+
+    def test_self_loop_line_does_not_latch_format(self, tmp_path):
+        path = tmp_path / "loop-first.txt"
+        path.write_text("3 3\n0 1 2.0\n1 2 3.0\n")
+        graph = read_edge_list(path)
+        assert graph.is_weighted
+        assert graph.edge_weight(0, 1) == 2.0
+
+    def test_conflicting_duplicate_weights_raise(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1 2.5\n1 0 3.0\n")
+        with pytest.raises(GraphStructureError):
+            read_edge_list(path)
+
+    def test_agreeing_duplicate_weights_dedupe(self, tmp_path):
+        path = tmp_path / "dup-ok.txt"
+        path.write_text("0 1 2.5\n1 0 2.5\n1 2 1.0\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.edge_weight(0, 1) == 2.5
+
+    def test_nonpositive_weight_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.0\n")
+        with pytest.raises(GraphStructureError):
+            read_edge_list(path)
+
+    def test_weighted_false_ignores_extra_columns(self, tmp_path):
+        # SNAP temporal files carry timestamps in column 3; weighted=False
+        # restores the historic only-first-two-columns behaviour (duplicates
+        # with different timestamps merge instead of raising).
+        path = tmp_path / "temporal.txt"
+        path.write_text("0 1 1082040961\n1 0 1082155839\n1 2 0\n")
+        graph = read_edge_list(path, weighted=False)
+        assert not graph.is_weighted
+        assert graph.num_edges == 2
+
+    def test_weighted_true_requires_weight_column(self, tmp_path):
+        path = tmp_path / "u-v.txt"
+        path.write_text("0 1\n1 2\n")
+        with pytest.raises(ValueError, match="weight column"):
+            read_edge_list(path, weighted=True)
+
+    def test_weighted_writer_output_reloads_with_weights(self, tmp_path):
+        graph = with_random_weights(barabasi_albert_graph(40, 3, rng=9), rng=10)
+        path = tmp_path / "out.txt"
+        write_edge_list(graph, path, header="weighted graph")
+        text = path.read_text()
+        data_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert all(len(line.split()) == 3 for line in data_lines)
+        assert read_edge_list(path) == graph

@@ -1,0 +1,220 @@
+"""Unit tests for the weighted :class:`Graph` container and the
+``add_edges``/``remove_edges`` edge-case contract (consistent with
+``from_edges``: self-loops raise, duplicates dedupe, conflicting duplicate
+weights raise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.graph.builders import (
+    from_edge_array,
+    from_edges,
+    from_scipy_sparse,
+    with_random_weights,
+)
+from repro.graph.generators import barabasi_albert_graph, path_graph
+
+
+@pytest.fixture()
+def triangle():
+    return from_edges([(0, 1, 2.0), (1, 2, 0.5), (0, 2, 1.5)])
+
+
+class TestConstruction:
+    def test_basic_attributes(self, triangle):
+        assert triangle.is_weighted
+        assert triangle.num_edges == 3
+        assert triangle.total_weight == pytest.approx(4.0)
+        assert np.allclose(triangle.weighted_degrees, [3.5, 2.5, 2.0])
+        assert triangle.weighted_degree(0) == pytest.approx(3.5)
+        assert np.array_equal(triangle.degrees, [2, 2, 2])
+
+    def test_unweighted_graph_reports_unit_weights(self):
+        graph = path_graph(4)
+        assert not graph.is_weighted
+        assert graph.weights is None
+        assert graph.total_weight == graph.num_edges
+        assert np.array_equal(graph.weighted_degrees, graph.degrees.astype(float))
+        assert np.array_equal(graph.edge_weight_array(), np.ones(3))
+        assert graph.edge_weight(0, 1) == 1.0
+
+    def test_edge_weight_lookup(self, triangle):
+        assert triangle.edge_weight(1, 2) == 0.5
+        assert triangle.edge_weight(2, 1) == 0.5
+        with pytest.raises(GraphStructureError):
+            path_graph(4).edge_weight(0, 3)
+
+    def test_neighbor_weights_align_with_neighbors(self, triangle):
+        neighbors = triangle.neighbors(1)
+        weights = triangle.neighbor_weights(1)
+        lookup = dict(zip(map(int, neighbors), weights))
+        assert lookup == {0: 2.0, 2: 0.5}
+
+    def test_nonpositive_weights_raise(self):
+        with pytest.raises(GraphStructureError):
+            from_edges([(0, 1, 0.0)])
+        with pytest.raises(GraphStructureError):
+            from_edges([(0, 1, -2.0)])
+        with pytest.raises(GraphStructureError):
+            from_edges([(0, 1, float("inf"))])
+
+    def test_asymmetric_weight_arrays_rejected(self):
+        indptr = np.array([0, 1, 2])
+        indices = np.array([1, 0])
+        with pytest.raises(GraphStructureError):
+            from repro.graph.graph import Graph
+
+            Graph(indptr, indices, np.array([1.0, 2.0]))
+
+    def test_weights_shape_must_match_indices(self):
+        from repro.graph.graph import Graph
+
+        indptr = np.array([0, 1, 2])
+        indices = np.array([1, 0])
+        with pytest.raises(ValueError):
+            Graph(indptr, indices, np.array([1.0]))
+
+    def test_inline_and_keyword_weights_conflict(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 1, 2.0)], weights=[3.0])
+
+    def test_weights_keyword(self):
+        graph = from_edges([(0, 1), (1, 2)], weights=[2.0, 4.0])
+        assert graph.edge_weight(1, 2) == 4.0
+
+    def test_duplicate_weighted_edges_dedupe_or_raise(self):
+        ok = from_edges([(0, 1, 2.0), (1, 0, 2.0), (1, 2, 1.0)])
+        assert ok.num_edges == 2
+        with pytest.raises(GraphStructureError):
+            from_edges([(0, 1, 2.0), (1, 0, 3.0)])
+
+    def test_from_edge_array_no_dedup_still_rejects_duplicates(self):
+        with pytest.raises(GraphStructureError):
+            from_edge_array(
+                np.array([[0, 1], [1, 0]]),
+                weights=np.array([1.0, 1.0]),
+                deduplicate=False,
+            )
+
+    def test_from_scipy_sparse_weighted(self):
+        import scipy.sparse as sp
+
+        adj = sp.csr_matrix(
+            np.array([[0.0, 2.0, 0.0], [2.0, 0.0, 0.5], [0.0, 0.5, 0.0]])
+        )
+        graph = from_scipy_sparse(adj, weighted=True)
+        assert graph.is_weighted
+        assert graph.edge_weight(0, 1) == 2.0
+        unweighted = from_scipy_sparse(adj)
+        assert not unweighted.is_weighted
+
+
+class TestMatrices:
+    def test_adjacency_and_laplacian_use_weights(self, triangle):
+        adjacency = triangle.adjacency_matrix().toarray()
+        assert adjacency[0, 1] == 2.0 and adjacency[1, 2] == 0.5
+        laplacian = triangle.laplacian_matrix().toarray()
+        assert np.allclose(laplacian.sum(axis=1), 0.0)
+        assert laplacian[0, 0] == pytest.approx(3.5)
+
+    def test_transition_rows_are_weight_proportional(self, triangle):
+        transition = triangle.transition_matrix().toarray()
+        assert np.allclose(transition.sum(axis=1), 1.0)
+        assert transition[0, 1] == pytest.approx(2.0 / 3.5)
+        assert transition[0, 2] == pytest.approx(1.5 / 3.5)
+
+    def test_stationary_distribution_weighted(self, triangle):
+        pi = triangle.stationary_distribution()
+        assert np.allclose(pi, triangle.weighted_degrees / (2 * triangle.total_weight))
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_preserves_weights(self, triangle):
+        sub = triangle.subgraph([1, 2])
+        assert sub.is_weighted
+        assert sub.edge_weight(0, 1) == 0.5
+
+    def test_with_weights_and_unweighted_round_trip(self):
+        base = barabasi_albert_graph(30, 2, rng=3)
+        weighted = with_random_weights(base, rng=5)
+        assert weighted.is_weighted
+        assert np.array_equal(weighted.indices, base.indices)
+        # each arc and its reverse carry the same weight
+        for u, v in list(weighted.edges())[:10]:
+            assert weighted.edge_weight(u, v) == weighted.edge_weight(v, u)
+        assert weighted.unweighted() == base
+
+    def test_equality_and_hash_see_weights(self, triangle):
+        same = from_edges([(0, 1, 2.0), (1, 2, 0.5), (0, 2, 1.5)])
+        different = from_edges([(0, 1, 2.0), (1, 2, 0.5), (0, 2, 9.0)])
+        assert triangle == same
+        assert hash(triangle) == hash(same)
+        assert triangle != different
+        assert triangle != triangle.unweighted()
+
+
+class TestAddRemoveEdgeCases:
+    """The satellite contract: mutations behave like ``from_edges``."""
+
+    def test_add_edges_self_loop_raises(self):
+        with pytest.raises(GraphStructureError):
+            path_graph(4).add_edges([(1, 1)])
+
+    def test_remove_edges_self_loop_raises(self):
+        with pytest.raises(GraphStructureError):
+            path_graph(4).remove_edges([(1, 1)])
+
+    def test_add_duplicate_edges_in_input_dedupe(self):
+        graph = path_graph(4).add_edges([(0, 2), (2, 0), (0, 2)])
+        assert graph.num_edges == 4
+
+    def test_add_existing_edge_is_idempotent(self):
+        graph = path_graph(4)
+        assert graph.add_edges([(0, 1)]) == graph
+
+    def test_add_conflicting_duplicate_weights_raise(self, triangle):
+        with pytest.raises(GraphStructureError):
+            triangle.add_edges([(0, 1, 5.0)])  # edge exists with weight 2.0
+        with pytest.raises(GraphStructureError):
+            path_graph(4).add_edges([(0, 2, 1.0), (0, 2, 2.0)])
+
+    def test_add_weighted_edge_promotes_to_weighted(self):
+        graph = path_graph(3).add_edges([(0, 2, 4.0)])
+        assert graph.is_weighted
+        assert graph.edge_weight(0, 2) == 4.0
+        assert graph.edge_weight(0, 1) == 1.0  # existing edges keep weight 1
+
+    def test_explicit_unit_weight_triple_promotes(self):
+        # consistent with from_edges: an explicit (u, v, 1.0) makes the
+        # result weighted even though the weight value is the default
+        assert from_edges([(0, 1, 1.0), (1, 2, 1.0)]).is_weighted
+        assert path_graph(3).add_edges([(0, 2, 1.0)]).is_weighted
+        assert not path_graph(3).add_edges([(0, 2)]).is_weighted
+
+    def test_add_edges_preserves_existing_weights(self):
+        graph = from_edges([(0, 1, 2.0), (1, 2, 0.5), (2, 3, 1.5)])
+        grown = graph.add_edges([(0, 3, 7.0)])
+        assert grown.edge_weight(0, 1) == 2.0
+        assert grown.edge_weight(0, 3) == 7.0
+
+    def test_remove_edges_preserves_weights(self, triangle):
+        reduced = triangle.remove_edges([(0, 1)])
+        assert reduced.is_weighted
+        assert reduced.num_edges == 2
+        assert reduced.edge_weight(1, 2) == 0.5
+
+    def test_remove_nonexistent_edge_raises(self):
+        with pytest.raises(GraphStructureError):
+            path_graph(4).remove_edges([(0, 3)])
+
+    def test_remove_duplicate_entries_dedupe(self):
+        reduced = path_graph(4).remove_edges([(0, 1), (1, 0)])
+        assert reduced.num_edges == 2
+
+    def test_add_out_of_range_node_raises(self):
+        with pytest.raises(ValueError):
+            path_graph(3).add_edges([(0, 99)])

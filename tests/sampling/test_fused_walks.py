@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 from repro.core.amc import amc_query
 from repro.core.geer import geer_query
 from repro.core.registry import QueryBudget, QueryContext
+from repro.graph.builders import with_random_weights
 from repro.graph.generators import barabasi_albert_graph, cycle_graph
 from repro.sampling.walks import RandomWalkEngine, _pairwise_plan, walk_scores
 
@@ -30,9 +31,18 @@ SETTINGS = settings(
 )
 
 
-@pytest.fixture(scope="module")
-def graph():
-    return barabasi_albert_graph(200, 4, rng=5)
+@pytest.fixture(scope="module", params=["unweighted", "weighted"])
+def graph(request):
+    """Both pipelines: the classic uniform kernel and the weighted alias kernel.
+
+    Every exact-equivalence contract in this module (fused == materialised,
+    chunked == unchunked, chunk-size invariance of AMC/GEER) must hold for
+    weight-proportional steps too.
+    """
+    base = barabasi_albert_graph(200, 4, rng=5)
+    if request.param == "weighted":
+        return with_random_weights(base, rng=31)
+    return base
 
 
 @pytest.fixture(scope="module")
@@ -198,4 +208,54 @@ class TestEstimatorsInvariantUnderChunking:
         spec = resolve_method("amc")
         assert (
             spec(tight, 0, 9, 0.5).value == spec(loose, 0, 9, 0.5).value
+        )
+
+
+class TestWeightedStepDistribution:
+    """The alias kernel must realise exactly the weighted transition law."""
+
+    def test_alias_tables_partition_probability_mass(self):
+        from repro.sampling.walks import _build_alias_tables
+
+        graph = with_random_weights(barabasi_albert_graph(80, 3, rng=2), rng=4)
+        prob, alias_node = _build_alias_tables(graph)
+        indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+        for v in range(graph.num_nodes):
+            lo, hi = int(indptr[v]), int(indptr[v + 1])
+            degree = hi - lo
+            # accumulate each neighbour's total mass across the slots
+            mass = {int(u): 0.0 for u in indices[lo:hi]}
+            for k in range(lo, hi):
+                mass[int(indices[k])] += prob[k] / degree
+                mass[int(alias_node[k])] += (1.0 - prob[k]) / degree
+            row_total = weights[lo:hi].sum()
+            for k in range(lo, hi):
+                expected = weights[k] / row_total
+                assert mass[int(indices[k])] == pytest.approx(expected, abs=1e-12)
+
+    def test_step_frequencies_match_transition_matrix(self, weighted_triangle):
+        engine = RandomWalkEngine(weighted_triangle, rng=8)
+        starts = np.zeros(120_000, dtype=np.int64)
+        ends = engine.step(starts)
+        freq = np.bincount(ends, minlength=3) / len(ends)
+        row = weighted_triangle.transition_matrix()[0].toarray().ravel()
+        assert np.allclose(freq, row, atol=0.01)
+
+    def test_python_reference_agrees_statistically(self, weighted_triangle):
+        engine = RandomWalkEngine(weighted_triangle, rng=12)
+        ends = np.array(
+            [engine.walk_single_python(0, 1)[-1] for _ in range(40_000)]
+        )
+        freq = np.bincount(ends, minlength=3) / len(ends)
+        row = weighted_triangle.transition_matrix()[0].toarray().ravel()
+        assert np.allclose(freq, row, atol=0.02)
+
+    @given(st.integers(0, 2**31 - 1))
+    @SETTINGS
+    def test_hitting_walks_and_endpoints_share_weighted_kernel(self, seed):
+        graph = with_random_weights(barabasi_albert_graph(40, 3, rng=6), rng=7)
+        one = RandomWalkEngine(graph, rng=seed)
+        two = RandomWalkEngine(graph, rng=seed)
+        assert np.array_equal(
+            one.walk_endpoints(0, 50, 9), two.walk_matrix(0, 50, 9)[:, -1]
         )

@@ -1,0 +1,168 @@
+"""Shared hypothesis strategies for the test-suite.
+
+One place for the random-graph constructions that used to be duplicated (with
+small variations) across ``tests/sampling/test_fused_walks.py``,
+``tests/graph/test_io.py`` and the property suites.  Every strategy takes a
+``weighted`` switch:
+
+* ``weighted=False`` (default) — classic unweighted graphs;
+* ``weighted=True``  — the same topology with i.i.d. uniform edge weights
+  drawn from a derived seed;
+* ``weighted=None``  — hypothesis draws the flag, so one test exercises both
+  pipelines.
+
+All strategies derive their randomness from drawn integer seeds, so failures
+shrink and replay deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_edges, with_random_weights
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+)
+
+__all__ = [
+    "arbitrary_graphs",
+    "connected_graphs",
+    "walkable_graphs",
+    "graph_with_pair",
+    "estimation_cases",
+    "maybe_weighted",
+]
+
+
+def maybe_weighted(draw, graph, weighted):
+    """Apply the three-state ``weighted`` switch to a built graph."""
+    if weighted is None:
+        weighted = draw(st.booleans())
+    if not weighted:
+        return graph
+    seed = draw(st.integers(0, 2**31 - 1))
+    return with_random_weights(graph, low=0.5, high=2.5, rng=seed)
+
+
+def _spanning_edge_set(rng: np.random.Generator, n: int) -> set[tuple[int, int]]:
+    """A random spanning path as a canonical edge set (guarantees connectivity)."""
+    order = rng.permutation(n)
+    return {
+        (min(int(a), int(b)), max(int(a), int(b)))
+        for a, b in zip(order[:-1], order[1:])
+    }
+
+
+@st.composite
+def arbitrary_graphs(draw, min_nodes=2, max_nodes=30, weighted=False):
+    """Random graphs (not necessarily connected) with at least one edge.
+
+    Node ids are compacted so every node is an endpoint of some edge — the
+    shape edge-list IO can represent exactly (used by the IO round-trip
+    suite).
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    num_edges = draw(st.integers(1, min(3 * n, n * (n - 1) // 2)))
+    edges = set()
+    while len(edges) < num_edges:
+        u, v = map(int, rng.integers(0, n, size=2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    used = sorted({v for edge in edges for v in edge})
+    remap = {old: new for new, old in enumerate(used)}
+    graph = from_edges(
+        sorted((remap[u], remap[v]) for u, v in edges), num_nodes=len(used)
+    )
+    return maybe_weighted(draw, graph, weighted)
+
+
+@st.composite
+def connected_graphs(
+    draw, min_nodes=4, max_nodes=24, weighted=False, families=("spanning", "ba", "er", "grid")
+):
+    """Random *connected* graphs drawn from several families.
+
+    ``spanning`` is the historical construction (random spanning path plus
+    random extra edges); ``ba``/``er``/``grid`` exercise preferential
+    attachment, Erdős–Rényi and lattice topologies.
+    """
+    family = draw(st.sampled_from(families))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if family == "grid":
+        # keep rows*cols inside [min_nodes, max_nodes]
+        rows = draw(st.integers(2, max(2, int(max_nodes**0.5))))
+        min_cols = max(2, -(-max(min_nodes, 4) // rows))
+        cols = draw(st.integers(min_cols, max(min_cols, max_nodes // rows)))
+        graph = grid_graph(rows, cols)
+    elif family == "ba":
+        n = draw(st.integers(max(min_nodes, 3), max_nodes))
+        attach = draw(st.integers(1, min(3, n - 1)))
+        graph = barabasi_albert_graph(n, attach, rng=rng)
+    elif family == "er":
+        n = draw(st.integers(max(min_nodes, 2), max_nodes))
+        extra = draw(st.integers(0, min(2 * n, n * (n - 1) // 2 - (n - 1))))
+        graph = erdos_renyi_graph(n, n - 1 + extra, rng=rng, connect=True)
+    else:  # spanning
+        n = draw(st.integers(min_nodes, max_nodes))
+        edges = _spanning_edge_set(rng, n)
+        max_extra = n * (n - 1) // 2 - (n - 1)
+        extra = draw(st.integers(0, min(max_extra, 3 * n)))
+        while len(edges) < (n - 1) + extra:
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.add((min(int(u), int(v)), max(int(u), int(v))))
+        graph = from_edges(sorted(edges), num_nodes=n)
+    return maybe_weighted(draw, graph, weighted)
+
+
+@st.composite
+def walkable_graphs(draw, min_nodes=6, max_nodes=30, weighted=False):
+    """Connected, non-bipartite random graphs (a triangle is always included).
+
+    Kept reasonably dense: sparse near-path graphs have a tiny spectral gap,
+    which makes the (correct) walk budgets of the Monte Carlo estimators
+    astronomically large and the tests needlessly slow.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    edges = _spanning_edge_set(rng, n)
+    # force a triangle on the first three nodes of the spanning order
+    a, b, c = (int(order[0]), int(order[1]), int(order[2]))
+    for u, v in ((a, b), (b, c), (a, c)):
+        edges.add((min(u, v), max(u, v)))
+    extra = draw(st.integers(n, 3 * n))
+    target = min(n - 1 + 3 + extra, n * (n - 1) // 2)
+    while len(edges) < target:
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    graph = from_edges(sorted(edges), num_nodes=n)
+    return maybe_weighted(draw, graph, weighted)
+
+
+@st.composite
+def graph_with_pair(draw, weighted=False, **kwargs):
+    """A connected graph plus an arbitrary (possibly equal) node pair."""
+    graph = draw(connected_graphs(weighted=weighted, **kwargs))
+    s = draw(st.integers(0, graph.num_nodes - 1))
+    t = draw(st.integers(0, graph.num_nodes - 1))
+    return graph, s, t
+
+
+@st.composite
+def estimation_cases(draw, weighted=False, **kwargs):
+    """A walkable graph, a node pair, an ε and a seed — one estimator test case."""
+    graph = draw(walkable_graphs(weighted=weighted, **kwargs))
+    s = draw(st.integers(0, graph.num_nodes - 1))
+    t = draw(st.integers(0, graph.num_nodes - 1))
+    epsilon = draw(st.sampled_from([0.5, 0.25]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return graph, s, t, epsilon, seed

@@ -1,0 +1,191 @@
+"""Cross-method conformance suite.
+
+Every method in the registry, on small **weighted and unweighted** graphs,
+must agree with the exact weighted-Laplacian pseudo-inverse resistance within
+its ε budget.  One table (``METHOD_BUDGETS``) drives the whole matrix instead
+of per-method spot checks scattered across the suite — this is the safety net
+that let the weighted refactor touch every estimator at once.
+
+Design notes
+------------
+* Budgets are **deterministic** (explicit walk/sample caps, no wall-clock
+  cuts) and seeds are pinned, so a failure is reproducible and a numerics
+  change fails loudly rather than flaking.
+* The tolerance is expressed as a multiple of ε.  Exact/solver methods get a
+  tiny absolute tolerance; SMM inherits the ε/2 truncation guarantee; the
+  adaptive methods get ε; the capped Monte Carlo baselines get a looser
+  multiple because their faithful budgets (which the ε guarantee assumes) are
+  far beyond laptop scale.
+* Edge methods (mc2, hay) are only ever asked edge queries; pair methods see
+  both adjacent and non-adjacent pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactEffectiveResistance
+from repro.core.registry import (
+    QueryBudget,
+    QueryContext,
+    available_methods,
+    resolve_method,
+)
+from repro.graph.builders import with_random_weights
+from repro.graph.generators import barabasi_albert_graph, watts_strogatz_graph
+
+EPSILON = 0.35
+SEED = 7_2023
+
+
+def _graphs():
+    ba = barabasi_albert_graph(40, 3, rng=8)
+    ws = watts_strogatz_graph(36, 4, 0.2, rng=9)
+    return {
+        "ba-unweighted": ba,
+        "ba-weighted": with_random_weights(ba, low=0.5, high=2.5, rng=18),
+        "ws-unweighted": ws,
+        "ws-weighted": with_random_weights(ws, low=0.25, high=4.0, rng=19),
+    }
+
+
+GRAPHS = _graphs()
+ORACLES = {name: ExactEffectiveResistance(g) for name, g in GRAPHS.items()}
+
+
+@dataclass(frozen=True)
+class ConformanceBudget:
+    """How far a method's answers may sit from the exact oracle."""
+
+    #: allowed |estimate - exact| as a multiple of ε (None = absolute only)
+    epsilon_factor: Optional[float]
+    #: flat absolute slack added on top (covers the δ failure probability and
+    #: the reduced laptop budgets of the capped baselines)
+    absolute: float = 0.0
+    #: edge queries only?
+    edge_only: bool = False
+
+    def tolerance(self) -> float:
+        factor = 0.0 if self.epsilon_factor is None else self.epsilon_factor
+        return factor * EPSILON + self.absolute
+
+
+METHOD_BUDGETS: dict[str, ConformanceBudget] = {
+    "exact": ConformanceBudget(epsilon_factor=None, absolute=1e-9),
+    "ground-truth": ConformanceBudget(epsilon_factor=None, absolute=1e-7),
+    "smm": ConformanceBudget(epsilon_factor=0.5, absolute=1e-9),
+    "smm-peng": ConformanceBudget(epsilon_factor=0.5, absolute=1e-9),
+    "geer": ConformanceBudget(epsilon_factor=1.0, absolute=0.05),
+    "amc": ConformanceBudget(epsilon_factor=1.0, absolute=0.05),
+    # RP's guarantee is multiplicative (1 ± ε); resistances here are <= ~2,
+    # so 2ε plus slack for the reduced JL constant covers it.
+    "rp": ConformanceBudget(epsilon_factor=2.0, absolute=0.1),
+    "tp": ConformanceBudget(epsilon_factor=1.0, absolute=0.1),
+    "tpc": ConformanceBudget(epsilon_factor=1.0, absolute=0.15),
+    "mc": ConformanceBudget(epsilon_factor=1.0, absolute=0.15),
+    "mc2": ConformanceBudget(epsilon_factor=1.0, absolute=0.15, edge_only=True),
+    "hay": ConformanceBudget(epsilon_factor=1.0, absolute=0.15, edge_only=True),
+}
+
+#: Per-method query kwargs pinning deterministic sample budgets.  TP/TPC's
+#: faithful per-length budgets are hours-per-query by design (the paper's
+#: point); a fixed walks-per-length keeps each cell fast, deterministic and
+#: still well inside the table's tolerance.
+METHOD_KWARGS: dict[str, dict] = {
+    "tp": {"walks_per_length": 4000},
+    "tpc": {"walks_per_length": 6000},
+}
+
+
+def _conformance_query_budget() -> QueryBudget:
+    """Deterministic laptop-scale caps: no wall-clock cuts, pinned sample sizes."""
+    return QueryBudget(
+        max_total_steps=4_000_000,
+        mc_max_walks=1500,
+        mc2_max_walks=4000,
+        hay_max_samples=300,
+        tp_budget_scale=0.05,
+        tpc_budget_scale=0.02,
+        baseline_max_seconds=None,
+        rp_jl_constant=4.0,
+        rp_max_dimension=2000,
+        exact_max_nodes=4000,
+    )
+
+
+def _query_pairs(graph, *, edge_only: bool) -> list[tuple[int, int]]:
+    edges = graph.edge_array()
+    edge_pairs = [tuple(map(int, edges[i])) for i in (0, len(edges) // 2)]
+    if edge_only:
+        return edge_pairs
+    # add one non-adjacent pair for the general methods
+    n = graph.num_nodes
+    for s in range(n):
+        for t in range(s + 2, n):
+            if not graph.has_edge(s, t):
+                return edge_pairs + [(s, t)]
+    return edge_pairs
+
+
+def test_every_registered_method_has_a_budget_row():
+    """New methods must opt into the conformance matrix explicitly."""
+    assert sorted(METHOD_BUDGETS) == sorted(available_methods())
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("method", sorted(METHOD_BUDGETS))
+def test_method_matches_exact_within_budget(graph_name, method):
+    graph = GRAPHS[graph_name]
+    oracle = ORACLES[graph_name]
+    budget_row = METHOD_BUDGETS[method]
+    spec = resolve_method(method)
+    context = QueryContext(graph, rng=SEED, budget=_conformance_query_budget())
+    tolerance = budget_row.tolerance()
+    kwargs = METHOD_KWARGS.get(method, {})
+    for s, t in _query_pairs(graph, edge_only=budget_row.edge_only):
+        result = spec(context, s, t, EPSILON, **kwargs)
+        exact = oracle.query(s, t)
+        assert result.value == pytest.approx(exact, abs=tolerance), (
+            f"{method} on {graph_name}: r({s},{t}) = {result.value:.4f} "
+            f"vs exact {exact:.4f} (tolerance {tolerance:.3f})"
+        )
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("graph_name", ["ba-weighted", "ws-weighted"])
+def test_weighted_oracle_consistency(graph_name):
+    """The conformance reference itself: pinv, CG solver and SMM agree."""
+    from repro.baselines.ground_truth import GroundTruthOracle
+    from repro.core.smm import smm_estimate
+
+    graph = GRAPHS[graph_name]
+    oracle = ORACLES[graph_name]
+    gt = GroundTruthOracle(graph)
+    s, t = map(int, graph.edge_array()[0])
+    assert gt.query(s, t) == pytest.approx(oracle.query(s, t), abs=1e-7)
+    assert smm_estimate(graph, s, t, 2000).value == pytest.approx(
+        oracle.query(s, t), abs=1e-6
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.conformance
+@pytest.mark.parametrize("graph_name", ["ba-weighted", "ba-unweighted"])
+@pytest.mark.parametrize("method", ["geer", "amc", "smm", "rp"])
+def test_tight_epsilon_conformance(graph_name, method):
+    """Extended pass at a tighter ε (full-run CI only): the ε guarantee must
+    keep holding as budgets scale up, weighted and unweighted alike."""
+    epsilon = 0.1
+    graph = GRAPHS[graph_name]
+    oracle = ORACLES[graph_name]
+    spec = resolve_method(method)
+    context = QueryContext(graph, rng=SEED + 1, budget=_conformance_query_budget())
+    tolerance = METHOD_BUDGETS[method].epsilon_factor * epsilon + 0.03
+    for s, t in _query_pairs(graph, edge_only=False):
+        result = spec(context, s, t, epsilon)
+        assert result.value == pytest.approx(oracle.query(s, t), abs=tolerance)

@@ -8,7 +8,6 @@ unlikely; a small slack is added to keep the test robust).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -16,7 +15,6 @@ from hypothesis import strategies as st
 from repro.baselines.ground_truth import GroundTruthOracle
 from repro.core.estimator import EffectiveResistanceEstimator
 from repro.core.walk_length import peng_walk_length, refined_walk_length
-from repro.graph.builders import from_edges
 from repro.graph.properties import is_bipartite, is_connected
 from repro.sampling.concentration import (
     empirical_bernstein_error,
@@ -30,39 +28,7 @@ SETTINGS = settings(
 )
 
 
-@st.composite
-def walkable_graphs(draw, min_nodes=6, max_nodes=30):
-    """Connected, non-bipartite random graphs (a triangle is always included)."""
-    n = draw(st.integers(min_nodes, max_nodes))
-    seed = draw(st.integers(0, 2**31 - 1))
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(n)
-    edges = {(min(int(a), int(b)), max(int(a), int(b))) for a, b in zip(order[:-1], order[1:])}
-    # force a triangle on the first three nodes of the spanning order
-    a, b, c = (int(order[0]), int(order[1]), int(order[2]))
-    for u, v in ((a, b), (b, c), (a, c)):
-        edges.add((min(u, v), max(u, v)))
-    # keep the graphs reasonably dense: sparse near-path graphs have a tiny
-    # spectral gap, which makes the (correct) walk budgets of the Monte Carlo
-    # estimators astronomically large and the test needlessly slow.
-    extra = draw(st.integers(n, 3 * n))
-    target = min(n - 1 + 3 + extra, n * (n - 1) // 2)
-    while len(edges) < target:
-        u, v = rng.integers(0, n, size=2)
-        if u != v:
-            edges.add((min(int(u), int(v)), max(int(u), int(v))))
-    graph = from_edges(sorted(edges), num_nodes=n)
-    return graph
-
-
-@st.composite
-def estimation_cases(draw):
-    graph = draw(walkable_graphs())
-    s = draw(st.integers(0, graph.num_nodes - 1))
-    t = draw(st.integers(0, graph.num_nodes - 1))
-    epsilon = draw(st.sampled_from([0.5, 0.25]))
-    seed = draw(st.integers(0, 2**31 - 1))
-    return graph, s, t, epsilon, seed
+from strategies import estimation_cases, walkable_graphs
 
 
 class TestEpsilonGuarantee:
@@ -142,3 +108,33 @@ class TestConcentrationProperties:
         assert hoeffding_error(2 * n, value_range, delta) <= hoeffding_error(
             n, value_range, delta
         )
+
+
+class TestWeightedEpsilonGuarantee:
+    """The ε guarantee must survive the weighted generalisation."""
+
+    @SETTINGS
+    @given(estimation_cases(weighted=True))
+    def test_geer_within_epsilon_weighted(self, case):
+        graph, s, t, epsilon, seed = case
+        assert graph.is_weighted
+        estimator = EffectiveResistanceEstimator(graph, rng=seed)
+        truth = GroundTruthOracle(graph).query(s, t)
+        result = estimator.estimate(s, t, epsilon, method="geer")
+        assert abs(result.value - truth) <= epsilon + 1e-9
+
+    @SETTINGS
+    @given(estimation_cases(weighted=True))
+    def test_smm_within_half_epsilon_weighted(self, case):
+        graph, s, t, epsilon, seed = case
+        estimator = EffectiveResistanceEstimator(graph, rng=seed)
+        truth = GroundTruthOracle(graph).query(s, t)
+        result = estimator.estimate(s, t, epsilon, method="smm")
+        assert abs(result.value - truth) <= epsilon / 2 + 1e-9
+
+    @SETTINGS
+    @given(st.floats(0.01, 0.9), st.floats(0.05, 0.99), st.floats(0.1, 500.0), st.floats(0.1, 500.0))
+    def test_refined_length_accepts_float_degrees(self, epsilon, lam, ds, dt):
+        length = refined_walk_length(epsilon, lam, ds, dt)
+        assert length >= 1
+        assert length <= peng_walk_length(epsilon, lam) or min(ds, dt) < 1.0

@@ -32,36 +32,13 @@ from repro.graph.generators import (
 from repro.graph.properties import is_connected
 from repro.linalg.solvers import LaplacianSolver
 
+from strategies import connected_graphs, graph_with_pair
+
 SETTINGS = settings(
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-
-
-@st.composite
-def connected_graphs(draw, min_nodes=4, max_nodes=24):
-    """Random connected graphs: a random spanning path plus random extra edges."""
-    n = draw(st.integers(min_nodes, max_nodes))
-    seed = draw(st.integers(0, 2**31 - 1))
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(n)
-    edges = {(min(int(a), int(b)), max(int(a), int(b))) for a, b in zip(order[:-1], order[1:])}
-    max_extra = n * (n - 1) // 2 - (n - 1)
-    extra = draw(st.integers(0, min(max_extra, 3 * n)))
-    while len(edges) < (n - 1) + extra:
-        u, v = rng.integers(0, n, size=2)
-        if u != v:
-            edges.add((min(int(u), int(v)), max(int(u), int(v))))
-    return from_edges(sorted(edges), num_nodes=n)
-
-
-@st.composite
-def graph_with_pair(draw):
-    graph = draw(connected_graphs())
-    s = draw(st.integers(0, graph.num_nodes - 1))
-    t = draw(st.integers(0, graph.num_nodes - 1))
-    return graph, s, t
 
 
 class TestMetricProperties:
@@ -241,3 +218,72 @@ def is_bipartite_safe(graph) -> bool:
     from repro.graph.properties import is_bipartite
 
     return is_bipartite(graph)
+
+
+class TestWeightedInvariants:
+    """Exact identities on weighted graphs (the weighted refactor's contract)."""
+
+    @SETTINGS
+    @given(graph_with_pair(weighted=True))
+    def test_weighted_metric_properties(self, data):
+        graph, s, t = data
+        assert graph.is_weighted
+        oracle = ExactEffectiveResistance(graph)
+        r_st = oracle.query(s, t)
+        assert r_st == pytest.approx(oracle.query(t, s), abs=1e-9)
+        if s == t:
+            assert r_st == pytest.approx(0.0, abs=1e-12)
+        else:
+            assert r_st > 0
+
+    @SETTINGS
+    @given(connected_graphs(weighted=True))
+    def test_weighted_foster_theorem(self, graph):
+        """Σ_e w(e) · r(e) = n - 1 (weighted Foster)."""
+        oracle = ExactEffectiveResistance(graph)
+        total = sum(
+            graph.edge_weight(int(u), int(v)) * oracle.query(int(u), int(v))
+            for u, v in graph.edge_array()
+        )
+        assert total == pytest.approx(graph.num_nodes - 1, rel=1e-6)
+
+    @SETTINGS
+    @given(connected_graphs(weighted=True), st.data())
+    def test_rayleigh_monotone_in_weight(self, graph, data):
+        """Increasing one edge's weight never increases any resistance."""
+        edges = graph.edge_array()
+        index = data.draw(st.integers(0, len(edges) - 1))
+        s = data.draw(st.integers(0, graph.num_nodes - 1))
+        t = data.draw(st.integers(0, graph.num_nodes - 1))
+        boosted_weights = graph.edge_weight_array().copy()
+        boosted_weights[index] *= 4.0
+        boosted = graph.unweighted().with_weights(boosted_weights)
+        before = ExactEffectiveResistance(graph).query(s, t)
+        after = ExactEffectiveResistance(boosted).query(s, t)
+        assert after <= before + 1e-9
+
+    def test_weighted_series_law(self):
+        # conductances 2 and 0.5 in series: r = 1/2 + 1/0.5 = 2.5
+        graph = from_edges([(0, 1, 2.0), (1, 2, 0.5)])
+        oracle = ExactEffectiveResistance(graph)
+        assert oracle.query(0, 2) == pytest.approx(2.5)
+
+    def test_weighted_parallel_law(self):
+        # parallel paths with conductances 2 and 0.5 -> series resistances
+        # 1 and 4 in parallel: r = 1 / (1/1 + 1/4) = 0.8
+        graph = from_edges([(0, 1, 2.0), (1, 3, 2.0), (0, 2, 0.5), (2, 3, 0.5)])
+        oracle = ExactEffectiveResistance(graph)
+        assert oracle.query(0, 3) == pytest.approx(0.8)
+
+    def test_uniform_weights_rescale_resistances(self, complete8):
+        """Scaling every weight by c scales every resistance by 1/c."""
+        scaled = complete8.with_weights(np.full(complete8.num_edges, 4.0))
+        base = ExactEffectiveResistance(complete8)
+        oracle = ExactEffectiveResistance(scaled)
+        assert oracle.query(0, 5) == pytest.approx(base.query(0, 5) / 4.0)
+
+    def test_weighted_triangle_closed_form(self, weighted_triangle):
+        # r(0,1) = 1 / (w01 + 1 / (1/w02 + 1/w12))
+        oracle = ExactEffectiveResistance(weighted_triangle)
+        expected = 1.0 / (2.0 + 1.0 / (1.0 / 1.5 + 1.0 / 0.5))
+        assert oracle.query(0, 1) == pytest.approx(expected)
