@@ -53,9 +53,12 @@ from repro.exceptions import (
     ConvergenceError,
     GraphStructureError,
     ReproError,
+    StaleEpochError,
 )
 from repro.graph import (
+    EdgeDelta,
     Graph,
+    GraphStore,
     barabasi_albert_graph,
     complete_graph,
     cycle_graph,
@@ -103,6 +106,7 @@ from repro.service import (
     ResistanceCache,
     ResistanceService,
     ServiceConfig,
+    UpdateReport,
     graph_fingerprint,
     load_context,
     save_artifacts,
@@ -117,8 +121,11 @@ __all__ = [
     "GraphStructureError",
     "ConvergenceError",
     "BudgetExceededError",
+    "StaleEpochError",
     # graph
     "Graph",
+    "EdgeDelta",
+    "GraphStore",
     "from_edges",
     "from_networkx",
     "from_scipy_sparse",
@@ -164,6 +171,7 @@ __all__ = [
     # serving layer
     "ResistanceService",
     "ServiceConfig",
+    "UpdateReport",
     "ResistanceCache",
     "LandmarkSketchStore",
     "RequestCoalescer",

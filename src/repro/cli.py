@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the everyday uses of the library without writing any
+Seven subcommands cover the everyday uses of the library without writing any
 Python:
 
 ``repro-er query``
@@ -27,6 +27,11 @@ Python:
     Replay a request stream through :class:`repro.ResistanceService`
     (cache → sketch → engine) and print per-layer serving statistics.
 
+``repro-er update``
+    Apply an edge delta (inserts / removals / reweights) to a served graph:
+    warm artifacts are patched instead of rebuilt, the delta log is recorded
+    for replay loading, and the new epoch is persisted.
+
 The CLI is intentionally a thin shell over the public API
 (:class:`repro.QueryEngine`, :class:`repro.ResistanceService`, the method
 registry in :mod:`repro.core.registry`, :mod:`repro.experiments`), so
@@ -37,27 +42,51 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.engine import QueryEngine
-from repro.core.registry import available_methods, method_table
+from repro.core.registry import REFRESH_POLICIES, available_methods, method_table
+from repro.exceptions import GraphStructureError
 from repro.experiments.datasets import available_datasets, dataset_spec, load_dataset
 from repro.experiments.figures import run_dataset_sweep
 from repro.experiments.reporting import format_table
+from repro.graph.delta import EdgeDelta
 from repro.graph.io import read_edge_list
 from repro.graph.properties import summarize
 from repro.service import ResistanceService, ServiceConfig
 from repro.service.artifacts import ArtifactError
 
 
-def _load_graph(args: argparse.Namespace):
-    """Load the graph named by --dataset or --edge-list (exactly one required)."""
+def describe_graph(graph, label: str) -> str:
+    """The one-line graph summary every graph-loading subcommand prints."""
+    summary = summarize(graph, name=label)
+    weighted_note = (
+        f", weighted (W={summary.total_weight:.2f})" if summary.weighted else ""
+    )
+    return (
+        f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
+        f"avg degree={summary.average_degree:.2f}{weighted_note}"
+    )
+
+
+def _load_graph(args: argparse.Namespace, *, announce: bool = False):
+    """Load the graph named by --dataset or --edge-list (exactly one required).
+
+    With ``announce`` the shared one-line summary is printed — the single
+    code path behind the ``query`` / ``warm`` / ``serve`` / ``update``
+    banners.
+    """
     if bool(args.dataset) == bool(args.edge_list):
         raise SystemExit("specify exactly one of --dataset or --edge-list")
     if args.dataset:
-        return load_dataset(args.dataset), args.dataset
-    weighted = False if getattr(args, "ignore_weights", False) else None
-    return read_edge_list(args.edge_list, weighted=weighted), args.edge_list
+        graph, label = load_dataset(args.dataset), args.dataset
+    else:
+        weighted = False if getattr(args, "ignore_weights", False) else None
+        graph, label = read_edge_list(args.edge_list, weighted=weighted), args.edge_list
+    if announce:
+        print(describe_graph(graph, label))
+    return graph, label
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -116,15 +145,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return _cmd_methods(args)
     if not args.pairs:
         raise SystemExit("provide at least one S,T query pair")
-    graph, label = _load_graph(args)
-    summary = summarize(graph, name=label)
-    weighted_note = (
-        f", weighted (W={summary.total_weight:.2f})" if summary.weighted else ""
-    )
-    print(
-        f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
-        f"avg degree={summary.average_degree:.2f}{weighted_note}"
-    )
+    graph, label = _load_graph(args, announce=True)
     engine = QueryEngine(graph, rng=args.seed)
     pairs = _parse_pairs(args.pairs)
     rows = []
@@ -175,15 +196,7 @@ def _print_layer_summaries(summary: dict) -> None:
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
-    graph, label = _load_graph(args)
-    summary = summarize(graph, name=label)
-    weighted_note = (
-        f", weighted (W={summary.total_weight:.2f})" if summary.weighted else ""
-    )
-    print(
-        f"graph {label}: n={summary.num_nodes}, m={summary.num_edges}, "
-        f"avg degree={summary.average_degree:.2f}{weighted_note}"
-    )
+    graph, label = _load_graph(args, announce=True)
     config = ServiceConfig(
         use_sketch=not args.no_sketch,
         num_landmarks=args.landmarks,
@@ -209,7 +222,7 @@ def _cmd_warm(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     if not args.pairs:
         raise SystemExit("provide at least one S,T request pair")
-    graph, label = _load_graph(args)
+    graph, label = _load_graph(args, announce=True)
     config = ServiceConfig(
         method=args.method,
         use_cache=not args.no_cache,
@@ -249,6 +262,120 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.artifacts and not service.warm_started:
         manifest = service.save_artifacts(args.artifacts)
         print(f"artifacts saved to {manifest.parent} (next start will be warm)")
+    return 0
+
+
+def _parse_edge_op(text: str, *, arity: str, name: str = "edge"):
+    """Parse ``S,T`` / ``S,T,W`` command-line edge operations.
+
+    ``arity`` is ``"pair"`` (exactly ``S,T`` — a stray weight is an error,
+    not silently dropped), ``"triple"`` (exactly ``S,T,W``) or ``"either"``.
+    """
+    parts = text.split(",")
+    try:
+        if len(parts) == 2 and arity in ("pair", "either"):
+            return (int(parts[0]), int(parts[1]))
+        if len(parts) == 3 and arity in ("triple", "either"):
+            return (int(parts[0]), int(parts[1]), float(parts[2]))
+    except ValueError as exc:
+        raise SystemExit(f"malformed {name} {text!r}") from exc
+    expected = {"pair": "'S,T'", "triple": "'S,T,W'", "either": "'S,T' or 'S,T,W'"}
+    raise SystemExit(f"malformed {name} {text!r}; expected {expected[arity]}")
+
+
+def parse_delta_file(text: str) -> EdgeDelta:
+    """Parse a delta file: ``add u v [w]`` / ``remove u v`` / ``reweight u v w``.
+
+    Blank lines and ``#`` comments are ignored.
+    """
+    inserts, removals, reweights = [], [], []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        op, operands = parts[0].lower(), parts[1:]
+        try:
+            if op == "add" and len(operands) in (2, 3):
+                entry = (int(operands[0]), int(operands[1]))
+                inserts.append(entry + (float(operands[2]),) if len(operands) == 3 else entry)
+            elif op == "remove" and len(operands) == 2:
+                removals.append((int(operands[0]), int(operands[1])))
+            elif op == "reweight" and len(operands) == 3:
+                reweights.append((int(operands[0]), int(operands[1]), float(operands[2])))
+            else:
+                raise SystemExit(
+                    f"delta file line {line_number}: expected 'add u v [w]', "
+                    f"'remove u v' or 'reweight u v w', got {raw!r}"
+                )
+        except ValueError as exc:
+            raise SystemExit(f"delta file line {line_number}: {exc}") from exc
+    return EdgeDelta(inserts=inserts, removals=removals, reweights=reweights)
+
+
+def _collect_delta(args: argparse.Namespace) -> EdgeDelta:
+    """Combine --add/--remove/--reweight flags and --delta-file into one batch."""
+    inserts = [
+        _parse_edge_op(text, arity="either", name="--add") for text in args.add or ()
+    ]
+    removals = [
+        _parse_edge_op(text, arity="pair", name="--remove")
+        for text in args.remove or ()
+    ]
+    reweights = [
+        _parse_edge_op(text, arity="triple", name="--reweight")
+        for text in args.reweight or ()
+    ]
+    if args.delta_file:
+        try:
+            file_delta = parse_delta_file(
+                Path(args.delta_file).read_text(encoding="utf-8")
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot read delta file: {exc}") from exc
+        inserts.extend(file_delta.inserts)
+        removals.extend(file_delta.removals)
+        reweights.extend(file_delta.reweights)
+    try:
+        delta = EdgeDelta(inserts=inserts, removals=removals, reweights=reweights)
+    except (ValueError, GraphStructureError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if not delta:
+        raise SystemExit(
+            "provide at least one edge operation "
+            "(--add / --remove / --reweight / --delta-file)"
+        )
+    return delta
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    graph, label = _load_graph(args, announce=True)
+    delta = _collect_delta(args)
+    config = ServiceConfig(
+        use_sketch=not args.no_sketch,
+        num_landmarks=args.landmarks,
+        spectral_refresh=args.spectral_refresh,
+        sketch_refresh=args.sketch_refresh,
+        invalidation_hops=args.invalidation_hops,
+    )
+    try:
+        service = ResistanceService(
+            graph, config=config, rng=args.seed, artifact_dir=args.artifacts
+        )
+    except ArtifactError as exc:
+        raise SystemExit(str(exc)) from exc
+    start_state = "warm (artifacts)" if service.warm_started else "cold"
+    print(f"updating {label} [{start_state} start, epoch {service.epoch}]")
+    try:
+        report = service.apply_update(delta)
+    except (GraphStructureError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    print(format_table([report.summary()], title="applied update"))
+    manifest = service.save_artifacts(args.artifacts)
+    print(
+        f"artifacts updated at {manifest.parent} "
+        f"(epoch {service.epoch}, lineage {service.engine.lineage[:12]}…)"
+    )
     return 0
 
 
@@ -424,6 +551,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sketch", action="store_true", help="disable the landmark sketch"
     )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    update_parser = subparsers.add_parser(
+        "update",
+        help="apply an edge delta (inserts/removals/reweights) to a served "
+        "graph: patch warm artifacts, record the delta log, persist the "
+        "new epoch",
+    )
+    _add_graph_arguments(update_parser)
+    update_parser.add_argument(
+        "--artifacts",
+        required=True,
+        help="artifact directory: loaded when fresh (warm update), written "
+        "back with the new epoch and the delta log",
+    )
+    update_parser.add_argument(
+        "--add",
+        action="append",
+        metavar="S,T[,W]",
+        help="insert an edge (repeatable); W defaults to 1.0 on weighted graphs",
+    )
+    update_parser.add_argument(
+        "--remove", action="append", metavar="S,T", help="remove an edge (repeatable)"
+    )
+    update_parser.add_argument(
+        "--reweight",
+        action="append",
+        metavar="S,T,W",
+        help="replace an edge weight (repeatable, weighted graphs only)",
+    )
+    update_parser.add_argument(
+        "--delta-file",
+        help="file of operations, one per line: 'add u v [w]', 'remove u v', "
+        "'reweight u v w' ('#' comments allowed)",
+    )
+    update_parser.add_argument(
+        "--spectral-refresh",
+        choices=REFRESH_POLICIES,
+        default="eager",
+        help="when to re-solve the spectral radius after the update "
+        "(default: eager, so the persisted artifacts are complete)",
+    )
+    update_parser.add_argument(
+        "--sketch-refresh",
+        choices=REFRESH_POLICIES,
+        default="eager",
+        help="when to rebuild the landmark sketch (default: eager)",
+    )
+    update_parser.add_argument(
+        "--invalidation-hops",
+        type=int,
+        default=1,
+        help="cache invalidation radius around the delta's endpoints (default: 1)",
+    )
+    update_parser.add_argument(
+        "--landmarks", type=int, default=8, help="number of landmark nodes (default: 8)"
+    )
+    update_parser.add_argument(
+        "--no-sketch", action="store_true", help="skip the landmark sketch"
+    )
+    update_parser.set_defaults(func=_cmd_update)
     return parser
 
 

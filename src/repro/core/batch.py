@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.registry import MethodSpec, QueryContext, resolve_method
 from repro.core.result import EstimateResult
+from repro.exceptions import StaleEpochError
 from repro.sampling.walks import RandomWalkEngine
 from repro.utils.rng import derive_seed
 from repro.utils.timing import Timer
@@ -198,6 +199,10 @@ class QueryPlan:
         if bucketing not in ("degree", "log2"):
             raise ValueError(f"bucketing must be 'degree' or 'log2', got {bucketing!r}")
         self.context = context
+        # Plans pin the context's graph epoch at build time: walk lengths and
+        # bucket degrees are derived from that graph, so executing after an
+        # apply_delta would silently mix versions — execute() raises instead.
+        self.epoch = context.epoch
         self.epsilon = check_positive(epsilon, "epsilon")
         self.spec: MethodSpec = resolve_method(method)
         self.bucketing = bucketing
@@ -321,6 +326,11 @@ class QueryPlan:
         selects ``"thread"``, ``"process"`` or ``"auto"`` (processes where
         ``fork`` is available and the method is process-safe, else threads).
         """
+        if self.context.epoch != self.epoch:
+            raise StaleEpochError(
+                f"plan was built at graph epoch {self.epoch} but the context "
+                f"is now at epoch {self.context.epoch}; re-plan after apply_delta"
+            )
         workers = int(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")

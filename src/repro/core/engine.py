@@ -155,6 +155,16 @@ class QueryEngine:
         return self._context.budget
 
     @property
+    def epoch(self) -> int:
+        """The graph epoch this session currently serves (see :meth:`apply_update`)."""
+        return self._context.epoch
+
+    @property
+    def lineage(self) -> str:
+        """Fingerprint-chain digest of the session's current graph epoch."""
+        return self._context.lineage
+
+    @property
     def lambda_max_abs(self) -> float:
         """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
         return self._context.lambda_max_abs
@@ -277,6 +287,18 @@ class QueryEngine:
         for result in batch:
             self._record(result)
         return batch
+
+    def apply_update(self, delta, *, refresh: str = "on-next-read", graph=None) -> int:
+        """Absorb an :class:`~repro.graph.delta.EdgeDelta` into this session.
+
+        Delegates to :meth:`QueryContext.apply_delta`: cheap artefacts are
+        patched at the CSR-row level, expensive ones follow ``refresh``, and
+        the session's epoch advances by one.  Plans built before the update
+        raise :class:`~repro.exceptions.StaleEpochError` when executed; new
+        queries see the post-delta graph and return exactly what a cold
+        session on that graph would (the delta ≡ rebuild contract).
+        """
+        return self._context.apply_delta(delta, refresh=refresh, graph=graph)
 
     def export_preprocessing(self) -> dict[str, float]:
         """Scalar preprocessing state of this session's context, for persistence.

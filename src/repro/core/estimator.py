@@ -31,7 +31,7 @@ from repro.core.result import EstimateResult
 from repro.graph.graph import Graph
 from repro.linalg.eigen import SpectralInfo
 from repro.utils.rng import RngLike
-from repro.utils.validation import check_query_pairs
+from repro.utils.validation import check_positive, check_query_pairs
 
 
 class EffectiveResistanceEstimator(QueryEngine):
@@ -163,6 +163,10 @@ class EffectiveResistanceEstimator(QueryEngine):
         ``workers=1`` keeps the historical per-pair loop on the session
         stream, bit-for-bit.
         """
+        # Validate ε up front (not per pair) so every entry point — query,
+        # query_many, estimate_many, the service — rejects ε <= 0 / NaN the
+        # same way, even on an empty batch.
+        epsilon = check_positive(epsilon, "epsilon")
         if workers != 1:
             return list(
                 self.query_many(pairs, epsilon, method=method, workers=workers, **kwargs)

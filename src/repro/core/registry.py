@@ -51,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.baselines.exact import ExactEffectiveResistance
     from repro.baselines.ground_truth import GroundTruthOracle
     from repro.baselines.rp import RandomProjectionSketch
+    from repro.graph.delta import EdgeDelta
 
 
 class DuplicateMethodError(ValueError):
@@ -92,6 +93,10 @@ class QueryBudget:
     rp_jl_constant: float = 24.0
     rp_max_dimension: Optional[int] = None
     exact_max_nodes: int = 20_000
+    #: "budgeted" refresh policy threshold: after an edge delta, the spectral
+    #: radius is re-solved eagerly only on graphs with at most this many nodes
+    #: (larger graphs defer the ARPACK solve to the next read).
+    spectral_refresh_nodes: int = 4096
     #: Bound on the number of walks the fused AMC/GEER scoring kernel keeps in
     #: flight (peak walk-buffer memory is O(walk_chunk_size · 128) floats).
     #: Chunked and unchunked execution are bit-identical under the same seed
@@ -122,16 +127,72 @@ class QueryBudget:
 # --------------------------------------------------------------------------- #
 # shared query context
 # --------------------------------------------------------------------------- #
+#: Valid refresh policies for expensive artefacts after an edge delta:
+#: ``"eager"`` rebuilds during :meth:`QueryContext.apply_delta`,
+#: ``"on-next-read"`` (default) marks stale and rebuilds lazily, and
+#: ``"budgeted"`` rebuilds eagerly only below a size budget
+#: (``QueryBudget.spectral_refresh_nodes`` for the spectral solve).
+REFRESH_POLICIES = ("eager", "on-next-read", "budgeted")
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """How one :class:`QueryContext` artefact cell reacts to an edge delta.
+
+    Attributes
+    ----------
+    name:
+        The cell key (also the name reported by ``artifact_status``).
+    cost:
+        ``"cheap"`` (rebuilding is O(m) array work) or ``"expensive"``
+        (an eigen-solve, a factorisation, a dense inverse — the artefacts the
+        refresh policy exists for).
+    patch:
+        Name of the ``QueryContext`` method that updates the cell's value
+        incrementally from a delta (touched CSR rows only), or ``None`` when
+        the cell must be dropped and rebuilt.  A patch method may return
+        ``None`` to decline (the cell is then dropped, matching the lazy cold
+        behaviour).
+    """
+
+    name: str
+    cost: str
+    patch: Optional[str] = None
+
+
 class QueryContext:
     """Per-graph state shared by every registered method.
 
-    All expensive artefacts are created lazily and cached: the spectral radius
-    λ (one ARPACK solve), the CSR transition matrix, the vectorised random-walk
-    engine, the preconditioned Laplacian solver, the ground-truth oracle, the
-    dense ``L⁺`` oracle for EXACT and the per-ε RP sketches.  A context is what
-    makes a :class:`~repro.core.engine.QueryEngine` a *session*: queries issued
-    through the same context never repeat preprocessing.
+    All expensive artefacts are created lazily and cached in
+    **dependency-tracked cells**: the spectral radius λ (one ARPACK solve),
+    the CSR transition matrix, the vectorised random-walk engine, the
+    preconditioned Laplacian solver, the ground-truth oracle, the dense
+    ``L⁺`` oracle for EXACT and the per-ε RP sketches.  A context is what
+    makes a :class:`~repro.core.engine.QueryEngine` a *session*: queries
+    issued through the same context never repeat preprocessing.
+
+    Contexts are **epoch-versioned**: :meth:`apply_delta` absorbs an
+    :class:`~repro.graph.delta.EdgeDelta` in place, patching cheap cells at
+    the CSR-row level (degrees, transition matrix, alias tables, walk engine)
+    and invalidating only what the delta actually touches; expensive cells
+    are refreshed per policy (:data:`REFRESH_POLICIES`).  The epoch counts
+    applied deltas and :attr:`lineage` is the fingerprint chain of
+    :mod:`repro.graph.fingerprint`, which is what pins plans, cache entries
+    and on-disk artifacts to a graph version.
     """
+
+    #: The invalidation matrix: every cell, its cost class, and how a delta
+    #: updates it (see DESIGN.md "Contract 4 — delta ≡ rebuild").
+    ARTIFACT_SPECS: tuple[ArtifactSpec, ...] = (
+        ArtifactSpec("spectral", "expensive", None),
+        ArtifactSpec("degrees_float", "cheap", "_patch_degrees_float"),
+        ArtifactSpec("transition", "cheap", "_patch_transition"),
+        ArtifactSpec("engine", "cheap", "_patch_engine"),
+        ArtifactSpec("solver", "cheap", None),
+        ArtifactSpec("ground_truth", "expensive", None),
+        ArtifactSpec("exact_oracle", "expensive", None),
+        ArtifactSpec("rp_sketches", "expensive", None),
+    )
 
     def __init__(
         self,
@@ -153,20 +214,44 @@ class QueryContext:
         self.num_batches = int(num_batches)
         self.rng = as_generator(rng)
         self.budget = budget if budget is not None else QueryBudget()
-        self._lambda: Optional[float] = lambda_max_abs
-        self._spectral: Optional[SpectralInfo] = spectral_info
-        if spectral_info is not None and self._lambda is None:
-            self._lambda = spectral_info.lambda_max_abs
-        self._transition: Optional[sp.csr_matrix] = transition
-        self._engine: Optional[RandomWalkEngine] = None
-        self._solver: Optional[LaplacianSolver] = None
-        self._ground_truth: Optional["GroundTruthOracle"] = None
-        self._exact_oracle: Optional["ExactEffectiveResistance"] = None
-        self._rp_sketches: Dict[float, "RandomProjectionSketch"] = {}
-        self._degrees_float: Optional[np.ndarray] = None
+        self.epoch = 0
+        self._validate = validate
+        self._lineage: Optional[str] = None  # lazily the graph fingerprint
+        self._cells: Dict[str, Any] = {}
+        self._lambda_scalar: Optional[float] = lambda_max_abs
+        if spectral_info is not None:
+            self._cells["spectral"] = spectral_info
+        if transition is not None:
+            self._cells["transition"] = transition
         # Guards lazy artefact construction when a parallel QueryPlan fans
         # queries out over threads (each artefact is still built exactly once).
         self._artifact_lock = threading.Lock()
+
+    # -- the artefact cell machinery ------------------------------------- #
+    def artifact(self, name: str) -> Any:
+        """The value of cell ``name``, building it under the lock if empty."""
+        value = self._cells.get(name)
+        if value is None:
+            with self._artifact_lock:
+                value = self._cells.get(name)
+                if value is None:
+                    value = getattr(self, f"_build_{name}")()
+                    self._cells[name] = value
+        return value
+
+    def invalidate(self, name: str) -> None:
+        """Drop cell ``name`` (it rebuilds lazily on next read)."""
+        with self._artifact_lock:
+            self._cells.pop(name, None)
+            if name == "spectral":
+                self._lambda_scalar = None
+
+    def artifact_status(self) -> Dict[str, str]:
+        """``{cell name: "ready" | "empty"}`` for observability and tests."""
+        return {
+            spec.name: "ready" if spec.name in self._cells else "empty"
+            for spec in self.ARTIFACT_SPECS
+        }
 
     # -- preprocessing artefacts ---------------------------------------- #
     # The ARPACK starting vector is drawn from its own fixed-seed generator,
@@ -177,37 +262,65 @@ class QueryContext:
     # reproducible at any graph size.
     _SPECTRAL_V0_SEED = 0x5EED
 
-    def _solve_spectral(self) -> None:
-        self._spectral = transition_eigenvalues(
-            self.graph, rng=self._SPECTRAL_V0_SEED
-        )
-        self._lambda = self._spectral.lambda_max_abs
+    def _build_spectral(self) -> SpectralInfo:
+        return transition_eigenvalues(self.graph, rng=self._SPECTRAL_V0_SEED)
 
+    def _build_degrees_float(self) -> np.ndarray:
+        return self.graph.degrees.astype(np.float64)
+
+    def _build_transition(self) -> sp.csr_matrix:
+        return self.graph.transition_matrix()
+
+    def _build_engine(self) -> RandomWalkEngine:
+        return RandomWalkEngine(self.graph, rng=self.rng)
+
+    def _build_solver(self) -> LaplacianSolver:
+        return LaplacianSolver(self.graph)
+
+    def _build_ground_truth(self) -> "GroundTruthOracle":
+        from repro.baselines.ground_truth import GroundTruthOracle
+
+        return GroundTruthOracle(self.graph)
+
+    def _build_exact_oracle(self) -> "ExactEffectiveResistance":
+        from repro.baselines.exact import ExactEffectiveResistance
+
+        return ExactEffectiveResistance(
+            self.graph, max_nodes=self.budget.exact_max_nodes
+        )
+
+    def _build_rp_sketches(self) -> Dict[float, "RandomProjectionSketch"]:
+        return {}
+
+    # -- legacy internal views (kept for callers poking at the originals) - #
+    @property
+    def _lambda(self) -> Optional[float]:
+        spectral = self._cells.get("spectral")
+        if spectral is not None:
+            return spectral.lambda_max_abs
+        return self._lambda_scalar
+
+    @property
+    def _spectral(self) -> Optional[SpectralInfo]:
+        return self._cells.get("spectral")
+
+    # -- artefact accessors ---------------------------------------------- #
     @property
     def lambda_max_abs(self) -> float:
         """``λ = max(|λ₂|, |λ_n|)``, computed lazily and cached."""
-        if self._lambda is None:
-            with self._artifact_lock:
-                if self._lambda is None:
-                    self._solve_spectral()
-        return self._lambda
+        value = self._lambda
+        if value is None:
+            value = self.artifact("spectral").lambda_max_abs
+        return value
 
     @property
     def spectral_info(self) -> SpectralInfo:
-        if self._spectral is None:
-            with self._artifact_lock:
-                if self._spectral is None:
-                    self._solve_spectral()
-        return self._spectral
+        return self.artifact("spectral")
 
     @property
     def transition(self) -> sp.csr_matrix:
         """The CSR transition matrix ``P = D⁻¹A``, built once per context."""
-        if self._transition is None:
-            with self._artifact_lock:
-                if self._transition is None:
-                    self._transition = self.graph.transition_matrix()
-        return self._transition
+        return self.artifact("transition")
 
     @property
     def degrees_float(self) -> np.ndarray:
@@ -216,9 +329,7 @@ class QueryContext:
         Drives cost accounting (edge traversals per SpMV); the estimator
         formulas use :attr:`weighted_degrees` instead.
         """
-        if self._degrees_float is None:
-            self._degrees_float = self.graph.degrees.astype(np.float64)
-        return self._degrees_float
+        return self.artifact("degrees_float")
 
     @property
     def weighted_degrees(self) -> np.ndarray:
@@ -231,43 +342,25 @@ class QueryContext:
     @property
     def engine(self) -> RandomWalkEngine:
         """The shared vectorised random-walk engine (drives all walk methods)."""
-        if self._engine is None:
-            with self._artifact_lock:
-                if self._engine is None:
-                    self._engine = RandomWalkEngine(self.graph, rng=self.rng)
-        return self._engine
+        return self.artifact("engine")
 
     @property
     def solver(self) -> LaplacianSolver:
         """Preconditioned Laplacian solver for exact reference queries."""
-        if self._solver is None:
-            with self._artifact_lock:
-                if self._solver is None:
-                    self._solver = LaplacianSolver(self.graph)
-        return self._solver
+        return self.artifact("solver")
 
     @property
     def ground_truth(self) -> "GroundTruthOracle":
         """Solver-precision oracle used for error measurement."""
-        if self._ground_truth is None:
-            from repro.baselines.ground_truth import GroundTruthOracle
-
-            self._ground_truth = GroundTruthOracle(self.graph)
-        return self._ground_truth
+        return self.artifact("ground_truth")
 
     @ground_truth.setter
     def ground_truth(self, oracle: "GroundTruthOracle") -> None:
-        self._ground_truth = oracle
+        self._cells["ground_truth"] = oracle
 
     def exact_oracle(self) -> "ExactEffectiveResistance":
         """The dense ``L⁺`` oracle behind EXACT (refuses oversized graphs)."""
-        if self._exact_oracle is None:
-            from repro.baselines.exact import ExactEffectiveResistance
-
-            self._exact_oracle = ExactEffectiveResistance(
-                self.graph, max_nodes=self.budget.exact_max_nodes
-            )
-        return self._exact_oracle
+        return self.artifact("exact_oracle")
 
     def rp_sketch(self, epsilon: float) -> "RandomProjectionSketch":
         """The Spielman–Srivastava sketch for ``epsilon``, cached per ε.
@@ -277,7 +370,8 @@ class QueryContext:
         that RP's preprocessing blows up at small ε, surfaced explicitly
         instead of thrashing memory.
         """
-        if epsilon not in self._rp_sketches:
+        sketches = self.artifact("rp_sketches")
+        if epsilon not in sketches:
             from repro.baselines.rp import RandomProjectionSketch
             from repro.exceptions import BudgetExceededError
             from repro.linalg.projection import johnson_lindenstrauss_dimension
@@ -291,13 +385,174 @@ class QueryContext:
                         f"RP sketch dimension {dimension} exceeds the configured cap "
                         f"{self.budget.rp_max_dimension} (epsilon={epsilon})"
                     )
-            self._rp_sketches[epsilon] = RandomProjectionSketch(
+            sketches[epsilon] = RandomProjectionSketch(
                 self.graph,
                 epsilon,
                 jl_constant=self.budget.rp_jl_constant,
                 rng=self.rng,
             )
-        return self._rp_sketches[epsilon]
+        return sketches[epsilon]
+
+    # -- dynamic graphs --------------------------------------------------- #
+    @property
+    def lineage(self) -> str:
+        """The fingerprint-chain digest of the current graph epoch.
+
+        Epoch 0's lineage is the plain graph fingerprint; every
+        :meth:`apply_delta` extends the chain (see
+        :mod:`repro.graph.fingerprint`).  Computed lazily — contexts that
+        never persist artifacts or absorb deltas never pay the hash.
+        """
+        if self._lineage is None:
+            from repro.graph.fingerprint import graph_fingerprint
+
+            self._lineage = graph_fingerprint(self.graph)
+        return self._lineage
+
+    @property
+    def known_lineage(self) -> Optional[str]:
+        """The lineage digest if already computed/adopted, else None.
+
+        Unlike :attr:`lineage` this never hashes the graph — callers that
+        only want to *share* an existing digest (the serving layer, artifact
+        restore) use it to avoid forcing the O(m) fingerprint.
+        """
+        return self._lineage
+
+    def adopt_lineage(self, digest: str) -> None:
+        """Install a lineage digest computed elsewhere (artifact manifest,
+        :class:`~repro.graph.delta.GraphStore`) for this context's epoch."""
+        self._lineage = str(digest)
+
+    def apply_delta(
+        self,
+        delta: "EdgeDelta",
+        *,
+        refresh: str = "on-next-read",
+        graph: Optional[Graph] = None,
+    ) -> int:
+        """Absorb an edge delta in place and return the new epoch.
+
+        Cheap cells are patched at the CSR-row level (only rows incident to
+        the delta are recomputed) and the graph's memoised alias tables are
+        carried over the same way, so warm walk state stays warm.  Cells
+        without a patch are invalidated; the expensive spectral solve follows
+        ``refresh`` (see :data:`REFRESH_POLICIES`).  The session's random
+        stream is never consumed, which is half of the **delta ≡ rebuild**
+        contract: a context that absorbed a delta returns bit-identical
+        estimates (same seed) to a cold context built on the post-delta graph
+        (the other half is :meth:`EdgeDelta.apply_to` reproducing the
+        canonical cold CSR layout).
+
+        Parameters
+        ----------
+        delta:
+            The :class:`~repro.graph.delta.EdgeDelta` to absorb.
+        refresh:
+            Refresh policy for the spectral artefact.
+        graph:
+            The already-materialised post-delta graph, when the caller (e.g. a
+            :class:`~repro.graph.delta.GraphStore`) applied the delta itself;
+            must equal ``delta.apply_to(self.graph)``.
+        """
+        from repro.sampling.walks import patch_alias_tables
+
+        if refresh not in REFRESH_POLICIES:
+            raise ValueError(
+                f"refresh must be one of {REFRESH_POLICIES}, got {refresh!r}"
+            )
+        new_graph = delta.apply_to(self.graph) if graph is None else graph
+        if self._validate:
+            require_walkable(new_graph)
+        parent_lineage = self.lineage
+        with self._artifact_lock:
+            old_graph = self.graph
+            touched = delta.touched_nodes
+            # Alias tables are memoised on the graph object; patch them first
+            # so the patched engine (and any future engine) reuses warm rows.
+            patch_alias_tables(old_graph, new_graph, touched)
+            for spec in self.ARTIFACT_SPECS:
+                if spec.name not in self._cells:
+                    continue
+                if spec.patch is None:
+                    del self._cells[spec.name]
+                    continue
+                patched = getattr(self, spec.patch)(
+                    self._cells[spec.name], delta, old_graph, new_graph
+                )
+                if patched is None:
+                    del self._cells[spec.name]
+                else:
+                    self._cells[spec.name] = patched
+            self._lambda_scalar = None
+            self.graph = new_graph
+            self.epoch += 1
+            self._lineage = delta.chain(parent_lineage)
+        if refresh == "eager" or (
+            refresh == "budgeted"
+            and new_graph.num_nodes <= self.budget.spectral_refresh_nodes
+        ):
+            self.spectral_info  # rebuild now, outside the lock
+        return self.epoch
+
+    # -- incremental cell patches (bit-identical to a cold rebuild) ------- #
+    def _patch_degrees_float(
+        self, value: np.ndarray, delta: "EdgeDelta", old_graph: Graph, new_graph: Graph
+    ) -> np.ndarray:
+        touched = delta.touched_nodes
+        patched = value.copy()
+        patched[touched] = new_graph.degrees[touched].astype(np.float64)
+        return patched
+
+    def _patch_transition(
+        self,
+        value: sp.csr_matrix,
+        delta: "EdgeDelta",
+        old_graph: Graph,
+        new_graph: Graph,
+    ) -> Optional[sp.csr_matrix]:
+        from repro.graph.delta import untouched_arc_masks
+
+        new_degrees = new_graph.degrees
+        if np.any(new_degrees == 0):
+            return None  # undefined, same lazy failure as a cold context
+        touched = delta.touched_nodes
+        untouched_old, untouched_new, _ = untouched_arc_masks(
+            old_graph, new_graph, touched
+        )
+        data = np.empty(len(new_graph.indices), dtype=np.float64)
+        data[untouched_new] = value.data[untouched_old]
+        touched_arcs = ~untouched_new
+        if new_graph.is_weighted:
+            # Same elementwise division as Graph.transition_matrix, repeated
+            # over the touched rows only (touched is sorted, so the repeat is
+            # aligned with the row-major touched_arcs mask).
+            repeated = np.repeat(
+                new_graph.weighted_degrees[touched], new_degrees[touched]
+            )
+            data[touched_arcs] = new_graph.weights[touched_arcs] / repeated
+        else:
+            inv_deg = 1.0 / new_degrees[touched].astype(np.float64)
+            data[touched_arcs] = np.repeat(inv_deg, new_degrees[touched])
+        return sp.csr_matrix(
+            (data, new_graph.indices.copy(), new_graph.indptr.copy()),
+            shape=(new_graph.num_nodes, new_graph.num_nodes),
+        )
+
+    def _patch_engine(
+        self,
+        value: RandomWalkEngine,
+        delta: "EdgeDelta",
+        old_graph: Graph,
+        new_graph: Graph,
+    ) -> Optional[RandomWalkEngine]:
+        if np.any(new_graph.degrees == 0):
+            return None  # unwalkable, same lazy failure as a cold context
+        # Shares the session generator (stream position is preserved) and the
+        # new graph's patched alias tables; the step counter carries over.
+        engine = RandomWalkEngine(new_graph, rng=self.rng)
+        engine.total_steps = value.total_steps
+        return engine
 
     # -- serialization ----------------------------------------------------- #
     def export_preprocessing(self) -> Dict[str, float]:
@@ -388,7 +643,7 @@ class QueryContext:
         lam = f"{self._lambda:.4f}" if self._lambda is not None else "<lazy>"
         return (
             f"QueryContext(graph={self.graph!r}, delta={self.delta}, "
-            f"tau={self.num_batches}, lambda={lam})"
+            f"tau={self.num_batches}, lambda={lam}, epoch={self.epoch})"
         )
 
 
@@ -599,6 +854,8 @@ def method_table() -> list[dict[str, object]]:
 __all__ = [
     "DuplicateMethodError",
     "UnknownMethodError",
+    "ArtifactSpec",
+    "REFRESH_POLICIES",
     "QueryBudget",
     "QueryContext",
     "QueryMethod",

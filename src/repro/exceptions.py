@@ -23,9 +23,18 @@ class BudgetExceededError(ReproError):
     """Raised when an algorithm exceeds an explicit work or time budget."""
 
 
+class StaleEpochError(ReproError):
+    """Raised when a pinned-epoch artefact is used after the graph moved on.
+
+    Example: executing a :class:`~repro.core.batch.QueryPlan` that was built
+    before an :class:`~repro.graph.delta.EdgeDelta` was applied to its context.
+    """
+
+
 __all__ = [
     "ReproError",
     "GraphStructureError",
     "ConvergenceError",
     "BudgetExceededError",
+    "StaleEpochError",
 ]

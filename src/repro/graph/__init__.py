@@ -1,6 +1,8 @@
-"""Graph substrate: CSR graph container, builders, generators, IO, properties."""
+"""Graph substrate: CSR graph container, builders, generators, IO, properties, deltas."""
 
 from repro.graph.graph import Graph
+from repro.graph.delta import EdgeDelta, GraphStore, expand_neighborhood
+from repro.graph.fingerprint import chain_fingerprint, graph_fingerprint
 from repro.graph.builders import (
     from_edge_array,
     from_edges,
@@ -37,6 +39,11 @@ from repro.graph.properties import (
 
 __all__ = [
     "Graph",
+    "EdgeDelta",
+    "GraphStore",
+    "expand_neighborhood",
+    "graph_fingerprint",
+    "chain_fingerprint",
     "from_edges",
     "from_edge_array",
     "from_networkx",

@@ -1,0 +1,584 @@
+"""Versioned graph updates: :class:`EdgeDelta` batches and the :class:`GraphStore`.
+
+The estimators are stated on a fixed graph, but a serving system sees graphs
+that change under load.  This module is the substrate for dynamic graphs:
+
+* :class:`EdgeDelta` — one immutable batch of weighted edge **inserts**,
+  **removals** and **reweights**, canonicalised at construction (``u < v``,
+  sorted, no overlapping operations).  ``apply_to`` patches a graph's CSR
+  arrays **at the row level**: only the rows incident to the delta are
+  recomputed, everything else is spliced over with ``O(m)`` array copies and
+  zero re-sorting — and the result is **bit-identical** to rebuilding the
+  post-delta graph cold through :func:`repro.graph.builders.from_edges`
+  (same canonical layout, same float weights).  That bit-identity is what lets
+  every downstream artifact (transition matrix, alias tables, caches) be
+  patched instead of rebuilt; see ``QueryContext.apply_delta`` and DESIGN.md
+  "Contract 4".
+* :class:`GraphStore` — an epoch-versioned holder of the current graph plus
+  the delta log and the lineage fingerprint chain (see
+  :mod:`repro.graph.fingerprint`), so a saved preprocessing artifact plus a
+  replayed log can prove it reached the exact graph it was built for.
+
+Deltas serialise to plain dicts / JSON lines (``to_dict`` / ``from_dict``),
+which is the on-disk delta-log format of :mod:`repro.service.artifacts`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphStructureError
+from repro.graph.fingerprint import chain_fingerprint, graph_fingerprint
+from repro.graph.graph import Graph
+
+
+def _canonical_ops(
+    inserts: Iterable[Sequence[float]],
+    removals: Iterable[Sequence[int]],
+    reweights: Iterable[Sequence[float]],
+) -> tuple[tuple, tuple, tuple]:
+    """Canonicalise the three op sets: ``u < v``, sorted, non-overlapping."""
+
+    def canonical_key(u, v, label: str) -> tuple[int, int]:
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise ValueError(f"{label} ({u}, {v}) has a negative node id")
+        if u == v:
+            raise GraphStructureError("self-loops are not supported")
+        return (u, v) if u < v else (v, u)
+
+    def checked_weight(weight, key) -> float:
+        weight = float(weight)
+        if not np.isfinite(weight) or weight <= 0:
+            raise GraphStructureError(
+                f"edge weights must be positive and finite, got {weight!r} for {key}"
+            )
+        return weight
+
+    insert_map: dict[tuple[int, int], Optional[float]] = {}
+    for entry in inserts:
+        entry = tuple(entry)
+        if len(entry) == 3:
+            key = canonical_key(entry[0], entry[1], "insert")
+            # a None weight is the canonical spelling of a bare (u, v) pair,
+            # so canonical tuples round-trip through the constructor
+            weight: Optional[float] = (
+                None if entry[2] is None else checked_weight(entry[2], key)
+            )
+        elif len(entry) == 2:
+            key = canonical_key(entry[0], entry[1], "insert")
+            weight = None
+        else:
+            raise ValueError(f"inserts must be (u, v) or (u, v, w), got {entry!r}")
+        if key in insert_map and insert_map[key] != weight:
+            raise GraphStructureError(f"conflicting duplicate insert for edge {key}")
+        insert_map[key] = weight
+
+    removal_set: set[tuple[int, int]] = set()
+    for entry in removals:
+        u, v = tuple(entry)
+        removal_set.add(canonical_key(u, v, "removal"))
+
+    reweight_map: dict[tuple[int, int], float] = {}
+    for entry in reweights:
+        entry = tuple(entry)
+        if len(entry) != 3:
+            raise ValueError(f"reweights must be (u, v, w), got {entry!r}")
+        key = canonical_key(entry[0], entry[1], "reweight")
+        weight = checked_weight(entry[2], key)
+        if key in reweight_map and reweight_map[key] != weight:
+            raise GraphStructureError(f"conflicting duplicate reweight for edge {key}")
+        reweight_map[key] = weight
+
+    for name_a, keys_a, name_b, keys_b in (
+        ("insert", insert_map.keys(), "removal", removal_set),
+        ("insert", insert_map.keys(), "reweight", reweight_map.keys()),
+        ("removal", removal_set, "reweight", reweight_map.keys()),
+    ):
+        overlap = set(keys_a) & set(keys_b)
+        if overlap:
+            raise GraphStructureError(
+                f"edge {sorted(overlap)[0]} appears as both {name_a} and {name_b}; "
+                "each edge may carry at most one operation per delta"
+            )
+
+    return (
+        tuple((u, v, insert_map[(u, v)]) for u, v in sorted(insert_map)),
+        tuple(sorted(removal_set)),
+        tuple((u, v, reweight_map[(u, v)]) for u, v in sorted(reweight_map)),
+    )
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """One immutable batch of edge inserts / removals / reweights.
+
+    Parameters
+    ----------
+    inserts:
+        ``(u, v)`` pairs or ``(u, v, w)`` triples of edges to add.  A bare
+        pair keeps an unweighted graph unweighted (and means weight 1.0 on a
+        weighted one); an explicit weight requires a weighted target graph.
+    removals:
+        ``(u, v)`` pairs of existing edges to delete.
+    reweights:
+        ``(u, v, w)`` triples replacing the weight of existing edges
+        (weighted graphs only).
+
+    All operations are canonicalised at construction (``u < v``, sorted,
+    duplicates collapsed); an edge may appear in at most one operation.
+    Structural conflicts with a concrete graph (inserting an existing edge,
+    removing a missing one) are detected by :meth:`apply_to`.
+    """
+
+    inserts: tuple = field(default=())
+    removals: tuple = field(default=())
+    reweights: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        inserts, removals, reweights = _canonical_ops(
+            self.inserts, self.removals, self.reweights
+        )
+        object.__setattr__(self, "inserts", inserts)
+        object.__setattr__(self, "removals", removals)
+        object.__setattr__(self, "reweights", reweights)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_changes(self) -> int:
+        """Total number of edge operations in the batch."""
+        return len(self.inserts) + len(self.removals) + len(self.reweights)
+
+    def __bool__(self) -> bool:
+        return self.num_changes > 0
+
+    @property
+    def touched_nodes(self) -> np.ndarray:
+        """Sorted unique endpoints of every operation in the delta."""
+        nodes: set[int] = set()
+        for u, v, _w in self.inserts:
+            nodes.add(u)
+            nodes.add(v)
+        for u, v in self.removals:
+            nodes.add(u)
+            nodes.add(v)
+        for u, v, _w in self.reweights:
+            nodes.add(u)
+            nodes.add(v)
+        return np.array(sorted(nodes), dtype=np.int64)
+
+    @property
+    def needs_weights(self) -> bool:
+        """Whether this delta only makes sense on a weighted graph."""
+        return bool(self.reweights) or any(w is not None for _u, _v, w in self.inserts)
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeDelta(inserts={len(self.inserts)}, removals={len(self.removals)}, "
+            f"reweights={len(self.reweights)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization and identity
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A JSON-serialisable canonical form (weights at repr precision)."""
+        return {
+            "inserts": [[u, v] if w is None else [u, v, w] for u, v, w in self.inserts],
+            "removals": [[u, v] for u, v in self.removals],
+            "reweights": [[u, v, w] for u, v, w in self.reweights],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EdgeDelta":
+        return cls(
+            inserts=tuple(tuple(entry) for entry in payload.get("inserts", ())),
+            removals=tuple(tuple(entry) for entry in payload.get("removals", ())),
+            reweights=tuple(tuple(entry) for entry in payload.get("reweights", ())),
+        )
+
+    def to_json(self) -> str:
+        """One compact JSON line (the on-disk delta-log format)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EdgeDelta":
+        return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """SHA-256 digest of the canonical operation list (exact float bits)."""
+        digest = hashlib.sha256()
+        digest.update(b"repro-delta-v1")
+        for label, ops in (
+            (b"ins", self.inserts),
+            (b"rem", self.removals),
+            (b"rw", self.reweights),
+        ):
+            for op in ops:
+                digest.update(label)
+                for part in op:
+                    if part is None:
+                        digest.update(b"None")
+                    elif isinstance(part, float):
+                        digest.update(part.hex().encode("ascii"))
+                    else:
+                        digest.update(int(part).to_bytes(8, "little", signed=True))
+        return digest.hexdigest()
+
+    def chain(self, parent_lineage: str) -> str:
+        """The lineage digest of a graph after applying this delta."""
+        return chain_fingerprint(parent_lineage, self.fingerprint())
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def apply_to(self, graph: Graph) -> Graph:
+        """The post-delta graph, built by row-level CSR splicing.
+
+        Only the rows incident to the delta are recomputed; every other row's
+        CSR segment (and weight segment) is copied verbatim.  The result is
+        bit-identical — ``indptr``, ``indices`` and ``weights`` arrays — to
+        building the post-delta graph from its edge list with
+        :func:`repro.graph.builders.from_edges`, which is the foundation of
+        the delta ≡ rebuild contract.
+
+        Raises
+        ------
+        GraphStructureError
+            On structural conflicts: inserting an edge that exists, removing
+            or reweighting one that does not, or weight operations on an
+            unweighted graph.
+        ValueError
+            When an operation references a node outside ``[0, num_nodes)``.
+        """
+        if not self:
+            return graph
+        n = graph.num_nodes
+        touched = self.touched_nodes
+        if len(touched) and (touched[0] < 0 or touched[-1] >= n):
+            bad = touched[0] if touched[0] < 0 else touched[-1]
+            raise ValueError(
+                f"delta touches node {int(bad)}, out of range for a graph "
+                f"with {n} nodes"
+            )
+        if self.needs_weights and not graph.is_weighted:
+            raise GraphStructureError(
+                "cannot apply weight operations to an unweighted graph; "
+                "weight it first (Graph.with_weights)"
+            )
+        indptr = graph.indptr
+        indices = graph.indices
+        if not self._rows_sorted(indptr, indices):
+            return self._apply_slow(graph)
+
+        def arc_position(u: int, v: int) -> int:
+            """Index of arc (u → v) in the CSR arrays, or -1 when absent."""
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            k = lo + int(np.searchsorted(indices[lo:hi], v))
+            if k < hi and int(indices[k]) == v:
+                return k
+            return -1
+
+        num_arcs = len(indices)
+        keep = np.ones(num_arcs, dtype=bool)
+        weights = graph.weights.copy() if graph.is_weighted else None
+        for u, v in self.removals:
+            pos_uv, pos_vu = arc_position(u, v), arc_position(v, u)
+            if pos_uv < 0 or pos_vu < 0:
+                raise GraphStructureError(f"cannot remove non-existent edge ({u}, {v})")
+            keep[pos_uv] = False
+            keep[pos_vu] = False
+        for u, v, weight in self.reweights:
+            pos_uv, pos_vu = arc_position(u, v), arc_position(v, u)
+            if pos_uv < 0 or pos_vu < 0:
+                raise GraphStructureError(
+                    f"cannot reweight non-existent edge ({u}, {v})"
+                )
+            weights[pos_uv] = weight
+            weights[pos_vu] = weight
+        for u, v, _weight in self.inserts:
+            if arc_position(u, v) >= 0:
+                raise GraphStructureError(f"cannot insert existing edge ({u}, {v})")
+
+        rows = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+        kept_rows = rows[keep]
+        kept_cols = indices[keep]
+        kept_weights = weights[keep] if weights is not None else None
+
+        if self.inserts:
+            new_src = np.empty(2 * len(self.inserts), dtype=np.int64)
+            new_dst = np.empty(2 * len(self.inserts), dtype=np.int64)
+            new_w = np.empty(2 * len(self.inserts), dtype=np.float64)
+            for i, (u, v, weight) in enumerate(self.inserts):
+                new_src[2 * i], new_dst[2 * i] = u, v
+                new_src[2 * i + 1], new_dst[2 * i + 1] = v, u
+                new_w[2 * i] = new_w[2 * i + 1] = 1.0 if weight is None else weight
+            order = np.lexsort((new_dst, new_src))
+            new_src, new_dst, new_w = new_src[order], new_dst[order], new_w[order]
+            positions = np.searchsorted(
+                kept_rows * n + kept_cols, new_src * n + new_dst
+            )
+            final_cols = np.insert(kept_cols, positions, new_dst)
+            if kept_weights is not None:
+                final_weights = np.insert(kept_weights, positions, new_w)
+            else:
+                final_weights = None
+        else:
+            final_cols = kept_cols
+            final_weights = kept_weights
+
+        degrees = graph.degrees.copy()
+        for u, v in self.removals:
+            degrees[u] -= 1
+            degrees[v] -= 1
+        for u, v, _weight in self.inserts:
+            degrees[u] += 1
+            degrees[v] += 1
+        new_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=new_indptr[1:])
+        return Graph(new_indptr, final_cols, final_weights, validate=False)
+
+    @staticmethod
+    def _rows_sorted(indptr: np.ndarray, indices: np.ndarray) -> bool:
+        """Whether every CSR row is sorted by column id (the canonical layout)."""
+        if len(indices) < 2:
+            return True
+        ascending = indices[1:] > indices[:-1]
+        row_starts = indptr[1:-1]  # positions where a new row begins
+        boundary = np.zeros(len(indices) - 1, dtype=bool)
+        boundary[row_starts[(row_starts > 0) & (row_starts < len(indices))] - 1] = True
+        return bool(np.all(ascending | boundary))
+
+    def _apply_slow(self, graph: Graph) -> Graph:
+        """Fallback for non-canonical CSR layouts: rebuild from the edge map.
+
+        Still produces the canonical ``from_edges`` layout (so the delta ≡
+        rebuild contract holds), just without the row-splice fast path.
+        """
+        from repro.graph.builders import from_edges
+
+        current = {
+            (int(u), int(v)): float(w)
+            for (u, v), w in zip(graph.edge_array(), graph.edge_weight_array())
+        }
+        for u, v in self.removals:
+            if (u, v) not in current:
+                raise GraphStructureError(f"cannot remove non-existent edge ({u}, {v})")
+            del current[(u, v)]
+        for u, v, weight in self.reweights:
+            if (u, v) not in current:
+                raise GraphStructureError(
+                    f"cannot reweight non-existent edge ({u}, {v})"
+                )
+            current[(u, v)] = weight
+        for u, v, weight in self.inserts:
+            if (u, v) in current:
+                raise GraphStructureError(f"cannot insert existing edge ({u}, {v})")
+            current[(u, v)] = 1.0 if weight is None else weight
+        ordered = sorted(current)
+        return from_edges(
+            ordered,
+            num_nodes=graph.num_nodes,
+            weights=[current[edge] for edge in ordered] if graph.is_weighted else None,
+        )
+
+
+def untouched_arc_masks(
+    old_graph: Graph, new_graph: Graph, touched_nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-splice masks for incremental artifact patches.
+
+    ``new_graph`` must be ``old_graph`` after a delta whose endpoints are
+    ``touched_nodes``.  Returns ``(untouched_old, untouched_new, touched)``:
+    boolean masks over the old arcs, the new arcs (both row-major, so
+    ``new[untouched_new] = old[untouched_old]`` splices every unchanged row's
+    segment verbatim) and the nodes.  This is the one implementation the
+    bit-identity of every CSR-aligned patch (transition rows, alias tables)
+    rests on — see DESIGN.md "Contract 4".
+    """
+    touched_mask = np.zeros(new_graph.num_nodes, dtype=bool)
+    touched_mask[np.asarray(touched_nodes, dtype=np.int64)] = True
+    old_rows = np.repeat(np.arange(old_graph.num_nodes), old_graph.degrees)
+    new_rows = np.repeat(np.arange(new_graph.num_nodes), new_graph.degrees)
+    return ~touched_mask[old_rows], ~touched_mask[new_rows], touched_mask
+
+
+def expand_neighborhood(graph: Graph, nodes: np.ndarray, hops: int = 1) -> np.ndarray:
+    """``nodes`` plus everything within ``hops`` CSR steps of them (sorted).
+
+    The serving layer uses this to localise cache invalidation: a delta's
+    touched endpoints expanded by ``invalidation_hops`` approximates the
+    region where effective resistances move materially.
+    """
+    frontier = np.unique(np.asarray(nodes, dtype=np.int64))
+    if len(frontier) and (frontier[0] < 0 or frontier[-1] >= graph.num_nodes):
+        raise ValueError("neighborhood nodes out of range for the graph")
+    seen = frontier
+    for _ in range(max(int(hops), 0)):
+        if not len(frontier):
+            break
+        spans = [
+            graph.indices[graph.indptr[node] : graph.indptr[node + 1]]
+            for node in frontier
+        ]
+        neighbors = np.unique(np.concatenate(spans)) if spans else frontier[:0]
+        frontier = np.setdiff1d(neighbors, seen, assume_unique=True)
+        seen = np.union1d(seen, frontier)
+    return seen
+
+
+class GraphStore:
+    """An epoch-versioned graph plus its delta log and lineage chain.
+
+    The store owns nothing but graphs: epoch 0 is the construction-time graph,
+    every :meth:`apply` advances the epoch by one, appends to the delta log
+    and extends the lineage fingerprint chain (see
+    :mod:`repro.graph.fingerprint`).  ``keep_history > 0`` opts into a
+    bounded window of recent graph snapshots (``graph_at``) for readers
+    pinned to a previous epoch; the default keeps none, so old graphs are
+    freed as soon as their epoch ends.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        epoch: int = 0,
+        lineage: Optional[str] = None,
+        keep_history: int = 0,
+        base_fingerprint: Optional[str] = None,
+        delta_log: Iterable[EdgeDelta] = (),
+    ) -> None:
+        """See class docstring.
+
+        ``base_fingerprint`` / ``delta_log`` let a store *adopt* an existing
+        lineage (e.g. one restored from persisted artifacts): the log is the
+        chain of deltas that produced ``graph`` from the base-fingerprint
+        graph, and further :meth:`apply` calls extend it — so re-saving never
+        truncates a replayable history.  Without them the store starts a
+        fresh lineage at ``graph``; the base fingerprint is then hashed
+        lazily, on first use, so stores built for graphs that never change
+        never pay the O(m) digest.
+        """
+        self._graph = graph
+        self._epoch = int(epoch)
+        self._deltas: list[EdgeDelta] = list(delta_log)
+        if self._deltas and base_fingerprint is None:
+            raise ValueError("adopting a delta log requires its base_fingerprint")
+        if lineage is None and (self._deltas or self._epoch != 0):
+            raise ValueError(
+                "a store adopting a non-zero epoch or a delta log requires "
+                "the matching lineage digest"
+            )
+        self._base_fingerprint = base_fingerprint  # None = hash lazily
+        self._lineage = lineage
+        self._keep_history = max(int(keep_history), 0)
+        self._history: list[tuple[int, Graph]] = []
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        """The current (latest-epoch) graph."""
+        return self._graph
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def lineage(self) -> str:
+        """The fingerprint chain digest of the current epoch."""
+        if self._lineage is None:
+            self._lineage = self.base_fingerprint
+        return self._lineage
+
+    @property
+    def base_fingerprint(self) -> str:
+        """Fingerprint of the graph this store's delta log starts from."""
+        if self._base_fingerprint is None:
+            # Only reachable while no deltas were adopted or applied (the
+            # constructor and apply() force it otherwise), so the current
+            # graph still *is* the base graph.
+            self._base_fingerprint = graph_fingerprint(self._graph)
+        return self._base_fingerprint
+
+    @property
+    def base_epoch(self) -> int:
+        """The epoch this store started at (its delta log begins there)."""
+        return self._epoch - len(self._deltas)
+
+    @property
+    def delta_log(self) -> tuple[EdgeDelta, ...]:
+        """Every delta applied through this store, oldest first."""
+        return tuple(self._deltas)
+
+    def graph_at(self, epoch: int) -> Graph:
+        """The graph snapshot at ``epoch`` (current, or within the history window)."""
+        if epoch == self._epoch:
+            return self._graph
+        for held_epoch, held_graph in self._history:
+            if held_epoch == epoch:
+                return held_graph
+        raise KeyError(
+            f"epoch {epoch} is not held (current: {self._epoch}, "
+            f"history: {[e for e, _ in self._history]})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def apply(self, delta: EdgeDelta, *, graph: Optional[Graph] = None) -> Graph:
+        """Apply ``delta``, advance the epoch, and return the new graph.
+
+        ``graph`` hands over the already-materialised post-delta graph when
+        the caller (e.g. :meth:`ResistanceService.apply_update`) applied the
+        delta itself; it must equal ``delta.apply_to(self.graph)``.
+        """
+        parent_lineage = self.lineage  # forces the base hash pre-mutation
+        new_graph = delta.apply_to(self._graph) if graph is None else graph
+        if self._keep_history:
+            self._history.append((self._epoch, self._graph))
+            del self._history[: -self._keep_history]
+        self._graph = new_graph
+        self._epoch += 1
+        self._deltas.append(delta)
+        self._lineage = delta.chain(parent_lineage)
+        return new_graph
+
+    def seed_base_fingerprint(self, graph: Graph, digest: str) -> None:
+        """Install a precomputed fingerprint for the base graph.
+
+        Lets a caller that already hashed the current graph (e.g.
+        ``save_artifacts`` building its manifest) share the digest instead of
+        this store re-hashing lazily.  No-op unless ``graph`` is this store's
+        current graph, the delta log is empty (so the current graph *is* the
+        base) and the base fingerprint is still unknown.
+        """
+        if self._base_fingerprint is None and not self._deltas and graph is self._graph:
+            self._base_fingerprint = str(digest)
+
+    @classmethod
+    def replay(cls, base_graph: Graph, deltas: Iterable[EdgeDelta]) -> "GraphStore":
+        """A store built by replaying ``deltas`` onto ``base_graph`` in order."""
+        store = cls(base_graph)
+        for delta in deltas:
+            store.apply(delta)
+        return store
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore(epoch={self._epoch}, graph={self._graph!r}, "
+            f"log={len(self._deltas)} deltas)"
+        )
+
+
+__all__ = ["EdgeDelta", "GraphStore", "expand_neighborhood", "untouched_arc_masks"]

@@ -1,0 +1,63 @@
+"""Content fingerprints for graphs and delta lineages.
+
+A **graph fingerprint** is a SHA-256 digest over the canonical CSR arrays (and
+edge weights): two graphs share a fingerprint iff they are identical as
+weighted graphs, which is exactly the condition under which preprocessing
+artifacts (the spectral radius λ, landmark resistance vectors) transfer.
+
+A **lineage** extends the idea to dynamic graphs: the lineage of an
+epoch-``k`` graph is the hash chain
+
+.. math::
+
+    L_0 = \\mathrm{fp}(G_0), \\qquad L_{i+1} = H(L_i \\,\\|\\, \\mathrm{fp}(\\delta_{i+1}))
+
+over the deltas applied so far.  Artifacts saved at epoch ``k`` record both
+the current fingerprint and the lineage, so a loader holding the *base* graph
+plus the delta log can replay to the saved state and prove it arrived at the
+very graph the artifacts were built for (see :mod:`repro.service.artifacts`).
+
+This module lives in the graph layer (rather than the serving layer, where the
+fingerprint was born) because :mod:`repro.graph.delta` needs it to maintain
+lineages; :mod:`repro.service.artifacts` re-exports it unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """A SHA-256 digest of the graph's CSR structure (and edge weights).
+
+    Two graphs share a fingerprint iff they are identical as *weighted*
+    graphs: same node count, same adjacency in the same canonical CSR layout
+    and — when weighted — bit-identical weight arrays.  Unweighted graphs hash
+    exactly as before the weight field existed, so pre-existing artifact
+    directories stay valid.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-graph-v1")
+    digest.update(int(graph.num_nodes).to_bytes(8, "little"))
+    digest.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.indices, dtype=np.int64).tobytes())
+    if graph.is_weighted:
+        digest.update(b"weights-v1")
+        digest.update(np.ascontiguousarray(graph.weights, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def chain_fingerprint(parent: str, child: str) -> str:
+    """One link of a lineage chain: ``H(parent || child)`` as a hex digest."""
+    digest = hashlib.sha256()
+    digest.update(b"repro-lineage-v1")
+    digest.update(str(parent).encode("utf-8"))
+    digest.update(str(child).encode("utf-8"))
+    return digest.hexdigest()
+
+
+__all__ = ["graph_fingerprint", "chain_fingerprint"]

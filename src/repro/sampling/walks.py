@@ -117,33 +117,87 @@ def _build_alias_tables(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
         degrees / np.maximum(graph.weighted_degrees, 1e-300), degrees
     )
     for lo, hi in zip(indptr[:-1], indptr[1:]):
-        degree = int(hi - lo)
-        if degree <= 1:
-            continue
-        scaled = all_scaled[lo:hi]
-        small = [k for k in range(degree) if scaled[k] < 1.0]
-        if not small:
-            continue  # uniform row: every slot accepts itself
-        large = [k for k in range(degree) if scaled[k] >= 1.0]
-        remaining = scaled.copy()
-        while small and large:
-            s = small.pop()
-            g = large.pop()
-            prob[lo + s] = remaining[s]
-            alias_node[lo + s] = indices[lo + g]
-            remaining[g] = (remaining[g] + remaining[s]) - 1.0
-            if remaining[g] < 1.0:
-                small.append(g)
-            else:
-                large.append(g)
-        # leftovers (round-off) keep prob = 1.0: the slot always accepts itself
-        for k in small + large:
-            prob[lo + k] = 1.0
-            alias_node[lo + k] = indices[lo + k]
+        _fill_alias_row(prob, alias_node, indices, int(lo), int(hi), all_scaled[lo:hi])
     prob.setflags(write=False)
     alias_node.setflags(write=False)
     graph._alias_cache = (prob, alias_node)
     return prob, alias_node
+
+
+def _fill_alias_row(
+    prob: np.ndarray,
+    alias_node: np.ndarray,
+    indices: np.ndarray,
+    lo: int,
+    hi: int,
+    scaled: np.ndarray,
+) -> None:
+    """Run Vose's construction on one CSR row (slots default to self-accept)."""
+    degree = hi - lo
+    if degree <= 1:
+        return
+    small = [k for k in range(degree) if scaled[k] < 1.0]
+    if not small:
+        return  # uniform row: every slot accepts itself
+    large = [k for k in range(degree) if scaled[k] >= 1.0]
+    remaining = scaled.copy()
+    while small and large:
+        s = small.pop()
+        g = large.pop()
+        prob[lo + s] = remaining[s]
+        alias_node[lo + s] = indices[lo + g]
+        remaining[g] = (remaining[g] + remaining[s]) - 1.0
+        if remaining[g] < 1.0:
+            small.append(g)
+        else:
+            large.append(g)
+    # leftovers (round-off) keep prob = 1.0: the slot always accepts itself
+    for k in small + large:
+        prob[lo + k] = 1.0
+        alias_node[lo + k] = indices[lo + k]
+
+
+def patch_alias_tables(
+    old_graph: Graph, new_graph: Graph, touched_nodes: np.ndarray
+) -> None:
+    """Carry ``old_graph``'s memoised alias tables onto ``new_graph``.
+
+    ``new_graph`` must be ``old_graph`` after an edge delta whose endpoints
+    are exactly ``touched_nodes``: untouched rows (same neighbours, same
+    weights, same weighted degree) have their alias slots copied verbatim,
+    touched rows re-run Vose's construction with the same per-row arithmetic
+    as :func:`_build_alias_tables` — so the patched tables are **bit-identical**
+    to a cold build on ``new_graph`` (the delta ≡ rebuild contract).  No-op
+    when the old graph never built its tables (nothing warm to preserve) or
+    the new graph is unweighted.
+    """
+    from repro.graph.delta import untouched_arc_masks
+
+    cached = old_graph._alias_cache
+    if cached is None or not new_graph.is_weighted:
+        return
+    old_prob, old_alias = cached
+    untouched_old, untouched_new, touched_mask = untouched_arc_masks(
+        old_graph, new_graph, touched_nodes
+    )
+    prob = np.ones(len(new_graph.indices), dtype=np.float64)
+    alias_node = new_graph.indices.copy()
+    prob[untouched_new] = old_prob[untouched_old]
+    alias_node[untouched_new] = old_alias[untouched_old]
+    indptr = new_graph.indptr
+    indices = new_graph.indices
+    weights = new_graph.weights
+    degrees = new_graph.degrees
+    weighted_degrees = new_graph.weighted_degrees
+    for node in np.flatnonzero(touched_mask):
+        lo, hi = int(indptr[node]), int(indptr[node + 1])
+        # Same per-element arithmetic as the full build's vectorised pass:
+        # scaled[k] = w[k] · (d(v) / max(Σ_row w, 1e-300)).
+        ratio = degrees[node] / np.maximum(weighted_degrees[node], 1e-300)
+        _fill_alias_row(prob, alias_node, indices, lo, hi, weights[lo:hi] * ratio)
+    prob.setflags(write=False)
+    alias_node.setflags(write=False)
+    new_graph._alias_cache = (prob, alias_node)
 
 
 class RandomWalkEngine:
@@ -572,4 +626,10 @@ def walk_scores(
     )
 
 
-__all__ = ["RandomWalkEngine", "simulate_walks", "walk_endpoints", "walk_scores"]
+__all__ = [
+    "RandomWalkEngine",
+    "patch_alias_tables",
+    "simulate_walks",
+    "walk_endpoints",
+    "walk_scores",
+]

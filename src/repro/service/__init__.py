@@ -23,18 +23,26 @@ Four building blocks and one facade turn the per-graph query session
 from repro.service.artifacts import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
+    DELTA_LOG_NAME,
     StaleArtifactError,
     graph_fingerprint,
     has_artifacts,
     load_bundle,
     load_context,
+    load_delta_log,
     load_sketch,
+    read_delta_log,
     save_artifacts,
 )
 from repro.service.cache import CacheEntry, CacheStats, ResistanceCache, canonical_pair
 from repro.service.coalesce import CoalescerStats, PendingQuery, RequestCoalescer
 from repro.service.sketch import LandmarkSketchStore, SketchAnswer, SketchStats
-from repro.service.server import ResistanceService, ServiceConfig, ServiceStats
+from repro.service.server import (
+    ResistanceService,
+    ServiceConfig,
+    ServiceStats,
+    UpdateReport,
+)
 
 __all__ = [
     # cache
@@ -52,16 +60,20 @@ __all__ = [
     "RequestCoalescer",
     # artifacts
     "ARTIFACT_FORMAT_VERSION",
+    "DELTA_LOG_NAME",
     "ArtifactError",
     "StaleArtifactError",
     "graph_fingerprint",
     "has_artifacts",
     "load_bundle",
     "load_context",
+    "load_delta_log",
     "load_sketch",
+    "read_delta_log",
     "save_artifacts",
     # facade
     "ResistanceService",
     "ServiceConfig",
     "ServiceStats",
+    "UpdateReport",
 ]

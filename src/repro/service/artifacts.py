@@ -8,19 +8,28 @@ state of a :class:`~repro.core.registry.QueryContext` (and optionally a
 
 ``manifest.json``
     Format version, a SHA-256 **graph fingerprint** (over the CSR arrays, so
-    any structural change to the graph invalidates the artifacts), and the
-    scalar preprocessing state from
+    any structural change to the graph invalidates the artifacts), the graph
+    **epoch** and **lineage** (the fingerprint chain of
+    :mod:`repro.graph.fingerprint`, covering every delta absorbed since the
+    base graph), and the scalar preprocessing state from
     :meth:`QueryContext.export_preprocessing`.
 ``sketch.npz``
     The landmark ids and the exact ``(k, n)`` landmark resistance matrix,
     when a sketch was saved alongside the context.
+``deltas.jsonl``
+    The delta log (one :class:`~repro.graph.delta.EdgeDelta` JSON line per
+    applied update), when a :class:`~repro.graph.delta.GraphStore` was saved
+    alongside the context.
 
 :func:`load_context` rebuilds a context whose spectral info comes from the
 manifest — the eigen-decomposition is *skipped*, and because the restored
 :class:`SpectralInfo` carries the exact persisted scalars, a warm engine
 returns values identical to a cold one under the same seed.  A fingerprint
 mismatch raises :class:`StaleArtifactError` instead of silently serving
-answers for a different graph.
+answers for a different graph — unless the caller holds the **base** graph
+and the directory carries the delta log, in which case the log is replayed
+(bit-identical CSR splicing) and the artifacts load without a cold solve,
+verified against the saved fingerprint and lineage.
 
 Writes go through a temporary file followed by :func:`os.replace`, so a
 crashed save never leaves a half-written manifest behind.
@@ -28,16 +37,17 @@ crashed save never leaves a half-written manifest behind.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.registry import QueryBudget, QueryContext
-from repro.exceptions import ReproError
+from repro.exceptions import GraphStructureError, ReproError
+from repro.graph.delta import EdgeDelta, GraphStore
+from repro.graph.fingerprint import graph_fingerprint
 from repro.graph.graph import Graph
 from repro.service.sketch import LandmarkSketchStore
 from repro.utils.rng import RngLike
@@ -47,6 +57,7 @@ PathLike = Union[str, os.PathLike]
 ARTIFACT_FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 SKETCH_NAME = "sketch.npz"
+DELTA_LOG_NAME = "deltas.jsonl"
 
 
 class ArtifactError(ReproError):
@@ -55,27 +66,6 @@ class ArtifactError(ReproError):
 
 class StaleArtifactError(ArtifactError):
     """Raised when artifacts were built for a different graph than the one given."""
-
-
-def graph_fingerprint(graph: Graph) -> str:
-    """A SHA-256 digest of the graph's CSR structure (and edge weights).
-
-    Two graphs share a fingerprint iff they are identical as *weighted*
-    graphs: same node count, same adjacency in the same canonical CSR layout
-    and — when weighted — bit-identical weight arrays.  That is exactly the
-    condition under which preprocessing artifacts (λ, landmark resistances)
-    transfer.  Unweighted graphs hash exactly as before this field existed,
-    so pre-existing artifact directories stay valid.
-    """
-    digest = hashlib.sha256()
-    digest.update(b"repro-graph-v1")
-    digest.update(int(graph.num_nodes).to_bytes(8, "little"))
-    digest.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
-    digest.update(np.ascontiguousarray(graph.indices, dtype=np.int64).tobytes())
-    if graph.is_weighted:
-        digest.update(b"weights-v1")
-        digest.update(np.ascontiguousarray(graph.weights, dtype=np.float64).tobytes())
-    return digest.hexdigest()
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -89,23 +79,51 @@ def save_artifacts(
     directory: PathLike,
     *,
     sketch: Optional[LandmarkSketchStore] = None,
+    store: Optional[GraphStore] = None,
 ) -> Path:
     """Persist a context's preprocessing (and optionally a sketch) to disk.
 
     Forces the spectral solve if it has not happened yet, then writes the
     sketch arrays first and the manifest last — a directory containing a valid
     manifest is therefore always complete.  Returns the manifest path.
+
+    With a :class:`~repro.graph.delta.GraphStore` the manifest additionally
+    records the delta lineage (base fingerprint, epoch, chain digest) and the
+    delta log is written to ``deltas.jsonl`` — which is what lets a later
+    process holding only the *base* graph replay to the saved epoch and load
+    warm (see :func:`load_bundle`).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    # One O(m) digest serves the manifest fingerprint, an epoch-0 context's
+    # lineage, and a fresh store's base fingerprint (they are all the same
+    # value until a delta is applied).
+    fingerprint = graph_fingerprint(context.graph)
+    if context.known_lineage is None and context.epoch == 0:
+        context.adopt_lineage(fingerprint)
+    if store is not None:
+        store.seed_base_fingerprint(context.graph, fingerprint)
     manifest: dict[str, object] = {
         "format_version": ARTIFACT_FORMAT_VERSION,
-        "fingerprint": graph_fingerprint(context.graph),
+        "fingerprint": fingerprint,
         "num_nodes": context.graph.num_nodes,
         "num_edges": context.graph.num_edges,
+        "epoch": context.epoch,
+        "lineage": context.lineage,
         "preprocessing": context.export_preprocessing(),
         "has_sketch": sketch is not None,
     }
+    if store is not None:
+        manifest["base_fingerprint"] = store.base_fingerprint
+        manifest["base_epoch"] = store.base_epoch
+        manifest["num_deltas"] = len(store.delta_log)
+        log_path = directory / DELTA_LOG_NAME
+        log_tmp = log_path.with_name(log_path.name + ".tmp")
+        log_tmp.write_text(
+            "".join(delta.to_json() + "\n" for delta in store.delta_log),
+            encoding="utf-8",
+        )
+        os.replace(log_tmp, log_path)
     if sketch is not None:
         manifest["sketch"] = {
             "num_landmarks": sketch.num_landmarks,
@@ -159,6 +177,77 @@ def _check_fingerprint(graph: Graph, manifest: dict, directory: Path) -> None:
         )
 
 
+def read_delta_log(path: PathLike) -> list[EdgeDelta]:
+    """Parse a ``deltas.jsonl`` file (one EdgeDelta JSON object per line)."""
+    deltas = []
+    for line_number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            deltas.append(EdgeDelta.from_json(line))
+        except (json.JSONDecodeError, ValueError, TypeError, GraphStructureError) as exc:
+            raise ArtifactError(
+                f"corrupt delta log {path} at line {line_number}: {exc}"
+            ) from exc
+    return deltas
+
+
+def load_delta_log(directory: PathLike) -> list[EdgeDelta]:
+    """The persisted delta log of an artifact directory ([] when none was saved)."""
+    log_path = Path(directory) / DELTA_LOG_NAME
+    if not log_path.is_file():
+        return []
+    return read_delta_log(log_path)
+
+
+def _resolve_graph(
+    graph: Graph, manifest: dict, directory: Path, replay_deltas: bool
+) -> tuple[Graph, Sequence[EdgeDelta]]:
+    """Match ``graph`` to the manifest, replaying the delta log if needed.
+
+    Returns the graph the artifacts are valid for (``graph`` itself on a
+    direct fingerprint match, or the post-replay graph when ``graph`` is the
+    recorded *base* and the log replays to the saved fingerprint) plus the
+    deltas that were replayed.  Anything else raises
+    :class:`StaleArtifactError` — stale artifacts are never served without a
+    matching lineage.
+    """
+    actual = graph_fingerprint(graph)
+    if actual == manifest.get("fingerprint"):
+        return graph, ()
+    log_path = directory / DELTA_LOG_NAME
+    if (
+        replay_deltas
+        and manifest.get("base_fingerprint") == actual
+        and log_path.is_file()
+    ):
+        deltas = read_delta_log(log_path)
+        current = graph
+        try:
+            for delta in deltas:
+                current = delta.apply_to(current)
+        except (GraphStructureError, ValueError) as exc:
+            # A log that does not even apply to the claimed base graph is as
+            # stale as a fingerprint mismatch — refuse with the same contract.
+            raise StaleArtifactError(
+                f"the delta log in {directory} does not apply cleanly to the "
+                f"given base graph ({exc}); re-run warm-up to rebuild the "
+                "artifacts"
+            ) from exc
+        if graph_fingerprint(current) != manifest.get("fingerprint"):
+            raise StaleArtifactError(
+                f"replaying the {len(deltas)}-entry delta log in {directory} "
+                "did not reach the graph the artifacts were built for; "
+                "re-run warm-up to rebuild them"
+            )
+        return current, deltas
+    _check_fingerprint(graph, manifest, directory)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def load_bundle(
     graph: Graph,
     directory: PathLike,
@@ -167,34 +256,72 @@ def load_bundle(
     budget: Optional[QueryBudget] = None,
     validate: bool = True,
     with_sketch: bool = True,
-) -> tuple[QueryContext, Optional[LandmarkSketchStore]]:
+    replay_deltas: bool = True,
+    with_store: bool = False,
+):
     """Restore the context and (optionally) the sketch in one validated pass.
 
     The manifest is parsed and the O(m) graph fingerprint computed exactly
     once, which is what :class:`~repro.service.server.ResistanceService` uses
-    for warm starts.
+    for warm starts.  When ``graph`` is not the graph the artifacts were
+    saved for but *is* the recorded base of a persisted delta log (and
+    ``replay_deltas`` is true), the log is replayed onto it and the restored
+    context lives at the saved epoch/lineage — a saved context plus a delta
+    log therefore reloads without a cold solve.  The returned context's graph
+    is the artifact graph, which may differ from the ``graph`` argument in
+    exactly that replay case.
+
+    With ``with_store`` a third element is returned: a
+    :class:`~repro.graph.delta.GraphStore` that **adopts** the persisted
+    lineage — base fingerprint and full delta log included — so that further
+    updates extend (rather than restart) the replayable history when the
+    directory is saved again.
 
     Raises
     ------
     ArtifactError
         When the directory has no (or a corrupt/incompatible) manifest.
     StaleArtifactError
-        When the artifacts were built for a structurally different graph.
+        When the artifacts were built for a structurally different graph and
+        no delta-log replay can bridge the difference.
     """
     directory = Path(directory)
     manifest = load_manifest(directory)
-    _check_fingerprint(graph, manifest, directory)
+    target_graph, _replayed = _resolve_graph(graph, manifest, directory, replay_deltas)
     context = QueryContext.from_preprocessing(
-        graph,
+        target_graph,
         manifest["preprocessing"],
         rng=rng,
         budget=budget,
         validate=validate,
     )
+    context.epoch = int(manifest.get("epoch", 0))
+    lineage = manifest.get("lineage")
+    if lineage is not None:
+        context.adopt_lineage(lineage)
     sketch = None
     if with_sketch and manifest.get("has_sketch"):
-        sketch = _read_sketch(graph, directory, manifest)
-    return context, sketch
+        sketch = _read_sketch(target_graph, directory, manifest)
+    if not with_store:
+        return context, sketch
+    base_fingerprint = manifest.get("base_fingerprint")
+    log = list(_replayed) if _replayed else load_delta_log(directory)
+    if base_fingerprint is None or not log:
+        store = GraphStore(
+            target_graph,
+            epoch=context.epoch,
+            lineage=context.known_lineage,
+            base_fingerprint=manifest.get("fingerprint") if not log else None,
+        )
+    else:
+        store = GraphStore(
+            target_graph,
+            epoch=context.epoch,
+            lineage=context.known_lineage,
+            base_fingerprint=base_fingerprint,
+            delta_log=log,
+        )
+    return context, sketch, store
 
 
 def _read_sketch(graph: Graph, directory: Path, manifest: dict) -> LandmarkSketchStore:
@@ -243,6 +370,7 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "MANIFEST_NAME",
     "SKETCH_NAME",
+    "DELTA_LOG_NAME",
     "ArtifactError",
     "StaleArtifactError",
     "graph_fingerprint",
@@ -252,4 +380,6 @@ __all__ = [
     "load_bundle",
     "load_context",
     "load_sketch",
+    "read_delta_log",
+    "load_delta_log",
 ]

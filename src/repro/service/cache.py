@@ -34,11 +34,17 @@ def canonical_pair(s: int, t: int) -> tuple[int, int]:
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One cached answer: the value, the ε it is guaranteed at, its producer."""
+    """One cached answer: the value, the ε it is guaranteed at, its producer.
+
+    ``epoch`` records the graph epoch the answer was computed at — purely
+    observational (validity across epochs is governed by the serving layer's
+    localized invalidation, see :meth:`ResistanceCache.invalidate_nodes`).
+    """
 
     value: float
     epsilon: float
     method: str = ""
+    epoch: int = 0
 
 
 @dataclass
@@ -50,6 +56,7 @@ class CacheStats:
     insertions: int = 0
     refinements: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -68,6 +75,7 @@ class CacheStats:
             "insertions": self.insertions,
             "refinements": self.refinements,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
 
@@ -115,11 +123,21 @@ class ResistanceCache:
         self.stats.hits += 1
         return entry
 
-    def put(self, s: int, t: int, epsilon: float, value: float, method: str = "") -> bool:
+    def put(
+        self,
+        s: int,
+        t: int,
+        epsilon: float,
+        value: float,
+        method: str = "",
+        *,
+        epoch: int = 0,
+    ) -> bool:
         """Offer an answer; returns True when it was stored (new or tighter).
 
         ``epsilon`` may be zero for exact answers (sketch landmark hits,
         deterministic solvers) — such entries dominate every future lookup.
+        ``epoch`` tags the entry with the graph epoch that produced it.
         """
         epsilon = check_positive(epsilon, "epsilon", strict=False)
         key = self.canonical_key(s, t)
@@ -128,15 +146,36 @@ class ResistanceCache:
             self._entries.move_to_end(key)
             if existing.epsilon <= epsilon:
                 return False
-            self._entries[key] = CacheEntry(float(value), epsilon, method)
+            self._entries[key] = CacheEntry(float(value), epsilon, method, epoch)
             self.stats.refinements += 1
             return True
-        self._entries[key] = CacheEntry(float(value), epsilon, method)
+        self._entries[key] = CacheEntry(float(value), epsilon, method, epoch)
         self.stats.insertions += 1
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return True
+
+    def invalidate_nodes(self, nodes) -> int:
+        """Drop every entry incident to ``nodes``; returns the number dropped.
+
+        This is the **localized invalidation** behind dynamic graphs: after an
+        edge delta, only pairs with an endpoint in the touched neighborhood
+        (delta endpoints, optionally expanded by
+        :func:`repro.graph.delta.expand_neighborhood`) are evicted — answers
+        for pairs far from the change keep serving at their recorded ε, so a
+        small delta leaves a warm cache warm.
+        """
+        node_set = {int(node) for node in nodes}
+        if not node_set:
+            return 0
+        doomed = [
+            key for key in self._entries if key[0] in node_set or key[1] in node_set
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (stats are preserved)."""

@@ -30,14 +30,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.core.engine import QueryEngine
-from repro.core.registry import QueryBudget, QueryContext
+from repro.core.registry import REFRESH_POLICIES, QueryBudget, QueryContext
 from repro.core.result import EstimateResult
+from repro.graph.delta import EdgeDelta, GraphStore, expand_neighborhood
 from repro.service import artifacts as artifacts_io
 from repro.service.cache import ResistanceCache, canonical_pair
 from repro.service.coalesce import PendingQuery, RequestCoalescer
 from repro.service.sketch import LandmarkSketchStore
 from repro.utils.rng import RngLike
+from repro.utils.timing import Timer
 from repro.utils.validation import check_node_pair, check_positive, check_query_pairs
 
 
@@ -67,6 +71,28 @@ class ServiceConfig:
     #: 1 = sequential session-stream execution; >1 = pool execution with
     #: per-query derived streams (see QueryPlan.execute).
     workers: int = 1
+    #: Refresh policy for the spectral solve after apply_update: "eager",
+    #: "on-next-read" (default) or "budgeted" (eager only below
+    #: QueryBudget.spectral_refresh_nodes).
+    spectral_refresh: str = "on-next-read"
+    #: Refresh policy for the landmark sketch after apply_update: "eager"
+    #: rebuilds during the update, "on-next-read" (default) rebuilds when the
+    #: next query needs it, "budgeted" rebuilds on read only after
+    #: sketch_refresh_budget updates accumulated (serving without the sketch
+    #: until then).
+    sketch_refresh: str = "on-next-read"
+    sketch_refresh_budget: int = 4
+    #: How far cache invalidation spreads from a delta's endpoints: 0 = only
+    #: pairs touching a delta endpoint, k = pairs within k CSR hops of one.
+    invalidation_hops: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("spectral_refresh", "sketch_refresh"):
+            value = getattr(self, name)
+            if value not in REFRESH_POLICIES:
+                raise ValueError(
+                    f"{name} must be one of {REFRESH_POLICIES}, got {value!r}"
+                )
 
 
 @dataclass
@@ -78,6 +104,9 @@ class ServiceStats:
     sketch_hits: int = 0
     engine_queries: int = 0
     coalesced_submissions: int = 0
+    updates: int = 0
+    invalidated_cache_entries: int = 0
+    sketch_rebuilds: int = 0
 
     @property
     def offloaded(self) -> int:
@@ -91,9 +120,41 @@ class ServiceStats:
             "sketch_hits": self.sketch_hits,
             "engine_queries": self.engine_queries,
             "coalesced_submissions": self.coalesced_submissions,
+            "updates": self.updates,
+            "invalidated_cache_entries": self.invalidated_cache_entries,
+            "sketch_rebuilds": self.sketch_rebuilds,
             "offload_rate": (
                 round(self.offloaded / self.requests, 4) if self.requests else 0.0
             ),
+        }
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`ResistanceService.apply_update` call did.
+
+    ``sketch_action`` is ``"rebuilt"``, ``"marked-stale"`` or ``"none"``;
+    ``surviving_cache_entries`` counts the warm answers the localized
+    invalidation kept alive.
+    """
+
+    epoch: int
+    changes: int
+    touched_nodes: int
+    invalidated_cache_entries: int
+    surviving_cache_entries: int
+    sketch_action: str
+    elapsed_seconds: float
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "changes": self.changes,
+            "touched_nodes": self.touched_nodes,
+            "invalidated_cache_entries": self.invalidated_cache_entries,
+            "surviving_cache_entries": self.surviving_cache_entries,
+            "sketch_action": self.sketch_action,
+            "elapsed_ms": round(self.elapsed_seconds * 1000.0, 3),
         }
 
 
@@ -137,17 +198,19 @@ class ResistanceService:
         self.warm_started = False
 
         sketch: Optional[LandmarkSketchStore] = None
+        store: Optional[GraphStore] = None
         if context is None:
             if graph is None:
                 raise ValueError("provide a graph or an existing QueryContext")
             if artifact_dir is not None and artifacts_io.has_artifacts(artifact_dir):
-                context, sketch = artifacts_io.load_bundle(
+                context, sketch, store = artifacts_io.load_bundle(
                     graph,
                     artifact_dir,
                     rng=rng,
                     budget=budget,
                     validate=validate,
                     with_sketch=self.config.use_sketch,
+                    with_store=True,
                 )
                 # The manifest records the builder's δ/τ, but neither affects
                 # the persisted spectral state — the caller's config wins.
@@ -179,7 +242,19 @@ class ResistanceService:
                 rng=self.config.landmark_seed,
             )
         self.sketch = sketch
+        self._updates_since_sketch = 0
         self._coalescer: Optional[RequestCoalescer] = None
+        # The epoch-versioned graph holder: tracks the delta log and lineage
+        # chain (persisted by save_artifacts for replay loading).  A warm
+        # start adopts the persisted lineage — base fingerprint and full log
+        # — so repeated update→save cycles keep extending one replayable
+        # history; otherwise a fresh store starts a lineage here (its base
+        # fingerprint is hashed lazily, on first update or save).
+        if store is None:
+            store = GraphStore(
+                context.graph, epoch=context.epoch, lineage=context.known_lineage
+            )
+        self.store = store
         self.engine.add_result_hook(self._on_engine_result)
 
     # ------------------------------------------------------------------ #
@@ -217,7 +292,12 @@ class ResistanceService:
         self.stats.engine_queries += 1
         if self.cache is not None and not result.budget_exhausted:
             self.cache.put(
-                result.s, result.t, result.epsilon, result.value, result.method
+                result.s,
+                result.t,
+                result.epsilon,
+                result.value,
+                result.method,
+                epoch=self.engine.epoch,
             )
 
     # ------------------------------------------------------------------ #
@@ -243,12 +323,20 @@ class ResistanceService:
                         "cached_method": entry.method,
                     },
                 )
-        if self.sketch is not None:
-            answer = self.sketch.query(s, t, epsilon)
+        sketch = self._ready_sketch()
+        if sketch is not None:
+            answer = sketch.query(s, t, epsilon)
             if answer is not None:
                 self.stats.sketch_hits += 1
                 if self.cache is not None:
-                    self.cache.put(s, t, answer.half_width, answer.midpoint, "sketch")
+                    self.cache.put(
+                        s,
+                        t,
+                        answer.half_width,
+                        answer.midpoint,
+                        "sketch",
+                        epoch=self.engine.epoch,
+                    )
                 return EstimateResult(
                     value=answer.midpoint,
                     method="sketch",
@@ -263,6 +351,117 @@ class ResistanceService:
                     },
                 )
         return None
+
+    def _ready_sketch(self) -> Optional[LandmarkSketchStore]:
+        """The sketch if it may answer queries now, refreshing per policy.
+
+        A fresh sketch is returned as-is.  A stale one (the graph moved on)
+        is rebuilt here under ``sketch_refresh="on-next-read"``, or under
+        ``"budgeted"`` once enough updates accumulated — otherwise queries
+        simply skip the sketch layer (a stale sketch never answers).
+        """
+        sketch = self.sketch
+        if sketch is None or not sketch.stale:
+            return sketch
+        policy = self.config.sketch_refresh
+        if policy == "on-next-read" or (
+            policy == "budgeted"
+            and self._updates_since_sketch >= self.config.sketch_refresh_budget
+        ):
+            return self._refresh_sketch()
+        return None
+
+    def _refresh_sketch(self) -> Optional[LandmarkSketchStore]:
+        """Rebuild the landmark sketch for the current graph epoch."""
+        if self.graph.num_nodes <= self.config.sketch_max_nodes:
+            self.sketch = LandmarkSketchStore.build(
+                self.graph,
+                num_landmarks=self.config.num_landmarks,
+                strategy=self.config.landmark_strategy,
+                rng=self.config.landmark_seed,
+            )
+            self.stats.sketch_rebuilds += 1
+        else:
+            self.sketch = None
+        self._updates_since_sketch = 0
+        return self.sketch
+
+    # ------------------------------------------------------------------ #
+    # dynamic graphs
+    # ------------------------------------------------------------------ #
+    def apply_update(self, delta: EdgeDelta) -> UpdateReport:
+        """Absorb an edge delta end to end while keeping warm state warm.
+
+        The pipeline, in order:
+
+        1. pending coalesced requests are flushed (they were planned against
+           the current epoch);
+        2. the :class:`~repro.graph.delta.GraphStore` applies the delta (CSR
+           row splicing) and extends the delta log / lineage chain;
+        3. the engine's context absorbs it — cheap artefacts patched in
+           place, the spectral solve refreshed per ``spectral_refresh``;
+        4. the cache drops **only** entries incident to the delta's
+           ``invalidation_hops``-neighborhood (union of pre- and post-delta
+           adjacency); everything else keeps serving;
+        5. the sketch is rebuilt or marked stale per ``sketch_refresh``.
+
+        Returns an :class:`UpdateReport`; subsequent queries return exactly
+        what a cold service on the post-delta graph would (delta ≡ rebuild).
+        """
+        timer = Timer()
+        with timer:
+            self.flush()
+            old_graph = self.graph
+            # The context validates (and only then mutates) first; the store
+            # commits after, so a rejected delta — disconnecting removal,
+            # conflicting insert — leaves no trace in the epoch, the delta
+            # log or the lineage.  Sharing the context's lineage beforehand
+            # means the base graph is hashed at most once between the two.
+            context = self.engine.context
+            if context.known_lineage is None:
+                context.adopt_lineage(self.store.lineage)
+            new_graph = delta.apply_to(old_graph)
+            epoch = self.engine.apply_update(
+                delta, refresh=self.config.spectral_refresh, graph=new_graph
+            )
+            self.store.apply(delta, graph=new_graph)
+            touched = delta.touched_nodes
+            dropped = 0
+            if self.cache is not None and len(touched):
+                # Resistances move most where the delta lands; spread the
+                # eviction over both the old and new adjacency (removed edges
+                # only exist in the former, inserted ones only in the latter).
+                hops = self.config.invalidation_hops
+                region = np.union1d(
+                    expand_neighborhood(old_graph, touched, hops),
+                    expand_neighborhood(new_graph, touched, hops),
+                )
+                dropped = self.cache.invalidate_nodes(region)
+            sketch_action = "none"
+            if self.sketch is not None:
+                self._updates_since_sketch += 1
+                if self.config.sketch_refresh == "eager":
+                    self._refresh_sketch()
+                    sketch_action = "rebuilt"
+                else:
+                    self.sketch.mark_stale()
+                    sketch_action = "marked-stale"
+            self.stats.updates += 1
+            self.stats.invalidated_cache_entries += dropped
+        return UpdateReport(
+            epoch=epoch,
+            changes=delta.num_changes,
+            touched_nodes=len(touched),
+            invalidated_cache_entries=dropped,
+            surviving_cache_entries=len(self.cache) if self.cache is not None else 0,
+            sketch_action=sketch_action,
+            elapsed_seconds=timer.elapsed,
+        )
+
+    @property
+    def epoch(self) -> int:
+        """The graph epoch this service currently serves."""
+        return self.engine.epoch
 
     # ------------------------------------------------------------------ #
     # queries
@@ -361,12 +560,21 @@ class ResistanceService:
     # persistence
     # ------------------------------------------------------------------ #
     def save_artifacts(self, directory=None):
-        """Persist preprocessing (λ, spectral info, sketch) for warm restarts."""
+        """Persist preprocessing (λ, spectral info, sketch, delta log) for warm restarts.
+
+        The delta log and lineage recorded from :attr:`store` are what allow a
+        later process holding only the base graph to replay to this epoch and
+        still skip the cold solve (see :mod:`repro.service.artifacts`).
+        A sketch currently marked stale is refreshed first — stale landmark
+        resistances must never be persisted as valid.
+        """
         target = directory if directory is not None else self.artifact_dir
         if target is None:
             raise ValueError("no artifact directory given (argument or artifact_dir)")
+        if self.sketch is not None and self.sketch.stale:
+            self._refresh_sketch()
         return artifacts_io.save_artifacts(
-            self.engine.context, target, sketch=self.sketch
+            self.engine.context, target, sketch=self.sketch, store=self.store
         )
 
     # ------------------------------------------------------------------ #
@@ -401,4 +609,4 @@ class ResistanceService:
         )
 
 
-__all__ = ["ServiceConfig", "ServiceStats", "ResistanceService"]
+__all__ = ["ServiceConfig", "ServiceStats", "UpdateReport", "ResistanceService"]

@@ -128,6 +128,7 @@ class LandmarkSketchStore:
         self.resistances = resistances
         self.strategy = strategy
         self.stats = SketchStats()
+        self.stale = False
         self._landmark_index = {int(l): i for i, l in enumerate(landmarks)}
 
     # ------------------------------------------------------------------ #
@@ -250,9 +251,26 @@ class LandmarkSketchStore:
             lower = upper = 0.5 * (lower + upper)
         return SketchAnswer(lower, upper)
 
+    def mark_stale(self) -> None:
+        """Flag the sketch as built for an older graph epoch.
+
+        A stale sketch refuses to answer (``query`` returns None) until the
+        owner rebuilds it — its landmark resistances were exact for a graph
+        that no longer exists, so serving them would silently break the
+        ε guarantee.  The refresh policy (eager / on-next-read / budgeted)
+        lives in :class:`~repro.service.server.ResistanceService`, which owns
+        the rebuild.
+        """
+        self.stale = True
+
     def query(self, s: int, t: int, epsilon: float) -> Optional[SketchAnswer]:
-        """Return the envelope iff its midpoint is a valid ε-answer, else None."""
+        """Return the envelope iff its midpoint is a valid ε-answer, else None.
+
+        A sketch marked stale (see :meth:`mark_stale`) never answers.
+        """
         epsilon = check_positive(epsilon, "epsilon")
+        if self.stale:
+            return None
         answer = self.bounds(s, t)
         self.stats.lookups += 1
         if not answer.answers(epsilon):

@@ -1,0 +1,294 @@
+"""Tests for repro.graph.delta: EdgeDelta batches and the GraphStore."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphStructureError
+from repro.graph import (
+    EdgeDelta,
+    Graph,
+    GraphStore,
+    barabasi_albert_graph,
+    expand_neighborhood,
+    from_edges,
+    graph_fingerprint,
+    with_random_weights,
+)
+from tests.strategies import connected_graphs
+
+
+def _edge_map(graph):
+    return {
+        (int(u), int(v)): float(w)
+        for (u, v), w in zip(graph.edge_array(), graph.edge_weight_array())
+    }
+
+
+def _cold_rebuild(graph, delta):
+    """The post-delta graph built the slow, obviously-correct way."""
+    current = _edge_map(graph)
+    for u, v in delta.removals:
+        del current[(u, v)]
+    for u, v, w in delta.reweights:
+        current[(u, v)] = w
+    for u, v, w in delta.inserts:
+        current[(u, v)] = 1.0 if w is None else w
+    ordered = sorted(current)
+    return from_edges(
+        ordered,
+        num_nodes=graph.num_nodes,
+        weights=[current[e] for e in ordered] if graph.is_weighted else None,
+    )
+
+
+@st.composite
+def graph_and_delta(draw, weighted=None):
+    """A connected graph plus a structurally valid random delta."""
+    graph = draw(connected_graphs(min_nodes=5, max_nodes=25, weighted=weighted))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    edges = [tuple(map(int, e)) for e in graph.edge_array()]
+    existing = set(edges)
+
+    num_removals = draw(st.integers(0, min(2, len(edges))))
+    removal_ids = rng.choice(len(edges), size=num_removals, replace=False)
+    removals = [edges[i] for i in removal_ids]
+
+    inserts = []
+    attempts = 0
+    want = draw(st.integers(0, 3))
+    while len(inserts) < want and attempts < 50:
+        attempts += 1
+        u, v = map(int, rng.integers(0, n, size=2))
+        key = (min(u, v), max(u, v))
+        if u == v or key in existing or key in {i[:2] for i in inserts}:
+            continue
+        if graph.is_weighted and draw(st.booleans()):
+            inserts.append(key + (float(rng.uniform(0.5, 2.5)),))
+        else:
+            inserts.append(key)
+
+    reweights = []
+    if graph.is_weighted:
+        candidates = [e for e in edges if e not in removals]
+        want_rw = draw(st.integers(0, min(2, len(candidates))))
+        for i in rng.choice(len(candidates), size=want_rw, replace=False):
+            reweights.append(candidates[i] + (float(rng.uniform(0.5, 2.5)),))
+
+    return graph, EdgeDelta(inserts=inserts, removals=removals, reweights=reweights)
+
+
+class TestCanonicalisation:
+    def test_ops_are_canonicalised(self):
+        delta = EdgeDelta(inserts=[(5, 2), (1, 3)], removals=[(9, 4)])
+        assert delta.inserts == ((1, 3, None), (2, 5, None))
+        assert delta.removals == ((4, 9),)
+
+    def test_duplicates_collapse(self):
+        delta = EdgeDelta(inserts=[(1, 2), (2, 1)])
+        assert delta.num_changes == 1
+
+    def test_conflicting_duplicate_insert_raises(self):
+        with pytest.raises(GraphStructureError):
+            EdgeDelta(inserts=[(1, 2, 1.0), (2, 1, 2.0)])
+
+    def test_overlapping_ops_raise(self):
+        with pytest.raises(GraphStructureError, match="at most one operation"):
+            EdgeDelta(inserts=[(1, 2)], removals=[(2, 1)])
+        with pytest.raises(GraphStructureError, match="at most one operation"):
+            EdgeDelta(removals=[(1, 2)], reweights=[(1, 2, 2.0)])
+
+    def test_self_loop_raises(self):
+        with pytest.raises(GraphStructureError):
+            EdgeDelta(inserts=[(3, 3)])
+
+    def test_bad_weight_raises(self):
+        with pytest.raises(GraphStructureError):
+            EdgeDelta(reweights=[(0, 1, -2.0)])
+        with pytest.raises(GraphStructureError):
+            EdgeDelta(inserts=[(0, 1, float("nan"))])
+
+    def test_touched_nodes(self):
+        delta = EdgeDelta(
+            inserts=[(7, 2)], removals=[(4, 1)], reweights=[(2, 9, 1.5)]
+        )
+        assert list(delta.touched_nodes) == [1, 2, 4, 7, 9]
+
+    def test_empty_delta_is_falsy(self):
+        assert not EdgeDelta()
+        assert EdgeDelta(inserts=[(0, 1)])
+
+
+class TestApplyTo:
+    def test_insert_remove_unweighted(self):
+        graph = barabasi_albert_graph(30, 2, rng=1)
+        edge = tuple(map(int, graph.edge_array()[5]))
+        non_edge = next(
+            (u, v)
+            for u in range(30)
+            for v in range(u + 1, 30)
+            if not graph.has_edge(u, v)
+        )
+        delta = EdgeDelta(inserts=[non_edge], removals=[edge])
+        patched = delta.apply_to(graph)
+        assert patched.has_edge(*non_edge)
+        assert not patched.has_edge(*edge)
+        assert patched.num_edges == graph.num_edges
+
+    def test_bit_identical_to_cold_from_edges(self):
+        graph = with_random_weights(barabasi_albert_graph(60, 3, rng=2), rng=3)
+        edges = [tuple(map(int, e)) for e in graph.edge_array()]
+        delta = EdgeDelta(
+            inserts=[(50, 59, 2.0)],
+            removals=[edges[4]],
+            reweights=[edges[10] + (0.25,)],
+        )
+        patched = delta.apply_to(graph)
+        cold = _cold_rebuild(graph, delta)
+        assert np.array_equal(patched.indptr, cold.indptr)
+        assert np.array_equal(patched.indices, cold.indices)
+        assert np.array_equal(patched.weights, cold.weights)
+
+    def test_empty_delta_returns_graph(self):
+        graph = barabasi_albert_graph(10, 2, rng=1)
+        assert EdgeDelta().apply_to(graph) is graph
+
+    def test_insert_existing_edge_raises(self):
+        graph = barabasi_albert_graph(10, 2, rng=1)
+        edge = tuple(map(int, graph.edge_array()[0]))
+        with pytest.raises(GraphStructureError, match="existing edge"):
+            EdgeDelta(inserts=[edge]).apply_to(graph)
+
+    def test_remove_missing_edge_raises(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(GraphStructureError, match="non-existent"):
+            EdgeDelta(removals=[(0, 2)]).apply_to(graph)
+
+    def test_reweight_missing_edge_raises(self):
+        graph = from_edges([(0, 1, 1.0), (1, 2, 2.0)])
+        with pytest.raises(GraphStructureError, match="non-existent"):
+            EdgeDelta(reweights=[(0, 2, 1.0)]).apply_to(graph)
+
+    def test_weight_ops_on_unweighted_graph_raise(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(GraphStructureError, match="unweighted"):
+            EdgeDelta(reweights=[(0, 1, 2.0)]).apply_to(graph)
+        with pytest.raises(GraphStructureError, match="unweighted"):
+            EdgeDelta(inserts=[(0, 2, 2.0)]).apply_to(graph)
+
+    def test_out_of_range_node_raises(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ValueError, match="out of range"):
+            EdgeDelta(inserts=[(0, 99)]).apply_to(graph)
+
+    def test_plain_insert_on_weighted_graph_gets_unit_weight(self):
+        graph = from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        patched = EdgeDelta(inserts=[(0, 2)]).apply_to(graph)
+        assert patched.edge_weight(0, 2) == 1.0
+
+    def test_non_canonical_csr_falls_back_to_rebuild(self):
+        # Rows with unsorted columns: the splice fast path must not apply.
+        indptr = np.array([0, 2, 3, 5, 6])
+        indices = np.array([2, 1, 0, 3, 0, 2])  # row 0 is (2, 1): unsorted
+        weights = np.array([2.0, 1.0, 1.0, 3.0, 2.0, 3.0])
+        graph = Graph(indptr, indices, weights)
+        delta = EdgeDelta(inserts=[(1, 3)])
+        patched = delta.apply_to(graph)
+        assert patched.has_edge(1, 3)
+        assert patched.edge_weight(0, 2) == 2.0
+        # the rebuild canonicalises the layout
+        assert EdgeDelta._rows_sorted(patched.indptr, patched.indices)
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=graph_and_delta(weighted=None))
+    def test_apply_matches_cold_rebuild_bitwise(self, case):
+        graph, delta = case
+        patched = delta.apply_to(graph)
+        cold = _cold_rebuild(graph, delta)
+        assert np.array_equal(patched.indptr, cold.indptr)
+        assert np.array_equal(patched.indices, cold.indices)
+        if graph.is_weighted:
+            assert np.array_equal(patched.weights, cold.weights)
+        else:
+            assert patched.weights is None
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        delta = EdgeDelta(
+            inserts=[(0, 1), (2, 3, 1.25)], removals=[(4, 5)], reweights=[(6, 7, 0.5)]
+        )
+        assert EdgeDelta.from_json(delta.to_json()) == delta
+
+    def test_fingerprint_distinguishes_ops(self):
+        a = EdgeDelta(inserts=[(0, 1)])
+        b = EdgeDelta(removals=[(0, 1)])
+        c = EdgeDelta(inserts=[(0, 1, 1.0)])
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_chain_is_order_sensitive(self):
+        a = EdgeDelta(inserts=[(0, 1)])
+        b = EdgeDelta(removals=[(2, 3)])
+        root = "seed"
+        assert a.chain(b.chain(root)) != b.chain(a.chain(root))
+
+
+class TestExpandNeighborhood:
+    def test_zero_hops_is_identity(self):
+        graph = barabasi_albert_graph(20, 2, rng=1)
+        assert list(expand_neighborhood(graph, [3, 7], 0)) == [3, 7]
+
+    def test_one_hop_adds_neighbors(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        region = set(expand_neighborhood(graph, [0], 1))
+        assert region == {0, 1, 3}
+
+    def test_hops_saturate(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        region = set(expand_neighborhood(graph, [0], 10))
+        assert region == {0, 1, 2, 3}
+
+    def test_out_of_range_raises(self):
+        graph = from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            expand_neighborhood(graph, [5], 1)
+
+
+class TestGraphStore:
+    def test_epochs_and_log(self):
+        graph = barabasi_albert_graph(25, 2, rng=1)
+        store = GraphStore(graph)
+        assert store.epoch == 0
+        assert store.lineage == graph_fingerprint(graph)
+        edge = tuple(map(int, graph.edge_array()[3]))
+        delta = EdgeDelta(removals=[edge])
+        new_graph = store.apply(delta)
+        assert store.epoch == 1
+        assert store.graph is new_graph
+        assert store.delta_log == (delta,)
+        assert store.lineage == delta.chain(graph_fingerprint(graph))
+
+    def test_history_window(self):
+        graph = barabasi_albert_graph(25, 2, rng=1)
+        store = GraphStore(graph, keep_history=1)
+        edges = [tuple(map(int, e)) for e in graph.edge_array()]
+        store.apply(EdgeDelta(removals=[edges[0]]))
+        assert store.graph_at(0) is graph
+        store.apply(EdgeDelta(removals=[edges[1]]))
+        assert store.graph_at(1) is not None
+        with pytest.raises(KeyError):
+            store.graph_at(0)  # evicted: history window is 1
+
+    def test_replay_reproduces_lineage_and_graph(self):
+        graph = with_random_weights(barabasi_albert_graph(30, 2, rng=2), rng=7)
+        store = GraphStore(graph)
+        edges = [tuple(map(int, e)) for e in graph.edge_array()]
+        store.apply(EdgeDelta(removals=[edges[0]]))
+        store.apply(EdgeDelta(inserts=[edges[0] + (2.0,)]))
+        replayed = GraphStore.replay(graph, store.delta_log)
+        assert replayed.lineage == store.lineage
+        assert replayed.graph == store.graph
+        assert graph_fingerprint(replayed.graph) == graph_fingerprint(store.graph)

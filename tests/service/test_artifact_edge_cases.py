@@ -1,0 +1,168 @@
+"""Artifact round-trips on edge-case graphs and stale-lineage handling.
+
+Three corners the happy-path suite does not reach: weighted graphs with
+isolated nodes, the single-edge graph, and in-place deltas that leave the
+on-disk artifacts behind (which must refuse to load without a matching
+lineage / delta log).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import QueryContext
+from repro.graph import (
+    EdgeDelta,
+    Graph,
+    GraphStore,
+    barabasi_albert_graph,
+    from_edges,
+    graph_fingerprint,
+)
+from repro.linalg.eigen import SpectralInfo
+from repro.service.artifacts import (
+    DELTA_LOG_NAME,
+    ArtifactError,
+    StaleArtifactError,
+    load_bundle,
+    load_context,
+    load_delta_log,
+    load_manifest,
+    save_artifacts,
+)
+
+FAKE_SPECTRAL = SpectralInfo(lambda_2=0.5, lambda_n=-0.25)
+
+
+def _context(graph):
+    """An unvalidated context with injected spectral info (no solve needed)."""
+    return QueryContext(graph, spectral_info=FAKE_SPECTRAL, validate=False)
+
+
+class TestEdgeCaseGraphs:
+    def test_weighted_graph_with_isolated_nodes_round_trips(self, tmp_path):
+        # nodes 3 and 4 are isolated: representable as a Graph, not walkable
+        graph = from_edges(
+            [(0, 1, 2.0), (1, 2, 0.5)], num_nodes=5
+        )
+        assert graph.is_weighted and np.any(graph.degrees == 0)
+        save_artifacts(_context(graph), tmp_path)
+        restored = load_context(graph, tmp_path, validate=False)
+        assert restored.spectral_info == FAKE_SPECTRAL
+        assert restored.graph is graph
+        assert restored.epoch == 0
+
+    def test_isolated_node_membership_changes_fingerprint(self, tmp_path):
+        with_isolated = from_edges([(0, 1, 2.0)], num_nodes=3)
+        without = from_edges([(0, 1, 2.0)], num_nodes=2)
+        save_artifacts(_context(with_isolated), tmp_path)
+        with pytest.raises(StaleArtifactError):
+            load_context(without, tmp_path, validate=False)
+
+    def test_single_edge_graph_round_trips(self, tmp_path):
+        graph = from_edges([(0, 1, 3.5)])
+        assert graph.num_edges == 1
+        save_artifacts(_context(graph), tmp_path)
+        restored = load_context(graph, tmp_path, validate=False)
+        assert restored.spectral_info == FAKE_SPECTRAL
+        manifest = load_manifest(tmp_path)
+        assert manifest["num_edges"] == 1
+        assert manifest["fingerprint"] == graph_fingerprint(graph)
+
+    def test_single_edge_weight_change_is_stale(self, tmp_path):
+        graph = from_edges([(0, 1, 3.5)])
+        save_artifacts(_context(graph), tmp_path)
+        reweighted = from_edges([(0, 1, 3.0)])
+        with pytest.raises(StaleArtifactError):
+            load_context(reweighted, tmp_path, validate=False)
+
+
+class TestStaleLineage:
+    @pytest.fixture()
+    def graph(self):
+        return barabasi_albert_graph(60, 3, rng=8)
+
+    @pytest.fixture()
+    def delta(self, graph):
+        return EdgeDelta(removals=[tuple(map(int, graph.edge_array()[4]))])
+
+    def test_in_place_delta_without_log_refuses_to_load(self, tmp_path, graph, delta):
+        save_artifacts(QueryContext(graph), tmp_path)
+        moved_on = delta.apply_to(graph)
+        with pytest.raises(StaleArtifactError):
+            load_bundle(moved_on, tmp_path)
+
+    def test_unrelated_graph_refuses_even_with_log(self, tmp_path, graph, delta):
+        store = GraphStore(graph)
+        context = QueryContext(graph)
+        context.apply_delta(delta, graph=store.apply(delta))
+        save_artifacts(context, tmp_path, store=store)
+        unrelated = barabasi_albert_graph(60, 3, rng=99)
+        with pytest.raises(StaleArtifactError):
+            load_bundle(unrelated, tmp_path)
+
+    def test_base_graph_with_log_replays_to_saved_epoch(self, tmp_path, graph, delta):
+        store = GraphStore(graph)
+        context = QueryContext(graph)
+        context.apply_delta(delta, graph=store.apply(delta))
+        save_artifacts(context, tmp_path, store=store)
+        assert load_delta_log(tmp_path) == [delta]
+        restored, _sketch = load_bundle(graph, tmp_path)
+        assert restored.epoch == 1
+        assert restored.lineage == store.lineage
+        assert restored.graph == delta.apply_to(graph)
+        # replay disabled: the base graph no longer matches
+        with pytest.raises(StaleArtifactError):
+            load_bundle(graph, tmp_path, replay_deltas=False)
+
+    def test_tampered_log_refuses_to_load(self, tmp_path, graph, delta):
+        store = GraphStore(graph)
+        context = QueryContext(graph)
+        context.apply_delta(delta, graph=store.apply(delta))
+        save_artifacts(context, tmp_path, store=store)
+        # replace the log with a different (valid-json) delta
+        other = EdgeDelta(removals=[tuple(map(int, graph.edge_array()[9]))])
+        (tmp_path / DELTA_LOG_NAME).write_text(other.to_json() + "\n")
+        with pytest.raises(StaleArtifactError, match="did not reach"):
+            load_bundle(graph, tmp_path)
+
+    def test_corrupt_log_is_an_artifact_error(self, tmp_path, graph, delta):
+        store = GraphStore(graph)
+        context = QueryContext(graph)
+        context.apply_delta(delta, graph=store.apply(delta))
+        save_artifacts(context, tmp_path, store=store)
+        (tmp_path / DELTA_LOG_NAME).write_text("{not json\n")
+        with pytest.raises(ArtifactError, match="corrupt delta log"):
+            load_bundle(graph, tmp_path)
+
+    def test_manifest_records_epoch_and_lineage(self, tmp_path, graph, delta):
+        store = GraphStore(graph)
+        context = QueryContext(graph)
+        context.apply_delta(delta, graph=store.apply(delta))
+        save_artifacts(context, tmp_path, store=store)
+        manifest = load_manifest(tmp_path)
+        assert manifest["epoch"] == 1
+        assert manifest["lineage"] == store.lineage
+        assert manifest["base_fingerprint"] == graph_fingerprint(graph)
+        assert manifest["num_deltas"] == 1
+
+    @pytest.mark.parametrize(
+        "bad_line",
+        [
+            pytest.param('{"inserts":[[3,3]]}', id="self-loop"),
+            pytest.param('{"removals":[[0,59]]}', id="missing-edge"),
+            pytest.param('{"inserts":[[0,5999]]}', id="out-of-range-node"),
+            pytest.param('{"inserts":[[0,1,-2.0]]}', id="negative-weight"),
+        ],
+    )
+    def test_invalid_log_contents_surface_as_artifact_errors(
+        self, tmp_path, graph, delta, bad_line
+    ):
+        """Bad log payloads must refuse as ArtifactError, never leak raw
+        GraphStructureError/ValueError past the artifact boundary."""
+        store = GraphStore(graph)
+        context = QueryContext(graph)
+        context.apply_delta(delta, graph=store.apply(delta))
+        save_artifacts(context, tmp_path, store=store)
+        (tmp_path / DELTA_LOG_NAME).write_text(bad_line + "\n")
+        with pytest.raises(ArtifactError):
+            load_bundle(graph, tmp_path)

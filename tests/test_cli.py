@@ -325,3 +325,155 @@ class TestSweepCommand:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "geer" in output and "smm" in output
+
+
+class TestDescribeGraphHelper:
+    """The shared loader/summary helper behind query / warm / serve / update."""
+
+    def test_describe_unweighted(self):
+        from repro.cli import describe_graph
+        from repro.graph import barabasi_albert_graph
+
+        graph = barabasi_albert_graph(50, 2, rng=1)
+        line = describe_graph(graph, "ba-50")
+        assert line.startswith("graph ba-50: n=50, m=")
+        assert "weighted" not in line
+
+    def test_describe_weighted(self):
+        from repro.cli import describe_graph
+        from repro.graph import barabasi_albert_graph, with_random_weights
+
+        graph = with_random_weights(barabasi_albert_graph(50, 2, rng=1), rng=2)
+        line = describe_graph(graph, "ba-50w")
+        assert f"weighted (W={graph.total_weight:.2f})" in line
+
+    def test_load_graph_announce_prints_once(self, edge_list_file, capsys):
+        import argparse
+
+        from repro.cli import _load_graph, describe_graph
+
+        args = argparse.Namespace(dataset=None, edge_list=edge_list_file)
+        graph, label = _load_graph(args, announce=True)
+        out = capsys.readouterr().out
+        assert out.strip() == describe_graph(graph, label)
+        _load_graph(args)  # announce defaults off: silent
+        assert capsys.readouterr().out == ""
+
+    def test_every_graph_subcommand_prints_the_shared_banner(self, tmp_path, capsys):
+        artifacts = tmp_path / "art"
+        for argv in (
+            ["query", "--dataset", "facebook-tiny", "--method", "smm", "0,1"],
+            ["warm", "--dataset", "facebook-tiny", "--artifacts", str(artifacts)],
+            ["serve", "--dataset", "facebook-tiny", "--artifacts", str(artifacts), "0,1"],
+        ):
+            assert main(argv) == 0
+            assert "graph facebook-tiny: n=" in capsys.readouterr().out
+
+
+class TestParseDeltaFile:
+    def test_parses_all_op_kinds(self):
+        from repro.cli import parse_delta_file
+
+        delta = parse_delta_file(
+            """
+            # comment line
+            add 1 2
+            add 3 4 2.5
+            remove 5 6
+            reweight 7 8 0.5   # trailing comment
+            """
+        )
+        assert delta.inserts == ((1, 2, None), (3, 4, 2.5))
+        assert delta.removals == ((5, 6),)
+        assert delta.reweights == ((7, 8, 0.5),)
+
+    def test_rejects_malformed_lines(self):
+        from repro.cli import parse_delta_file
+
+        with pytest.raises(SystemExit, match="line 1"):
+            parse_delta_file("frobnicate 1 2")
+        with pytest.raises(SystemExit, match="line 1"):
+            parse_delta_file("add 1")
+
+
+class TestUpdateCommand:
+    def test_update_warm_artifacts(self, tmp_path, capsys):
+        artifacts = tmp_path / "art"
+        assert main(
+            ["warm", "--dataset", "facebook-tiny", "--artifacts", str(artifacts)]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "update",
+                "--dataset",
+                "facebook-tiny",
+                "--artifacts",
+                str(artifacts),
+                "--add",
+                "0,37",
+                "--remove",
+                "0,1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "warm (artifacts) start" in output
+        assert "applied update" in output
+        assert "epoch 1" in output
+        # the delta log was persisted for replay loading
+        from repro.service.artifacts import load_delta_log
+
+        log = load_delta_log(artifacts)
+        assert len(log) == 1
+        assert log[0].inserts == ((0, 37, None),)
+        assert log[0].removals == ((0, 1),)
+        # serving from the BASE graph now replays the log and starts warm
+        assert main(
+            ["serve", "--dataset", "facebook-tiny", "--artifacts", str(artifacts), "2,9"]
+        ) == 0
+        assert "warm (artifacts) start" in capsys.readouterr().out
+
+    def test_update_delta_file(self, tmp_path, capsys):
+        artifacts = tmp_path / "art"
+        delta_file = tmp_path / "ops.txt"
+        delta_file.write_text("add 0 37\nremove 0 1\n")
+        exit_code = main(
+            [
+                "update",
+                "--dataset",
+                "facebook-tiny",
+                "--artifacts",
+                str(artifacts),
+                "--delta-file",
+                str(delta_file),
+            ]
+        )
+        assert exit_code == 0
+        assert "applied update" in capsys.readouterr().out
+
+    def test_update_without_operations_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="edge operation"):
+            main(
+                [
+                    "update",
+                    "--dataset",
+                    "facebook-tiny",
+                    "--artifacts",
+                    str(tmp_path / "art"),
+                ]
+            )
+
+    def test_update_conflicting_delta_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="non-existent"):
+            main(
+                [
+                    "update",
+                    "--dataset",
+                    "facebook-tiny",
+                    "--artifacts",
+                    str(tmp_path / "art"),
+                    "--remove",
+                    "0,37",  # not an edge of facebook-tiny
+                ]
+            )

@@ -1,0 +1,159 @@
+"""The delta ≡ rebuild bit-identity contract (DESIGN.md Contract 4).
+
+For every registered walk method: a context that absorbed an
+:class:`~repro.graph.delta.EdgeDelta` returns **hex-exact** estimates (same
+seed) to a cold context built from the post-delta graph.  Exercised across
+insert / remove / reweight deltas on weighted and unweighted graphs, both as
+a hypothesis property (random graphs and deltas, all methods per example) and
+as fixed per-kind scenarios.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import QueryEngine
+from repro.core.registry import available_methods, resolve_method
+from repro.exceptions import GraphStructureError
+from repro.graph import EdgeDelta, barabasi_albert_graph, with_random_weights
+from repro.graph.properties import require_walkable
+from tests.strategies import walkable_graphs
+
+EPSILON = 0.75  # loose ε keeps every Monte-Carlo budget tiny on small graphs
+
+
+def _walkable(graph) -> bool:
+    try:
+        require_walkable(graph)
+        return True
+    except GraphStructureError:
+        return False
+
+
+@st.composite
+def delta_cases(draw):
+    """A walkable graph, a delta containing the drawn op kind, and a seed."""
+    weighted = draw(st.booleans())
+    graph = draw(walkable_graphs(min_nodes=8, max_nodes=18, weighted=weighted))
+    kind = draw(st.sampled_from(["insert", "remove", "reweight", "mixed"]))
+    if kind == "reweight" and not weighted:
+        kind = "remove"
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    n = graph.num_nodes
+    edges = [tuple(map(int, e)) for e in graph.edge_array()]
+    existing = set(edges)
+
+    def draw_inserts(count):
+        found, attempts = [], 0
+        while len(found) < count and attempts < 60:
+            attempts += 1
+            u, v = map(int, rng.integers(0, n, size=2))
+            key = (min(u, v), max(u, v))
+            if u == v or key in existing or key in {f[:2] for f in found}:
+                continue
+            found.append(key + (1.5,) if weighted else key)
+        return found
+
+    def draw_removals(count, forbidden=()):
+        pool = [e for e in edges if e not in forbidden]
+        ids = rng.choice(len(pool), size=min(count, len(pool)), replace=False)
+        return [pool[i] for i in ids]
+
+    inserts, removals, reweights = [], [], []
+    if kind in ("insert", "mixed"):
+        inserts = draw_inserts(2 if kind == "insert" else 1)
+        assume(inserts)
+    if kind in ("remove", "mixed"):
+        removals = draw_removals(1)
+    if kind == "reweight" or (kind == "mixed" and weighted):
+        reweights = [
+            e + (float(rng.uniform(0.5, 2.5)),) for e in draw_removals(1, removals)
+        ]
+    delta = EdgeDelta(inserts=inserts, removals=removals, reweights=reweights)
+    assume(delta)
+    assume(_walkable(delta.apply_to(graph)))
+    return graph, delta, seed
+
+
+def _assert_all_methods_match(graph, delta, seed):
+    post_graph = delta.apply_to(graph)
+    warm = QueryEngine(graph, rng=seed)
+    # warm the artifacts the delta will have to patch
+    warm.lambda_max_abs
+    warm.context.engine
+    warm.context.transition
+    warm.context.degrees_float
+    warm.apply_update(delta)
+    cold = QueryEngine(post_graph, rng=seed)
+
+    pair_rng = np.random.default_rng(seed)
+    n = post_graph.num_nodes
+    s, t = 0, n - 1
+    if s == t:  # pragma: no cover - graphs always have >= 2 nodes
+        t = 1
+    edge_pair = tuple(map(int, post_graph.edge_array()[0]))
+    for name in available_methods():
+        spec = resolve_method(name)
+        qs, qt = edge_pair if spec.kind == "edge" else (s, t)
+        a = warm.query(qs, qt, EPSILON, method=name)
+        b = cold.query(qs, qt, EPSILON, method=name)
+        assert float(a.value).hex() == float(b.value).hex(), (
+            f"method {name}: warm-updated {a.value!r} != cold rebuild {b.value!r}"
+        )
+
+
+@settings(max_examples=8, deadline=None)
+@given(case=delta_cases())
+def test_delta_equals_rebuild_property(case):
+    graph, delta, seed = case
+    _assert_all_methods_match(graph, delta, seed)
+
+
+@pytest.mark.parametrize("weighted", [False, True], ids=["unweighted", "weighted"])
+@pytest.mark.parametrize("kind", ["insert", "remove", "reweight"])
+def test_delta_equals_rebuild_fixed(kind, weighted):
+    if kind == "reweight" and not weighted:
+        pytest.skip("reweights require a weighted graph")
+    graph = barabasi_albert_graph(40, 3, rng=9)
+    if weighted:
+        graph = with_random_weights(graph, rng=10)
+    edges = [tuple(map(int, e)) for e in graph.edge_array()]
+    if kind == "insert":
+        non_edge = next(
+            (u, v)
+            for u in range(graph.num_nodes)
+            for v in range(u + 1, graph.num_nodes)
+            if not graph.has_edge(u, v)
+        )
+        delta = EdgeDelta(inserts=[non_edge + (2.0,) if weighted else non_edge])
+    elif kind == "remove":
+        delta = EdgeDelta(removals=[edges[7]])
+    else:
+        delta = EdgeDelta(reweights=[edges[7] + (0.3,)])
+    _assert_all_methods_match(graph, delta, seed=123)
+
+
+def test_successive_deltas_equal_rebuild():
+    """Absorbing several deltas in sequence still matches one cold rebuild."""
+    graph = with_random_weights(barabasi_albert_graph(40, 3, rng=4), rng=5)
+    edges = [tuple(map(int, e)) for e in graph.edge_array()]
+    deltas = [
+        EdgeDelta(removals=[edges[3]]),
+        EdgeDelta(inserts=[edges[3] + (1.25,)]),
+        EdgeDelta(reweights=[edges[9] + (2.0,)]),
+    ]
+    warm = QueryEngine(graph, rng=77)
+    warm.lambda_max_abs
+    warm.context.engine
+    current = graph
+    for delta in deltas:
+        warm.apply_update(delta)
+        current = delta.apply_to(current)
+    assert warm.epoch == len(deltas)
+    cold = QueryEngine(current, rng=77)
+    for name in ("geer", "amc", "smm", "mc", "tp"):
+        a = warm.query(1, 30, EPSILON, method=name)
+        b = cold.query(1, 30, EPSILON, method=name)
+        assert float(a.value).hex() == float(b.value).hex(), name
