@@ -25,7 +25,11 @@ Python:
 
 ``repro-er serve``
     Replay a request stream through :class:`repro.ResistanceService`
-    (cache → sketch → engine) and print per-layer serving statistics.
+    (cache → sketch → engine) and print per-layer serving statistics — or,
+    with ``--port``, expose the service over HTTP/JSON
+    (:mod:`repro.net.server`), optionally backed by a shared-memory worker
+    pool (``--net-workers``).  ``repro-er query --url`` is the matching
+    client.
 
 ``repro-er update``
     Apply an edge delta (inserts / removals / reweights) to a served graph:
@@ -140,11 +144,51 @@ def _parse_pairs(pair_texts: Sequence[str]) -> list[tuple[int, int]]:
     return pairs
 
 
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """Client mode: send the pairs to a running ``repro-er serve --port`` server."""
+    from repro.net.client import ClientError, ResistanceClient
+
+    if args.exact:
+        raise SystemExit(
+            "--exact is unavailable with --url (the server does not expose "
+            "ground truth); run without --url against a local graph instead"
+        )
+    pairs = _parse_pairs(args.pairs)
+    client = ResistanceClient(args.url)
+    try:
+        response = client.query_batch(pairs, args.epsilon, method=args.method)
+    except ClientError as exc:
+        raise SystemExit(str(exc)) from exc
+    rows = []
+    for answer in response["results"]:
+        rows.append(
+            {
+                "s": answer["s"],
+                "t": answer["t"],
+                "epsilon": answer["epsilon"],
+                "estimate": answer["value"],
+                "source": answer.get("source", "engine"),
+                "partial": answer.get("partial", False),
+                "time (ms)": answer.get("elapsed_seconds", 0.0) * 1000.0,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"remote effective resistance queries "
+            f"(epoch {response['epoch']}, {args.url})",
+        )
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.method == "list":
         return _cmd_methods(args)
     if not args.pairs:
         raise SystemExit("provide at least one S,T query pair")
+    if args.url:
+        return _cmd_query_remote(args)
     graph, label = _load_graph(args, announce=True)
     engine = QueryEngine(graph, rng=args.seed)
     pairs = _parse_pairs(args.pairs)
@@ -219,7 +263,64 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_network(args: argparse.Namespace) -> int:
+    """Network mode: expose the service over HTTP until interrupted."""
+    import asyncio
+    import signal
+
+    from repro.net.server import NetServer, NetServerConfig
+
+    graph, label = _load_graph(args, announce=True)
+    config = ServiceConfig(
+        method=args.method,
+        use_cache=not args.no_cache,
+        use_sketch=not args.no_sketch,
+        num_landmarks=args.landmarks,
+        workers=args.workers,
+    )
+    try:
+        service = ResistanceService(
+            graph, config=config, rng=args.seed, artifact_dir=args.artifacts
+        )
+    except ArtifactError as exc:
+        raise SystemExit(str(exc)) from exc
+    net_config = NetServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.net_workers,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.deadline_ms,
+    )
+    server = NetServer(service, net_config)
+
+    async def run() -> None:
+        await server.start()
+        shm_state = "on" if server.shared_memory_active else "off"
+        print(
+            f"serving {label} at {server.url} "
+            f"(pool workers={net_config.workers}, shared memory {shm_state}); "
+            "Ctrl-C to drain and exit",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                signal.signal(signum, lambda *_: stop.set())
+        await stop.wait()
+        print("draining in-flight requests ...", flush=True)
+        await server.stop()
+
+    asyncio.run(run())
+    _print_layer_summaries(service.summary())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return _cmd_serve_network(args)
     if not args.pairs:
         raise SystemExit("provide at least one S,T request pair")
     graph, label = _load_graph(args, announce=True)
@@ -448,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also compute the exact value via a Laplacian solve and report the error",
     )
+    query_parser.add_argument(
+        "--url",
+        help="query a running 'repro-er serve --port' server at this base URL "
+        "instead of loading a graph locally (graph options are ignored)",
+    )
     query_parser.set_defaults(func=_cmd_query)
 
     sweep_parser = subparsers.add_parser(
@@ -549,6 +655,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--no-sketch", action="store_true", help="disable the landmark sketch"
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for network mode (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        help="serve over HTTP on this port instead of replaying pairs "
+        "(0 picks a free port); Ctrl-C drains and exits",
+    )
+    serve_parser.add_argument(
+        "--net-workers",
+        type=int,
+        default=0,
+        help="shared-memory worker pool size for network mode "
+        "(default: 0 = in-process execution)",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="compute requests admitted concurrently before the server sheds "
+        "load with 429 (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="default per-request deadline; expired requests degrade to the "
+        "sketch envelope with partial=true (default: none)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -436,6 +436,19 @@ class QueryPlan:
             tasks.append((index, s, t, length, seed, kwargs))
         return tasks
 
+    def parallel_tasks(
+        self, kwargs: Optional[dict[str, Any]] = None
+    ) -> list[tuple[int, int, int, Optional[int], Optional[int], dict[str, Any]]]:
+        """The plan's parallel task list, for external executors.
+
+        Same tuples (and the same one session-stream draw for seeded methods)
+        as the built-in ``workers > 1`` path, so an external pool — e.g.
+        :class:`repro.net.pool.SharedWorkerPool` — that runs them with
+        :func:`_task_kwargs` semantics stays bit-identical to
+        ``execute(workers=N)`` for every N.
+        """
+        return self._parallel_tasks(dict(kwargs or {}))
+
     def _execute_parallel(
         self,
         results: list[Optional[EstimateResult]],
@@ -526,17 +539,30 @@ class QueryPlan:
             wait(pending)
 
     def _process_payload(self) -> dict[str, Any]:
-        """Everything a process-pool worker needs to rebuild the context."""
+        """Everything a process-pool worker needs to rebuild the context.
+
+        When the context's artifacts are published to shared memory (a
+        ``shared_handle`` for this plan's epoch is installed), the payload
+        carries the tiny handle and workers attach zero-copy instead of
+        unpickling the graph — the fix for the 0.71x process-executor
+        regression.  A missing or stale handle (or a host without shared
+        memory) falls back to the original pickled-graph payload.
+        """
         context = self.context
-        return {
-            "graph": context.graph,
+        payload = {
             "delta": context.delta,
             "num_batches": context.num_batches,
-            "lambda_max_abs": context._lambda,
             "budget": context.budget,
             "method": self.spec.name,
             "epsilon": self.epsilon,
         }
+        handle = getattr(context, "shared_handle", None)
+        if handle is not None and handle.epoch == self.epoch:
+            payload["shared_handle"] = handle
+        else:
+            payload["graph"] = context.graph
+            payload["lambda_max_abs"] = context._lambda
+        return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -552,14 +578,30 @@ _WORKER_STATE: dict[str, Any] = {}
 
 
 def _init_process_worker(payload: dict[str, Any]) -> None:
-    context = QueryContext(
-        payload["graph"],
-        delta=payload["delta"],
-        num_batches=payload["num_batches"],
-        lambda_max_abs=payload["lambda_max_abs"],
-        budget=payload["budget"],
-        validate=False,
-    )
+    handle = payload.get("shared_handle")
+    if handle is not None:
+        # Zero-copy path: map the publisher's segments instead of unpickling
+        # the graph.  The attachment object is kept in the worker state so the
+        # mapping outlives this initializer.
+        from repro.net.shm import attach_context
+
+        attached = attach_context(
+            handle,
+            delta=payload["delta"],
+            num_batches=payload["num_batches"],
+            budget=payload["budget"],
+        )
+        _WORKER_STATE["attached"] = attached
+        context = attached.context
+    else:
+        context = QueryContext(
+            payload["graph"],
+            delta=payload["delta"],
+            num_batches=payload["num_batches"],
+            lambda_max_abs=payload["lambda_max_abs"],
+            budget=payload["budget"],
+            validate=False,
+        )
     spec = resolve_method(payload["method"])
     context.prepare_for(spec, payload["epsilon"])
     _WORKER_STATE["context"] = context

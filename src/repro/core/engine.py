@@ -284,6 +284,17 @@ class QueryEngine:
         batch = self.plan(pairs, epsilon, method=method, bucketing=bucketing).execute(
             workers=workers, executor=executor, **kwargs
         )
+        return self.adopt_results(batch)
+
+    def adopt_results(self, batch: BatchResult) -> BatchResult:
+        """Record an externally executed batch into this session.
+
+        External executors — e.g. :class:`repro.net.pool.SharedWorkerPool`
+        running a plan on attached shared-memory contexts — produce results
+        this session never saw.  Adopting them updates the session counters
+        and fires the result hooks (so serving-layer caches stay warm), then
+        returns the batch unchanged.
+        """
         for result in batch:
             self._record(result)
         return batch

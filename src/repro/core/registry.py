@@ -217,6 +217,13 @@ class QueryContext:
         self.epoch = 0
         self._validate = validate
         self._lineage: Optional[str] = None  # lazily the graph fingerprint
+        #: A :class:`repro.net.shm.SharedContextHandle` once this context's
+        #: artifacts have been published to shared memory (see
+        #: :func:`repro.net.shm.install_shared_context`).  When set, the
+        #: process-pool batch executor ships this tiny descriptor to workers
+        #: (attach-by-fingerprint) instead of pickling the graph.  Cleared by
+        #: :meth:`apply_delta` — the publisher must republish per epoch.
+        self.shared_handle: Optional[Any] = None
         self._cells: Dict[str, Any] = {}
         self._lambda_scalar: Optional[float] = lambda_max_abs
         if spectral_info is not None:
@@ -488,6 +495,10 @@ class QueryContext:
             self.graph = new_graph
             self.epoch += 1
             self._lineage = delta.chain(parent_lineage)
+            # Published segments describe the pre-delta graph; drop the handle
+            # so the process executor falls back to pickling until the owner
+            # republishes under the new epoch.
+            self.shared_handle = None
         if refresh == "eager" or (
             refresh == "budgeted"
             and new_graph.num_nodes <= self.budget.spectral_refresh_nodes

@@ -1,0 +1,60 @@
+"""``repro.net``: serving PER queries over a socket, at multi-process scale.
+
+The in-process serving stack (:mod:`repro.service`) answers queries through
+cache → sketch → engine tiers but never leaves the process.  This package
+adds the two pieces a real deployment needs:
+
+* **Zero-copy scale-out** — :mod:`repro.net.shm` publishes a context's
+  preprocessed read-only artifacts (CSR arrays, degrees, the transition
+  matrix, Vose alias tables, sketch landmark vectors) into
+  ``multiprocessing.shared_memory`` segments, and
+  :mod:`repro.net.pool` keeps a persistent worker pool whose processes attach
+  to those segments once and execute :class:`~repro.core.batch.QueryPlan`
+  shards with **no per-task pickling** — bit-identical to in-process
+  execution (DESIGN.md Contract 5).
+* **A network front-end** — :mod:`repro.net.server` is an asyncio HTTP/JSON
+  server (``POST /query``, ``/query_batch``, ``/update``, ``GET /stats``,
+  ``/healthz``) routing through :class:`~repro.service.server.ResistanceService`
+  with per-request deadline budgets, bounded-queue backpressure (429 +
+  ``Retry-After``) and graceful drain; :mod:`repro.net.client` is the small
+  stdlib client the CLI and benchmarks use.
+
+Everything here is stdlib-only on top of the existing stack: no web
+framework, no serialization library, no new dependencies.
+"""
+
+from repro.net.client import ClientError, ResistanceClient
+from repro.net.pool import SharedWorkerPool
+from repro.net.server import NetServer, NetServerConfig
+from repro.net.shm import (
+    AttachedContext,
+    SegmentError,
+    SharedContextHandle,
+    SharedContextRegistry,
+    SharedEpoch,
+    SharedMemoryUnavailable,
+    StaleSegmentError,
+    attach_context,
+    install_shared_context,
+    publish_context,
+    shm_available,
+)
+
+__all__ = [
+    "AttachedContext",
+    "ClientError",
+    "NetServer",
+    "NetServerConfig",
+    "ResistanceClient",
+    "SegmentError",
+    "SharedContextHandle",
+    "SharedContextRegistry",
+    "SharedEpoch",
+    "SharedMemoryUnavailable",
+    "SharedWorkerPool",
+    "StaleSegmentError",
+    "attach_context",
+    "install_shared_context",
+    "publish_context",
+    "shm_available",
+]

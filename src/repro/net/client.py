@@ -1,0 +1,191 @@
+"""A small stdlib HTTP client for :mod:`repro.net.server`.
+
+Used by the CLI (``repro-er query --url``), the benchmarks and the CI smoke
+job.  Deliberately boring: ``urllib.request`` with JSON bodies, one class,
+no connection pooling — the server speaks plain HTTP/1.1 and the client's
+job is to exercise it the way any third-party caller would.
+
+Error mapping mirrors the server's status codes onto the library's exception
+vocabulary: ``409`` (an epoch-pinned request raced an update) raises the
+same :class:`~repro.exceptions.StaleEpochError` the in-process stack uses,
+``429`` raises :class:`BackpressureError` carrying the server's
+``Retry-After`` hint, and everything else raises :class:`ClientError` with
+the decoded error payload attached.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.exceptions import ReproError, StaleEpochError
+
+
+class ClientError(ReproError):
+    """An HTTP request to the resistance server failed."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class BackpressureError(ClientError):
+    """The server shed this request (HTTP 429); retry after ``retry_after`` s."""
+
+    def __init__(self, message: str, *, retry_after: float, payload=None) -> None:
+        super().__init__(message, status=429, payload=payload)
+        self.retry_after = retry_after
+
+
+class ResistanceClient:
+    """Talk to a :class:`~repro.net.server.NetServer` over HTTP/JSON.
+
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``http://127.0.0.1:8571``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, payload: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            message = str(decoded.get("message") or decoded.get("error") or exc.reason)
+            if exc.code == 409:
+                raise StaleEpochError(message) from exc
+            if exc.code == 429:
+                retry_after = float(exc.headers.get("Retry-After") or 1.0)
+                raise BackpressureError(
+                    message, retry_after=retry_after, payload=decoded
+                ) from exc
+            raise ClientError(
+                f"{method} {path} failed with HTTP {exc.code}: {message}",
+                status=exc.code,
+                payload=decoded,
+            ) from exc
+        except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
+            raise ClientError(f"{method} {path} failed: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def query(
+        self,
+        s: int,
+        t: int,
+        epsilon: float,
+        *,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        epoch: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """One ε-approximate PER query; returns the server's JSON answer.
+
+        ``epoch`` pins the request to a graph version: the server answers
+        only if it still serves that epoch (409 → :class:`StaleEpochError`
+        otherwise).  ``deadline_ms`` is the server-side budget — an expired
+        deadline degrades to the sketch envelope with ``partial: true``.
+        """
+        payload: dict[str, Any] = {"s": int(s), "t": int(t), "epsilon": float(epsilon)}
+        if method is not None:
+            payload["method"] = method
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        if epoch is not None:
+            payload["epoch"] = int(epoch)
+        return self._request("POST", "/query", payload)
+
+    def query_batch(
+        self,
+        pairs: Iterable[Sequence[int]],
+        epsilon: float,
+        *,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        epoch: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """A batch of queries; layer hits short-circuit, misses run as one plan."""
+        payload: dict[str, Any] = {
+            "pairs": [[int(s), int(t)] for s, t in pairs],
+            "epsilon": float(epsilon),
+        }
+        if method is not None:
+            payload["method"] = method
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        if epoch is not None:
+            payload["epoch"] = int(epoch)
+        return self._request("POST", "/query_batch", payload)
+
+    def update(
+        self,
+        *,
+        add: Iterable[Sequence[float]] = (),
+        remove: Iterable[Sequence[int]] = (),
+        reweight: Iterable[Sequence[float]] = (),
+    ) -> dict[str, Any]:
+        """Apply an edge delta; the server republishes shared state under the new epoch."""
+        payload = {
+            "add": [list(edge) for edge in add],
+            "remove": [list(edge) for edge in remove],
+            "reweight": [list(edge) for edge in reweight],
+        }
+        return self._request("POST", "/update", payload)
+
+    def wait_ready(self, *, timeout: float = 10.0, interval: float = 0.05) -> dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (startup races, CI smoke)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ClientError as exc:
+                last_error = exc
+                time.sleep(interval)
+        raise ClientError(
+            f"server at {self.url} not ready after {timeout}s: {last_error}"
+        )
+
+
+__all__ = ["BackpressureError", "ClientError", "ResistanceClient"]

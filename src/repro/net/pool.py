@@ -1,0 +1,344 @@
+"""A persistent process pool executing query plans over shared memory.
+
+``QueryPlan.execute(workers=N, executor="process")`` spins up a fresh pool
+per call — acceptable for one-off batches, fatal for a server answering a
+stream of them.  :class:`SharedWorkerPool` keeps the processes alive across
+batches: each worker attaches to the published shared-memory segments
+(:mod:`repro.net.shm`) **once at startup** and rebuilds its zero-copy
+``QueryContext`` from them, so dispatching a batch ships only the task
+tuples (a few ints each) and an epoch handle — no graphs, no contexts, no
+per-task pickling.
+
+Determinism is inherited, not reimplemented: the pool executes the exact
+task list :meth:`QueryPlan.parallel_tasks` produces (per-query streams
+derived via ``derive_seed`` from one session draw) with the same per-task
+kwargs the built-in executors use, so results are **bit-identical** to
+``plan.execute(workers=N)`` for every worker count and executor kind —
+including this one (DESIGN.md Contracts 3 and 5).  Sharding is free to be
+coarse: seeds depend only on the task's input position, never on which
+worker runs it, so the pool dispatches one contiguous shard per worker and
+pays one IPC round-trip per shard instead of one per query.
+
+Epoch flips are lazy and atomic per worker: every shard carries the
+publishing epoch's handle, and a worker whose attached token differs simply
+drops its old mapping and attaches the new segments before touching the
+shard — there is no broadcast, no barrier, and a worker can never mix two
+epochs inside one shard.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Optional, Sequence
+
+import multiprocessing
+
+from repro.core.batch import BatchResult, QueryPlan, _run_smm_chunk, _task_kwargs
+from repro.core.registry import QueryBudget, resolve_method
+from repro.core.result import EstimateResult
+from repro.exceptions import StaleEpochError
+from repro.net.shm import SharedContextHandle, SharedEpoch, attach_context
+from repro.utils.timing import Timer
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+# Per-worker state: the budget/δ/τ overrides from the pool constructor plus
+# the currently attached epoch (token-keyed, flipped lazily per shard).
+_POOL_STATE: dict[str, Any] = {}
+
+
+def _pool_attach(handle: SharedContextHandle) -> None:
+    previous = _POOL_STATE.pop("attached", None)
+    if previous is not None:
+        previous.close()
+    attached = attach_context(
+        handle,
+        delta=_POOL_STATE.get("delta"),
+        num_batches=_POOL_STATE.get("num_batches"),
+        budget=_POOL_STATE.get("budget"),
+    )
+    _POOL_STATE["attached"] = attached
+    _POOL_STATE["token"] = handle.token
+
+
+def _pool_initializer(
+    handle: Optional[SharedContextHandle],
+    delta: Optional[float],
+    num_batches: Optional[int],
+    budget: Optional[QueryBudget],
+) -> None:
+    _POOL_STATE["delta"] = delta
+    _POOL_STATE["num_batches"] = num_batches
+    _POOL_STATE["budget"] = budget
+    if handle is not None:
+        _pool_attach(handle)
+
+
+def _pool_context(handle: SharedContextHandle):
+    if _POOL_STATE.get("token") != handle.token:
+        _pool_attach(handle)
+    return _POOL_STATE["attached"].context
+
+
+def _pool_warm(handle: Optional[SharedContextHandle]) -> int:
+    """Force a worker to exist and attach; returns its pid for diagnostics."""
+    import os
+
+    if handle is not None:
+        _pool_context(handle)
+    time.sleep(0.02)  # keep the worker busy so the pool spawns siblings
+    return os.getpid()
+
+
+def _pool_run_shard(
+    handle: SharedContextHandle,
+    method: str,
+    epsilon: float,
+    tasks: Sequence[tuple],
+) -> list[tuple[int, EstimateResult]]:
+    """Execute one contiguous shard of plan tasks against the attached context."""
+    context = _pool_context(handle)
+    spec = resolve_method(method)
+    context.prepare_for(spec, epsilon)
+    out: list[tuple[int, EstimateResult]] = []
+    for task in tasks:
+        index, s, t, _length, _seed, _kwargs = task
+        result = spec(context, s, t, epsilon, **_task_kwargs(spec, context, task))
+        out.append((index, result))
+    return out
+
+
+def _pool_run_smm_shard(
+    handle: SharedContextHandle,
+    epsilon: float,
+    chunks: Sequence[tuple[tuple[int, ...], list[tuple[int, int]], int]],
+) -> list[tuple[int, EstimateResult]]:
+    """Execute vectorized SMM chunks (indices, pairs, walk_length) for one shard."""
+    context = _pool_context(handle)
+    spec = resolve_method("smm")
+    context.prepare_for(spec, epsilon)
+    out: list[tuple[int, EstimateResult]] = []
+    for indices, pairs, length in chunks:
+        results = _run_smm_chunk(context, pairs, length, epsilon)
+        out.extend(zip(indices, results))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# pool
+# --------------------------------------------------------------------------- #
+class SharedWorkerPool:
+    """Persistent workers attached to shared-memory query state.
+
+    Parameters
+    ----------
+    shared_epoch:
+        The initially published :class:`~repro.net.shm.SharedEpoch` workers
+        attach to at startup; :meth:`flip` installs a newer epoch (workers
+        re-attach lazily on their next shard).  ``None`` starts the workers
+        idle — they attach on first dispatch.
+    workers:
+        Pool size.
+    delta, num_batches, budget:
+        Overrides threaded into each worker's rebuilt context so its
+        estimates match the planning context bit-for-bit.  Usually the
+        serving context's own values.
+    max_batch_columns:
+        Column cap per vectorized SMM chunk (same default as
+        :meth:`QueryPlan.execute`).
+    """
+
+    #: Methods that cannot leave the session process (see QueryPlan).
+    _PROCESS_UNSAFE = frozenset({"rp"})
+
+    def __init__(
+        self,
+        shared_epoch: Optional[SharedEpoch] = None,
+        *,
+        workers: int = 2,
+        delta: Optional[float] = None,
+        num_batches: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
+        max_batch_columns: int = 256,
+    ) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.max_batch_columns = int(max_batch_columns)
+        self._current = shared_epoch
+        self._closed = False
+        handle = shared_epoch.handle if shared_epoch is not None else None
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            mp_context = None
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_pool_initializer,
+            initargs=(handle, delta, num_batches, budget),
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def current_epoch(self) -> Optional[int]:
+        return self._current.epoch if self._current is not None else None
+
+    def flip(self, shared_epoch: SharedEpoch) -> None:
+        """Install a newly published epoch; workers re-attach on next shard."""
+        self._current = shared_epoch
+
+    def warm(self) -> list[int]:
+        """Spawn and attach every worker now; returns the worker pids.
+
+        Without this the pool spawns processes lazily on first dispatch,
+        which would bill the fork+attach cost to the first batch.
+        """
+        handle = self._current.handle if self._current is not None else None
+        futures = [
+            self._executor.submit(_pool_warm, handle) for _ in range(self.workers)
+        ]
+        return [future.result() for future in futures]
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "SharedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute_plan(
+        self,
+        plan: QueryPlan,
+        *,
+        vectorize: bool = True,
+        shards_per_worker: int = 1,
+        **kwargs: Any,
+    ) -> BatchResult:
+        """Run a :class:`QueryPlan` on the pool, bit-identical to ``execute``.
+
+        The plan's context must carry a ``shared_handle`` for the plan's
+        epoch (see :func:`repro.net.shm.install_shared_context`); methods
+        that cannot leave the process (RP) and plans without a handle fall
+        back transparently to the in-process thread executor, which obeys the
+        same own-stream contract and therefore returns the same values.
+        """
+        if self._closed:
+            raise RuntimeError("SharedWorkerPool is shut down")
+        if plan.context.epoch != plan.epoch:
+            raise StaleEpochError(
+                f"plan was built at graph epoch {plan.epoch} but the context "
+                f"is now at epoch {plan.context.epoch}; re-plan after apply_delta"
+            )
+        handle = getattr(plan.context, "shared_handle", None)
+        if (
+            handle is None
+            or handle.epoch != plan.epoch
+            or plan.spec.name in self._PROCESS_UNSAFE
+        ):
+            return plan.execute(
+                workers=self.workers, executor="thread", vectorize=vectorize, **kwargs
+            )
+
+        # Pin the published epoch (when we own its bookkeeping) so an /update
+        # retiring it mid-batch defers the unlink until this dispatch drains.
+        pinned = self._current if (
+            self._current is not None and self._current.handle.token == handle.token
+        ) else None
+        if pinned is not None:
+            pinned.pin()
+        try:
+            return self._dispatch(
+                plan, handle, vectorize=vectorize,
+                shards_per_worker=max(1, int(shards_per_worker)), kwargs=kwargs,
+            )
+        finally:
+            if pinned is not None:
+                pinned.unpin()
+
+    def _dispatch(
+        self,
+        plan: QueryPlan,
+        handle: SharedContextHandle,
+        *,
+        vectorize: bool,
+        shards_per_worker: int,
+        kwargs: dict[str, Any],
+    ) -> BatchResult:
+        timer = Timer()
+        results: list[Optional[EstimateResult]] = [None] * len(plan)
+        vectorized_smm = vectorize and plan.spec.name == "smm" and not kwargs
+        num_shards = self.workers * shards_per_worker
+        with timer:
+            if vectorized_smm:
+                chunks = []
+                pairs = plan.pairs
+                pairs_per_chunk = max(1, self.max_batch_columns // 2)
+                for bucket in plan.buckets:
+                    for lo in range(0, len(bucket.indices), pairs_per_chunk):
+                        indices = bucket.indices[lo : lo + pairs_per_chunk]
+                        chunks.append(
+                            (
+                                indices,
+                                [pairs[i] for i in indices],
+                                int(bucket.walk_length or 0),
+                            )
+                        )
+                futures = [
+                    self._executor.submit(
+                        _pool_run_smm_shard, handle, plan.epsilon, shard
+                    )
+                    for shard in _split(chunks, num_shards)
+                ]
+            else:
+                tasks = plan.parallel_tasks(kwargs)
+                futures = [
+                    self._executor.submit(
+                        _pool_run_shard, handle, plan.spec.name, plan.epsilon, shard
+                    )
+                    for shard in _split(tasks, num_shards)
+                ]
+            for future in futures:
+                for index, result in future.result():
+                    results[index] = result
+        return BatchResult(
+            method=plan.spec.name,
+            epsilon=plan.epsilon,
+            results=list(results),  # type: ignore[arg-type]
+            buckets=plan.buckets,
+            walk_length_computations=plan.walk_length_computations,
+            elapsed_seconds=timer.elapsed,
+            bucketing=plan.bucketing,
+            workers=self.workers,
+            executor="shm-pool",
+        )
+
+
+def _split(items: Sequence[Any], num_shards: int) -> list[list[Any]]:
+    """Split into at most ``num_shards`` contiguous, near-equal shards."""
+    if not items:
+        return []
+    num_shards = min(num_shards, len(items))
+    base, extra = divmod(len(items), num_shards)
+    shards = []
+    lo = 0
+    for shard_index in range(num_shards):
+        hi = lo + base + (1 if shard_index < extra else 0)
+        shards.append(list(items[lo:hi]))
+        lo = hi
+    return shards
+
+
+__all__ = ["SharedWorkerPool"]

@@ -1,0 +1,557 @@
+"""Asyncio HTTP/JSON front-end over :class:`repro.service.ResistanceService`.
+
+The server is the network edge of the serving stack: requests arrive as JSON
+over plain HTTP/1.1 (stdlib only — ``asyncio.start_server`` plus a minimal
+request parser), flow through the existing layered service (cache → sketch →
+engine), and — when shared memory is available — the engine tier executes on
+a persistent :class:`~repro.net.pool.SharedWorkerPool` whose workers attached
+to the published segments once at startup.
+
+Three serving policies live here rather than in the service:
+
+* **Deadline budgets** — each request carries ``deadline_ms`` (or inherits
+  the configured default).  A request whose budget expired before the engine
+  got to it degrades to the landmark sketch's triangle-inequality envelope:
+  the midpoint is returned with ``partial: true`` plus the ``lower``/``upper``
+  bounds, so callers get a valid-if-loose answer instead of a timeout.
+* **Backpressure** — at most ``max_pending`` compute-bound requests may be
+  in flight; beyond that the server sheds load with ``429`` and a
+  ``Retry-After`` hint instead of queueing unboundedly.
+* **Epoch pinning** — a request carrying ``epoch`` is answered only if the
+  service still serves that graph version; otherwise ``409`` (the HTTP face
+  of :class:`~repro.exceptions.StaleEpochError`).  ``/update`` applies an
+  edge delta, republishes the shared segments under the new epoch, flips the
+  pool, and retires the old epoch — whose segments are unlinked only once
+  in-flight batches pinned on them drain (graceful epoch retirement).
+
+All engine-touching work funnels through a single-thread executor, so an
+update can never interleave with a query: a query either completes against
+the old epoch before the update starts or runs entirely against the new one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.exceptions import ReproError, StaleEpochError
+from repro.graph.delta import EdgeDelta
+from repro.net.pool import SharedWorkerPool
+from repro.net.shm import SharedContextRegistry, shm_available
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 64
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class NetServerConfig:
+    """Tunables for :class:`NetServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`NetServer.url`).
+    workers:
+        Shared-memory pool size.  ``0`` serves without a pool (in-process
+        engine execution) — also the automatic fallback when shared memory
+        is unavailable on the platform.
+    max_pending:
+        Compute-bound requests admitted concurrently; excess gets 429.
+        ``0`` rejects every compute request (used to test shedding).
+    default_deadline_ms:
+        Deadline applied to requests that don't send their own;
+        ``None`` means no deadline.
+    drain_timeout:
+        Seconds :meth:`NetServer.stop` waits for in-flight requests.
+    use_shared_memory:
+        Master switch for the pool/segment machinery (tests use ``False``
+        to exercise the serial path deterministically).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 0
+    max_pending: int = 64
+    default_deadline_ms: Optional[float] = None
+    drain_timeout: float = 30.0
+    use_shared_memory: bool = True
+
+
+@dataclass
+class ServerStats:
+    """Request counters, reported under ``/stats`` as ``server``."""
+
+    requests: int = 0
+    answered: int = 0
+    partials: int = 0
+    rejected_backpressure: int = 0
+    stale_epoch_rejections: int = 0
+    updates: int = 0
+    errors: int = 0
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "answered": self.answered,
+            "partials": self.partials,
+            "rejected_backpressure": self.rejected_backpressure,
+            "stale_epoch_rejections": self.stale_epoch_rejections,
+            "updates": self.updates,
+            "errors": self.errors,
+        }
+
+
+class _Reject(Exception):
+    """Internal: abort request handling with a specific HTTP status."""
+
+    def __init__(self, status: int, payload: dict[str, Any], headers=None) -> None:
+        super().__init__(payload.get("message", payload.get("error", "")))
+        self.status = status
+        self.payload = payload
+        self.headers = dict(headers or {})
+
+
+def _result_payload(result: Any) -> dict[str, Any]:
+    return {
+        "value": float(result.value),
+        "s": int(result.s),
+        "t": int(result.t),
+        "epsilon": float(result.epsilon),
+        "method": result.method,
+        "source": result.details.get("source", "engine"),
+        "partial": False,
+        "walk_length": int(result.walk_length),
+        "num_walks": int(result.num_walks),
+        "total_steps": int(result.total_steps),
+        "spmv_operations": int(result.spmv_operations),
+        "elapsed_seconds": float(result.elapsed_seconds),
+    }
+
+
+class NetServer:
+    """Serve a :class:`~repro.service.ResistanceService` over HTTP/JSON.
+
+    Endpoints::
+
+        POST /query        {"s", "t", "epsilon", ["method", "deadline_ms", "epoch"]}
+        POST /query_batch  {"pairs": [[s, t], ...], "epsilon", [...]}
+        POST /update       {"add": [...], "remove": [...], "reweight": [...]}
+        GET  /stats
+        GET  /healthz
+
+    Use either inside a running event loop (``await server.start()`` /
+    ``await server.stop()``) or from synchronous code via
+    :meth:`start_in_thread` / :meth:`stop_in_thread`, which run the loop in a
+    daemon thread (the CLI and the tests use the latter).
+    """
+
+    def __init__(self, service: Any, config: Optional[NetServerConfig] = None) -> None:
+        self.service = service
+        self.config = config or NetServerConfig()
+        self.stats = ServerStats()
+        self.registry = SharedContextRegistry()
+        self.pool: Optional[SharedWorkerPool] = None
+        self.shared_memory_active = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        # One thread: serializes every engine-touching request against updates.
+        self._work_executor: Optional[ThreadPoolExecutor] = None
+        self._pending = 0
+        self._accepting = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def url(self) -> str:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not running")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    async def start(self) -> "NetServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._work_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-net-work"
+        )
+        self._publish_and_attach_pool()
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self._accepting = True
+        return self
+
+    def _publish_and_attach_pool(self) -> None:
+        """Publish the serving context and attach a worker pool, if possible."""
+        if self.config.workers <= 0 or not self.config.use_shared_memory:
+            return
+        if not shm_available():
+            return
+        context = self.service.engine.context
+        shared = self.registry.publish(context, sketch=self.service._ready_sketch())
+        context.shared_handle = shared.handle
+        self.pool = SharedWorkerPool(
+            shared,
+            workers=self.config.workers,
+            delta=context.delta,
+            num_batches=context.num_batches,
+            budget=context.budget,
+        )
+        self.pool.warm()
+        self.service.attach_worker_pool(self.pool)
+        self.shared_memory_active = True
+
+    def _republish(self) -> None:
+        """After an update: publish the new epoch, flip workers, retire the old.
+
+        Runs on the single work thread, so no query can observe the flip
+        half-done.  The retired epoch's segments are unlinked only once any
+        batch still pinned on them finishes (``SharedEpoch`` refcounts).
+        """
+        if self.pool is None:
+            return
+        context = self.service.engine.context
+        shared = self.registry.publish(context, sketch=self.service._ready_sketch())
+        context.shared_handle = shared.handle
+        self.pool.flip(shared)
+        self.registry.retire_older_than(shared.epoch)
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, then unlink."""
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self._pending > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        if self.pool is not None:
+            self.service.detach_worker_pool()
+            self.pool.shutdown()
+            self.pool = None
+        context = self.service.engine.context
+        if getattr(context, "shared_handle", None) is not None:
+            context.shared_handle = None
+        self.registry.close()
+        self.shared_memory_active = False
+        if self._work_executor is not None:
+            self._work_executor.shutdown(wait=True)
+            self._work_executor = None
+
+    # -- synchronous wrappers (CLI, tests, benchmarks) ------------------- #
+    def start_in_thread(self) -> "NetServer":
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # surfaced to the caller below
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            loop.run_forever()
+
+        self._loop = loop
+        self._thread = threading.Thread(target=run, daemon=True, name="repro-net-loop")
+        self._thread.start()
+        ready.wait(timeout=30.0)
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop_in_thread(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.stop(), self._loop)
+        future.result(timeout=self.config.drain_timeout + 30.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "NetServer":
+        return self.start_in_thread()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop_in_thread()
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, path, _version = (
+                        request_line.decode("latin-1").strip().split(" ", 2)
+                    )
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad-request-line"})
+                    break
+                headers: dict[str, str] = {}
+                for _ in range(_MAX_HEADER_LINES):
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    content_length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad-content-length"})
+                    break
+                if content_length > _MAX_BODY_BYTES:
+                    await self._respond(writer, 413, {"error": "payload-too-large"})
+                    break
+                body = await reader.readexactly(content_length) if content_length else b""
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                status, payload, extra = await self._dispatch(method, path, body)
+                await self._respond(writer, status, payload, extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        extra_headers: Optional[dict[str, str]] = None,
+        keep_alive: bool = True,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        path = path.split("?", 1)[0]
+        self.stats.requests += 1
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, self._healthz_payload(), {}
+            if method == "GET" and path == "/stats":
+                return 200, self._stats_payload(), {}
+            if method == "POST" and path in ("/query", "/query_batch", "/update"):
+                request = self._decode_json(body)
+                arrival = time.monotonic()
+                self._admit()
+                try:
+                    if path == "/query":
+                        payload = await self._run(self._work_query, request, arrival)
+                    elif path == "/query_batch":
+                        payload = await self._run(self._work_batch, request, arrival)
+                    else:
+                        payload = await self._run(self._work_update, request, arrival)
+                finally:
+                    self._pending -= 1
+                self.stats.answered += 1
+                return 200, payload, {}
+            if path in ("/query", "/query_batch", "/update", "/stats", "/healthz"):
+                return 405, {"error": "method-not-allowed"}, {}
+            return 404, {"error": "not-found", "path": path}, {}
+        except _Reject as reject:
+            return reject.status, reject.payload, reject.headers
+        except StaleEpochError as exc:
+            self.stats.stale_epoch_rejections += 1
+            return 409, {"error": "stale-epoch", "message": str(exc),
+                         "epoch": self.service.epoch}, {}
+        except (ValueError, TypeError, ReproError) as exc:
+            self.stats.errors += 1
+            return 400, {"error": "bad-request", "message": str(exc)}, {}
+        except Exception as exc:  # noqa: BLE001 - the edge must not crash
+            self.stats.errors += 1
+            return 500, {"error": "internal", "message": str(exc)}, {}
+
+    async def _run(self, work, request: dict[str, Any], arrival: float):
+        loop = asyncio.get_running_loop()
+        if self._work_executor is None:
+            raise _Reject(503, {"error": "shutting-down"})
+        return await loop.run_in_executor(
+            self._work_executor, work, request, arrival
+        )
+
+    def _admit(self) -> None:
+        if not self._accepting:
+            raise _Reject(503, {"error": "shutting-down"})
+        if self._pending >= self.config.max_pending:
+            self.stats.rejected_backpressure += 1
+            raise _Reject(
+                429,
+                {"error": "backpressure",
+                 "message": f"{self._pending} requests already pending"},
+                {"Retry-After": "1"},
+            )
+        self._pending += 1
+
+    def _decode_json(self, body: bytes) -> dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _Reject(400, {"error": "bad-json", "message": str(exc)}) from exc
+        if not isinstance(decoded, dict):
+            raise _Reject(400, {"error": "bad-json", "message": "body must be an object"})
+        return decoded
+
+    # ------------------------------------------------------------------ #
+    # work functions (run on the single work thread)
+    # ------------------------------------------------------------------ #
+    def _check_epoch_pin(self, request: dict[str, Any]) -> None:
+        pinned = request.get("epoch")
+        if pinned is not None and int(pinned) != self.service.epoch:
+            raise StaleEpochError(
+                f"request pinned to epoch {int(pinned)} but the service now "
+                f"serves epoch {self.service.epoch}"
+            )
+
+    def _deadline_expired(self, request: dict[str, Any], arrival: float) -> bool:
+        deadline_ms = request.get("deadline_ms", self.config.default_deadline_ms)
+        if deadline_ms is None:
+            return False
+        return (time.monotonic() - arrival) * 1000.0 >= float(deadline_ms)
+
+    def _partial_answer(self, s: int, t: int, epsilon: float) -> dict[str, Any]:
+        answer = self.service.sketch_bounds(s, t)
+        if answer is None:
+            raise _Reject(
+                504,
+                {"error": "deadline-exceeded",
+                 "message": "deadline expired and no sketch is available"},
+            )
+        self.stats.partials += 1
+        return {
+            "value": float(answer.midpoint),
+            "s": int(s),
+            "t": int(t),
+            "epsilon": float(epsilon),
+            "method": "sketch-bound",
+            "source": "sketch",
+            "partial": True,
+            "lower": float(answer.lower),
+            "upper": float(answer.upper),
+            "half_width": float(answer.half_width),
+        }
+
+    def _work_query(self, request: dict[str, Any], arrival: float) -> dict[str, Any]:
+        s, t = int(request["s"]), int(request["t"])
+        epsilon = float(request["epsilon"])
+        self._check_epoch_pin(request)
+        if self._deadline_expired(request, arrival):
+            answer = self._partial_answer(s, t, epsilon)
+            answer["epoch"] = self.service.epoch
+            return answer
+        result = self.service.query(s, t, epsilon, method=request.get("method"))
+        payload = _result_payload(result)
+        payload["epoch"] = self.service.epoch
+        return payload
+
+    def _work_batch(self, request: dict[str, Any], arrival: float) -> dict[str, Any]:
+        pairs = [(int(s), int(t)) for s, t in request["pairs"]]
+        epsilon = float(request["epsilon"])
+        self._check_epoch_pin(request)
+        if self._deadline_expired(request, arrival):
+            answers = [self._partial_answer(s, t, epsilon) for s, t in pairs]
+        else:
+            results = self.service.query_many(
+                pairs, epsilon, method=request.get("method")
+            )
+            answers = [_result_payload(result) for result in results]
+        return {"epoch": self.service.epoch, "results": answers}
+
+    def _work_update(self, request: dict[str, Any], arrival: float) -> dict[str, Any]:
+        delta = EdgeDelta(
+            inserts=tuple(tuple(edge) for edge in request.get("add", ())),
+            removals=tuple(tuple(edge) for edge in request.get("remove", ())),
+            reweights=tuple(tuple(edge) for edge in request.get("reweight", ())),
+        )
+        report = self.service.apply_update(delta)
+        self._republish()
+        self.stats.updates += 1
+        return {"epoch": self.service.epoch, "update": report.summary()}
+
+    # ------------------------------------------------------------------ #
+    # read-only payloads
+    # ------------------------------------------------------------------ #
+    def _healthz_payload(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "epoch": self.service.epoch,
+            "pending": self._pending,
+            "shared_memory": self.shared_memory_active,
+            "pool_workers": self.pool.workers if self.pool is not None else 0,
+        }
+
+    def _stats_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "server": self.stats.summary(),
+            "service": self.service.summary(),
+            "epoch": self.service.epoch,
+            "shared_memory": self.shared_memory_active,
+        }
+        if self.pool is not None:
+            payload["pool"] = {
+                "workers": self.pool.workers,
+                "epoch": self.pool.current_epoch,
+            }
+        payload["segments"] = self.registry.summary()
+        return payload
+
+
+__all__ = ["NetServer", "NetServerConfig", "ServerStats"]

@@ -244,6 +244,10 @@ class ResistanceService:
         self.sketch = sketch
         self._updates_since_sketch = 0
         self._coalescer: Optional[RequestCoalescer] = None
+        # Optional external batch executor (duck-typed so this module never
+        # imports repro.net): anything with execute_plan(plan) -> BatchResult,
+        # e.g. repro.net.pool.SharedWorkerPool.  See attach_worker_pool.
+        self._worker_pool: Optional[Any] = None
         # The epoch-versioned graph holder: tracks the delta log and lineage
         # chain (persisted by save_artifacts for replay loading).  A warm
         # start adopts the persisted lineage — base fingerprint and full log
@@ -515,15 +519,65 @@ class ResistanceService:
                 missed.append(key)
             missed_indices[key].append(index)
         if missed:
-            batch = self.engine.query_many(
-                missed, epsilon, method=method or self.config.method,
-                bucketing=self.config.bucketing, workers=self.config.workers,
-            )
+            batch = self._execute_engine_batch(missed, epsilon, method)
             for key, result in zip(missed, batch):
                 result.details.setdefault("source", "engine")
                 for index in missed_indices[key]:
                     results[index] = result
         return list(results)  # type: ignore[arg-type]
+
+    def _execute_engine_batch(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        epsilon: float,
+        method: Optional[str],
+    ):
+        """Run the layer misses of a batch: worker pool if attached, else engine.
+
+        The pool path produces the same values as ``workers=N`` in-process
+        execution (the own-stream contract), and adopting its results fires
+        the engine hooks so the cache warms exactly as usual.
+        """
+        method = method or self.config.method
+        pool = self._worker_pool
+        if pool is not None:
+            plan = self.engine.plan(
+                pairs, epsilon, method=method, bucketing=self.config.bucketing
+            )
+            return self.engine.adopt_results(pool.execute_plan(plan))
+        return self.engine.query_many(
+            pairs, epsilon, method=method,
+            bucketing=self.config.bucketing, workers=self.config.workers,
+        )
+
+    def attach_worker_pool(self, pool: Any) -> None:
+        """Route batch misses through an external plan executor.
+
+        ``pool`` needs one method — ``execute_plan(plan) -> BatchResult`` —
+        and is typically a :class:`repro.net.pool.SharedWorkerPool` whose
+        workers attach to this service's published shared-memory segments.
+        The service does not own the pool's lifecycle (the network server
+        that wired it does).
+        """
+        self._worker_pool = pool
+
+    def detach_worker_pool(self) -> None:
+        """Return batch misses to in-process engine execution."""
+        self._worker_pool = None
+
+    def sketch_bounds(self, s: int, t: int):
+        """The sketch's triangle-inequality envelope for ``(s, t)``, or None.
+
+        Unlike the layered path this ignores ε — the envelope is returned
+        however loose it is.  It is what the network server degrades to when
+        a request's deadline expires before the engine ran: the bounds are
+        always valid for the current epoch (a stale sketch is refreshed per
+        policy first, and returns None when it cannot be).
+        """
+        sketch = self._ready_sketch()
+        if sketch is None:
+            return None
+        return sketch.bounds(s, t)
 
     def submit(self, s: int, t: int, epsilon: float) -> PendingQuery:
         """Buffer one request for micro-batched execution.

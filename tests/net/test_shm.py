@@ -1,0 +1,182 @@
+"""Shared-memory segment lifecycle and the zero-copy attach contract."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.graph.builders import with_random_weights
+from repro.graph.delta import EdgeDelta
+from repro.graph.generators import barabasi_albert_graph
+from repro.net.shm import (
+    SegmentError,
+    SharedContextRegistry,
+    StaleSegmentError,
+    attach_context,
+    install_shared_context,
+    publish_context,
+    shm_available,
+)
+from repro.service.sketch import LandmarkSketchStore
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing shared memory unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(120, 4, rng=5)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return with_random_weights(barabasi_albert_graph(80, 3, rng=6), rng=6)
+
+
+def test_publish_attach_bit_identity(graph):
+    """Queries on the attached context are hex-identical to the in-process ones."""
+    engine = QueryEngine(graph, rng=42)
+    shared = publish_context(engine.context)
+    try:
+        with attach_context(shared.handle, rng=42) as attached:
+            remote = QueryEngine(context=attached.context)
+            for s, t in [(0, 50), (3, 99), (17, 71)]:
+                ours = engine.query(s, t, 0.2)
+                theirs = remote.query(s, t, 0.2)
+                assert ours.value.hex() == theirs.value.hex()
+    finally:
+        shared.retire()
+    assert shared.unlinked
+
+
+def test_attached_views_are_zero_copy_and_read_only(graph):
+    engine = QueryEngine(graph, rng=1)
+    shared = publish_context(engine.context)
+    try:
+        with attach_context(shared.handle) as attached:
+            indptr = attached.view("indptr")
+            assert not indptr.flags.writeable
+            assert not indptr.flags.owndata  # a view over the segment buffer
+            np.testing.assert_array_equal(indptr, graph.indptr)
+            np.testing.assert_array_equal(attached.view("indices"), graph.indices)
+            # the rebuilt graph exposes the same buffers, not copies
+            assert attached.context.graph.num_nodes == graph.num_nodes
+            assert attached.context.graph.num_edges == graph.num_edges
+    finally:
+        shared.retire()
+
+
+def test_weighted_roundtrip_shares_alias_tables(weighted_graph):
+    from repro.sampling.walks import _build_alias_tables
+
+    engine = QueryEngine(weighted_graph, rng=3)
+    shared = publish_context(engine.context)
+    try:
+        assert shared.handle.weighted
+        with attach_context(shared.handle, rng=3) as attached:
+            remote_graph = attached.context.graph
+            assert remote_graph.is_weighted
+            np.testing.assert_array_equal(remote_graph.weights, weighted_graph.weights)
+            np.testing.assert_array_equal(
+                remote_graph.weighted_degrees, weighted_graph.weighted_degrees
+            )
+            prob, alias = _build_alias_tables(weighted_graph)
+            remote_prob, remote_alias = _build_alias_tables(remote_graph)
+            np.testing.assert_array_equal(prob, remote_prob)
+            np.testing.assert_array_equal(alias, remote_alias)
+    finally:
+        shared.retire()
+
+
+def test_attach_refuses_stale_fingerprint(graph):
+    engine = QueryEngine(graph, rng=1)
+    shared = publish_context(engine.context)
+    try:
+        forged = dataclasses.replace(shared.handle, fingerprint="0" * 16)
+        with pytest.raises(StaleSegmentError):
+            attach_context(forged, expected_fingerprint=engine.context.lineage)
+    finally:
+        shared.retire()
+
+
+def test_refcounts_defer_unlink_until_unpinned(graph):
+    engine = QueryEngine(graph, rng=1)
+    shared = publish_context(engine.context)
+    shared.pin()
+    shared.retire()
+    assert shared.retired and not shared.unlinked  # a lease is outstanding
+    # the segments must still be attachable while pinned
+    with attach_context(shared.handle):
+        pass
+    shared.unpin()
+    assert shared.unlinked
+    with pytest.raises(SegmentError):
+        shared.pin()  # unlinked epochs refuse new leases
+    with pytest.raises(SegmentError):
+        attach_context(shared.handle)
+
+
+def test_lease_context_manager(graph):
+    engine = QueryEngine(graph, rng=1)
+    shared = publish_context(engine.context)
+    with shared.lease():
+        shared.retire()
+        assert not shared.unlinked
+    assert shared.unlinked
+
+
+def test_sketch_arrays_roundtrip(graph):
+    engine = QueryEngine(graph, rng=9)
+    sketch = LandmarkSketchStore.build(
+        graph, num_landmarks=4, strategy="degree", rng=9
+    )
+    shared = publish_context(engine.context, sketch=sketch)
+    try:
+        assert shared.handle.has_sketch
+        with attach_context(shared.handle) as attached:
+            remote_sketch = attached.make_sketch()
+            assert remote_sketch is not None
+            for s, t in [(0, 30), (5, 99)]:
+                ours = sketch.bounds(s, t)
+                theirs = remote_sketch.bounds(s, t)
+                assert ours.lower == theirs.lower
+                assert ours.upper == theirs.upper
+    finally:
+        shared.retire()
+
+
+def test_apply_delta_clears_shared_handle(graph):
+    engine = QueryEngine(graph, rng=1)
+    shared = install_shared_context(engine.context)
+    assert shared is not None
+    assert engine.context.shared_handle is shared.handle
+    engine.apply_update(EdgeDelta(inserts=((0, 100),)))
+    assert engine.context.shared_handle is None  # segments describe epoch 0
+    shared.retire()
+
+
+def test_registry_tracks_and_retires_epochs(graph):
+    engine = QueryEngine(graph, rng=1)
+    registry = SharedContextRegistry()
+    first = registry.publish(engine.context)
+    assert len(registry) == 1
+    assert registry.get(first.epoch) is first
+
+    engine.apply_update(EdgeDelta(inserts=((0, 100),)))
+    second = registry.publish(engine.context)
+    assert sorted(registry.active_epochs()) == [first.epoch, second.epoch]
+
+    registry.retire_older_than(second.epoch)
+    assert first.unlinked
+    assert not second.unlinked
+    assert list(registry.active_epochs()) == [second.epoch]
+
+    summary = registry.summary()
+    assert str(second.epoch) in summary["epochs"]
+    registry.close()
+    assert len(registry) == 0
+    assert second.unlinked
