@@ -1,7 +1,6 @@
 """Serving layer — cold vs warm-artifact startup, cached vs uncached throughput.
 
-Quantifies what :class:`repro.service.ResistanceService` buys on a 2k-node
-Barabási–Albert graph:
+Quantifies what :class:`repro.service.ResistanceService` buys on a BA graph:
 
 * **startup**: a cold start pays the ARPACK eigen-solve plus the landmark
   sketch build; a warm start loads both from the artifact directory written by
@@ -10,24 +9,33 @@ Barabási–Albert graph:
   sketch hits); replaying the same stream is answered from the ε-aware cache
   with zero walk steps.
 
-Results are persisted to ``benchmarks/results/service_cache.txt``.
+Results are persisted in machine-readable form at
+``benchmarks/results/BENCH_service_cache.json`` (same schema conventions as
+``BENCH_updates.json`` / ``BENCH_kernels.json``).  Set ``REPRO_BENCH_QUICK=1``
+(as CI does) for a smaller, faster workload; the JSON records which mode
+produced the numbers.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import numpy as np
 import pytest
 
-from conftest import save_table
+from conftest import RESULTS_DIR
 from repro.experiments.queries import random_query_set
-from repro.experiments.reporting import format_table
 from repro.graph.generators import barabasi_albert_graph
 from repro.service.server import ResistanceService, ServiceConfig
 
-NUM_NODES = 2000
-NUM_PAIRS = 150
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+JSON_PATH = RESULTS_DIR / "BENCH_service_cache.json"
+
+NUM_NODES = 600 if QUICK else 2000
+NUM_PAIRS = 60 if QUICK else 150
+REPLAY_ROUNDS = 3 if QUICK else 5
 EPSILON = 0.1
 SEED = 23
 
@@ -54,9 +62,7 @@ def _startup(graph, artifact_dir=None) -> tuple[ResistanceService, float]:
     return service, time.perf_counter() - start
 
 
-def test_service_cold_vs_warm_and_cached_throughput(
-    benchmark, graph, pairs, tmp_path_factory
-):
+def test_service_cold_vs_warm_and_cached_throughput(graph, pairs, tmp_path_factory):
     artifact_dir = tmp_path_factory.mktemp("service-artifacts")
 
     cold_service, cold_startup = _startup(graph)
@@ -71,13 +77,15 @@ def test_service_cold_vs_warm_and_cached_throughput(
     uncached_seconds = time.perf_counter() - start
     steps_after_first = warm_service.engine.stats.total_steps
 
-    # Pass 2: the same stream again, timed via pytest-benchmark — every
-    # answer must come from the cache with zero additional walk steps.
-    def replay():
-        return [warm_service.query(s, t, EPSILON) for s, t in pairs]
-
-    second = benchmark.pedantic(replay, rounds=1, iterations=1)
-    cached_seconds = max(benchmark.stats.stats.mean, 1e-9)
+    # Pass 2: the same stream again, min-of-N — every answer must come from
+    # the cache with zero additional walk steps.
+    cached_seconds = float("inf")
+    second = first
+    for _ in range(REPLAY_ROUNDS):
+        start = time.perf_counter()
+        second = [warm_service.query(s, t, EPSILON) for s, t in pairs]
+        cached_seconds = min(cached_seconds, time.perf_counter() - start)
+    cached_seconds = max(cached_seconds, 1e-9)
 
     assert warm_service.engine.stats.total_steps == steps_after_first
     assert all(r.method == "cache" for r in second)
@@ -86,23 +94,37 @@ def test_service_cold_vs_warm_and_cached_throughput(
     )
 
     summary = warm_service.summary()
-    rows = [
-        {
-            "pairs": len(pairs),
-            "epsilon": EPSILON,
-            "cold startup (s)": round(cold_startup, 4),
-            "warm startup (s)": round(warm_startup, 4),
-            "startup speedup": round(cold_startup / max(warm_startup, 1e-9), 2),
-            "uncached pass (s)": round(uncached_seconds, 4),
-            "cached pass (s)": round(cached_seconds, 6),
-            "throughput speedup": round(uncached_seconds / cached_seconds, 1),
-            "uncached qps": round(len(pairs) / uncached_seconds, 1),
-            "cached qps": round(len(pairs) / cached_seconds, 1),
-            "sketch hits (pass 1)": summary["sketch"]["hits"],
-            "cache hit rate": summary["cache"]["hit_rate"],
-        }
-    ]
-    save_table(
-        "service_cache",
-        format_table(rows, title="ResistanceService: startup and serving throughput"),
+    record = {
+        "benchmark": "service_cache",
+        "mode": "quick" if QUICK else "full",
+        "graph": {
+            "family": "barabasi-albert",
+            "num_nodes": NUM_NODES,
+            "attach": 8,
+            "weighted": False,
+        },
+        "epsilon": EPSILON,
+        "pairs": len(pairs),
+        "replay_rounds": REPLAY_ROUNDS,
+        "startup": {
+            "cold_seconds": round(cold_startup, 4),
+            "warm_seconds": round(warm_startup, 4),
+            "speedup": round(cold_startup / max(warm_startup, 1e-9), 2),
+        },
+        "throughput": {
+            "uncached_pass_seconds": round(uncached_seconds, 4),
+            "cached_pass_seconds": round(cached_seconds, 6),
+            "speedup": round(uncached_seconds / cached_seconds, 1),
+            "uncached_qps": round(len(pairs) / uncached_seconds, 1),
+            "cached_qps": round(len(pairs) / cached_seconds, 1),
+        },
+        "layers": {
+            "sketch_hits_pass1": summary["sketch"]["hits"],
+            "cache_hit_rate": summary["cache"]["hit_rate"],
+        },
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    JSON_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+    print(f"\n[BENCH_service_cache.json] {json.dumps(record['throughput'])}")

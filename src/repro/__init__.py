@@ -100,6 +100,7 @@ from repro.core import (
 )
 from repro.linalg import spectral_radius_second
 from repro.baselines import exact_effective_resistance, ground_truth_resistance
+from repro.obs import MetricsRegistry, Observability, Tracer, render_span_tree
 from repro.service import (
     LandmarkSketchStore,
     RequestCoalescer,
@@ -168,6 +169,11 @@ __all__ = [
     # baselines
     "exact_effective_resistance",
     "ground_truth_resistance",
+    # observability
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
+    "render_span_tree",
     # serving layer
     "ResistanceService",
     "ServiceConfig",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the everyday uses of the library without writing any
+Eight subcommands cover the everyday uses of the library without writing any
 Python:
 
 ``repro-er query``
@@ -35,6 +35,11 @@ Python:
     Apply an edge delta (inserts / removals / reweights) to a served graph:
     warm artifacts are patched instead of rebuilt, the delta log is recorded
     for replay loading, and the new epoch is persisted.
+
+``repro-er stats``
+    Fetch a running server's ``/stats`` snapshot (server, service, tier and
+    pool counters as tables) or, with ``--metrics``, the raw Prometheus text
+    exposition from ``/metrics``.
 
 The CLI is intentionally a thin shell over the public API
 (:class:`repro.QueryEngine`, :class:`repro.ResistanceService`, the method
@@ -159,6 +164,8 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
         response = client.query_batch(pairs, args.epsilon, method=args.method)
     except ClientError as exc:
         raise SystemExit(str(exc)) from exc
+    if args.trace and "trace_id" in response:
+        print(f"trace_id: {response['trace_id']} (spans recorded server-side)")
     rows = []
     for answer in response["results"]:
         rows.append(
@@ -190,15 +197,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.url:
         return _cmd_query_remote(args)
     graph, label = _load_graph(args, announce=True)
-    engine = QueryEngine(graph, rng=args.seed)
+    obs = None
+    traces = []
+    if args.trace:
+        from repro.obs import MetricsRegistry, Observability, Tracer
+
+        obs = Observability(
+            metrics=MetricsRegistry(enabled=True), tracer=Tracer(enabled=True)
+        )
+    engine = QueryEngine(graph, rng=args.seed, obs=obs)
     pairs = _parse_pairs(args.pairs)
     rows = []
     try:
         if args.batch:
-            batch = engine.query_many(
-                pairs, args.epsilon, method=args.method, workers=args.workers
-            )
+            if obs is not None:
+                with obs.tracer.trace("cli:query_batch") as trace:
+                    batch = engine.query_many(
+                        pairs, args.epsilon, method=args.method, workers=args.workers
+                    )
+                traces.append(trace)
+            else:
+                batch = engine.query_many(
+                    pairs, args.epsilon, method=args.method, workers=args.workers
+                )
             results = list(batch)
+        elif obs is not None:
+            results = []
+            for s, t in pairs:
+                with obs.tracer.trace("cli:query") as trace:
+                    results.append(engine.query(s, t, args.epsilon, method=args.method))
+                traces.append(trace)
         else:
             results = [
                 engine.query(s, t, args.epsilon, method=args.method) for s, t in pairs
@@ -230,6 +258,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"({batch.executor}, workers={batch.workers})"
         )
         print(format_table([engine.stats.summary()], title="session stats"))
+    if traces:
+        from repro.obs import render_span_tree
+
+        for trace in traces:
+            print()
+            print(render_span_tree(trace))
     return 0
 
 
@@ -290,6 +324,7 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
         workers=args.net_workers,
         max_pending=args.max_pending,
         default_deadline_ms=args.deadline_ms,
+        slow_query_ms=args.slow_query_ms,
     )
     server = NetServer(service, net_config)
 
@@ -480,6 +515,48 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Fetch and render a running server's /stats snapshot (or raw /metrics)."""
+    from repro.net.client import ClientError, ResistanceClient
+
+    client = ResistanceClient(args.url)
+    try:
+        if args.metrics:
+            sys.stdout.write(client.metrics())
+            return 0
+        payload = client.stats()
+    except ClientError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"server at {args.url} (epoch {payload.get('epoch', '?')})")
+    for section, counters in payload.items():
+        if section == "epoch":
+            continue
+        if isinstance(counters, dict):
+            # nested breakdowns (e.g. pool per_worker) render as their own table
+            nested = {
+                key: value for key, value in counters.items() if isinstance(value, dict)
+            }
+            flat = {
+                key: value
+                for key, value in counters.items()
+                if not isinstance(value, dict)
+            }
+            if flat:
+                print(format_table([flat], title=f"{section} stats"))
+            for key, value in nested.items():
+                rows = [
+                    {"id": inner_key, **inner_value}
+                    if isinstance(inner_value, dict)
+                    else {"id": inner_key, "value": inner_value}
+                    for inner_key, inner_value in value.items()
+                ]
+                if rows:
+                    print(format_table(rows, title=f"{section}.{key}"))
+        else:
+            print(f"{section}: {counters}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     graph, label = _load_graph(args)
     rows = run_dataset_sweep(
@@ -553,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--url",
         help="query a running 'repro-er serve --port' server at this base URL "
         "instead of loading a graph locally (graph options are ignored)",
+    )
+    query_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-query spans and print the span tree after the table "
+        "(local mode; with --url the server-assigned trace_id is shown). "
+        "Tracing never changes estimates: results stay bit-identical.",
     )
     query_parser.set_defaults(func=_cmd_query)
 
@@ -687,7 +771,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline; expired requests degrade to the "
         "sketch envelope with partial=true (default: none)",
     )
+    serve_parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        help="log a structured slow_query line (trace_id, endpoint, elapsed) "
+        "for requests slower than this many milliseconds (default: off)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="fetch a running server's /stats snapshot (tables) or raw "
+        "/metrics exposition",
+    )
+    stats_parser.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running 'repro-er serve --port' server",
+    )
+    stats_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the raw Prometheus text exposition from /metrics instead "
+        "of the /stats tables",
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
 
     update_parser = subparsers.add_parser(
         "update",

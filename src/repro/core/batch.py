@@ -339,11 +339,18 @@ class QueryPlan:
                 f"executor must be 'auto', 'thread' or 'process', got {executor!r}"
             )
         timer = Timer()
+        obs = self.context.obs
         results: list[Optional[EstimateResult]] = [None] * len(self._pairs)
         vectorized_smm = vectorize and self.spec.name == "smm" and not kwargs
         if workers == 1:
             executor_used = "serial"
-            with timer:
+            with timer, obs.tracer.span(
+                "plan:execute",
+                method=self.spec.name,
+                pairs=len(self._pairs),
+                buckets=len(self._buckets),
+                executor=executor_used,
+            ):
                 if vectorized_smm:
                     for bucket in self._buckets:
                         bucket_pairs = [self._pairs[i] for i in bucket.indices]
@@ -368,7 +375,14 @@ class QueryPlan:
                         )
         else:
             executor_used = self._resolve_executor(executor)
-            with timer:
+            with timer, obs.tracer.span(
+                "plan:execute",
+                method=self.spec.name,
+                pairs=len(self._pairs),
+                buckets=len(self._buckets),
+                executor=executor_used,
+                workers=workers,
+            ):
                 self._execute_parallel(
                     results,
                     workers=workers,
@@ -377,6 +391,20 @@ class QueryPlan:
                     max_batch_columns=max_batch_columns,
                     kwargs=kwargs,
                 )
+        if obs.metrics.enabled:
+            obs.metrics.counter(
+                "repro_plan_executions_total",
+                "QueryPlan batch executions, by executor kind.",
+                labels=("executor",),
+            ).labels(executor=executor_used).inc()
+            obs.metrics.counter(
+                "repro_plan_pairs_total",
+                "Query pairs executed through QueryPlan batches.",
+            ).inc(len(self._pairs))
+            obs.metrics.histogram(
+                "repro_plan_latency_seconds",
+                "Wall-clock latency of whole QueryPlan batch executions.",
+            ).observe(timer.elapsed)
         return BatchResult(
             method=self.spec.name,
             epsilon=self.epsilon,

@@ -40,6 +40,7 @@ from repro.core.registry import (
 )
 from repro.core.result import EstimateResult
 from repro.graph.graph import Graph
+from repro.obs import Observability
 from repro.linalg.eigen import SpectralInfo
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_node_pair, check_positive
@@ -100,6 +101,10 @@ class QueryEngine:
     context:
         An existing :class:`QueryContext` to adopt instead of building one
         (used by the experiment harness to share preprocessing).
+    obs:
+        Optional :class:`repro.obs.Observability` bundle.  When given with an
+        existing ``context`` it is installed on the context so all layers
+        share one registry/tracer; the default is the disabled ``NULL_OBS``.
     """
 
     def __init__(
@@ -113,9 +118,17 @@ class QueryEngine:
         validate: bool = True,
         budget: Optional[QueryBudget] = None,
         context: Optional[QueryContext] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if context is not None:
             self._context = context
+            if obs is not None:
+                self._context.obs = obs
+                # A lazily-built engine picks obs up from the context; one
+                # built before this point must be re-pointed explicitly.
+                engine = self._context._cells.get("engine")
+                if engine is not None:
+                    engine.obs = obs
         else:
             if graph is None:
                 raise ValueError("provide a graph or an existing QueryContext")
@@ -127,9 +140,15 @@ class QueryEngine:
                 rng=rng,
                 budget=budget,
                 validate=validate,
+                obs=obs,
             )
         self.stats = SessionStats()
         self._result_hooks: list[Callable[[EstimateResult], None]] = []
+
+    @property
+    def obs(self) -> Observability:
+        """The observability bundle shared with the context (never ``None``)."""
+        return self._context.obs
 
     # ------------------------------------------------------------------ #
     # shared state
@@ -204,6 +223,10 @@ class QueryEngine:
 
     def _record(self, result: EstimateResult) -> None:
         self.stats.record(result)
+        # The single funnel every estimate passes through (direct queries,
+        # batches, coalescer flushes, pool-adopted results) — so this is where
+        # per-method counters and latency histograms are observed.
+        self._context.obs.observe_result(result)
         for hook in self._result_hooks:
             hook(result)
 
@@ -244,7 +267,10 @@ class QueryEngine:
             raise ValueError(str(exc)) from exc
         epsilon = check_positive(epsilon, "epsilon")
         s, t = check_node_pair(s, t, self._context.graph.num_nodes)
-        result = spec(self._context, s, t, epsilon, **kwargs)
+        with self._context.obs.tracer.span(
+            "engine:query", method=method, s=s, t=t
+        ):
+            result = spec(self._context, s, t, epsilon, **kwargs)
         self._record(result)
         return result
 

@@ -39,6 +39,7 @@ import scipy.sparse as sp
 
 from repro.core.result import EstimateResult
 from repro.core.walk_length import peng_walk_length, refined_walk_length
+from repro.obs import NULL_OBS, Observability
 from repro.graph.graph import Graph
 from repro.graph.properties import require_walkable
 from repro.linalg.eigen import SpectralInfo, transition_eigenvalues
@@ -206,10 +207,15 @@ class QueryContext:
         validate: bool = True,
         transition: Optional[sp.csr_matrix] = None,
         spectral_info: Optional[SpectralInfo] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         if validate:
             require_walkable(graph)
         self.graph = graph
+        #: Observability bundle (metrics + tracer); the disabled NULL_OBS by
+        #: default so bare contexts pay ~nothing.  Never pickled — process
+        #: payloads ship the graph/shared handle, not the context.
+        self.obs = obs if obs is not None else NULL_OBS
         self.delta = check_positive(delta, "delta")
         self.num_batches = int(num_batches)
         self.rng = as_generator(rng)
@@ -279,7 +285,7 @@ class QueryContext:
         return self.graph.transition_matrix()
 
     def _build_engine(self) -> RandomWalkEngine:
-        return RandomWalkEngine(self.graph, rng=self.rng)
+        return RandomWalkEngine(self.graph, rng=self.rng, obs=self.obs)
 
     def _build_solver(self) -> LaplacianSolver:
         return LaplacianSolver(self.graph)
@@ -472,7 +478,9 @@ class QueryContext:
         if self._validate:
             require_walkable(new_graph)
         parent_lineage = self.lineage
-        with self._artifact_lock:
+        with self.obs.tracer.span(
+            "delta:apply", changes=delta.num_changes, to_epoch=self.epoch + 1
+        ), self._artifact_lock:
             old_graph = self.graph
             touched = delta.touched_nodes
             # Alias tables are memoised on the graph object; patch them first
@@ -561,7 +569,7 @@ class QueryContext:
             return None  # unwalkable, same lazy failure as a cold context
         # Shares the session generator (stream position is preserved) and the
         # new graph's patched alias tables; the step counter carries over.
-        engine = RandomWalkEngine(new_graph, rng=self.rng)
+        engine = RandomWalkEngine(new_graph, rng=self.rng, obs=self.obs)
         engine.total_steps = value.total_steps
         return engine
 

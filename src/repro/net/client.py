@@ -110,6 +110,19 @@ class ResistanceClient:
     def stats(self) -> dict[str, Any]:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``GET /metrics``), raw."""
+        request = urllib.request.Request(self.url + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ClientError(
+                f"GET /metrics failed with HTTP {exc.code}", status=exc.code
+            ) from exc
+        except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
+            raise ClientError(f"GET /metrics failed: {exc}") from exc
+
     def query(
         self,
         s: int,

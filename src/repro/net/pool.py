@@ -28,8 +28,11 @@ epochs inside one shard.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 import multiprocessing
@@ -39,6 +42,7 @@ from repro.core.registry import QueryBudget, resolve_method
 from repro.core.result import EstimateResult
 from repro.exceptions import StaleEpochError
 from repro.net.shm import SharedContextHandle, SharedEpoch, attach_context
+from repro.obs import NULL_OBS, Observability
 from repro.utils.timing import Timer
 
 # --------------------------------------------------------------------------- #
@@ -46,10 +50,42 @@ from repro.utils.timing import Timer
 # --------------------------------------------------------------------------- #
 # Per-worker state: the budget/δ/τ overrides from the pool constructor plus
 # the currently attached epoch (token-keyed, flipped lazily per shard).
+# Observability counters accumulate worker-locally in ``_POOL_STATE["stats"]``
+# and travel back to the parent as a cumulative snapshot piggybacked on every
+# shard result — no extra IPC, and the parent merge (latest snapshot per pid)
+# is idempotent.
 _POOL_STATE: dict[str, Any] = {}
+
+#: The worker-local counter names shipped back with every shard.
+_WORKER_COUNTERS = (
+    "attaches",
+    "attach_seconds",
+    "shards",
+    "queries",
+    "walk_steps",
+    "spmv_operations",
+    "elapsed_seconds",
+)
+
+
+def _worker_stats() -> dict[str, float]:
+    stats = _POOL_STATE.get("stats")
+    if stats is None:
+        stats = dict.fromkeys(_WORKER_COUNTERS, 0.0)
+        _POOL_STATE["stats"] = stats
+    return stats
+
+
+def _worker_snapshot() -> dict[str, float]:
+    """The worker's cumulative counters, stamped with its pid."""
+    snapshot = dict(_worker_stats())
+    snapshot["pid"] = float(os.getpid())
+    return snapshot
 
 
 def _pool_attach(handle: SharedContextHandle) -> None:
+    stats = _worker_stats()
+    started = time.perf_counter()
     previous = _POOL_STATE.pop("attached", None)
     if previous is not None:
         previous.close()
@@ -61,6 +97,8 @@ def _pool_attach(handle: SharedContextHandle) -> None:
     )
     _POOL_STATE["attached"] = attached
     _POOL_STATE["token"] = handle.token
+    stats["attaches"] += 1
+    stats["attach_seconds"] += time.perf_counter() - started
 
 
 def _pool_initializer(
@@ -84,12 +122,19 @@ def _pool_context(handle: SharedContextHandle):
 
 def _pool_warm(handle: Optional[SharedContextHandle]) -> int:
     """Force a worker to exist and attach; returns its pid for diagnostics."""
-    import os
-
     if handle is not None:
         _pool_context(handle)
     time.sleep(0.02)  # keep the worker busy so the pool spawns siblings
     return os.getpid()
+
+
+def _record_shard(stats: dict[str, float], results: Sequence[EstimateResult]) -> None:
+    stats["shards"] += 1
+    stats["queries"] += len(results)
+    for result in results:
+        stats["walk_steps"] += result.total_steps
+        stats["spmv_operations"] += result.spmv_operations
+        stats["elapsed_seconds"] += result.elapsed_seconds
 
 
 def _pool_run_shard(
@@ -97,7 +142,7 @@ def _pool_run_shard(
     method: str,
     epsilon: float,
     tasks: Sequence[tuple],
-) -> list[tuple[int, EstimateResult]]:
+) -> tuple[list[tuple[int, EstimateResult]], dict[str, float]]:
     """Execute one contiguous shard of plan tasks against the attached context."""
     context = _pool_context(handle)
     spec = resolve_method(method)
@@ -107,14 +152,15 @@ def _pool_run_shard(
         index, s, t, _length, _seed, _kwargs = task
         result = spec(context, s, t, epsilon, **_task_kwargs(spec, context, task))
         out.append((index, result))
-    return out
+    _record_shard(_worker_stats(), [result for _, result in out])
+    return out, _worker_snapshot()
 
 
 def _pool_run_smm_shard(
     handle: SharedContextHandle,
     epsilon: float,
     chunks: Sequence[tuple[tuple[int, ...], list[tuple[int, int]], int]],
-) -> list[tuple[int, EstimateResult]]:
+) -> tuple[list[tuple[int, EstimateResult]], dict[str, float]]:
     """Execute vectorized SMM chunks (indices, pairs, walk_length) for one shard."""
     context = _pool_context(handle)
     spec = resolve_method("smm")
@@ -123,12 +169,67 @@ def _pool_run_smm_shard(
     for indices, pairs, length in chunks:
         results = _run_smm_chunk(context, pairs, length, epsilon)
         out.extend(zip(indices, results))
-    return out
+    _record_shard(_worker_stats(), [result for _, result in out])
+    return out, _worker_snapshot()
 
 
 # --------------------------------------------------------------------------- #
 # pool
 # --------------------------------------------------------------------------- #
+@dataclass
+class PoolStats:
+    """Parent-side pool accounting, including merged worker-local counters.
+
+    Workers accumulate their own counters (attach cost, shard/query/step
+    totals) in process-local state and return a cumulative snapshot with
+    every shard; :meth:`merge` keeps the latest snapshot per pid, so the
+    totals are exact no matter how shards interleave — this is what restores
+    the worker ``SessionStats`` that ``/stats`` used to drop.
+    """
+
+    batches: int = 0
+    shards_dispatched: int = 0
+    fallback_batches: int = 0
+    flips: int = 0
+    worker_snapshots: dict[int, dict[str, float]] = field(default_factory=dict)
+
+    def merge(self, snapshot: dict[str, float]) -> None:
+        pid = int(snapshot.get("pid", 0))
+        self.worker_snapshots[pid] = snapshot
+
+    def worker_totals(self) -> dict[str, float]:
+        totals = dict.fromkeys(_WORKER_COUNTERS, 0.0)
+        for snapshot in self.worker_snapshots.values():
+            for name in _WORKER_COUNTERS:
+                totals[name] += snapshot.get(name, 0.0)
+        for name in ("attaches", "shards", "queries", "walk_steps", "spmv_operations"):
+            totals[name] = int(totals[name])
+        return totals
+
+    def summary(self) -> dict[str, object]:
+        totals = self.worker_totals()
+        per_worker = {
+            str(pid): {
+                name: (
+                    snapshot.get(name, 0.0)
+                    if name.endswith("seconds")
+                    else int(snapshot.get(name, 0.0))
+                )
+                for name in _WORKER_COUNTERS
+            }
+            for pid, snapshot in sorted(self.worker_snapshots.items())
+        }
+        return {
+            "batches": self.batches,
+            "shards_dispatched": self.shards_dispatched,
+            "fallback_batches": self.fallback_batches,
+            "flips": self.flips,
+            "workers_reporting": len(self.worker_snapshots),
+            **{f"worker_{name}": value for name, value in totals.items()},
+            "per_worker": per_worker,
+        }
+
+
 class SharedWorkerPool:
     """Persistent workers attached to shared-memory query state.
 
@@ -162,12 +263,16 @@ class SharedWorkerPool:
         num_batches: Optional[int] = None,
         budget: Optional[QueryBudget] = None,
         max_batch_columns: int = 256,
+        obs: Optional[Observability] = None,
     ) -> None:
         workers = int(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.max_batch_columns = int(max_batch_columns)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.stats = PoolStats()
+        self._stats_lock = threading.Lock()
         self._current = shared_epoch
         self._closed = False
         handle = shared_epoch.handle if shared_epoch is not None else None
@@ -191,7 +296,16 @@ class SharedWorkerPool:
 
     def flip(self, shared_epoch: SharedEpoch) -> None:
         """Install a newly published epoch; workers re-attach on next shard."""
-        self._current = shared_epoch
+        with self.obs.tracer.span("shm:flip", epoch=shared_epoch.epoch):
+            self._current = shared_epoch
+        with self._stats_lock:
+            self.stats.flips += 1
+
+    def summary(self) -> dict[str, object]:
+        """Pool configuration plus merged parent/worker counters."""
+        with self._stats_lock:
+            stats = self.stats.summary()
+        return {"workers": self.workers, "epoch": self.current_epoch, **stats}
 
     def warm(self) -> list[int]:
         """Spawn and attach every worker now; returns the worker pids.
@@ -248,6 +362,8 @@ class SharedWorkerPool:
             or handle.epoch != plan.epoch
             or plan.spec.name in self._PROCESS_UNSAFE
         ):
+            with self._stats_lock:
+                self.stats.fallback_batches += 1
             return plan.execute(
                 workers=self.workers, executor="thread", vectorize=vectorize, **kwargs
             )
@@ -281,7 +397,12 @@ class SharedWorkerPool:
         results: list[Optional[EstimateResult]] = [None] * len(plan)
         vectorized_smm = vectorize and plan.spec.name == "smm" and not kwargs
         num_shards = self.workers * shards_per_worker
-        with timer:
+        with timer, self.obs.tracer.span(
+            "pool:dispatch",
+            method=plan.spec.name,
+            pairs=len(plan),
+            epoch=plan.epoch,
+        ):
             if vectorized_smm:
                 chunks = []
                 pairs = plan.pairs
@@ -311,8 +432,14 @@ class SharedWorkerPool:
                     for shard in _split(tasks, num_shards)
                 ]
             for future in futures:
-                for index, result in future.result():
+                shard_results, snapshot = future.result()
+                for index, result in shard_results:
                     results[index] = result
+                with self._stats_lock:
+                    self.stats.merge(snapshot)
+            with self._stats_lock:
+                self.stats.batches += 1
+                self.stats.shards_dispatched += len(futures)
         return BatchResult(
             method=plan.spec.name,
             epsilon=plan.epsilon,
@@ -341,4 +468,4 @@ def _split(items: Sequence[Any], num_shards: int) -> list[list[Any]]:
     return shards
 
 
-__all__ = ["SharedWorkerPool"]
+__all__ = ["PoolStats", "SharedWorkerPool"]

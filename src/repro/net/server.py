@@ -43,6 +43,14 @@ from repro.exceptions import ReproError, StaleEpochError
 from repro.graph.delta import EdgeDelta
 from repro.net.pool import SharedWorkerPool
 from repro.net.shm import SharedContextRegistry, shm_available
+from repro.obs import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.obs import NULL_OBS, Sample, new_trace_id
+from repro.utils.logging import get_logger
+
+#: Structured slow-query log: one JSON object per line on WARNING, under the
+#: library namespace so applications opt in with their own handlers (or
+#: ``enable_verbose_logging``).
+_SLOW_LOG = get_logger("net.slowlog")
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 _MAX_HEADER_LINES = 64
@@ -85,6 +93,11 @@ class NetServerConfig:
     use_shared_memory:
         Master switch for the pool/segment machinery (tests use ``False``
         to exercise the serial path deterministically).
+    slow_query_ms:
+        Threshold for the structured slow-query log: any ``/query`` or
+        ``/query_batch`` whose work-thread time exceeds it emits one JSON
+        line (trace id included) on the ``repro.net.slowlog`` logger and
+        bumps ``repro_slow_queries_total``.  ``None`` disables the log.
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +107,7 @@ class NetServerConfig:
     default_deadline_ms: Optional[float] = None
     drain_timeout: float = 30.0
     use_shared_memory: bool = True
+    slow_query_ms: Optional[float] = None
 
 
 @dataclass
@@ -107,6 +121,7 @@ class ServerStats:
     stale_epoch_rejections: int = 0
     updates: int = 0
     errors: int = 0
+    slow_queries: int = 0
 
     def summary(self) -> dict[str, int]:
         return {
@@ -117,6 +132,7 @@ class ServerStats:
             "stale_epoch_rejections": self.stale_epoch_rejections,
             "updates": self.updates,
             "errors": self.errors,
+            "slow_queries": self.slow_queries,
         }
 
 
@@ -128,6 +144,14 @@ class _Reject(Exception):
         self.status = status
         self.payload = payload
         self.headers = dict(headers or {})
+
+
+@dataclass
+class _RawBody:
+    """A non-JSON response body (the Prometheus exposition for /metrics)."""
+
+    content_type: str
+    body: bytes
 
 
 def _result_payload(result: Any) -> dict[str, Any]:
@@ -152,11 +176,17 @@ class NetServer:
 
     Endpoints::
 
-        POST /query        {"s", "t", "epsilon", ["method", "deadline_ms", "epoch"]}
+        POST /query        {"s", "t", "epsilon", ["method", "deadline_ms", "epoch", "trace_id"]}
         POST /query_batch  {"pairs": [[s, t], ...], "epsilon", [...]}
         POST /update       {"add": [...], "remove": [...], "reweight": [...]}
         GET  /stats
+        GET  /metrics      (Prometheus text exposition of the service registry)
         GET  /healthz
+
+    Every ``/query``, ``/query_batch`` and ``/update`` response echoes a
+    ``trace_id`` (the client's, if it sent one, else freshly generated), which
+    is also the id of the request's span tree when the service's tracer is
+    enabled and the key of any slow-query log line.
 
     Use either inside a running event loop (``await server.start()`` /
     ``await server.stop()``) or from synchronous code via
@@ -168,6 +198,29 @@ class NetServer:
         self.service = service
         self.config = config or NetServerConfig()
         self.stats = ServerStats()
+        # The service's bundle (metrics on by default); duck-typed so bare
+        # stand-ins without an .obs still serve (their /metrics is empty).
+        self.obs = getattr(service, "obs", NULL_OBS)
+        metrics = self.obs.metrics
+        self._m_http_requests = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by endpoint and status code.",
+            labels=("endpoint", "status"),
+        )
+        self._m_http_latency = metrics.histogram(
+            "repro_http_latency_seconds",
+            "End-to-end HTTP request latency, by endpoint.",
+            labels=("endpoint",),
+        )
+        self._m_partials = metrics.counter(
+            "repro_partial_answers_total",
+            "Deadline-degraded answers served from sketch bounds (partial:true).",
+        )
+        self._m_slow = metrics.counter(
+            "repro_slow_queries_total",
+            "Requests that exceeded the configured slow_query_ms threshold.",
+        )
+        metrics.register_collector(self._metrics_collector)
         self.registry = SharedContextRegistry()
         self.pool: Optional[SharedWorkerPool] = None
         self.shared_memory_active = False
@@ -221,6 +274,7 @@ class NetServer:
             delta=context.delta,
             num_batches=context.num_batches,
             budget=context.budget,
+            obs=self.obs,
         )
         self.pool.warm()
         self.service.attach_worker_pool(self.pool)
@@ -236,7 +290,10 @@ class NetServer:
         if self.pool is None:
             return
         context = self.service.engine.context
-        shared = self.registry.publish(context, sketch=self.service._ready_sketch())
+        with self.obs.tracer.span("shm:publish", epoch=context.epoch):
+            shared = self.registry.publish(
+                context, sketch=self.service._ready_sketch()
+            )
         context.shared_handle = shared.handle
         self.pool.flip(shared)
         self.registry.retire_older_than(shared.epoch)
@@ -362,10 +419,15 @@ class NetServer:
         extra_headers: Optional[dict[str, str]] = None,
         keep_alive: bool = True,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _RawBody):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -377,16 +439,44 @@ class NetServer:
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
+    #: Endpoints given their own label on repro_http_* series (anything else
+    #: is folded into "other" to bound label cardinality).
+    _KNOWN_ENDPOINTS = frozenset(
+        {"/query", "/query_batch", "/update", "/stats", "/metrics", "/healthz"}
+    )
+
     async def _dispatch(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict[str, Any], dict[str, str]]:
-        path = path.split("?", 1)[0]
+    ) -> tuple[int, Any, dict[str, str]]:
+        endpoint = path.split("?", 1)[0]
+        started = time.perf_counter()
+        status, payload, headers = await self._dispatch_inner(method, endpoint, body)
+        if self.obs.metrics.enabled:
+            label = endpoint if endpoint in self._KNOWN_ENDPOINTS else "other"
+            self._m_http_requests.labels(endpoint=label, status=status).inc()
+            self._m_http_latency.labels(endpoint=label).observe(
+                time.perf_counter() - started
+            )
+        return status, payload, headers
+
+    async def _dispatch_inner(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, Any, dict[str, str]]:
         self.stats.requests += 1
         try:
             if method == "GET" and path == "/healthz":
                 return 200, self._healthz_payload(), {}
             if method == "GET" and path == "/stats":
                 return 200, self._stats_payload(), {}
+            if method == "GET" and path == "/metrics":
+                return (
+                    200,
+                    _RawBody(
+                        _METRICS_CONTENT_TYPE,
+                        self.obs.metrics.exposition().encode("utf-8"),
+                    ),
+                    {},
+                )
             if method == "POST" and path in ("/query", "/query_batch", "/update"):
                 request = self._decode_json(body)
                 arrival = time.monotonic()
@@ -402,7 +492,7 @@ class NetServer:
                     self._pending -= 1
                 self.stats.answered += 1
                 return 200, payload, {}
-            if path in ("/query", "/query_batch", "/update", "/stats", "/healthz"):
+            if path in self._KNOWN_ENDPOINTS:
                 return 405, {"error": "method-not-allowed"}, {}
             return 404, {"error": "not-found", "path": path}, {}
         except _Reject as reject:
@@ -476,6 +566,7 @@ class NetServer:
                  "message": "deadline expired and no sketch is available"},
             )
         self.stats.partials += 1
+        self._m_partials.inc()
         return {
             "value": float(answer.midpoint),
             "s": int(s),
@@ -489,31 +580,77 @@ class NetServer:
             "half_width": float(answer.half_width),
         }
 
+    def _request_trace_id(self, request: dict[str, Any]) -> str:
+        """The client's trace id, if it sent one, else a fresh one (os.urandom)."""
+        supplied = request.get("trace_id")
+        return str(supplied) if supplied else new_trace_id()
+
+    def _log_if_slow(
+        self, endpoint: str, trace_id: str, elapsed: float, extra: dict[str, Any]
+    ) -> None:
+        """Emit one structured JSON log line when a request beat the threshold."""
+        threshold = self.config.slow_query_ms
+        if threshold is None or elapsed * 1000.0 < float(threshold):
+            return
+        self.stats.slow_queries += 1
+        self._m_slow.inc()
+        record = {
+            "event": "slow_query",
+            "endpoint": endpoint,
+            "trace_id": trace_id,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "threshold_ms": float(threshold),
+            "epoch": self.service.epoch,
+            **extra,
+        }
+        _SLOW_LOG.warning(json.dumps(record, sort_keys=True))
+
     def _work_query(self, request: dict[str, Any], arrival: float) -> dict[str, Any]:
         s, t = int(request["s"]), int(request["t"])
         epsilon = float(request["epsilon"])
+        trace_id = self._request_trace_id(request)
         self._check_epoch_pin(request)
-        if self._deadline_expired(request, arrival):
-            answer = self._partial_answer(s, t, epsilon)
-            answer["epoch"] = self.service.epoch
-            return answer
-        result = self.service.query(s, t, epsilon, method=request.get("method"))
-        payload = _result_payload(result)
+        started = time.perf_counter()
+        with self.obs.tracer.trace("http:query", trace_id=trace_id):
+            if self._deadline_expired(request, arrival):
+                payload = self._partial_answer(s, t, epsilon)
+            else:
+                result = self.service.query(
+                    s, t, epsilon, method=request.get("method")
+                )
+                payload = _result_payload(result)
         payload["epoch"] = self.service.epoch
+        payload["trace_id"] = trace_id
+        self._log_if_slow(
+            "/query",
+            trace_id,
+            time.perf_counter() - started,
+            {"s": s, "t": t, "epsilon": epsilon,
+             "source": payload.get("source", "engine")},
+        )
         return payload
 
     def _work_batch(self, request: dict[str, Any], arrival: float) -> dict[str, Any]:
         pairs = [(int(s), int(t)) for s, t in request["pairs"]]
         epsilon = float(request["epsilon"])
+        trace_id = self._request_trace_id(request)
         self._check_epoch_pin(request)
-        if self._deadline_expired(request, arrival):
-            answers = [self._partial_answer(s, t, epsilon) for s, t in pairs]
-        else:
-            results = self.service.query_many(
-                pairs, epsilon, method=request.get("method")
-            )
-            answers = [_result_payload(result) for result in results]
-        return {"epoch": self.service.epoch, "results": answers}
+        started = time.perf_counter()
+        with self.obs.tracer.trace("http:query_batch", trace_id=trace_id):
+            if self._deadline_expired(request, arrival):
+                answers = [self._partial_answer(s, t, epsilon) for s, t in pairs]
+            else:
+                results = self.service.query_many(
+                    pairs, epsilon, method=request.get("method")
+                )
+                answers = [_result_payload(result) for result in results]
+        self._log_if_slow(
+            "/query_batch",
+            trace_id,
+            time.perf_counter() - started,
+            {"pairs": len(pairs), "epsilon": epsilon},
+        )
+        return {"epoch": self.service.epoch, "results": answers, "trace_id": trace_id}
 
     def _work_update(self, request: dict[str, Any], arrival: float) -> dict[str, Any]:
         delta = EdgeDelta(
@@ -521,10 +658,16 @@ class NetServer:
             removals=tuple(tuple(edge) for edge in request.get("remove", ())),
             reweights=tuple(tuple(edge) for edge in request.get("reweight", ())),
         )
-        report = self.service.apply_update(delta)
-        self._republish()
+        trace_id = self._request_trace_id(request)
+        with self.obs.tracer.trace("http:update", trace_id=trace_id):
+            report = self.service.apply_update(delta)
+            self._republish()
         self.stats.updates += 1
-        return {"epoch": self.service.epoch, "update": report.summary()}
+        return {
+            "epoch": self.service.epoch,
+            "update": report.summary(),
+            "trace_id": trace_id,
+        }
 
     # ------------------------------------------------------------------ #
     # read-only payloads
@@ -545,13 +688,86 @@ class NetServer:
             "epoch": self.service.epoch,
             "shared_memory": self.shared_memory_active,
         }
-        if self.pool is not None:
-            payload["pool"] = {
-                "workers": self.pool.workers,
-                "epoch": self.pool.current_epoch,
+        service_stats = getattr(self.service, "stats", None)
+        if service_stats is not None:
+            # Per-tier answer counts (not just totals): which layer actually
+            # served, including the deadline-degraded partials.
+            payload["tiers"] = {
+                "cache": service_stats.cache_hits,
+                "sketch": service_stats.sketch_hits,
+                "engine": service_stats.engine_queries,
+                "partial": self.stats.partials,
             }
+        if self.pool is not None:
+            # Includes the merged worker-side counters (attaches, queries,
+            # walk steps, per-pid breakdown) that used to be dropped.
+            payload["pool"] = self.pool.summary()
         payload["segments"] = self.registry.summary()
         return payload
+
+    def _metrics_collector(self):
+        """Scrape-time samples for server- and pool-level counters."""
+        samples = [
+            Sample(
+                "repro_pending_requests",
+                "gauge",
+                "Compute-bound requests currently in flight.",
+                {},
+                float(self._pending),
+            )
+        ]
+        for field in (
+            "requests",
+            "answered",
+            "rejected_backpressure",
+            "stale_epoch_rejections",
+            "errors",
+        ):
+            samples.append(
+                Sample(
+                    f"repro_server_{field}_total",
+                    "counter",
+                    f"ServerStats.{field} of the HTTP front-end.",
+                    {},
+                    float(getattr(self.stats, field)),
+                )
+            )
+        pool = self.pool
+        if pool is not None:
+            summary = pool.summary()
+            samples.append(
+                Sample("repro_pool_workers", "gauge", "Configured worker-pool size.", {}, float(summary["workers"]))
+            )
+            for field in ("batches", "shards_dispatched", "fallback_batches", "flips"):
+                samples.append(
+                    Sample(
+                        f"repro_pool_{field}_total",
+                        "counter",
+                        f"PoolStats.{field} of the shared-memory pool.",
+                        {},
+                        float(summary[field]),
+                    )
+                )
+            for field in ("attaches", "shards", "queries", "walk_steps", "spmv_operations"):
+                samples.append(
+                    Sample(
+                        f"repro_pool_worker_{field}_total",
+                        "counter",
+                        f"Worker-side {field}, merged from per-pid snapshots.",
+                        {},
+                        float(summary[f"worker_{field}"]),
+                    )
+                )
+            samples.append(
+                Sample(
+                    "repro_pool_worker_elapsed_seconds_total",
+                    "counter",
+                    "Worker-side cumulative in-estimate seconds.",
+                    {},
+                    float(summary["worker_elapsed_seconds"]),
+                )
+            )
+        return samples
 
 
 __all__ = ["NetServer", "NetServerConfig", "ServerStats"]

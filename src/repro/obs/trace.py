@@ -1,0 +1,231 @@
+"""A lightweight per-request span tracer for the serving stack.
+
+One :class:`Trace` is the story of a single request: a ``trace_id`` plus a
+tree of :class:`Span` timings (tier decisions, plan execution, walk-kernel
+chunks, delta application, shared-memory publish/flip).  The tracer is
+deliberately tiny — spans record a name, attributes, a ``perf_counter``
+duration and children; there is no sampling, no export protocol, just an
+in-process tree that the net server can echo and the CLI can render.
+
+Determinism (DESIGN.md Contract 6)
+----------------------------------
+Trace ids come from :func:`uuid.uuid4` (``os.urandom``), never from a NumPy
+generator, so opening a trace can never perturb a seeded estimate stream.
+Span bookkeeping touches only wall-clock reads and Python lists; enabling the
+tracer must leave every estimate bit-identical.
+
+Hot-path cost
+-------------
+``Tracer.span`` on a disabled tracer — or outside any active trace — returns
+the shared :data:`_NOOP_SPAN` context manager without allocating.  Kernels
+that open spans per chunk guard with :attr:`Tracer.active` first.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+import uuid
+from typing import Optional
+
+__all__ = ["Span", "Trace", "Tracer", "new_trace_id", "render_span_tree"]
+
+
+def new_trace_id() -> str:
+    """A 16-hex-character request id drawn from ``os.urandom`` (not NumPy)."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation inside a trace, with attributes and children."""
+
+    __slots__ = ("name", "attributes", "started_at", "duration", "children")
+
+    def __init__(self, name: str, attributes: Optional[dict] = None) -> None:
+        self.name = name
+        self.attributes = attributes or {}
+        self.started_at = time.perf_counter()
+        self.duration: float = 0.0
+        self.children: list[Span] = []
+
+    def finish(self) -> None:
+        self.duration = time.perf_counter() - self.started_at
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly rendering (used by tests and future exporters)."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "duration_ms": round(self.duration * 1000.0, 3),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration * 1000.0:.3f}ms, children={len(self.children)})"
+
+
+class Trace:
+    """A complete request trace: an id plus the root span."""
+
+    __slots__ = ("trace_id", "root")
+
+    def __init__(self, name: str, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.root = Span(name)
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "root": self.root.to_dict()}
+
+
+class _NoopSpanContext:
+    """Shared do-nothing context manager for the disabled/inactive paths."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens a child span under the current span."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+        self._token = None
+
+    def __enter__(self) -> Optional[Span]:
+        parent = self._tracer._current.get()
+        if parent is None:
+            return None
+        span = Span(self._name, self._attributes)
+        parent.children.append(span)
+        self._span = span
+        self._token = self._tracer._current.set(span)
+        return span
+
+    def __exit__(self, *exc_info) -> None:
+        if self._span is not None:
+            self._span.finish()
+            self._tracer._current.reset(self._token)
+
+
+class _TraceContext:
+    """Context manager that opens a whole trace and parks it as current."""
+
+    __slots__ = ("_tracer", "_trace", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: Optional[str]) -> None:
+        self._tracer = tracer
+        self._trace = Trace(name, trace_id=trace_id)
+        self._token = None
+
+    def __enter__(self) -> Trace:
+        self._token = self._tracer._current.set(self._trace.root)
+        return self._trace
+
+    def __exit__(self, *exc_info) -> None:
+        self._trace.root.finish()
+        self._tracer._current.reset(self._token)
+
+
+class _NoopTraceContext:
+    """Disabled-tracer stand-in for :meth:`Tracer.trace` (yields ``None``)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_TRACE = _NoopTraceContext()
+
+
+class Tracer:
+    """Factory for traces and spans, carrying the current span in a contextvar.
+
+    The contextvar makes nesting automatic across plain calls and
+    ``asyncio`` tasks alike, and keeps concurrent requests (the net server's
+    loop thread vs its work thread) from cross-linking their spans.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._current: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
+            f"repro_obs_span_{id(self)}", default=None
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether a span opened now would actually record (cheap guard)."""
+        return self.enabled and self._current.get() is not None
+
+    def trace(self, name: str, trace_id: Optional[str] = None):
+        """Open a new trace; yields the :class:`Trace` (or ``None`` if disabled)."""
+        if not self.enabled:
+            return _NOOP_TRACE
+        return _TraceContext(self, name, trace_id)
+
+    def span(self, name: str, **attributes):
+        """Open a child span under the current one; no-op outside a trace."""
+        if not self.enabled or self._current.get() is None:
+            return _NOOP_SPAN
+        return _SpanContext(self, name, attributes)
+
+    def current_span(self) -> Optional[Span]:
+        return self._current.get()
+
+
+def _format_attributes(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    body = ", ".join(f"{key}={value}" for key, value in attributes.items())
+    return f" ({body})"
+
+
+def render_span_tree(trace: Trace) -> str:
+    """An ASCII tree of one trace, for ``repro-er query --trace``.
+
+    ::
+
+        trace 1f3a9c2b41d08e6f · query — 12.41 ms
+        └─ tier:cache — 0.01 ms (hit=False)
+        └─ engine:query — 12.38 ms (method=geer)
+           └─ walk:scores — 11.90 ms (walks=1536, length=64)
+    """
+    lines = [
+        f"trace {trace.trace_id} · {trace.root.name} — "
+        f"{trace.root.duration * 1000.0:.2f} ms"
+        f"{_format_attributes(trace.root.attributes)}"
+    ]
+
+    def walk(span: Span, prefix: str, is_last: bool) -> None:
+        branch = "└─ " if is_last else "├─ "
+        lines.append(
+            f"{prefix}{branch}{span.name} — {span.duration * 1000.0:.2f} ms"
+            f"{_format_attributes(span.attributes)}"
+        )
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(span.children):
+            walk(child, child_prefix, i == len(span.children) - 1)
+
+    for i, child in enumerate(trace.root.children):
+        walk(child, "", i == len(trace.root.children) - 1)
+    return "\n".join(lines)

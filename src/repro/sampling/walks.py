@@ -51,6 +51,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.obs import NULL_OBS, Observability
 from repro.utils.rng import RngLike, as_generator, random_choice_csr
 from repro.utils.validation import check_integer, check_node
 
@@ -212,7 +213,9 @@ class RandomWalkEngine:
     run the original kernel bit-for-bit.
     """
 
-    def __init__(self, graph: Graph, *, rng: RngLike = None) -> None:
+    def __init__(
+        self, graph: Graph, *, rng: RngLike = None, obs: Optional["Observability"] = None
+    ) -> None:
         if graph.num_nodes == 0:
             raise ValueError("cannot walk on an empty graph")
         if np.any(graph.degrees == 0):
@@ -238,6 +241,10 @@ class RandomWalkEngine:
             self._alias_node = None
         self._rng = as_generator(rng)
         self.total_steps = 0  # cumulative number of single-node transitions taken
+        #: Observability bundle; spans only open when its tracer is active, so
+        #: the default NULL_OBS costs one attribute read per walk_scores call.
+        #: Instrumentation never draws from ``rng`` (DESIGN.md Contract 6).
+        self.obs = obs if obs is not None else NULL_OBS
 
     @property
     def graph(self) -> Graph:
@@ -362,32 +369,46 @@ class RandomWalkEngine:
             raise ValueError("weights must be a length-n vector")
         if num_walks == 0 or length == 0:
             return np.zeros(num_walks, dtype=np.float64)
+        tracer = self.obs.tracer
         if (
             chunk_size is None
             or chunk_size >= num_walks
             or not hasattr(self._rng.bit_generator, "advance")
         ):
             scores = np.empty(num_walks, dtype=np.float64)
-            self._scores_block(start, num_walks, length, weights, self._rng, 0, scores)
+            with tracer.span(
+                "walk:scores", start=start, walks=num_walks, length=length, chunks=1
+            ):
+                self._scores_block(
+                    start, num_walks, length, weights, self._rng, 0, scores
+                )
             self.total_steps += num_walks * length
             return scores
         chunk_size = check_integer(chunk_size, "chunk_size", minimum=1)
         scores = np.empty(num_walks, dtype=np.float64)
         base = self._rng.bit_generator
-        for lo in range(0, num_walks, chunk_size):
-            hi = min(lo + chunk_size, num_walks)
-            # A cloned generator advanced to the slab's first stream offset;
-            # _scores_block skips the other slabs' draws after every step, so
-            # walk k consumes the exact double the unchunked kernel would
-            # have handed it (stream position step·num_walks + k).
-            child = np.random.Generator(type(base)())
-            child.bit_generator.state = base.state
-            child.bit_generator.advance(lo)
-            self._scores_block(
-                start, hi - lo, length, weights, child, num_walks - (hi - lo),
-                scores[lo:hi],
-            )
-            self.total_steps += (hi - lo) * length
+        with tracer.span(
+            "walk:scores",
+            start=start,
+            walks=num_walks,
+            length=length,
+            chunks=-(-num_walks // chunk_size),
+        ):
+            for lo in range(0, num_walks, chunk_size):
+                hi = min(lo + chunk_size, num_walks)
+                # A cloned generator advanced to the slab's first stream offset;
+                # _scores_block skips the other slabs' draws after every step, so
+                # walk k consumes the exact double the unchunked kernel would
+                # have handed it (stream position step·num_walks + k).
+                child = np.random.Generator(type(base)())
+                child.bit_generator.state = base.state
+                child.bit_generator.advance(lo)
+                with tracer.span("walk:chunk", lo=lo, hi=hi):
+                    self._scores_block(
+                        start, hi - lo, length, weights, child,
+                        num_walks - (hi - lo), scores[lo:hi],
+                    )
+                self.total_steps += (hi - lo) * length
         # The main stream consumed nothing directly; move it past the draws
         # the slabs used so subsequent calls see the unchunked stream state.
         base.advance(num_walks * length)

@@ -36,6 +36,7 @@ from repro.core.engine import QueryEngine
 from repro.core.registry import REFRESH_POLICIES, QueryBudget, QueryContext
 from repro.core.result import EstimateResult
 from repro.graph.delta import EdgeDelta, GraphStore, expand_neighborhood
+from repro.obs import Observability, Sample
 from repro.service import artifacts as artifacts_io
 from repro.service.cache import ResistanceCache, canonical_pair
 from repro.service.coalesce import PendingQuery, RequestCoalescer
@@ -179,6 +180,11 @@ class ResistanceService:
         default.
     validate:
         Forwarded to the context (connectivity/non-bipartiteness check).
+    obs:
+        An :class:`repro.obs.Observability` bundle.  By default the service
+        creates one with metrics **enabled** and tracing disabled
+        (:meth:`Observability.serving`); pass an explicit bundle to share a
+        registry across services or to enable per-request tracing.
     """
 
     def __init__(
@@ -191,11 +197,29 @@ class ResistanceService:
         artifact_dir=None,
         validate: bool = True,
         context: Optional[QueryContext] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.artifact_dir = artifact_dir
         self.stats = ServiceStats()
         self.warm_started = False
+        self.obs = obs if obs is not None else Observability.serving()
+        metrics = self.obs.metrics
+        self._tier_answers = metrics.counter(
+            "repro_tier_answers_total",
+            "Answers served, by serving tier (cache/sketch/engine).",
+            labels=("tier",),
+        )
+        self._tier_latency = metrics.histogram(
+            "repro_tier_latency_seconds",
+            "Wall-clock latency of single-query answers, by serving tier.",
+            labels=("tier",),
+        )
+        self._update_latency = metrics.histogram(
+            "repro_update_latency_seconds",
+            "End-to-end apply_update latency (flush, patch, invalidate).",
+        )
+        metrics.register_collector(self._metrics_collector)
 
         sketch: Optional[LandmarkSketchStore] = None
         store: Optional[GraphStore] = None
@@ -226,7 +250,7 @@ class ResistanceService:
                     budget=budget,
                     validate=validate,
                 )
-        self.engine = QueryEngine(context=context)
+        self.engine = QueryEngine(context=context, obs=self.obs)
         self.cache = (
             ResistanceCache(self.config.cache_size) if self.config.use_cache else None
         )
@@ -294,6 +318,7 @@ class ResistanceService:
         # whose sampling was cut off by a budget cap carry no ε guarantee and
         # must never be served as one.
         self.stats.engine_queries += 1
+        self._tier_answers.labels(tier="engine").inc()
         if self.cache is not None and not result.budget_exhausted:
             self.cache.put(
                 result.s,
@@ -311,10 +336,15 @@ class ResistanceService:
         self, s: int, t: int, epsilon: float
     ) -> Optional[EstimateResult]:
         """Try the cache then the sketch; None when the engine must run."""
+        tracer = self.obs.tracer
         if self.cache is not None:
-            entry = self.cache.get(s, t, epsilon)
+            with tracer.span("tier:cache", s=s, t=t) as span:
+                entry = self.cache.get(s, t, epsilon)
+                if span is not None:
+                    span.attributes["hit"] = entry is not None
             if entry is not None:
                 self.stats.cache_hits += 1
+                self._tier_answers.labels(tier="cache").inc()
                 return EstimateResult(
                     value=entry.value,
                     method="cache",
@@ -329,9 +359,13 @@ class ResistanceService:
                 )
         sketch = self._ready_sketch()
         if sketch is not None:
-            answer = sketch.query(s, t, epsilon)
+            with tracer.span("tier:sketch", s=s, t=t) as span:
+                answer = sketch.query(s, t, epsilon)
+                if span is not None:
+                    span.attributes["hit"] = answer is not None
             if answer is not None:
                 self.stats.sketch_hits += 1
+                self._tier_answers.labels(tier="sketch").inc()
                 if self.cache is not None:
                     self.cache.put(
                         s,
@@ -413,7 +447,9 @@ class ResistanceService:
         what a cold service on the post-delta graph would (delta ≡ rebuild).
         """
         timer = Timer()
-        with timer:
+        with timer, self.obs.tracer.span(
+            "service:update", changes=delta.num_changes
+        ):
             self.flush()
             old_graph = self.graph
             # The context validates (and only then mutates) first; the store
@@ -452,6 +488,7 @@ class ResistanceService:
                     sketch_action = "marked-stale"
             self.stats.updates += 1
             self.stats.invalidated_cache_entries += dropped
+        self._update_latency.observe(timer.elapsed)
         return UpdateReport(
             epoch=epoch,
             changes=delta.num_changes,
@@ -481,13 +518,17 @@ class ResistanceService:
         epsilon = check_positive(epsilon, "epsilon")
         s, t = check_node_pair(s, t, self.graph.num_nodes)
         self.stats.requests += 1
-        served = self._layered_answer(s, t, epsilon)
-        if served is not None:
-            return served
-        result = self.engine.query(
-            s, t, epsilon, method=method or self.config.method, **kwargs
-        )
-        result.details.setdefault("source", "engine")
+        timer = Timer()
+        with timer, self.obs.tracer.span("service:query", s=s, t=t, epsilon=epsilon):
+            result = self._layered_answer(s, t, epsilon)
+            if result is None:
+                result = self.engine.query(
+                    s, t, epsilon, method=method or self.config.method, **kwargs
+                )
+                result.details.setdefault("source", "engine")
+        self._tier_latency.labels(
+            tier=result.details.get("source", "engine")
+        ).observe(timer.elapsed)
         return result
 
     def query_many(
@@ -634,6 +675,87 @@ class ResistanceService:
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
+    def _metrics_collector(self):
+        """Scrape-time samples bridging the Stats dataclasses into /metrics.
+
+        Registered on the service's metrics registry at construction; only
+        runs when the exposition is rendered, so the per-request hot path
+        never double-counts into both a dataclass and a counter.
+        """
+        samples = [
+            Sample("repro_epoch", "gauge", "Graph epoch currently served.", {}, float(self.epoch)),
+            Sample("repro_updates_total", "counter", "Edge deltas absorbed end to end.", {}, float(self.stats.updates)),
+        ]
+        stats = self.stats
+        for field in (
+            "requests",
+            "cache_hits",
+            "sketch_hits",
+            "engine_queries",
+            "coalesced_submissions",
+            "invalidated_cache_entries",
+            "sketch_rebuilds",
+        ):
+            samples.append(
+                Sample(
+                    f"repro_service_{field}_total",
+                    "counter",
+                    f"ServiceStats.{field} for this service.",
+                    {},
+                    float(getattr(stats, field)),
+                )
+            )
+        if self.cache is not None:
+            cache = self.cache.stats
+            for field in ("hits", "misses", "insertions", "refinements", "evictions", "invalidations"):
+                samples.append(
+                    Sample(
+                        f"repro_cache_{field}_total",
+                        "counter",
+                        f"CacheStats.{field} of the answer cache.",
+                        {},
+                        float(getattr(cache, field)),
+                    )
+                )
+            samples.append(
+                Sample("repro_cache_entries", "gauge", "Live answer-cache entries.", {}, float(len(self.cache)))
+            )
+        if self.sketch is not None:
+            sk = self.sketch.stats
+            for field in ("lookups", "hits", "exact_hits"):
+                samples.append(
+                    Sample(
+                        f"repro_sketch_{field}_total",
+                        "counter",
+                        f"SketchStats.{field} of the landmark sketch store.",
+                        {},
+                        float(getattr(sk, field)),
+                    )
+                )
+            samples.append(
+                Sample("repro_sketch_stale", "gauge", "1 when the sketch is stale for the current epoch.", {}, float(bool(self.sketch.stale)))
+            )
+        if self._coalescer is not None:
+            co = self._coalescer.stats
+            for field in ("submitted", "executed_pairs", "flushes", "size_flushes", "deadline_flushes", "demand_flushes"):
+                samples.append(
+                    Sample(
+                        f"repro_coalescer_{field}_total",
+                        "counter",
+                        f"CoalescerStats.{field} of the request coalescer.",
+                        {},
+                        float(getattr(co, field)),
+                    )
+                )
+        session = self.engine.stats
+        samples.append(
+            Sample("repro_session_queries_total", "counter", "Estimates recorded by the engine session.", {}, float(session.num_queries))
+        )
+        samples.append(
+            Sample("repro_session_elapsed_seconds_total", "counter", "Cumulative in-estimate wall-clock seconds.", {}, float(session.elapsed_seconds))
+        )
+        return samples
+
     def summary(self) -> dict[str, dict[str, object]]:
         """Per-layer counters: service routing, cache, sketch, coalescer, engine."""
         summary: dict[str, dict[str, object]] = {"service": self.stats.summary()}

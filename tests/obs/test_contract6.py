@@ -1,0 +1,116 @@
+"""Contract 6: instrumentation never changes results.
+
+Every walk-kernel method must produce **bit-identical** estimates whether it
+runs bare (``NULL_OBS``), with metrics enabled, or with metrics *and* tracing
+enabled — and with tracing on, the estimates must still match the stored
+golden fixtures in ``tests/data/golden.json`` hex-for-hex.  Trace ids come
+from ``os.urandom``, so opening a trace can never perturb a seeded NumPy
+stream; this test is the executable proof.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from regen_golden import (
+    BITWISE_METHODS,
+    EPSILON,
+    GOLDEN_PATH,
+    SEED,
+    _budget,
+    golden_graphs,
+    golden_pairs,
+)
+from repro.obs import MetricsRegistry, Observability, Tracer
+
+pytestmark = pytest.mark.conformance
+
+
+def _run_method(graph, method, obs=None):
+    """``regen_golden.run_method`` with an observability bundle attached."""
+    from repro.core.registry import QueryContext, resolve_method
+
+    context = QueryContext(graph, rng=SEED, budget=_budget(), obs=obs)
+    spec = resolve_method(method)
+    values = []
+    for s, t in golden_pairs(graph):
+        values.append(float(spec(context, s, t, EPSILON).value))
+    return values
+
+
+def _traced_obs() -> Observability:
+    return Observability(
+        metrics=MetricsRegistry(enabled=True), tracer=Tracer(enabled=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return golden_graphs()
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(Path(GOLDEN_PATH).read_text())
+
+
+@pytest.mark.parametrize("graph_name", ["ba60-unweighted", "ba60-weighted"])
+@pytest.mark.parametrize("method", sorted(BITWISE_METHODS))
+def test_estimates_bit_identical_with_and_without_instrumentation(
+    graphs, graph_name, method
+):
+    graph = graphs[graph_name]
+    bare = [float(v).hex() for v in _run_method(graph, method)]
+    metered = [
+        float(v).hex()
+        for v in _run_method(graph, method, obs=Observability.serving())
+    ]
+    assert metered == bare, f"{method}: enabling metrics changed the estimates"
+
+    obs = _traced_obs()
+    with obs.tracer.trace("contract6"):
+        traced = [float(v).hex() for v in _run_method(graph, method, obs=obs)]
+    assert traced == bare, f"{method}: enabling tracing changed the estimates"
+
+
+@pytest.mark.parametrize("graph_name", ["ba60-unweighted", "ba60-weighted"])
+@pytest.mark.parametrize("method", sorted(BITWISE_METHODS))
+def test_golden_replay_with_tracing_enabled(golden, graphs, graph_name, method):
+    """The traced run matches the stored fixtures, not merely itself."""
+    stored = golden["graphs"][graph_name]["methods"][method]["hex"]
+    obs = _traced_obs()
+    with obs.tracer.trace("golden-replay") as trace:
+        replayed = [
+            float(v).hex() for v in _run_method(graphs[graph_name], method, obs=obs)
+        ]
+    assert replayed == stored, (
+        f"{method} on {graph_name} drifted from golden with tracing enabled — "
+        "instrumentation leaked into the estimate stream (Contract 6)"
+    )
+    # and the trace actually recorded: this was not a vacuous no-op run
+    assert trace is not None and trace.trace_id
+
+
+def test_tracing_actually_records_spans(graphs):
+    """Guard against the vacuous pass: the traced geer run must emit walk
+    spans and result metrics, otherwise the bit-identity above proves nothing."""
+    from repro.core.engine import QueryEngine
+
+    graph = graphs["ba60-unweighted"]
+    obs = _traced_obs()
+    engine = QueryEngine(graph, rng=SEED, obs=obs)
+    with obs.tracer.trace("witness") as trace:
+        for s, t in golden_pairs(graph):
+            engine.query(s, t, EPSILON, method="geer")
+    spans = [span.name for span in trace.root.children]
+    assert spans == ["engine:query"] * 3
+    assert any(
+        child.name == "walk:scores" for child in trace.root.children[0].children
+    ), "the walk kernel recorded no spans under an active trace"
+    snapshot = obs.metrics.snapshot()
+    assert snapshot['repro_queries_total{method="geer"}'] == 3.0
+    assert snapshot['repro_query_latency_seconds_count{method="geer"}'] == 3.0
+    assert snapshot["repro_walk_steps_total"] > 0

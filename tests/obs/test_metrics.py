@@ -1,0 +1,189 @@
+"""MetricsRegistry: instrument semantics, bucket math, exposition format."""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    Sample,
+)
+
+# One exposition line: `name{labels} value` with HELP/TYPE comment lines.
+# Label values may contain backslash-escaped quotes/backslashes/newlines.
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\["\\n])*"'
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    rf"(\{{{_LABEL}(,{_LABEL})*\}})?"
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"
+)
+_COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("repro_test_total", "help text")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+    gauge = registry.gauge("repro_test_gauge")
+    gauge.set(4)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 3.0
+
+
+def test_labelled_children_are_independent():
+    registry = MetricsRegistry(enabled=True)
+    family = registry.counter("repro_answers_total", labels=("tier",))
+    family.labels(tier="cache").inc()
+    family.labels(tier="cache").inc()
+    family.labels(tier="engine").inc()
+    assert family.labels(tier="cache").value == 2
+    assert family.labels(tier="engine").value == 1
+    with pytest.raises(ValueError):
+        family.labels(wrong="x")
+
+
+def test_name_and_type_conflicts_are_rejected():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("repro_thing_total")
+    # same name + same shape returns the same family (idempotent)
+    assert registry.counter("repro_thing_total") is registry.counter(
+        "repro_thing_total"
+    )
+    with pytest.raises(ValueError):
+        registry.gauge("repro_thing_total")
+    with pytest.raises(ValueError):
+        registry.counter("repro_thing_total", labels=("extra",))
+    with pytest.raises(ValueError):
+        registry.counter("0bad name")
+    with pytest.raises(ValueError):
+        registry.counter("repro_ok_total", labels=("0bad",))
+
+
+def test_histogram_bucket_math():
+    """Observations land in the first bucket with ``value <= le``; the rendered
+    ``_bucket`` counts are cumulative and ``+Inf`` equals ``_count``."""
+    registry = MetricsRegistry(enabled=True)
+    hist = registry.histogram("repro_lat_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.01, 0.05, 0.5, 5.0):
+        hist.observe(value)
+
+    child = hist._children[()]
+    # raw per-bucket counts: (<=0.01)=2 [0.005, 0.01 on the boundary],
+    # (<=0.1)=1, (<=1.0)=1, +Inf overflow=1
+    assert child.counts == [2, 1, 1, 1]
+    assert child.cumulative_counts() == [2, 3, 4, 5]
+    assert child.count == 5
+    assert child.sum == pytest.approx(5.565)
+
+    text = registry.exposition()
+    assert 'repro_lat_seconds_bucket{le="0.01"} 2' in text
+    assert 'repro_lat_seconds_bucket{le="0.1"} 3' in text
+    assert 'repro_lat_seconds_bucket{le="1"} 4' in text
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 5' in text
+    assert "repro_lat_seconds_count 5" in text
+
+
+def test_histogram_default_buckets_cover_the_latency_spectrum():
+    assert DEFAULT_LATENCY_BUCKETS == tuple(sorted(DEFAULT_LATENCY_BUCKETS))
+    assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-4  # cache hits
+    assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0  # cold exact solves
+    registry = MetricsRegistry(enabled=True)
+    with pytest.raises(ValueError):
+        registry.histogram("repro_bad_seconds", buckets=(1.0, 0.5))
+
+
+def test_exposition_parses_line_by_line():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("repro_a_total", "a counter", labels=("kind",)).labels(
+        kind='we"ird'
+    ).inc()
+    registry.gauge("repro_b", "a gauge").set(2.5)
+    registry.histogram("repro_c_seconds", "a histogram").observe(0.02)
+    registry.register_collector(
+        lambda: [Sample("repro_d_total", "counter", "collected", {"x": "1"}, 7)]
+    )
+
+    text = registry.exposition()
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").splitlines():
+        if line.startswith("#"):
+            assert _COMMENT_LINE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert _SAMPLE_LINE.match(line), f"bad sample line: {line!r}"
+    # HELP/TYPE appear exactly once per family
+    assert text.count("# TYPE repro_a_total counter") == 1
+    assert text.count("# TYPE repro_d_total counter") == 1
+    # label escaping round-trips the embedded quote
+    assert 'kind="we\\"ird"' in text
+
+
+def test_snapshot_matches_exposition_universe():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("repro_a_total").inc(3)
+    registry.histogram("repro_c_seconds").observe(0.5)
+    registry.register_collector(
+        lambda: [Sample("repro_d", "gauge", "", {}, 1.5)]
+    )
+    snap = registry.snapshot()
+    assert snap["repro_a_total"] == 3.0
+    assert snap["repro_c_seconds_count"] == 1.0
+    assert snap["repro_c_seconds_sum"] == 0.5
+    assert snap["repro_d"] == 1.5
+
+
+def test_disabled_registry_is_free_and_silent():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("repro_x_total")
+    assert counter is NULL_INSTRUMENT
+    assert counter.labels(anything="goes") is NULL_INSTRUMENT
+    counter.inc()
+    counter.observe(1.0)
+    counter.set(2.0)
+    counter.dec()
+    assert counter.value == 0.0
+    registry.register_collector(lambda: [Sample("x", "counter", "", {}, 1)])
+    assert registry.exposition() == ""
+    assert registry.snapshot() == {}
+
+
+def test_concurrent_increments_are_not_lost():
+    """`+=` on a float is a read-modify-write; the per-child lock must make
+    4 x 10k increments from 4 threads land exactly."""
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("repro_threads_total")
+    hist = registry.histogram("repro_threads_seconds", buckets=(0.5,))
+
+    def hammer():
+        for _ in range(10_000):
+            counter.inc()
+            hist.observe(0.1)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 40_000
+    assert hist._children[()].count == 40_000
+    assert hist._children[()].cumulative_counts()[-1] == 40_000
+
+
+def test_infinite_and_integer_rendering():
+    registry = MetricsRegistry(enabled=True)
+    gauge = registry.gauge("repro_edge")
+    gauge.set(math.inf)
+    assert "repro_edge +Inf" in registry.exposition()
+    gauge.set(3.0)
+    assert "repro_edge 3\n" in registry.exposition()

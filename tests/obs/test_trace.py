@@ -1,0 +1,104 @@
+"""Tracer: span nesting, no-op fast paths, trace ids, ASCII rendering."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.obs import Tracer, new_trace_id, render_span_tree
+from repro.obs.trace import _NOOP_SPAN
+
+
+def test_trace_ids_are_16_hex_chars_and_unique():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(re.fullmatch(r"[0-9a-f]{16}", trace_id) for trace_id in ids)
+
+
+def test_span_nesting_builds_a_tree():
+    tracer = Tracer(enabled=True)
+    with tracer.trace("request", trace_id="abcd1234abcd1234") as trace:
+        with tracer.span("tier:cache", hit=False):
+            pass
+        with tracer.span("engine:query", method="geer") as outer:
+            with tracer.span("walk:scores", walks=8):
+                pass
+            with tracer.span("walk:scores", walks=16):
+                pass
+    assert trace.trace_id == "abcd1234abcd1234"
+    assert [s.name for s in trace.root.children] == ["tier:cache", "engine:query"]
+    assert [s.name for s in outer.children] == ["walk:scores", "walk:scores"]
+    assert outer.attributes == {"method": "geer"}
+    assert trace.root.duration > 0.0
+    assert all(child.duration >= 0.0 for child in outer.children)
+
+
+def test_disabled_tracer_and_orphan_spans_are_shared_noops():
+    tracer = Tracer(enabled=False)
+    assert tracer.span("x") is _NOOP_SPAN
+    with tracer.trace("request") as trace:
+        assert trace is None
+
+    enabled = Tracer(enabled=True)
+    # enabled but outside any trace: still the shared no-op, and not active
+    assert not enabled.active
+    assert enabled.span("x") is _NOOP_SPAN
+    with enabled.trace("request"):
+        assert enabled.active
+        with enabled.span("child") as span:
+            assert span is not None
+    assert not enabled.active
+
+
+def test_exceptions_still_finish_spans():
+    tracer = Tracer(enabled=True)
+    try:
+        with tracer.trace("request") as trace:
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+    except RuntimeError:
+        pass
+    assert trace.root.children[0].duration > 0.0
+    assert tracer.current_span() is None  # contextvar fully unwound
+
+
+def test_threads_do_not_cross_link_spans():
+    """The contextvar keeps a worker thread's spans out of the loop thread's
+    trace unless the context is explicitly propagated."""
+    tracer = Tracer(enabled=True)
+    recorded = []
+
+    def worker():
+        # fresh thread, fresh context: no active trace here
+        recorded.append(tracer.active)
+        with tracer.span("orphan") as span:
+            recorded.append(span)
+
+    with tracer.trace("request") as trace:
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert recorded == [False, None]
+    assert trace.root.children == []
+
+
+def test_to_dict_and_render_span_tree():
+    tracer = Tracer(enabled=True)
+    with tracer.trace("http:query", trace_id="feedfacefeedface") as trace:
+        with tracer.span("tier:cache", hit=False):
+            pass
+        with tracer.span("engine:query", method="geer"):
+            with tracer.span("walk:scores", walks=8):
+                pass
+
+    payload = trace.to_dict()
+    assert payload["trace_id"] == "feedfacefeedface"
+    assert payload["root"]["name"] == "http:query"
+    assert payload["root"]["children"][1]["children"][0]["name"] == "walk:scores"
+
+    text = render_span_tree(trace)
+    lines = text.splitlines()
+    assert lines[0].startswith("trace feedfacefeedface · http:query — ")
+    assert "├─ tier:cache" in lines[1] and "(hit=False)" in lines[1]
+    assert "└─ engine:query" in lines[2] and "(method=geer)" in lines[2]
+    assert lines[3].startswith("   └─ walk:scores") and "(walks=8)" in lines[3]
