@@ -354,6 +354,11 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if getattr(args, "failpoints", None):
+        from repro.fault import FAULTS
+
+        FAULTS.arm_from_string(args.failpoints)
+        print(f"failpoints armed: {', '.join(FAULTS.armed_names())}", flush=True)
     if args.port is not None:
         return _cmd_serve_network(args)
     if not args.pairs:
@@ -776,6 +781,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="log a structured slow_query line (trace_id, endpoint, elapsed) "
         "for requests slower than this many milliseconds (default: off)",
+    )
+    serve_parser.add_argument(
+        "--failpoints",
+        metavar="SPEC",
+        help="arm fault-injection failpoints for chaos testing, e.g. "
+        "'pool:worker_crash' or 'net:slow_response=times:3+delay_ms:500,"
+        "artifacts:torn_write' (also honors the REPRO_FAILPOINTS env var)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

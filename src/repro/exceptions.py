@@ -31,10 +31,21 @@ class StaleEpochError(ReproError):
     """
 
 
+class EngineUnavailableError(ReproError):
+    """Raised when the walk-engine tier cannot serve a query right now.
+
+    Subclasses mark the two concrete causes: a worker pool that died past its
+    respawn budget (:class:`~repro.net.pool.PoolCrashError`) and a tripped
+    circuit breaker (:class:`~repro.fault.CircuitOpenError`).  The serving
+    layer catches this type to degrade to sketch-envelope partial answers.
+    """
+
+
 __all__ = [
     "ReproError",
     "GraphStructureError",
     "ConvergenceError",
     "BudgetExceededError",
     "StaleEpochError",
+    "EngineUnavailableError",
 ]

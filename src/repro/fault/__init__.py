@@ -1,0 +1,62 @@
+"""repro.fault — failpoint injection, circuit breaking, retries, crash-safe IO.
+
+The fault-tolerance layer of the serving stack (DESIGN.md Contract 7):
+
+* :mod:`repro.fault.failpoints` — named failpoints (``pool:worker_crash``,
+  ``artifacts:torn_write``, ...) armed via code / ``REPRO_FAILPOINTS`` /
+  ``repro-er serve --failpoints``, zero-cost when disarmed.
+* :mod:`repro.fault.breaker` — circuit breaker for the engine tier.
+* :mod:`repro.fault.retry` — exponential backoff + jitter for transient
+  client errors.
+* :mod:`repro.fault.journal` — atomic tmp+fsync+rename writes and the
+  CRC32-framed record log with torn-tail recovery.
+"""
+
+from repro.fault.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.fault.failpoints import (
+    FAILPOINTS_ENV,
+    FAULTS,
+    FailpointRegistry,
+    FailpointSpec,
+    FailpointTriggered,
+    arm_from_env,
+)
+from repro.fault.journal import (
+    JournalCorruptError,
+    LogReadReport,
+    atomic_write_bytes,
+    atomic_write_text,
+    frame_record,
+    frame_records,
+    read_log,
+)
+from repro.fault.retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FAILPOINTS_ENV",
+    "FAULTS",
+    "FailpointRegistry",
+    "FailpointSpec",
+    "FailpointTriggered",
+    "JournalCorruptError",
+    "LogReadReport",
+    "NO_RETRY",
+    "RetryPolicy",
+    "arm_from_env",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "frame_record",
+    "frame_records",
+    "read_log",
+]

@@ -1,0 +1,168 @@
+"""Circuit breaker for the engine tier.
+
+Classic three-state machine (Nygard, *Release It!*):
+
+* **closed** — requests flow; consecutive failures are counted.  At
+  ``failure_threshold`` the breaker opens.
+* **open** — :meth:`CircuitBreaker.allow` raises :class:`CircuitOpenError`
+  immediately, so the serving layer degrades to sketch-envelope partial
+  answers instead of queueing work against a broken pool.  After
+  ``reset_seconds`` the breaker moves to half-open.
+* **half-open** — exactly one probe request is allowed through.  If it
+  succeeds the breaker closes (counters reset); if it fails the breaker
+  re-opens for another ``reset_seconds``.
+
+The clock is injectable so tests don't sleep, and every transition is
+counted for ``/stats`` and ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.exceptions import EngineUnavailableError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(EngineUnavailableError):
+    """The breaker is open: the engine tier is presumed down, do not call it."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"engine circuit breaker is open; retry in {retry_after:.1f}s"
+        )
+        #: Seconds until the next half-open probe is allowed.
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Trips after ``failure_threshold`` consecutive failures.
+
+    Usage at the call site::
+
+        breaker.allow()            # raises CircuitOpenError when open
+        try:
+            result = do_work()
+        except EngineUnavailableError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_seconds <= 0:
+            raise ValueError(f"reset_seconds must be > 0, got {reset_seconds}")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        # transition counters (monotonic, for obs)
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+        self.rejections = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # caller holds the lock
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    # ------------------------------------------------------------------ #
+    def allow(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` when open.
+
+        In half-open state exactly one caller is admitted as the probe;
+        concurrent callers are rejected until the probe reports back.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return
+            if state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                self.probes += 1
+                return
+            self.rejections += 1
+            remaining = max(
+                0.0, self.reset_seconds - (self._clock() - self._opened_at)
+            )
+            if state == HALF_OPEN:
+                remaining = max(remaining, 1.0)  # probe pending: short retry hint
+        raise CircuitOpenError(remaining)
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self.recoveries += 1
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == HALF_OPEN:
+                # failed probe: straight back to open, fresh cool-down
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        # caller holds the lock
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self.trips += 1
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "failure_threshold": self.failure_threshold,
+                "reset_seconds": self.reset_seconds,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+                "probes": self.probes,
+                "recoveries": self.recoveries,
+                "rejections": self.rejections,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r}, trips={self.trips})"
+
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker", "CircuitOpenError"]

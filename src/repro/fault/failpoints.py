@@ -1,0 +1,292 @@
+"""Named failpoints: deterministic fault injection for the serving stack.
+
+A *failpoint* is a named site in production code where a fault can be injected
+on demand — a worker crash, a torn artifact write, a slow network response.
+The sites are permanent (they ship in the production code paths); whether they
+*fire* is decided by a :class:`FailpointRegistry`, which is disarmed by
+default and costs one attribute read per evaluation in that state (the same
+discipline as :data:`repro.obs.NULL_INSTRUMENT`).
+
+Arming
+------
+Failpoints are armed programmatically (:meth:`FailpointRegistry.arm`), from a
+spec string (:meth:`FailpointRegistry.arm_from_string` — the format the CLI's
+``--failpoints`` flag and the ``REPRO_FAILPOINTS`` environment variable use),
+or wholesale via :func:`arm_from_env` at process start.  One spec string arms
+any number of failpoints::
+
+    pool:worker_crash=times:1,net:slow_response=prob:0.2+delay_ms:250
+
+Each entry is ``<name>=<directive>[+<directive>...]`` with directives:
+
+``times:N``
+    Fire on at most ``N`` evaluations (after any ``skip``), then go inert.
+``skip:K``
+    Let the first ``K`` evaluations pass before firing starts.
+``prob:P``
+    Fire each evaluation with probability ``P`` (drawn from the registry's
+    own ``random.Random`` — **never** a NumPy stream, so arming a failpoint
+    can never perturb estimate values; Contract 7 inherits Contract 6's
+    "instrumentation never changes results" stance for the disarmed and
+    non-firing cases).
+``delay_ms:D``
+    For latency-injection sites (``net:slow_response``): how long the site
+    should stall when the failpoint fires.
+
+Bare ``<name>`` (or ``<name>=``) means ``times:1``; a bare integer directive
+(``<name>=3``) means ``times:3``.
+
+Well-known sites
+----------------
+The serving stack evaluates these names (see DESIGN.md "Contract 7"):
+
+* ``pool:worker_crash`` — the parent SIGKILLs one pool worker right after
+  dispatching a batch (exactly what the CI chaos job does from outside).
+* ``shm:attach_fail``   — :func:`repro.net.shm.attach_context` raises
+  :class:`~repro.net.shm.SegmentError` before touching any segment.
+* ``walk:chunk_fault``  — the chunked walk kernel raises mid-batch (a shard
+  failing *inside* estimation rather than by process death).
+* ``net:slow_response`` — the server's work functions stall for ``delay_ms``.
+* ``artifacts:torn_write`` — an artifact write leaves a torn (truncated)
+  final file and raises, simulating a crash mid-write.
+* ``delta:partial_append`` — the delta log is written with its final record
+  cut mid-bytes, simulating a torn append.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.exceptions import ReproError
+
+#: Environment variable read by :func:`arm_from_env` (and at import).
+FAILPOINTS_ENV = "REPRO_FAILPOINTS"
+
+
+class FailpointTriggered(ReproError):
+    """An armed failpoint fired and injected a failure at its site."""
+
+    def __init__(self, name: str, fires: int = 1) -> None:
+        super().__init__(f"failpoint {name!r} triggered (fire #{fires})")
+        self.name = name
+        self.fires = fires
+
+
+@dataclass
+class FailpointSpec:
+    """How one armed failpoint behaves.  Parsed by :meth:`from_string`."""
+
+    name: str
+    times: Optional[int] = 1
+    skip: int = 0
+    probability: float = 1.0
+    delay_ms: float = 0.0
+    #: Mutable counters (under the registry lock).
+    evaluations: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.times is not None and self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if self.skip < 0:
+            raise ValueError(f"skip must be >= 0, got {self.skip}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.probability}")
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+
+    @classmethod
+    def from_string(cls, name: str, directives: str) -> "FailpointSpec":
+        """Parse ``times:1+prob:0.5``-style directives (see module docstring)."""
+        spec = cls(name=name)
+        directives = directives.strip()
+        if not directives:
+            return spec
+        for directive in directives.split("+"):
+            directive = directive.strip()
+            if not directive:
+                continue
+            key, sep, value = directive.partition(":")
+            if not sep:
+                # bare integer shorthand: "name=3" == "name=times:3"
+                key, value = "times", key
+            key = key.strip().lower()
+            try:
+                if key == "times":
+                    spec.times = int(value)
+                elif key == "skip":
+                    spec.skip = int(value)
+                elif key == "prob":
+                    spec.probability = float(value)
+                    if "times" not in directives:
+                        spec.times = None  # probabilistic arms default to unlimited
+                elif key == "delay_ms":
+                    spec.delay_ms = float(value)
+                else:
+                    raise ValueError(f"unknown failpoint directive {key!r}")
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad failpoint spec {name}={directives!r}: {exc}"
+                ) from exc
+        spec.__post_init__()
+        return spec
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "times": self.times,
+            "skip": self.skip,
+            "prob": self.probability,
+            "delay_ms": self.delay_ms,
+            "evaluations": self.evaluations,
+            "fires": self.fires,
+        }
+
+
+class FailpointRegistry:
+    """Holds the armed failpoints of one process and decides what fires.
+
+    The hot-path contract: :meth:`fire` on a registry with **nothing armed**
+    is one attribute read and a ``return`` — safe to call per dispatched
+    shard, per HTTP request, even per walk chunk.  Everything slower (the
+    lock, the spec lookup, the probability draw) happens only once at least
+    one failpoint is armed.
+
+    Probability draws come from the registry's private ``random.Random`` —
+    deterministic under :meth:`reseed` and, critically, **never** a NumPy
+    stream, so firing decisions cannot perturb estimates.
+    """
+
+    def __init__(self, *, seed: int = 0xFA17) -> None:
+        self._lock = threading.Lock()
+        self._specs: Dict[str, FailpointSpec] = {}
+        self._rng = random.Random(seed)
+        #: Fast-path flag: read without the lock at every evaluation site.
+        self.armed = False
+
+    # ------------------------------------------------------------------ #
+    # arming
+    # ------------------------------------------------------------------ #
+    def arm(self, name: str, directives: str = "times:1") -> FailpointSpec:
+        """Arm one failpoint; returns the parsed spec."""
+        spec = FailpointSpec.from_string(name, directives)
+        with self._lock:
+            self._specs[name] = spec
+            self.armed = True
+        return spec
+
+    def arm_from_string(self, text: Optional[str]) -> list[FailpointSpec]:
+        """Arm every entry of a ``name=spec,name=spec`` string (None/empty ok)."""
+        armed = []
+        if not text:
+            return armed
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            name, _, directives = entry.partition("=")
+            name = name.strip()
+            if not name:
+                raise ValueError(f"failpoint entry {entry!r} has no name")
+            armed.append(self.arm(name, directives or "times:1"))
+        return armed
+
+    def disarm(self, name: str) -> None:
+        with self._lock:
+            self._specs.pop(name, None)
+            self.armed = bool(self._specs)
+
+    def reset(self) -> None:
+        """Disarm everything (tests call this between cases)."""
+        with self._lock:
+            self._specs.clear()
+            self.armed = False
+
+    def reseed(self, seed: int) -> None:
+        """Make probabilistic firing decisions reproducible."""
+        with self._lock:
+            self._rng = random.Random(seed)
+
+    def armed_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._specs)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def fire(self, name: str) -> Optional[FailpointSpec]:
+        """Evaluate one site; the armed spec when it fires, else ``None``."""
+        if not self.armed:  # the disarmed fast path: one attribute read
+            return None
+        with self._lock:
+            spec = self._specs.get(name)
+            if spec is None:
+                return None
+            spec.evaluations += 1
+            if spec.evaluations <= spec.skip:
+                return None
+            if spec.times is not None and spec.fires >= spec.times:
+                return None
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                return None
+            spec.fires += 1
+            return spec
+
+    def check(self, name: str) -> None:
+        """Raise :class:`FailpointTriggered` when the site fires (else no-op)."""
+        spec = self.fire(name)
+        if spec is not None:
+            raise FailpointTriggered(name, spec.fires)
+
+    def sleep_seconds(self, name: str) -> float:
+        """Latency-injection sites: the stall to apply now (0.0 = none)."""
+        spec = self.fire(name)
+        return spec.delay_ms / 1000.0 if spec is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, dict[str, object]]:
+        """Armed specs with evaluation/fire counts (``/stats`` payload)."""
+        with self._lock:
+            return {name: spec.summary() for name, spec in sorted(self._specs.items())}
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs
+
+    def __repr__(self) -> str:
+        with self._lock:
+            names = sorted(self._specs)
+        return f"FailpointRegistry(armed={names})"
+
+
+#: The process-wide registry every built-in site evaluates.  Fork-spawned pool
+#: workers inherit the parent's armed state; spawn-based workers start clean.
+FAULTS = FailpointRegistry()
+
+
+def arm_from_env(
+    registry: Optional[FailpointRegistry] = None, environ: Optional[dict] = None
+) -> list[FailpointSpec]:
+    """Arm a registry from ``REPRO_FAILPOINTS`` (no-op when unset)."""
+    registry = registry if registry is not None else FAULTS
+    environ = environ if environ is not None else os.environ
+    return registry.arm_from_string(environ.get(FAILPOINTS_ENV))
+
+
+# Arm the default registry from the environment at import, so chaos jobs can
+# inject faults into an unmodified CLI invocation.
+arm_from_env()
+
+__all__ = [
+    "FAILPOINTS_ENV",
+    "FAULTS",
+    "FailpointRegistry",
+    "FailpointSpec",
+    "FailpointTriggered",
+    "arm_from_env",
+]

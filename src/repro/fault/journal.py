@@ -1,0 +1,232 @@
+"""Crash-safe file primitives: atomic writes and CRC-framed record logs.
+
+Two building blocks for the persistence layer (:mod:`repro.service.artifacts`):
+
+**Atomic writes.**  :func:`atomic_write_bytes` / :func:`atomic_write_text`
+write to a same-directory temp file, ``fsync`` it, ``os.replace`` onto the
+final name, then ``fsync`` the directory — so a crash at any instant leaves
+either the old complete file or the new complete file, never a torn one.
+(The pre-PR-8 ``_atomic_write_text`` did tmp+replace but skipped both fsyncs,
+so a power cut could still publish a zero-length rename.)
+
+**Framed record logs.**  The delta log used to be bare JSON lines; a torn
+append made the whole log unreadable.  :func:`frame_record` prefixes each
+record with a CRC32 and byte length::
+
+    0715ab2e 83 {"ops":[...],...}
+
+:func:`read_log` verifies every frame and classifies damage by position:
+a broken **final** record is a torn append — it is dropped and the log
+recovered to the last good record (``LogReadReport.recovered``); a broken
+record **before** the end cannot be explained by a crash mid-append and
+raises :class:`JournalCorruptError` (never silently load bad data).  Legacy
+unframed logs (plain JSON lines) are still readable, with the same
+tail-drop/mid-file rules applied via JSON well-formedness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.exceptions import ReproError
+
+_FRAME_SEP = " "
+
+
+class JournalCorruptError(ReproError):
+    """A record log is damaged in a way torn-tail recovery cannot explain."""
+
+
+# --------------------------------------------------------------------------- #
+# atomic writes
+# --------------------------------------------------------------------------- #
+def _fsync_dir(directory: Path) -> None:
+    """Persist a rename by fsyncing its directory (best-effort off-POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Crash-safe replace of ``path`` with ``data`` (tmp + fsync + rename)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, *, encoding: str = "utf-8"
+) -> None:
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+# --------------------------------------------------------------------------- #
+# record framing
+# --------------------------------------------------------------------------- #
+def frame_record(payload: str) -> str:
+    """One framed log line: ``<crc32:08x> <byte-length> <payload>\\n``."""
+    if "\n" in payload:
+        raise ValueError("framed payloads must be single-line")
+    raw = payload.encode("utf-8")
+    return f"{zlib.crc32(raw):08x}{_FRAME_SEP}{len(raw)}{_FRAME_SEP}{payload}\n"
+
+
+def frame_records(payloads: Iterable[str]) -> str:
+    return "".join(frame_record(p) for p in payloads)
+
+
+def _parse_frame(line: str) -> Union[str, None]:
+    """The payload of a valid framed line, else ``None``."""
+    head, sep, rest = line.partition(_FRAME_SEP)
+    if not sep or len(head) != 8:
+        return None
+    length_text, sep, payload = rest.partition(_FRAME_SEP)
+    if not sep:
+        return None
+    try:
+        crc = int(head, 16)
+        length = int(length_text)
+    except ValueError:
+        return None
+    raw = payload.encode("utf-8")
+    if len(raw) != length or zlib.crc32(raw) != crc:
+        return None
+    return payload
+
+
+def _looks_framed(line: str) -> bool:
+    """Frame-shaped header (8 hex chars + space + digits + space)?"""
+    head, sep, rest = line.partition(_FRAME_SEP)
+    if not sep or len(head) != 8:
+        return False
+    try:
+        int(head, 16)
+    except ValueError:
+        return False
+    length_text = rest.partition(_FRAME_SEP)[0]
+    return length_text.isdigit()
+
+
+@dataclass
+class LogReadReport:
+    """What :func:`read_log` found: format, damage, and what was dropped."""
+
+    path: str
+    framed: bool = False
+    records: int = 0
+    recovered: bool = False
+    dropped_records: int = 0
+    dropped_bytes: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "framed": self.framed,
+            "records": self.records,
+            "recovered": self.recovered,
+            "dropped_records": self.dropped_records,
+            "dropped_bytes": self.dropped_bytes,
+        }
+
+
+def read_log(path: Union[str, Path]) -> tuple[List[str], LogReadReport]:
+    """Read a (framed or legacy) record log with torn-tail recovery.
+
+    Returns the intact payloads in order plus a :class:`LogReadReport`.
+    A damaged final record is dropped (crash mid-append — recovery);
+    damage anywhere else raises :class:`JournalCorruptError`.
+    """
+    path = Path(path)
+    report = LogReadReport(path=str(path))
+    data = path.read_bytes()
+    if not data:
+        return [], report
+
+    # split keeping track of whether the file ended mid-line (no trailing \n)
+    text = data.decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    ends_complete = lines[-1] == ""
+    if ends_complete:
+        lines.pop()
+
+    if not lines:
+        return [], report
+
+    report.framed = _looks_framed(lines[0])
+    payloads: List[str] = []
+    for index, line in enumerate(lines):
+        is_last = index == len(lines) - 1
+        torn_candidate = is_last and not ends_complete
+        if report.framed:
+            payload = _parse_frame(line)
+            # A frame whose CRC + length check out is provably intact even
+            # when the trailing newline was lost — accept it.
+            intact = payload is not None
+        else:
+            # Legacy log: validity == JSON well-formedness, but a final line
+            # with no trailing newline cannot prove it wasn't byte-truncated
+            # at a token boundary that still parses ({"a": 1234} → {"a": 12}),
+            # so it is dropped even when it parses.
+            payload = line if _valid_json_line(line) else None
+            intact = payload is not None and not torn_candidate
+        if intact:
+            if torn_candidate:
+                # The newline was torn off but the frame proves the record
+                # complete: recovered, with nothing dropped.
+                report.recovered = True
+                report.notes.append("final record intact but unterminated")
+            payloads.append(payload)
+            continue
+        if not torn_candidate:
+            # A damaged record that *kept* its trailing newline (or sits
+            # before other records) cannot come from a truncated append —
+            # that is corruption, and recovery must not guess around it.
+            raise JournalCorruptError(
+                f"{path}: record {index + 1}/{len(lines)} is damaged and "
+                f"torn-append recovery cannot explain it; refusing to load"
+            )
+        report.recovered = True
+        report.dropped_records = 1
+        report.dropped_bytes = len(line.encode("utf-8", errors="replace"))
+        report.notes.append(f"dropped torn final record ({report.dropped_bytes}B)")
+    report.records = len(payloads)
+    return payloads, report
+
+
+def _valid_json_line(line: str) -> bool:
+    try:
+        json.loads(line)
+    except (json.JSONDecodeError, ValueError):
+        return False
+    return True
+
+
+__all__ = [
+    "JournalCorruptError",
+    "LogReadReport",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "frame_record",
+    "frame_records",
+    "read_log",
+]

@@ -1,0 +1,93 @@
+"""Retry with exponential backoff + jitter for transient serving errors.
+
+Used by :class:`repro.net.client.ResistanceClient` for idempotent requests
+(queries are safe to retry; updates are **not** retried — a retried update
+could double-apply a delta).  Jitter draws from the policy's own
+``random.Random``: retry timing must never touch a NumPy stream (the same
+discipline as failpoint probabilities — Contract 6/7).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff: ``base * factor**attempt``, full jitter, capped.
+
+    ``max_attempts`` counts *total* tries (1 = no retries).  A caller-supplied
+    ``retry_after`` hint (e.g. from an HTTP ``Retry-After`` header) overrides
+    the computed backoff for that step — the server knows better than the
+    client how loaded it is.
+    """
+
+    max_attempts: int = 3
+    base_seconds: float = 0.05
+    factor: float = 2.0
+    max_backoff_seconds: float = 2.0
+    jitter: bool = True
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_seconds < 0:
+            raise ValueError(f"base_seconds must be >= 0, got {self.base_seconds}")
+        self._rng = random.Random(self.seed)
+
+    def backoff_seconds(
+        self, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        """Sleep before retry number ``attempt`` (0-based: first retry = 0)."""
+        if retry_after is not None and retry_after >= 0:
+            return min(float(retry_after), self.max_backoff_seconds)
+        delay = min(
+            self.base_seconds * (self.factor**attempt), self.max_backoff_seconds
+        )
+        if self.jitter:
+            delay *= self._rng.uniform(0.5, 1.0)  # decorrelated "equal jitter"
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        retry_on: Tuple[Type[BaseException], ...],
+        retry_after_of: Optional[Callable[[BaseException], Optional[float]]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> T:
+        """Run ``fn`` with retries on the given exception types.
+
+        ``retry_after_of`` extracts a server-provided hint from the caught
+        exception (returns ``None`` when absent); ``on_retry(attempt, exc,
+        delay)`` is an observability hook called before each sleep.
+        """
+        last: BaseException
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                hint = retry_after_of(exc) if retry_after_of is not None else None
+                delay = self.backoff_seconds(attempt, retry_after=hint)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    sleep(delay)
+        raise last
+
+
+#: Never retry: a single attempt, for callers that want the shared interface.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+__all__ = ["NO_RETRY", "RetryPolicy"]

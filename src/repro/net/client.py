@@ -9,8 +9,15 @@ Error mapping mirrors the server's status codes onto the library's exception
 vocabulary: ``409`` (an epoch-pinned request raced an update) raises the
 same :class:`~repro.exceptions.StaleEpochError` the in-process stack uses,
 ``429`` raises :class:`BackpressureError` carrying the server's
-``Retry-After`` hint, and everything else raises :class:`ClientError` with
-the decoded error payload attached.
+``Retry-After`` hint, connection-level failures (refused, reset, socket
+timeout) raise :class:`TransientServerError`, and everything else raises
+:class:`ClientError` with the decoded error payload attached.
+
+Transient failures on idempotent requests (queries and GETs) are retried
+with exponential backoff and jitter via :class:`repro.fault.RetryPolicy`;
+``POST /update`` is never retried — a retry racing a slow-but-applied
+update would double-apply the delta.  ``Retry-After`` hints from 429s are
+honored when backpressure retries are enabled.
 """
 
 from __future__ import annotations
@@ -23,6 +30,11 @@ import urllib.request
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.exceptions import ReproError, StaleEpochError
+from repro.fault import RetryPolicy
+
+#: Socket-level exceptions that mean "the request may never have reached the
+#: server" — safe to retry for idempotent requests.
+_TRANSIENT_EXCEPTIONS = (urllib.error.URLError, socket.timeout, ConnectionError)
 
 
 class ClientError(ReproError):
@@ -38,6 +50,15 @@ class ClientError(ReproError):
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+
+
+class TransientServerError(ClientError):
+    """A connection-level failure (refused/reset/timeout) — likely retryable.
+
+    Raised instead of leaking raw :mod:`urllib`/:mod:`socket` exceptions so
+    callers can catch one typed error for "the server is unreachable right
+    now" and distinguish it from HTTP-level rejections.
+    """
 
 
 class BackpressureError(ClientError):
@@ -56,18 +77,62 @@ class ResistanceClient:
     url:
         Base URL, e.g. ``http://127.0.0.1:8571``.
     timeout:
-        Per-request socket timeout in seconds.
+        Default per-request socket timeout in seconds (overridable per call).
+    retry:
+        Backoff policy for transient failures on idempotent requests.
+        ``None`` keeps the default (3 attempts, exponential backoff with
+        jitter); pass :data:`repro.fault.NO_RETRY` to disable.
+    retry_backpressure:
+        Also retry 429 load-shed responses, honoring the server's
+        ``Retry-After`` hint.  Off by default so callers that *want* to see
+        backpressure (benchmarks, tests) still do.
     """
 
-    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        retry_backpressure: bool = False,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=3)
+        self.retry_backpressure = bool(retry_backpressure)
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
     def _request(
-        self, method: str, path: str, payload: Optional[dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> dict[str, Any]:
+        retry_on: tuple[type[Exception], ...] = ()
+        if idempotent:
+            retry_on = (TransientServerError,)
+            if self.retry_backpressure:
+                retry_on = (TransientServerError, BackpressureError)
+        if not retry_on:
+            return self._request_once(method, path, payload, timeout=timeout)
+        return self.retry.call(
+            lambda: self._request_once(method, path, payload, timeout=timeout),
+            retry_on=retry_on,
+            retry_after_of=lambda exc: getattr(exc, "retry_after", None),
+        )
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> dict[str, Any]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
@@ -76,8 +141,9 @@ class ResistanceClient:
             method=method,
             headers={"Content-Type": "application/json"},
         )
+        socket_timeout = self.timeout if timeout is None else float(timeout)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=socket_timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             raw = exc.read()
@@ -98,14 +164,19 @@ class ResistanceClient:
                 status=exc.code,
                 payload=decoded,
             ) from exc
-        except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
-            raise ClientError(f"{method} {path} failed: {exc}") from exc
+        except _TRANSIENT_EXCEPTIONS as exc:
+            raise TransientServerError(f"{method} {path} failed: {exc}") from exc
 
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
     def healthz(self) -> dict[str, Any]:
+        """Liveness: the process is up (use :meth:`readyz` for routability)."""
         return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict[str, Any]:
+        """Readiness payload — raises :class:`ClientError` (503) when not ready."""
+        return self._request("GET", "/readyz")
 
     def stats(self) -> dict[str, Any]:
         return self._request("GET", "/stats")
@@ -120,8 +191,8 @@ class ResistanceClient:
             raise ClientError(
                 f"GET /metrics failed with HTTP {exc.code}", status=exc.code
             ) from exc
-        except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
-            raise ClientError(f"GET /metrics failed: {exc}") from exc
+        except _TRANSIENT_EXCEPTIONS as exc:
+            raise TransientServerError(f"GET /metrics failed: {exc}") from exc
 
     def query(
         self,
@@ -184,15 +255,25 @@ class ResistanceClient:
             "remove": [list(edge) for edge in remove],
             "reweight": [list(edge) for edge in reweight],
         }
-        return self._request("POST", "/update", payload)
+        # An update is NOT idempotent: a retry racing a slow-but-applied
+        # first attempt would apply the delta twice.  Fail fast instead.
+        return self._request("POST", "/update", payload, idempotent=False)
 
     def wait_ready(self, *, timeout: float = 10.0, interval: float = 0.05) -> dict[str, Any]:
-        """Poll ``/healthz`` until the server answers (startup races, CI smoke)."""
+        """Poll ``/readyz`` until the server is routable (startup races, CI smoke).
+
+        Readiness, not just liveness: returns only once the replica reports
+        it should receive traffic (workers attached, breaker closed).
+        """
         deadline = time.monotonic() + timeout
         last_error: Optional[Exception] = None
         while time.monotonic() < deadline:
             try:
-                return self.healthz()
+                # Short per-probe timeout so one hung connect doesn't eat
+                # the whole wait budget; no retry layer — the loop IS the retry.
+                return self._request_once(
+                    "GET", "/readyz", timeout=min(self.timeout, max(interval * 4, 1.0))
+                )
             except ClientError as exc:
                 last_error = exc
                 time.sleep(interval)
@@ -201,4 +282,9 @@ class ResistanceClient:
         )
 
 
-__all__ = ["BackpressureError", "ClientError", "ResistanceClient"]
+__all__ = [
+    "BackpressureError",
+    "ClientError",
+    "ResistanceClient",
+    "TransientServerError",
+]

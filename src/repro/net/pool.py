@@ -24,26 +24,56 @@ publishing epoch's handle, and a worker whose attached token differs simply
 drops its old mapping and attaches the new segments before touching the
 shard — there is no broadcast, no barrier, and a worker can never mix two
 epochs inside one shard.
+
+**Self-healing (Contract 7).**  Workers are processes and processes die:
+OOM kills, SIGKILL from an operator, a segfault in a native library.  The
+pool treats a dead or hung worker as a recoverable event, not a poisoned
+batch: completed shard results are harvested, the broken executor is torn
+down and respawned attached to the current epoch, and only the *lost*
+shards are re-executed.  Because every task seed comes from ``derive_seed``
+on the task's input position — never from which worker or attempt ran it —
+the re-executed shards reproduce their results hex-exactly, so a batch that
+survived a worker crash is bit-identical to one that never saw it.  After
+``max_respawns`` failed recovery rounds within one dispatch the pool gives
+up with :class:`PoolCrashError` (an
+:class:`~repro.exceptions.EngineUnavailableError`), which the service's
+circuit breaker counts toward tripping the engine tier.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import multiprocessing
 
 from repro.core.batch import BatchResult, QueryPlan, _run_smm_chunk, _task_kwargs
 from repro.core.registry import QueryBudget, resolve_method
 from repro.core.result import EstimateResult
-from repro.exceptions import StaleEpochError
+from repro.exceptions import EngineUnavailableError, StaleEpochError
+from repro.fault import FAULTS, FailpointTriggered
 from repro.net.shm import SharedContextHandle, SharedEpoch, attach_context
 from repro.obs import NULL_OBS, Observability
 from repro.utils.timing import Timer
+
+
+class PoolCrashError(EngineUnavailableError):
+    """The pool kept crashing past its respawn budget for one dispatch."""
+
+    def __init__(self, attempts: int, lost_shards: int, cause: str) -> None:
+        super().__init__(
+            f"worker pool failed {attempts} recovery attempt(s) with "
+            f"{lost_shards} shard(s) still lost (last cause: {cause})"
+        )
+        self.attempts = attempts
+        self.lost_shards = lost_shards
+        self.cause = cause
 
 # --------------------------------------------------------------------------- #
 # worker side
@@ -107,6 +137,18 @@ def _pool_initializer(
     num_batches: Optional[int],
     budget: Optional[QueryBudget],
 ) -> None:
+    # Workers forked after the serving loop registered its asyncio signal
+    # handlers inherit both the Python-level handlers and the loop's signal
+    # wakeup fd (the same pipe, shared across fork).  A SIGTERM delivered to
+    # such a worker — e.g. by the executor tearing down a broken pool — would
+    # write into that shared pipe and wake the PARENT's loop into a graceful
+    # drain.  Reset both so workers die like plain processes.
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread/closed fd
+        pass
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, signal.SIG_DFL)
     _POOL_STATE["delta"] = delta
     _POOL_STATE["num_batches"] = num_batches
     _POOL_STATE["budget"] = budget
@@ -191,6 +233,13 @@ class PoolStats:
     shards_dispatched: int = 0
     fallback_batches: int = 0
     flips: int = 0
+    # self-healing accounting (Contract 7)
+    worker_deaths: int = 0
+    respawns: int = 0
+    reexecuted_shards: int = 0
+    shard_timeouts: int = 0
+    injected_crashes: int = 0
+    recovery_seconds: float = 0.0
     worker_snapshots: dict[int, dict[str, float]] = field(default_factory=dict)
 
     def merge(self, snapshot: dict[str, float]) -> None:
@@ -224,6 +273,12 @@ class PoolStats:
             "shards_dispatched": self.shards_dispatched,
             "fallback_batches": self.fallback_batches,
             "flips": self.flips,
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "reexecuted_shards": self.reexecuted_shards,
+            "shard_timeouts": self.shard_timeouts,
+            "injected_crashes": self.injected_crashes,
+            "recovery_seconds": self.recovery_seconds,
             "workers_reporting": len(self.worker_snapshots),
             **{f"worker_{name}": value for name, value in totals.items()},
             "per_worker": per_worker,
@@ -249,6 +304,14 @@ class SharedWorkerPool:
     max_batch_columns:
         Column cap per vectorized SMM chunk (same default as
         :meth:`QueryPlan.execute`).
+    max_respawns:
+        Recovery attempts per dispatch before giving up with
+        :class:`PoolCrashError`.
+    shard_deadline_seconds:
+        Hung-worker detection: when a dispatched shard has produced no
+        result after this long, the round's remaining workers are presumed
+        wedged, killed, and their shards re-executed on a fresh pool.
+        ``None`` (the default) disables the deadline.
     """
 
     #: Methods that cannot leave the session process (see QueryPlan).
@@ -264,27 +327,43 @@ class SharedWorkerPool:
         budget: Optional[QueryBudget] = None,
         max_batch_columns: int = 256,
         obs: Optional[Observability] = None,
+        max_respawns: int = 2,
+        shard_deadline_seconds: Optional[float] = None,
     ) -> None:
         workers = int(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
         self.workers = workers
         self.max_batch_columns = int(max_batch_columns)
+        self.max_respawns = int(max_respawns)
+        self.shard_deadline_seconds = shard_deadline_seconds
         self.obs = obs if obs is not None else NULL_OBS
         self.stats = PoolStats()
         self._stats_lock = threading.Lock()
         self._current = shared_epoch
         self._closed = False
-        handle = shared_epoch.handle if shared_epoch is not None else None
+        # Kept for respawn: a replacement executor must rebuild its workers'
+        # contexts with the same overrides or re-executed shards would not be
+        # bit-identical to the lost ones.
+        self._context_overrides = (delta, num_batches, budget)
+        self._executor = self._spawn_executor(
+            shared_epoch.handle if shared_epoch is not None else None
+        )
+
+    def _spawn_executor(
+        self, handle: Optional[SharedContextHandle]
+    ) -> ProcessPoolExecutor:
         try:
             mp_context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - platforms without fork
             mp_context = None
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
             mp_context=mp_context,
             initializer=_pool_initializer,
-            initargs=(handle, delta, num_batches, budget),
+            initargs=(handle, *self._context_overrides),
         )
 
     # ------------------------------------------------------------------ #
@@ -318,6 +397,83 @@ class SharedWorkerPool:
             self._executor.submit(_pool_warm, handle) for _ in range(self.workers)
         ]
         return [future.result() for future in futures]
+
+    def worker_pids(self) -> list[int]:
+        """Pids of the currently spawned worker processes (may be empty)."""
+        procs = getattr(self._executor, "_processes", None) or {}
+        return sorted(procs)
+
+    def heartbeat(self, *, heal: bool = True) -> dict[str, object]:
+        """Liveness check: detect dead workers, optionally heal on the spot.
+
+        Called before every dispatch (and by readiness probes), so a worker
+        SIGKILLed *between* batches is reaped and replaced without costing
+        the next batch one of its recovery attempts.
+        """
+        procs = list((getattr(self._executor, "_processes", None) or {}).values())
+        dead = [proc.pid for proc in procs if not proc.is_alive()]
+        broken = getattr(self._executor, "_broken", False)
+        healthy = not dead and not broken
+        if not healthy and heal and not self._closed:
+            started = time.perf_counter()
+            with self.obs.tracer.span(
+                "pool:recover", cause="heartbeat", dead=len(dead)
+            ):
+                self._respawn()
+            with self._stats_lock:
+                self.stats.worker_deaths += max(1, len(dead))
+                self.stats.respawns += 1
+                self.stats.recovery_seconds += time.perf_counter() - started
+        return {
+            "healthy": bool(healthy),
+            "alive_workers": len(procs) - len(dead),
+            "dead_workers": len(dead),
+            "broken": bool(broken),
+        }
+
+    def _respawn(self, *, kill_workers: bool = False) -> None:
+        """Tear down the (broken or wedged) executor and start a fresh one.
+
+        The replacement attaches to the pool's *current* epoch handle so a
+        flip that happened before the crash survives recovery.
+        """
+        old = self._executor
+        procs = list((getattr(old, "_processes", None) or {}).values())
+        if kill_workers:
+            for proc in procs:
+                try:
+                    if proc.is_alive():
+                        proc.kill()
+                except (ValueError, OSError):  # already reaped/closed
+                    pass
+        old.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.join(timeout=1.0)
+            except (ValueError, OSError, AssertionError):
+                pass
+        self._executor = self._spawn_executor(
+            self._current.handle if self._current is not None else None
+        )
+
+    def _maybe_inject_worker_crash(self) -> None:
+        """``pool:worker_crash`` failpoint: SIGKILL one live worker.
+
+        Evaluated parent-side right after a round of shards is submitted —
+        the same external kill the chaos CI job performs, with the firing
+        count kept in the parent registry (fork-inherited worker registries
+        never see the evaluation, so respawned workers cannot re-fire it).
+        """
+        if FAULTS.fire("pool:worker_crash") is None:
+            return
+        for pid in self.worker_pids():
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                continue
+            with self._stats_lock:
+                self.stats.injected_crashes += 1
+            return
 
     def shutdown(self, *, wait: bool = True) -> None:
         if not self._closed:
@@ -397,6 +553,7 @@ class SharedWorkerPool:
         results: list[Optional[EstimateResult]] = [None] * len(plan)
         vectorized_smm = vectorize and plan.spec.name == "smm" and not kwargs
         num_shards = self.workers * shards_per_worker
+        self.heartbeat()  # reap workers that died between batches
         with timer, self.obs.tracer.span(
             "pool:dispatch",
             method=plan.spec.name,
@@ -417,29 +574,28 @@ class SharedWorkerPool:
                                 int(bucket.walk_length or 0),
                             )
                         )
-                futures = [
-                    self._executor.submit(
+                shards = _split(chunks, num_shards)
+
+                def submit(shard: list) -> Any:
+                    return self._executor.submit(
                         _pool_run_smm_shard, handle, plan.epsilon, shard
                     )
-                    for shard in _split(chunks, num_shards)
-                ]
+
             else:
                 tasks = plan.parallel_tasks(kwargs)
-                futures = [
-                    self._executor.submit(
+                shards = _split(tasks, num_shards)
+
+                def submit(shard: list) -> Any:
+                    return self._executor.submit(
                         _pool_run_shard, handle, plan.spec.name, plan.epsilon, shard
                     )
-                    for shard in _split(tasks, num_shards)
-                ]
-            for future in futures:
-                shard_results, snapshot = future.result()
+
+            for shard_results in self._run_shards(shards, submit):
                 for index, result in shard_results:
                     results[index] = result
-                with self._stats_lock:
-                    self.stats.merge(snapshot)
             with self._stats_lock:
                 self.stats.batches += 1
-                self.stats.shards_dispatched += len(futures)
+                self.stats.shards_dispatched += len(shards)
         return BatchResult(
             method=plan.spec.name,
             epsilon=plan.epsilon,
@@ -451,6 +607,86 @@ class SharedWorkerPool:
             workers=self.workers,
             executor="shm-pool",
         )
+
+    def _run_shards(
+        self, shards: list[list[Any]], submit: Callable[[list[Any]], Any]
+    ) -> list[list[tuple[int, EstimateResult]]]:
+        """Run every shard to completion, healing the pool along the way.
+
+        Each round submits the still-pending shards, harvests whatever
+        completed, and classifies the failures: a :class:`BrokenProcessPool`
+        (at submit or result time) means a worker died; a round that blows
+        ``shard_deadline_seconds`` with futures still running means workers
+        are wedged; a :class:`FailpointTriggered` is an injected in-shard
+        fault.  Any of these triggers a respawn + re-execution of exactly
+        the lost shards — deterministic by Contract 7, since shard tasks
+        carry their original position-derived seeds.  Unrecognised worker
+        exceptions (real bugs) propagate unchanged.
+        """
+        pending: dict[int, list[Any]] = dict(enumerate(shards))
+        outputs: dict[int, list[tuple[int, EstimateResult]]] = {}
+        respawns_used = 0
+        while True:
+            failure: Optional[str] = None
+            hung = 0
+            futures: dict[int, Any] = {}
+            try:
+                for shard_index, shard in sorted(pending.items()):
+                    futures[shard_index] = submit(shard)
+            except BrokenProcessPool:
+                failure = "broken_at_submit"
+                for future in futures.values():
+                    future.cancel()
+                futures = {}
+            if futures:
+                self._maybe_inject_worker_crash()
+                done, not_done = futures_wait(
+                    futures.values(), timeout=self.shard_deadline_seconds
+                )
+                for shard_index, future in futures.items():
+                    if future not in done:
+                        continue
+                    try:
+                        shard_results, snapshot = future.result()
+                    except BrokenProcessPool:
+                        failure = failure or "worker_death"
+                        continue
+                    except FailpointTriggered as exc:
+                        # Mirror the worker-side fire into the parent registry:
+                        # respawned workers fork from the parent, so without
+                        # this a times:1 fault would be re-inherited unfired
+                        # and re-fire on every recovery attempt.
+                        FAULTS.fire(exc.name)
+                        failure = failure or f"injected:{exc.name}"
+                        continue
+                    outputs[shard_index] = shard_results
+                    pending.pop(shard_index, None)
+                    with self._stats_lock:
+                        self.stats.merge(snapshot)
+                hung = len(not_done)
+                if hung:
+                    failure = failure or "shard_deadline"
+            if not pending:
+                return [outputs[i] for i in range(len(shards))]
+            if failure is None:  # pragma: no cover - defensive
+                failure = "unknown"
+            if respawns_used >= self.max_respawns:
+                raise PoolCrashError(respawns_used, len(pending), failure)
+            respawns_used += 1
+            started = time.perf_counter()
+            with self.obs.tracer.span(
+                "pool:recover", cause=failure, lost_shards=len(pending)
+            ):
+                self._respawn(kill_workers=hung > 0)
+            with self._stats_lock:
+                if failure.startswith("injected:"):
+                    pass  # worker survived; the fault was in the shard
+                else:
+                    self.stats.worker_deaths += 1
+                self.stats.respawns += 1
+                self.stats.reexecuted_shards += len(pending)
+                self.stats.shard_timeouts += hung
+                self.stats.recovery_seconds += time.perf_counter() - started
 
 
 def _split(items: Sequence[Any], num_shards: int) -> list[list[Any]]:
@@ -468,4 +704,4 @@ def _split(items: Sequence[Any], num_shards: int) -> list[list[Any]]:
     return shards
 
 
-__all__ = ["PoolStats", "SharedWorkerPool"]
+__all__ = ["PoolCrashError", "PoolStats", "SharedWorkerPool"]

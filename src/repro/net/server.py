@@ -39,7 +39,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.exceptions import ReproError, StaleEpochError
+from repro.exceptions import EngineUnavailableError, ReproError, StaleEpochError
+from repro.fault import FAULTS, OPEN as _BREAKER_OPEN, CircuitOpenError
 from repro.graph.delta import EdgeDelta
 from repro.net.pool import SharedWorkerPool
 from repro.net.shm import SharedContextRegistry, shm_available
@@ -108,6 +109,10 @@ class NetServerConfig:
     drain_timeout: float = 30.0
     use_shared_memory: bool = True
     slow_query_ms: Optional[float] = None
+    #: Self-healing pool knobs (see SharedWorkerPool): recovery attempts per
+    #: dispatch, and the hung-shard deadline (None = no deadline).
+    pool_max_respawns: int = 2
+    pool_shard_deadline_seconds: Optional[float] = None
 
 
 @dataclass
@@ -117,6 +122,7 @@ class ServerStats:
     requests: int = 0
     answered: int = 0
     partials: int = 0
+    degraded: int = 0
     rejected_backpressure: int = 0
     stale_epoch_rejections: int = 0
     updates: int = 0
@@ -128,6 +134,7 @@ class ServerStats:
             "requests": self.requests,
             "answered": self.answered,
             "partials": self.partials,
+            "degraded": self.degraded,
             "rejected_backpressure": self.rejected_backpressure,
             "stale_epoch_rejections": self.stale_epoch_rejections,
             "updates": self.updates,
@@ -181,7 +188,10 @@ class NetServer:
         POST /update       {"add": [...], "remove": [...], "reweight": [...]}
         GET  /stats
         GET  /metrics      (Prometheus text exposition of the service registry)
-        GET  /healthz
+        GET  /healthz      (liveness: the process is up)
+        GET  /readyz       (readiness: 200 only when this replica should
+                            receive traffic — workers attached and alive,
+                            circuit breaker closed)
 
     Every ``/query``, ``/query_batch`` and ``/update`` response echoes a
     ``trace_id`` (the client's, if it sent one, else freshly generated), which
@@ -220,6 +230,11 @@ class NetServer:
             "repro_slow_queries_total",
             "Requests that exceeded the configured slow_query_ms threshold.",
         )
+        self._m_degraded = metrics.counter(
+            "repro_degraded_answers_total",
+            "Sketch-envelope answers served because the engine tier was down "
+            "(circuit breaker open or pool crashed past its respawn budget).",
+        )
         metrics.register_collector(self._metrics_collector)
         self.registry = SharedContextRegistry()
         self.pool: Optional[SharedWorkerPool] = None
@@ -252,6 +267,11 @@ class NetServer:
         self._work_executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-net-work"
         )
+        # Pay the spectral solve before accepting traffic, so /readyz is a
+        # cheap state inspection rather than a multi-second first-touch.
+        warm_up = getattr(self.service, "warm_up", None)
+        if callable(warm_up):
+            warm_up()
         self._publish_and_attach_pool()
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
@@ -275,6 +295,8 @@ class NetServer:
             num_batches=context.num_batches,
             budget=context.budget,
             obs=self.obs,
+            max_respawns=self.config.pool_max_respawns,
+            shard_deadline_seconds=self.config.pool_shard_deadline_seconds,
         )
         self.pool.warm()
         self.service.attach_worker_pool(self.pool)
@@ -442,7 +464,8 @@ class NetServer:
     #: Endpoints given their own label on repro_http_* series (anything else
     #: is folded into "other" to bound label cardinality).
     _KNOWN_ENDPOINTS = frozenset(
-        {"/query", "/query_batch", "/update", "/stats", "/metrics", "/healthz"}
+        {"/query", "/query_batch", "/update", "/stats", "/metrics",
+         "/healthz", "/readyz"}
     )
 
     async def _dispatch(
@@ -466,6 +489,9 @@ class NetServer:
         try:
             if method == "GET" and path == "/healthz":
                 return 200, self._healthz_payload(), {}
+            if method == "GET" and path == "/readyz":
+                payload = self._readyz_payload()
+                return (200 if payload["ready"] else 503), payload, {}
             if method == "GET" and path == "/stats":
                 return 200, self._stats_payload(), {}
             if method == "GET" and path == "/metrics":
@@ -580,6 +606,50 @@ class NetServer:
             "half_width": float(answer.half_width),
         }
 
+    def _degraded_answer(
+        self, s: int, t: int, epsilon: float, cause: Optional[BaseException]
+    ) -> dict[str, Any]:
+        """Engine tier is down: serve the sketch envelope, else 503.
+
+        Same ``partial: true`` shape as the deadline-degrade path, with
+        ``degraded`` naming the cause so clients can tell load shedding from
+        an unhealthy engine.  When no sketch exists the request fails fast
+        with 503 + Retry-After (the breaker's half-open hint, if available)
+        instead of the deadline path's 504.
+        """
+        try:
+            payload = self._partial_answer(s, t, epsilon)
+        except _Reject:
+            headers = {}
+            retry_after = getattr(cause, "retry_after", None)
+            if retry_after is not None:
+                headers["Retry-After"] = str(max(1, round(float(retry_after))))
+            raise _Reject(
+                503,
+                {"error": "engine-unavailable",
+                 "message": str(cause) if cause else "engine tier is down "
+                 "and no sketch is available"},
+                headers,
+            ) from cause
+        payload["degraded"] = "engine-unavailable"
+        self.stats.degraded += 1
+        self._m_degraded.inc()
+        return payload
+
+    def _breaker_open(self) -> Optional[BaseException]:
+        """The open-breaker error to degrade on, or None when traffic flows.
+
+        Only fully *open* counts: half-open must let requests through so the
+        batch path can run its probe.  Without an attached pool the in-process
+        engine serves fine regardless of breaker state.
+        """
+        breaker = getattr(self.service, "breaker", None)
+        if breaker is None or self.pool is None:
+            return None
+        if breaker.state != _BREAKER_OPEN:
+            return None
+        return CircuitOpenError(float(breaker.reset_seconds))
+
     def _request_trace_id(self, request: dict[str, Any]) -> str:
         """The client's trace id, if it sent one, else a fresh one (os.urandom)."""
         supplied = request.get("trace_id")
@@ -611,14 +681,24 @@ class NetServer:
         trace_id = self._request_trace_id(request)
         self._check_epoch_pin(request)
         started = time.perf_counter()
+        stall = FAULTS.sleep_seconds("net:slow_response")
+        if stall > 0:
+            time.sleep(stall)
         with self.obs.tracer.trace("http:query", trace_id=trace_id):
             if self._deadline_expired(request, arrival):
                 payload = self._partial_answer(s, t, epsilon)
             else:
-                result = self.service.query(
-                    s, t, epsilon, method=request.get("method")
-                )
-                payload = _result_payload(result)
+                tier_down = self._breaker_open()
+                if tier_down is not None:
+                    payload = self._degraded_answer(s, t, epsilon, tier_down)
+                else:
+                    try:
+                        result = self.service.query(
+                            s, t, epsilon, method=request.get("method")
+                        )
+                        payload = _result_payload(result)
+                    except EngineUnavailableError as exc:
+                        payload = self._degraded_answer(s, t, epsilon, exc)
         payload["epoch"] = self.service.epoch
         payload["trace_id"] = trace_id
         self._log_if_slow(
@@ -636,14 +716,27 @@ class NetServer:
         trace_id = self._request_trace_id(request)
         self._check_epoch_pin(request)
         started = time.perf_counter()
+        stall = FAULTS.sleep_seconds("net:slow_response")
+        if stall > 0:
+            time.sleep(stall)
         with self.obs.tracer.trace("http:query_batch", trace_id=trace_id):
             if self._deadline_expired(request, arrival):
                 answers = [self._partial_answer(s, t, epsilon) for s, t in pairs]
             else:
-                results = self.service.query_many(
-                    pairs, epsilon, method=request.get("method")
-                )
-                answers = [_result_payload(result) for result in results]
+                tier_down = self._breaker_open()
+                if tier_down is None:
+                    try:
+                        results = self.service.query_many(
+                            pairs, epsilon, method=request.get("method")
+                        )
+                        answers = [_result_payload(result) for result in results]
+                    except EngineUnavailableError as exc:
+                        tier_down = exc
+                if tier_down is not None:
+                    answers = [
+                        self._degraded_answer(s, t, epsilon, tier_down)
+                        for s, t in pairs
+                    ]
         self._log_if_slow(
             "/query_batch",
             trace_id,
@@ -673,11 +766,45 @@ class NetServer:
     # read-only payloads
     # ------------------------------------------------------------------ #
     def _healthz_payload(self) -> dict[str, Any]:
+        """Liveness only: the process is up and the loop answers.  Readiness
+        (should this replica receive traffic?) lives on ``/readyz``."""
         return {
             "status": "ok",
             "epoch": self.service.epoch,
             "pending": self._pending,
             "shared_memory": self.shared_memory_active,
+            "pool_workers": self.pool.workers if self.pool is not None else 0,
+        }
+
+    def _readyz_payload(self) -> dict[str, Any]:
+        """Readiness: accepting, workers alive, breaker closed.
+
+        Not-ready reasons are listed so orchestration logs say *why* a
+        replica was pulled.  A pool heartbeat that finds dead workers heals
+        them on the spot — the probe reports ``pool-healed`` that round and
+        turns ready again on the next.
+        """
+        reasons: list[str] = []
+        if not self._accepting:
+            reasons.append("not-accepting")
+        if self._work_executor is None:
+            reasons.append("no-work-executor")
+        if self.config.workers > 0 and self.config.use_shared_memory and shm_available():
+            if self.pool is None:
+                reasons.append("pool-not-attached")
+            else:
+                beat = self.pool.heartbeat()
+                if not beat["healthy"]:
+                    reasons.append("pool-healed")
+        breaker = getattr(self.service, "breaker", None)
+        breaker_state = breaker.state if breaker is not None else "closed"
+        if breaker_state != "closed":
+            reasons.append(f"breaker-{breaker_state}")
+        return {
+            "ready": not reasons,
+            "reasons": reasons,
+            "epoch": self.service.epoch,
+            "breaker": breaker_state,
             "pool_workers": self.pool.workers if self.pool is not None else 0,
         }
 
@@ -697,6 +824,7 @@ class NetServer:
                 "sketch": service_stats.sketch_hits,
                 "engine": service_stats.engine_queries,
                 "partial": self.stats.partials,
+                "degraded": self.stats.degraded,
             }
         if self.pool is not None:
             # Includes the merged worker-side counters (attaches, queries,
@@ -719,6 +847,7 @@ class NetServer:
         for field in (
             "requests",
             "answered",
+            "degraded",
             "rejected_backpressure",
             "stale_epoch_rejections",
             "errors",
@@ -738,7 +867,16 @@ class NetServer:
             samples.append(
                 Sample("repro_pool_workers", "gauge", "Configured worker-pool size.", {}, float(summary["workers"]))
             )
-            for field in ("batches", "shards_dispatched", "fallback_batches", "flips"):
+            for field in (
+                "batches",
+                "shards_dispatched",
+                "fallback_batches",
+                "flips",
+                "worker_deaths",
+                "respawns",
+                "reexecuted_shards",
+                "shard_timeouts",
+            ):
                 samples.append(
                     Sample(
                         f"repro_pool_{field}_total",

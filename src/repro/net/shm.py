@@ -47,6 +47,7 @@ import scipy.sparse as sp
 
 from repro.core.registry import QueryBudget, QueryContext
 from repro.exceptions import ReproError
+from repro.fault import FAULTS
 from repro.graph.graph import Graph
 from repro.linalg.eigen import SpectralInfo
 from repro.utils.rng import RngLike
@@ -517,6 +518,11 @@ def attach_context(
             f"shared handle is for fingerprint {handle.fingerprint[:16]}… "
             f"(epoch {handle.epoch}) but the caller expects "
             f"{expected_fingerprint[:16]}…; re-publish after the update"
+        )
+    if FAULTS.fire("shm:attach_fail") is not None:
+        raise SegmentError(
+            f"injected failure: failpoint 'shm:attach_fail' fired while "
+            f"attaching epoch {handle.epoch}"
         )
     scalars = handle.scalars
     segments: Dict[str, Any] = {}

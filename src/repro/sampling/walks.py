@@ -50,6 +50,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.fault import FAULTS
 from repro.graph.graph import Graph
 from repro.obs import NULL_OBS, Observability
 from repro.utils.rng import RngLike, as_generator, random_choice_csr
@@ -403,6 +404,7 @@ class RandomWalkEngine:
                 child = np.random.Generator(type(base)())
                 child.bit_generator.state = base.state
                 child.bit_generator.advance(lo)
+                FAULTS.check("walk:chunk_fault")
                 with tracer.span("walk:chunk", lo=lo, hi=hi):
                     self._scores_block(
                         start, hi - lo, length, weights, child,

@@ -31,8 +31,16 @@ and the directory carries the delta log, in which case the log is replayed
 (bit-identical CSR splicing) and the artifacts load without a cold solve,
 verified against the saved fingerprint and lineage.
 
-Writes go through a temporary file followed by :func:`os.replace`, so a
-crashed save never leaves a half-written manifest behind.
+Writes are crash-safe (Contract 7): every file goes through a same-directory
+temp file, ``fsync``, ``os.replace``, and a directory ``fsync``
+(:func:`repro.fault.atomic_write_bytes`), so a crash at any instant leaves
+either the previous complete file or the new complete file.  The delta log is
+written with per-record CRC32 + length framing
+(:func:`repro.fault.frame_record`); on load a damaged **final** record is
+recognised as a torn append and recovery proceeds from the last intact
+record, while damage anywhere else — or a log too short for the manifest's
+lineage — raises a clear :class:`StaleArtifactError` instead of ever loading
+a corrupt graph.  Pre-PR-8 unframed logs remain readable.
 """
 
 from __future__ import annotations
@@ -46,6 +54,16 @@ import numpy as np
 
 from repro.core.registry import QueryBudget, QueryContext
 from repro.exceptions import GraphStructureError, ReproError
+from repro.fault import (
+    FAULTS,
+    FailpointTriggered,
+    JournalCorruptError,
+    LogReadReport,
+    atomic_write_bytes,
+    atomic_write_text,
+    frame_records,
+    read_log,
+)
 from repro.graph.delta import EdgeDelta, GraphStore
 from repro.graph.fingerprint import graph_fingerprint
 from repro.graph.graph import Graph
@@ -68,10 +86,17 @@ class StaleArtifactError(ArtifactError):
     """Raised when artifacts were built for a different graph than the one given."""
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+def _write_torn(path: Path, data: bytes, drop_bytes: int, failpoint: str) -> None:
+    """Leave a torn file at ``path`` (simulated crash mid-write) and raise.
+
+    Used by the ``artifacts:torn_write`` / ``delta:partial_append``
+    failpoints: the final path receives a truncated byte prefix — exactly
+    the state a power cut mid-write would leave without the atomic
+    tmp+fsync+rename discipline — and the save fails loudly.
+    """
+    cut = max(0, len(data) - max(1, drop_bytes))
+    path.write_bytes(data[:cut])
+    raise FailpointTriggered(failpoint)
 
 
 def save_artifacts(
@@ -118,12 +143,13 @@ def save_artifacts(
         manifest["base_epoch"] = store.base_epoch
         manifest["num_deltas"] = len(store.delta_log)
         log_path = directory / DELTA_LOG_NAME
-        log_tmp = log_path.with_name(log_path.name + ".tmp")
-        log_tmp.write_text(
-            "".join(delta.to_json() + "\n" for delta in store.delta_log),
-            encoding="utf-8",
-        )
-        os.replace(log_tmp, log_path)
+        log_text = frame_records(delta.to_json() for delta in store.delta_log)
+        if store.delta_log and FAULTS.fire("delta:partial_append") is not None:
+            # Torn append: the final record loses its tail mid-bytes.
+            _write_torn(
+                log_path, log_text.encode("utf-8"), 7, "delta:partial_append"
+            )
+        atomic_write_text(log_path, log_text)
     if sketch is not None:
         manifest["sketch"] = {
             "num_landmarks": sketch.num_landmarks,
@@ -137,9 +163,16 @@ def save_artifacts(
                 landmarks=sketch.landmarks,
                 resistances=sketch.resistances,
             )
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(sketch_tmp, sketch_path)
     manifest_path = directory / MANIFEST_NAME
-    _atomic_write_text(manifest_path, json.dumps(manifest, indent=2, sort_keys=True))
+    manifest_text = json.dumps(manifest, indent=2, sort_keys=True)
+    if FAULTS.fire("artifacts:torn_write") is not None:
+        # Crash mid-manifest-write: leave a truncated (invalid-JSON) manifest.
+        data = manifest_text.encode("utf-8")
+        _write_torn(manifest_path, data, len(data) // 2, "artifacts:torn_write")
+    atomic_write_text(manifest_path, manifest_text)
     return manifest_path
 
 
@@ -178,21 +211,33 @@ def _check_fingerprint(graph: Graph, manifest: dict, directory: Path) -> None:
 
 
 def read_delta_log(path: PathLike) -> list[EdgeDelta]:
-    """Parse a ``deltas.jsonl`` file (one EdgeDelta JSON object per line)."""
+    """Parse a ``deltas.jsonl`` file (framed since PR 8, plain lines before).
+
+    A torn final record (crash mid-append) is dropped and the intact prefix
+    returned — callers that must know whether a drop happened use
+    :func:`read_delta_log_with_report`.  Damage that torn-tail recovery
+    cannot explain raises :class:`ArtifactError`.
+    """
+    return read_delta_log_with_report(path)[0]
+
+
+def read_delta_log_with_report(
+    path: PathLike,
+) -> tuple[list[EdgeDelta], LogReadReport]:
+    """Like :func:`read_delta_log`, plus the framing/recovery report."""
+    try:
+        payloads, report = read_log(path)
+    except JournalCorruptError as exc:
+        raise ArtifactError(f"corrupt delta log: {exc}") from exc
     deltas = []
-    for line_number, line in enumerate(
-        Path(path).read_text(encoding="utf-8").splitlines(), start=1
-    ):
-        line = line.strip()
-        if not line:
-            continue
+    for record_number, payload in enumerate(payloads, start=1):
         try:
-            deltas.append(EdgeDelta.from_json(line))
+            deltas.append(EdgeDelta.from_json(payload))
         except (json.JSONDecodeError, ValueError, TypeError, GraphStructureError) as exc:
             raise ArtifactError(
-                f"corrupt delta log {path} at line {line_number}: {exc}"
+                f"corrupt delta log {path} at record {record_number}: {exc}"
             ) from exc
-    return deltas
+    return deltas, report
 
 
 def load_delta_log(directory: PathLike) -> list[EdgeDelta]:
@@ -224,7 +269,28 @@ def _resolve_graph(
         and manifest.get("base_fingerprint") == actual
         and log_path.is_file()
     ):
-        deltas = read_delta_log(log_path)
+        deltas, report = read_delta_log_with_report(log_path)
+        expected_records = manifest.get("num_deltas")
+        if isinstance(expected_records, int):
+            if len(deltas) < expected_records:
+                # The log lost records the manifest lineage requires (e.g. a
+                # torn tail ate a committed delta): replay cannot reach the
+                # saved graph, so refuse with the lineage story spelled out.
+                raise StaleArtifactError(
+                    f"the delta log in {directory} holds {len(deltas)} intact "
+                    f"record(s) but the manifest lineage requires "
+                    f"{expected_records}"
+                    + (
+                        " (a torn final record was dropped during recovery)"
+                        if report.recovered
+                        else ""
+                    )
+                    + "; re-run warm-up to rebuild the artifacts"
+                )
+            # Records past the manifest count are an append the manifest never
+            # committed (crash between log append and manifest write): replay
+            # exactly the committed prefix.
+            deltas = deltas[:expected_records]
         current = graph
         try:
             for delta in deltas:
@@ -381,5 +447,6 @@ __all__ = [
     "load_context",
     "load_sketch",
     "read_delta_log",
+    "read_delta_log_with_report",
     "load_delta_log",
 ]

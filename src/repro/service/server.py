@@ -35,6 +35,8 @@ import numpy as np
 from repro.core.engine import QueryEngine
 from repro.core.registry import REFRESH_POLICIES, QueryBudget, QueryContext
 from repro.core.result import EstimateResult
+from repro.exceptions import EngineUnavailableError
+from repro.fault import FAULTS, CircuitBreaker
 from repro.graph.delta import EdgeDelta, GraphStore, expand_neighborhood
 from repro.obs import Observability, Sample
 from repro.service import artifacts as artifacts_io
@@ -86,6 +88,11 @@ class ServiceConfig:
     #: How far cache invalidation spreads from a delta's endpoints: 0 = only
     #: pairs touching a delta endpoint, k = pairs within k CSR hops of one.
     invalidation_hops: int = 1
+    #: Circuit breaker over the pooled engine tier: consecutive pool
+    #: failures before the tier is declared down ...
+    breaker_failure_threshold: int = 3
+    #: ... and how long it stays down before a half-open probe is let through.
+    breaker_reset_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         for name in ("spectral_refresh", "sketch_refresh"):
@@ -272,6 +279,13 @@ class ResistanceService:
         # imports repro.net): anything with execute_plan(plan) -> BatchResult,
         # e.g. repro.net.pool.SharedWorkerPool.  See attach_worker_pool.
         self._worker_pool: Optional[Any] = None
+        # Trips when the pooled engine tier keeps failing past its respawn
+        # budget; while open, engine batches raise EngineUnavailableError
+        # fast and the network layer degrades to sketch-envelope answers.
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_seconds=self.config.breaker_reset_seconds,
+        )
         # The epoch-versioned graph holder: tracks the delta log and lineage
         # chain (persisted by save_artifacts for replay loading).  A warm
         # start adopts the persisted lineage — base fingerprint and full log
@@ -582,10 +596,20 @@ class ResistanceService:
         method = method or self.config.method
         pool = self._worker_pool
         if pool is not None:
+            # Breaker discipline: open → fail fast before planning; a pool
+            # that crashed past its respawn budget counts toward tripping;
+            # any completed batch (including recovered ones) closes it.
+            self.breaker.allow()
             plan = self.engine.plan(
                 pairs, epsilon, method=method, bucketing=self.config.bucketing
             )
-            return self.engine.adopt_results(pool.execute_plan(plan))
+            try:
+                batch = pool.execute_plan(plan)
+            except EngineUnavailableError:
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
+            return self.engine.adopt_results(batch)
         return self.engine.query_many(
             pairs, epsilon, method=method,
             bucketing=self.config.bucketing, workers=self.config.workers,
@@ -754,6 +778,20 @@ class ResistanceService:
         samples.append(
             Sample("repro_session_elapsed_seconds_total", "counter", "Cumulative in-estimate wall-clock seconds.", {}, float(session.elapsed_seconds))
         )
+        breaker = self.breaker.summary()
+        samples.append(
+            Sample("repro_breaker_open", "gauge", "1 while the engine-tier circuit breaker is not closed.", {}, float(breaker["state"] != "closed"))
+        )
+        for field in ("trips", "probes", "recoveries", "rejections"):
+            samples.append(
+                Sample(
+                    f"repro_breaker_{field}_total",
+                    "counter",
+                    f"CircuitBreaker.{field} of the engine-tier breaker.",
+                    {},
+                    float(breaker[field]),
+                )
+            )
         return samples
 
     def summary(self) -> dict[str, dict[str, object]]:
@@ -766,6 +804,10 @@ class ResistanceService:
         if self._coalescer is not None:
             summary["coalescer"] = self._coalescer.stats.summary()
         summary["session"] = self.engine.stats.summary()
+        summary["fault"] = {
+            "breaker": self.breaker.summary(),
+            "failpoints": FAULTS.summary(),
+        }
         return summary
 
     def __repr__(self) -> str:

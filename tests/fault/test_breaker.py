@@ -1,0 +1,118 @@
+"""CircuitBreaker state machine with an injected clock (no sleeping)."""
+
+import pytest
+
+from repro.fault import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, CircuitOpenError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_seconds=10.0, clock=clock)
+
+
+def trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        breaker.allow()  # no raise
+
+    def test_success_resets_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak broken: 2 + 2, never 3
+
+    def test_threshold_consecutive_failures_trip(self, breaker):
+        trip(breaker)
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+
+class TestOpen:
+    def test_open_rejects_with_retry_after(self, breaker, clock):
+        trip(breaker)
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+        assert breaker.rejections == 1
+
+    def test_open_becomes_half_open_after_reset(self, breaker, clock):
+        trip(breaker)
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_admits_exactly_one_probe(self, breaker, clock):
+        trip(breaker)
+        clock.advance(10.0)
+        breaker.allow()  # the probe
+        assert breaker.probes == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # concurrent caller while probe in flight
+
+    def test_probe_success_closes(self, breaker, clock):
+        trip(breaker)
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.recoveries == 1
+        breaker.allow()  # flows freely again
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, breaker, clock):
+        trip(breaker)
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.advance(9.9)
+        assert breaker.state == OPEN  # cool-down restarted at probe failure
+        clock.advance(0.1)
+        assert breaker.state == HALF_OPEN
+
+
+def test_summary_counters(breaker, clock):
+    trip(breaker)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()
+    clock.advance(10.0)
+    breaker.allow()
+    breaker.record_success()
+    summary = breaker.summary()
+    assert summary["state"] == CLOSED
+    assert summary["trips"] == 1
+    assert summary["probes"] == 1
+    assert summary["recoveries"] == 1
+    assert summary["rejections"] == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_seconds=0.0)

@@ -1,0 +1,192 @@
+"""FailpointRegistry semantics: spec grammar, firing rules, fast path."""
+
+import pytest
+
+from repro.fault import (
+    FAILPOINTS_ENV,
+    FailpointRegistry,
+    FailpointSpec,
+    FailpointTriggered,
+    arm_from_env,
+)
+
+
+@pytest.fixture()
+def registry():
+    return FailpointRegistry(seed=7)
+
+
+class TestSpecGrammar:
+    def test_bare_name_means_once(self, registry):
+        (spec,) = registry.arm_from_string("pool:worker_crash")
+        assert spec.times == 1 and spec.skip == 0 and spec.probability == 1.0
+
+    def test_bare_integer_means_times(self, registry):
+        (spec,) = registry.arm_from_string("pool:worker_crash=3")
+        assert spec.times == 3
+
+    def test_full_directive_list(self, registry):
+        (spec,) = registry.arm_from_string(
+            "net:slow_response=times:2+skip:1+prob:0.5+delay_ms:250"
+        )
+        assert spec.times == 2
+        assert spec.skip == 1
+        assert spec.probability == 0.5
+        assert spec.delay_ms == 250.0
+
+    def test_prob_without_times_is_unlimited(self, registry):
+        (spec,) = registry.arm_from_string("shm:attach_fail=prob:0.1")
+        assert spec.times is None
+
+    def test_comma_separated_entries(self, registry):
+        specs = registry.arm_from_string("a=2,b=prob:0.5, c")
+        assert [s.name for s in specs] == ["a", "b", "c"]
+        assert sorted(registry.armed_names()) == ["a", "b", "c"]
+
+    def test_empty_and_none_are_noops(self, registry):
+        assert registry.arm_from_string(None) == []
+        assert registry.arm_from_string("") == []
+        assert not registry.armed
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["x=times:-1", "x=prob:1.5", "x=skip:-2", "x=delay_ms:-1", "x=wat:1", "=3"],
+    )
+    def test_invalid_specs_raise(self, registry, bad):
+        with pytest.raises(ValueError):
+            registry.arm_from_string(bad)
+
+
+class TestFiring:
+    def test_disarmed_fire_is_none(self, registry):
+        assert registry.fire("anything") is None
+        assert not registry.armed
+
+    def test_unarmed_name_does_not_fire(self, registry):
+        registry.arm("a")
+        assert registry.fire("b") is None
+
+    def test_times_exhaustion(self, registry):
+        registry.arm("a", "times:2")
+        assert registry.fire("a") is not None
+        assert registry.fire("a") is not None
+        assert registry.fire("a") is None  # inert after N fires
+
+    def test_skip_passes_first_evaluations(self, registry):
+        registry.arm("a", "skip:2+times:1")
+        assert registry.fire("a") is None
+        assert registry.fire("a") is None
+        assert registry.fire("a") is not None
+        assert registry.fire("a") is None
+
+    def test_probability_is_deterministic_under_reseed(self, registry):
+        registry.arm("a", "prob:0.5")
+        registry.reseed(1234)
+        first = [registry.fire("a") is not None for _ in range(32)]
+        registry.disarm("a")
+        registry.arm("a", "prob:0.5")
+        registry.reseed(1234)
+        second = [registry.fire("a") is not None for _ in range(32)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_check_raises_with_fire_count(self, registry):
+        registry.arm("a", "times:2")
+        with pytest.raises(FailpointTriggered) as excinfo:
+            registry.check("a")
+        assert excinfo.value.name == "a"
+        assert excinfo.value.fires == 1
+
+    def test_sleep_seconds_converts_delay(self, registry):
+        registry.arm("a", "delay_ms:250")
+        assert registry.sleep_seconds("a") == pytest.approx(0.25)
+        assert registry.sleep_seconds("a") == 0.0  # times:1 exhausted
+
+    def test_disarm_and_reset_clear_fast_path_flag(self, registry):
+        registry.arm("a")
+        registry.arm("b")
+        registry.disarm("a")
+        assert registry.armed
+        registry.reset()
+        assert not registry.armed
+        assert registry.fire("b") is None
+
+    def test_summary_reports_counters(self, registry):
+        registry.arm("a", "times:2")
+        registry.fire("a")
+        summary = registry.summary()
+        assert summary["a"]["fires"] == 1
+        assert summary["a"]["evaluations"] == 1
+        assert "a" in registry
+
+
+class TestEnvArming:
+    def test_arm_from_env_parses_variable(self):
+        registry = FailpointRegistry()
+        specs = arm_from_env(
+            registry, {FAILPOINTS_ENV: "a=2,net:slow_response=delay_ms:10"}
+        )
+        assert [s.name for s in specs] == ["a", "net:slow_response"]
+
+    def test_arm_from_env_without_variable_is_noop(self):
+        registry = FailpointRegistry()
+        assert arm_from_env(registry, {}) == []
+        assert not registry.armed
+
+
+class TestWalkChunkSite:
+    def test_walk_chunk_fault_fires_inside_kernel(self):
+        import numpy as np
+
+        from repro.fault import FAULTS
+        from repro.graph.generators import barabasi_albert_graph
+        from repro.sampling.walks import walk_scores
+
+        graph = barabasi_albert_graph(40, 2, rng=3)
+        weights = np.ones(graph.num_nodes)
+        try:
+            FAULTS.arm("walk:chunk_fault", "skip:1+times:1")
+            with pytest.raises(FailpointTriggered):
+                walk_scores(
+                    graph, 0, 2048, 8, weights,
+                    rng=np.random.default_rng(0), chunk_size=256,
+                )
+        finally:
+            FAULTS.reset()
+
+    def test_disarmed_walks_match_armed_nonfiring_walks(self):
+        import numpy as np
+
+        from repro.fault import FAULTS
+        from repro.graph.generators import barabasi_albert_graph
+        from repro.sampling.walks import walk_scores
+
+        graph = barabasi_albert_graph(40, 2, rng=3)
+        weights = np.ones(graph.num_nodes)
+        baseline = walk_scores(
+            graph, 0, 1024, 8, weights,
+            rng=np.random.default_rng(0), chunk_size=256,
+        )
+        try:
+            # armed but never firing (skip is huge): values must be identical
+            # because firing decisions never touch NumPy streams (Contract 7).
+            FAULTS.arm("walk:chunk_fault", "skip:1000000")
+            armed = walk_scores(
+                graph, 0, 1024, 8, weights,
+                rng=np.random.default_rng(0), chunk_size=256,
+            )
+        finally:
+            FAULTS.reset()
+        np.testing.assert_array_equal(baseline, armed)
+
+
+def test_spec_repr_roundtrip_fields():
+    spec = FailpointSpec.from_string("x", "times:4+skip:2+prob:0.25+delay_ms:5")
+    assert spec.summary() == {
+        "times": 4,
+        "skip": 2,
+        "prob": 0.25,
+        "delay_ms": 5.0,
+        "evaluations": 0,
+        "fires": 0,
+    }

@@ -1,0 +1,120 @@
+"""RetryPolicy: backoff math, Retry-After hints, and the call() loop."""
+
+import pytest
+
+from repro.fault import NO_RETRY, RetryPolicy
+
+
+class Flaky:
+    """Fails ``failures`` times with ``exc``, then returns ``value``."""
+
+    def __init__(self, failures, exc=ConnectionError("boom"), value="ok"):
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return self.value
+
+
+class TestBackoff:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(base_seconds=0.1, factor=2.0, jitter=False)
+        assert policy.backoff_seconds(0) == pytest.approx(0.1)
+        assert policy.backoff_seconds(1) == pytest.approx(0.2)
+        assert policy.backoff_seconds(2) == pytest.approx(0.4)
+
+    def test_cap(self):
+        policy = RetryPolicy(
+            base_seconds=1.0, factor=10.0, max_backoff_seconds=2.0, jitter=False
+        )
+        assert policy.backoff_seconds(5) == 2.0
+
+    def test_jitter_stays_in_half_to_full_band_and_is_seeded(self):
+        a = RetryPolicy(base_seconds=1.0, jitter=True, seed=42)
+        b = RetryPolicy(base_seconds=1.0, jitter=True, seed=42)
+        delays = [a.backoff_seconds(0) for _ in range(16)]
+        assert delays == [b.backoff_seconds(0) for _ in range(16)]
+        assert all(0.5 <= d <= 1.0 for d in delays)
+        assert len(set(delays)) > 1
+
+    def test_retry_after_hint_overrides_backoff(self):
+        policy = RetryPolicy(base_seconds=0.1, jitter=False, max_backoff_seconds=5.0)
+        assert policy.backoff_seconds(0, retry_after=3.0) == 3.0
+        # hints are still capped: a hostile server cannot stall the client
+        assert policy.backoff_seconds(0, retry_after=600.0) == 5.0
+
+
+class TestCall:
+    def test_success_first_try_never_sleeps(self):
+        sleeps = []
+        result = RetryPolicy(max_attempts=3).call(
+            lambda: "ok", retry_on=(ConnectionError,), sleep=sleeps.append
+        )
+        assert result == "ok" and sleeps == []
+
+    def test_retries_then_succeeds(self):
+        fn = Flaky(failures=2)
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_seconds=0.01, jitter=False)
+        assert policy.call(fn, retry_on=(ConnectionError,), sleep=sleeps.append) == "ok"
+        assert fn.calls == 3
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_exhausted_attempts_raise_last_error(self):
+        fn = Flaky(failures=10)
+        policy = RetryPolicy(max_attempts=3, base_seconds=0.0)
+        with pytest.raises(ConnectionError):
+            policy.call(fn, retry_on=(ConnectionError,), sleep=lambda _: None)
+        assert fn.calls == 3
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn = Flaky(failures=5, exc=KeyError("nope"))
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=3).call(
+                fn, retry_on=(ConnectionError,), sleep=lambda _: None
+            )
+        assert fn.calls == 1
+
+    def test_retry_after_of_extracts_hint(self):
+        class Hinted(Exception):
+            retry_after = 0.75
+
+        fn = Flaky(failures=1, exc=Hinted())
+        sleeps = []
+        policy = RetryPolicy(max_attempts=2, base_seconds=0.01, jitter=False)
+        policy.call(
+            fn,
+            retry_on=(Hinted,),
+            retry_after_of=lambda exc: exc.retry_after,
+            sleep=sleeps.append,
+        )
+        assert sleeps == [pytest.approx(0.75)]
+
+    def test_on_retry_hook_observes_each_retry(self):
+        seen = []
+        fn = Flaky(failures=2)
+        RetryPolicy(max_attempts=3, base_seconds=0.0).call(
+            fn,
+            retry_on=(ConnectionError,),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc, delay: seen.append(attempt),
+        )
+        assert seen == [0, 1]
+
+    def test_no_retry_is_single_attempt(self):
+        fn = Flaky(failures=1)
+        with pytest.raises(ConnectionError):
+            NO_RETRY.call(fn, retry_on=(ConnectionError,), sleep=lambda _: None)
+        assert fn.calls == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_seconds=-1.0)

@@ -1,0 +1,113 @@
+"""ResistanceClient fault handling: typed transient errors and retries."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.fault import NO_RETRY, RetryPolicy
+from repro.net.client import (
+    BackpressureError,
+    ClientError,
+    ResistanceClient,
+    TransientServerError,
+)
+
+
+def _dead_url():
+    """A URL nothing listens on (bind+close to find a free port)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    return f"http://127.0.0.1:{port}"
+
+
+class Flaky:
+    def __init__(self, failures, exc):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, method, path, payload=None, timeout=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return {"ok": True, "method": method, "path": path}
+
+
+class TestTransientMapping:
+    def test_connection_refused_is_typed(self):
+        client = ResistanceClient(_dead_url(), timeout=0.5, retry=NO_RETRY)
+        with pytest.raises(TransientServerError) as excinfo:
+            client.healthz()
+        assert isinstance(excinfo.value, ClientError)  # stays catchable as before
+
+    def test_metrics_maps_transient_too(self):
+        client = ResistanceClient(_dead_url(), timeout=0.5, retry=NO_RETRY)
+        with pytest.raises(TransientServerError):
+            client.metrics()
+
+    def test_wait_ready_times_out_with_clear_error(self):
+        client = ResistanceClient(_dead_url(), timeout=0.5, retry=NO_RETRY)
+        with pytest.raises(ClientError, match="not ready after"):
+            client.wait_ready(timeout=0.3, interval=0.05)
+
+
+class TestRetryBehaviour:
+    def _client(self, **kwargs):
+        kwargs.setdefault(
+            "retry", RetryPolicy(max_attempts=3, base_seconds=0.001, jitter=False)
+        )
+        return ResistanceClient("http://example.invalid", **kwargs)
+
+    def test_idempotent_request_retries_transient_then_succeeds(self):
+        client = self._client()
+        flaky = Flaky(2, TransientServerError("refused"))
+        client._request_once = flaky
+        assert client.query(1, 2, 0.5)["ok"] is True
+        assert flaky.calls == 3
+
+    def test_exhausted_retries_raise_the_transient_error(self):
+        client = self._client()
+        flaky = Flaky(10, TransientServerError("refused"))
+        client._request_once = flaky
+        with pytest.raises(TransientServerError):
+            client.stats()
+        assert flaky.calls == 3
+
+    def test_update_is_never_retried(self):
+        client = self._client()
+        flaky = Flaky(10, TransientServerError("refused"))
+        client._request_once = flaky
+        with pytest.raises(TransientServerError):
+            client.update(add=[(0, 1)])
+        assert flaky.calls == 1  # a retried update could double-apply
+
+    def test_backpressure_not_retried_by_default(self):
+        client = self._client()
+        flaky = Flaky(10, BackpressureError("shed", retry_after=0.001))
+        client._request_once = flaky
+        with pytest.raises(BackpressureError):
+            client.query(1, 2, 0.5)
+        assert flaky.calls == 1
+
+    def test_backpressure_retried_when_opted_in_honoring_hint(self):
+        client = self._client(
+            retry=RetryPolicy(
+                max_attempts=3, base_seconds=0.001, max_backoff_seconds=0.01
+            ),
+            retry_backpressure=True,
+        )
+        flaky = Flaky(1, BackpressureError("shed", retry_after=0.001))
+        client._request_once = flaky
+        assert client.query(1, 2, 0.5)["ok"] is True
+        assert flaky.calls == 2
+
+    def test_http_errors_are_not_retried(self):
+        client = self._client()
+        flaky = Flaky(10, ClientError("bad request", status=400))
+        client._request_once = flaky
+        with pytest.raises(ClientError):
+            client.query(1, 2, 0.5)
+        assert flaky.calls == 1

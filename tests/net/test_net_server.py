@@ -31,7 +31,9 @@ def _serve(graph, *, service_config=None, **net_kwargs):
 def test_healthz_query_and_stats(graph):
     with _serve(graph) as server:
         client = ResistanceClient(server.url)
-        health = client.wait_ready()
+        ready = client.wait_ready()
+        assert ready["ready"] is True and ready["reasons"] == []
+        health = client.healthz()
         assert health["status"] == "ok"
         assert health["epoch"] == 0
 

@@ -1,0 +1,149 @@
+"""NetServer fault behaviour: /readyz, degraded answers, injected latency."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import EngineUnavailableError
+from repro.fault import CircuitOpenError, FAULTS
+from repro.graph.generators import barabasi_albert_graph
+from repro.net.client import ClientError, ResistanceClient
+from repro.net.server import NetServer, NetServerConfig
+from repro.service import ResistanceService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(120, 4, rng=5)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+def _serve(graph, *, service_config=None, **net_kwargs):
+    service = ResistanceService(
+        graph, rng=42, config=service_config or ServiceConfig()
+    )
+    return NetServer(service, NetServerConfig(**net_kwargs))
+
+
+def _trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+
+
+class TestReadyz:
+    def test_ready_server_reports_ready(self, graph):
+        with _serve(graph) as server:
+            client = ResistanceClient(server.url)
+            ready = client.wait_ready()
+            assert ready["ready"] is True
+            assert ready["reasons"] == []
+            assert ready["breaker"] == "closed"
+
+    def test_open_breaker_makes_replica_not_ready(self, graph):
+        with _serve(graph) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+            _trip(server.service.breaker)
+            with pytest.raises(ClientError) as excinfo:
+                client.readyz()
+            assert excinfo.value.status == 503
+            assert "breaker-open" in excinfo.value.payload["reasons"]
+            # liveness is unaffected: the process is still up
+            assert client.healthz()["status"] == "ok"
+            server.service.breaker.record_success()
+            assert client.readyz()["ready"] is True
+
+
+class TestDegradedAnswers:
+    def test_engine_failure_degrades_to_sketch_envelope(self, graph):
+        with _serve(graph) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+
+            def broken_query(*args, **kwargs):
+                raise EngineUnavailableError("engine tier is down")
+
+            server.service.query = broken_query
+            answer = client.query(3, 77, 0.2)
+            assert answer["partial"] is True
+            assert answer["degraded"] == "engine-unavailable"
+            assert answer["lower"] <= answer["value"] <= answer["upper"]
+            stats = client.stats()
+            assert stats["tiers"]["degraded"] == 1
+            assert "repro_degraded_answers_total 1" in client.metrics()
+
+    def test_engine_failure_degrades_whole_batch(self, graph):
+        with _serve(graph) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+
+            def broken_query_many(*args, **kwargs):
+                raise EngineUnavailableError("engine tier is down")
+
+            server.service.query_many = broken_query_many
+            batch = client.query_batch([(0, 40), (3, 77)], 0.2)
+            assert len(batch["results"]) == 2
+            assert all(r["degraded"] == "engine-unavailable" for r in batch["results"])
+
+    def test_no_sketch_means_503_with_cause(self, graph):
+        config = ServiceConfig(use_sketch=False)
+        with _serve(graph, service_config=config) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+
+            def broken_query(*args, **kwargs):
+                raise CircuitOpenError(5.0)
+
+            server.service.query = broken_query
+            with pytest.raises(ClientError) as excinfo:
+                client.query(3, 77, 0.2)
+            assert excinfo.value.status == 503
+            assert excinfo.value.payload["error"] == "engine-unavailable"
+
+    def test_open_breaker_short_circuits_before_the_engine(self, graph):
+        with _serve(graph) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+            server.pool = object()  # breaker gating applies to pooled replicas
+
+            def must_not_run(*args, **kwargs):  # pragma: no cover - the assertion
+                raise AssertionError("engine called while breaker open")
+
+            server.service.query = must_not_run
+            _trip(server.service.breaker)
+            answer = client.query(3, 77, 0.2)
+            assert answer["degraded"] == "engine-unavailable"
+            server.pool = None
+
+
+class TestSlowResponseFailpoint:
+    def test_net_slow_response_stalls_once(self, graph):
+        with _serve(graph) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+            FAULTS.arm("net:slow_response", "times:1+delay_ms:200")
+            started = time.perf_counter()
+            client.query(3, 77, 0.2)
+            stalled = time.perf_counter() - started
+            assert stalled >= 0.19
+            # times:1 exhausted — the next request is not stalled
+            started = time.perf_counter()
+            client.query(3, 77, 0.2)
+            assert time.perf_counter() - started < 0.19
+
+    def test_stats_expose_armed_failpoints(self, graph):
+        with _serve(graph) as server:
+            client = ResistanceClient(server.url)
+            client.wait_ready()
+            FAULTS.arm("net:slow_response", "delay_ms:1")
+            summary = server.service.summary()
+            assert "net:slow_response" in summary["fault"]["failpoints"]
+            assert summary["fault"]["breaker"]["state"] == "closed"

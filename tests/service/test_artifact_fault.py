@@ -1,0 +1,129 @@
+"""Crash-safe artifact writes under the torn-write failpoints.
+
+``artifacts:torn_write`` and ``delta:partial_append`` simulate a power cut
+mid-write (a truncated file at the FINAL path — the state the atomic
+tmp+fsync+rename discipline exists to prevent).  Loads must refuse or
+recover, never produce a wrong graph; a clean re-save must repair the
+directory in place.
+"""
+
+import pytest
+
+from repro.core.registry import QueryContext
+from repro.fault import FAULTS, FailpointTriggered
+from repro.graph import EdgeDelta, GraphStore, barabasi_albert_graph, graph_fingerprint
+from repro.service.artifacts import (
+    DELTA_LOG_NAME,
+    MANIFEST_NAME,
+    ArtifactError,
+    StaleArtifactError,
+    load_bundle,
+    load_manifest,
+    read_delta_log_with_report,
+    save_artifacts,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+@pytest.fixture()
+def graph():
+    return barabasi_albert_graph(60, 3, rng=8)
+
+
+def _save_with_deltas(graph, directory, rows=(4, 9)):
+    edges = graph.edge_array()
+    store = GraphStore(graph)
+    context = QueryContext(graph)
+    for row in rows:
+        delta = EdgeDelta(removals=[tuple(map(int, edges[row]))])
+        context.apply_delta(delta, graph=store.apply(delta))
+    save_artifacts(context, directory, store=store)
+    return store
+
+
+class TestTornManifest:
+    def test_torn_write_refuses_then_resave_recovers(self, tmp_path, graph):
+        FAULTS.arm("artifacts:torn_write")
+        with pytest.raises(FailpointTriggered):
+            save_artifacts(QueryContext(graph), tmp_path)
+        # the manifest on disk is a truncated prefix — unreadable, not wrong
+        assert (tmp_path / MANIFEST_NAME).exists()
+        with pytest.raises(ArtifactError, match="corrupt artifact manifest"):
+            load_manifest(tmp_path)
+        with pytest.raises(ArtifactError):
+            load_bundle(graph, tmp_path)
+        # a clean warm-up repairs the directory in place (atomic replace)
+        save_artifacts(QueryContext(graph), tmp_path)
+        restored, _sketch = load_bundle(graph, tmp_path)
+        assert restored.epoch == 0
+
+    def test_torn_write_preserves_previous_good_manifest_content(
+        self, tmp_path, graph
+    ):
+        """The torn file is strictly a prefix — no interleaved garbage."""
+        FAULTS.arm("artifacts:torn_write")
+        with pytest.raises(FailpointTriggered):
+            save_artifacts(QueryContext(graph), tmp_path)
+        torn = (tmp_path / MANIFEST_NAME).read_bytes()
+        save_artifacts(QueryContext(graph), tmp_path)
+        clean = (tmp_path / MANIFEST_NAME).read_bytes()
+        assert clean.startswith(torn)
+
+
+class TestPartialAppend:
+    def test_partial_append_recovers_to_last_committed_record(self, tmp_path, graph):
+        # First save commits epoch 1 cleanly (1 delta in log + manifest).
+        edges = graph.edge_array()
+        store = GraphStore(graph)
+        context = QueryContext(graph)
+        delta = EdgeDelta(removals=[tuple(map(int, edges[4]))])
+        context.apply_delta(delta, graph=store.apply(delta))
+        save_artifacts(context, tmp_path, store=store)
+        committed = graph_fingerprint(store.graph)
+
+        # Second save crashes mid-append: record 2 is torn, and the crash
+        # happens BEFORE the manifest write, so the manifest still says
+        # num_deltas=1 — the torn tail is uncommitted.
+        second = EdgeDelta(removals=[tuple(map(int, edges[9]))])
+        context.apply_delta(second, graph=store.apply(second))
+        FAULTS.arm("delta:partial_append")
+        with pytest.raises(FailpointTriggered):
+            save_artifacts(context, tmp_path, store=store)
+
+        deltas, report = read_delta_log_with_report(tmp_path / DELTA_LOG_NAME)
+        assert len(deltas) == 1 and report.recovered
+
+        # Warm start replays exactly the committed prefix: epoch 1.
+        restored, _sketch = load_bundle(graph, tmp_path)
+        assert restored.epoch == 1
+        assert graph_fingerprint(restored.graph) == committed
+
+    def test_torn_tail_below_manifest_requirement_refuses(self, tmp_path, graph):
+        """When the torn record WAS committed (manifest already requires it),
+        recovery must refuse rather than serve a shorter lineage."""
+        _save_with_deltas(graph, tmp_path, rows=(4, 9))
+        log_path = tmp_path / DELTA_LOG_NAME
+        log_path.write_bytes(log_path.read_bytes()[:-5])  # tear record 2
+        with pytest.raises(StaleArtifactError, match="re-run warm-up"):
+            load_bundle(graph, tmp_path)
+
+    def test_extra_uncommitted_records_are_ignored(self, tmp_path, graph):
+        """Records past the manifest's num_deltas (a crash after the append
+        but before the manifest commit) are truncated away on load."""
+        store = _save_with_deltas(graph, tmp_path, rows=(4, 9))
+        expected = graph_fingerprint(store.graph)
+        log_path = tmp_path / DELTA_LOG_NAME
+        from repro.fault import frame_record
+
+        extra = EdgeDelta(removals=[tuple(map(int, graph.edge_array()[14]))])
+        with log_path.open("a") as handle:
+            handle.write(frame_record(extra.to_json()))
+        restored, _sketch = load_bundle(graph, tmp_path)
+        assert restored.epoch == 2  # the committed epoch, not 3
+        assert graph_fingerprint(restored.graph) == expected
