@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the everyday uses of the library without writing any
+Nine subcommands cover the everyday uses of the library without writing any
 Python:
 
 ``repro-er query``
@@ -30,6 +30,12 @@ Python:
     (:mod:`repro.net.server`), optionally backed by a shared-memory worker
     pool (``--net-workers``).  ``repro-er query --url`` is the matching
     client.
+
+``repro-er plan``
+    Dry-run the cost-based adaptive planner for request pairs and print the
+    decision — chosen tier, predicted per-tier costs and the live signals
+    consulted (``--explain`` prints the full trace per pair).  ``serve
+    --planner adaptive`` turns the same routing on for real traffic.
 
 ``repro-er update``
     Apply an edge delta (inserts / removals / reweights) to a served graph:
@@ -63,8 +69,9 @@ from repro.experiments.reporting import format_table
 from repro.graph.delta import EdgeDelta
 from repro.graph.io import read_edge_list
 from repro.graph.properties import summarize
-from repro.service import ResistanceService, ServiceConfig
+from repro.service import PlannerConfig, ResistanceService, ServiceConfig
 from repro.service.artifacts import ArtifactError
+from repro.service.planner import TIER_ORDER
 
 
 def describe_graph(graph, label: str) -> str:
@@ -311,6 +318,7 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
         use_sketch=not args.no_sketch,
         num_landmarks=args.landmarks,
         workers=args.workers,
+        planner=getattr(args, "planner", "static"),
     )
     try:
         service = ResistanceService(
@@ -349,6 +357,7 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
         await server.stop()
 
     asyncio.run(run())
+    service.close()
     _print_layer_summaries(service.summary())
     return 0
 
@@ -370,6 +379,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_sketch=not args.no_sketch,
         num_landmarks=args.landmarks,
         workers=args.workers,
+        planner=getattr(args, "planner", "static"),
     )
     try:
         service = ResistanceService(
@@ -398,11 +408,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
+    service.close()
     print(format_table(rows, title="served effective resistance requests"))
     _print_layer_summaries(service.summary())
     if args.artifacts and not service.warm_started:
         manifest = service.save_artifacts(args.artifacts)
         print(f"artifacts saved to {manifest.parent} (next start will be warm)")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Dry-run the adaptive planner: decisions are printed, nothing executes."""
+    if not args.pairs:
+        raise SystemExit("provide at least one S,T pair to plan")
+    graph, label = _load_graph(args, announce=True)
+    config = ServiceConfig(
+        method=args.method,
+        use_cache=not args.no_cache,
+        use_sketch=not args.no_sketch,
+        num_landmarks=args.landmarks,
+        planner="adaptive",
+        planner_config=PlannerConfig(refine_in_background=False),
+    )
+    service = ResistanceService(graph, config=config, rng=args.seed)
+    service.warm_up()
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    pairs = _parse_pairs(args.pairs)
+    rows = []
+    try:
+        for s, t in pairs:
+            decision = service.planner.explain(
+                s, t, args.epsilon, method=args.method, deadline_seconds=deadline
+            )
+            rows.append(
+                {
+                    "s": s,
+                    "t": t,
+                    "epsilon": args.epsilon,
+                    "tier": decision.tier,
+                    "reason": decision.reason,
+                    "predicted cost (ms)": ", ".join(
+                        f"{name}={decision.predicted[name] * 1000.0:.4f}"
+                        for name in TIER_ORDER
+                        if name in decision.predicted
+                    ),
+                }
+            )
+            if args.explain:
+                print(
+                    f"plan {s},{t} eps={args.epsilon}: tier={decision.tier} "
+                    f"({decision.reason})"
+                    + (f", deadline={deadline * 1000.0:.1f}ms" if deadline else "")
+                )
+                for name in TIER_ORDER:
+                    if name in decision.predicted:
+                        marker = " <-- chosen" if name == decision.tier else ""
+                        print(
+                            f"  cost[{name}] = "
+                            f"{decision.predicted[name] * 1000.0:.6f} ms{marker}"
+                        )
+                for key, value in decision.signals.items():
+                    print(f"  signal {key} = {value}")
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(format_table(rows, title="planner decisions (dry run)"))
     return 0
 
 
@@ -746,6 +815,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sketch", action="store_true", help="disable the landmark sketch"
     )
     serve_parser.add_argument(
+        "--planner",
+        choices=("static", "adaptive"),
+        default="static",
+        help="query routing: the fixed cache->sketch->engine pipeline, or "
+        "cost-based per-query tier decisions with anytime refinement "
+        "(default: static)",
+    )
+    serve_parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="bind address for network mode (default: 127.0.0.1)",
@@ -790,6 +867,49 @@ def build_parser() -> argparse.ArgumentParser:
         "artifacts:torn_write' (also honors the REPRO_FAILPOINTS env var)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    plan_parser = subparsers.add_parser(
+        "plan",
+        help="dry-run the adaptive planner for request pairs: print the "
+        "chosen tier, predicted per-tier costs and consulted signals",
+    )
+    _add_graph_arguments(plan_parser)
+    plan_parser.add_argument(
+        "pairs",
+        nargs="*",
+        metavar="S,T",
+        help="node pairs to plan, e.g. 12,708 3,99",
+    )
+    plan_parser.add_argument(
+        "--epsilon", type=float, default=0.1, help="additive error ε"
+    )
+    plan_parser.add_argument(
+        "--method",
+        choices=available_methods(),
+        default="geer",
+        help="engine method the plan prices (default: geer)",
+    )
+    plan_parser.add_argument(
+        "--landmarks", type=int, default=8, help="number of landmark nodes (default: 8)"
+    )
+    plan_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the answer cache"
+    )
+    plan_parser.add_argument(
+        "--no-sketch", action="store_true", help="disable the landmark sketch"
+    )
+    plan_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="plan against this latency budget (enables the anytime tier)",
+    )
+    plan_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the full decision trace per pair (per-tier predicted "
+        "costs and every signal consulted)",
+    )
+    plan_parser.set_defaults(func=_cmd_plan)
 
     stats_parser = subparsers.add_parser(
         "stats",

@@ -269,6 +269,28 @@ class QueryPlan:
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    def pair_cost_units(self, index: int) -> float:
+        """Sampling-cost proxy (``ℓ/ε²``) for one planned pair.
+
+        Zero for methods without a planned walk length (deterministic
+        solvers): their cost is not sampling-bound and the planner models
+        them separately.
+        """
+        length = self._lengths[index]
+        if length is None:
+            return 0.0
+        return float(length) / (self.epsilon * self.epsilon)
+
+    def cost_units(self) -> float:
+        """Total sampling-cost proxy of the plan, summed over its pairs.
+
+        This is what the adaptive planner charges a batch before executing
+        it: walk lengths already reflect Eq. (6) per bucket, and the ``1/ε²``
+        factor accounts for the sample count, so two plans' ``cost_units``
+        compare the way their wall-clock sampling times do.
+        """
+        return sum(self.pair_cost_units(i) for i in range(len(self._pairs)))
+
     @property
     def pairs(self) -> list[tuple[int, int]]:
         return list(self._pairs)

@@ -98,4 +98,27 @@ def truncation_error_bound(
     return (lam ** (length + 1)) / (1.0 - lam) * (1.0 / degree_s + 1.0 / degree_t)
 
 
-__all__ = ["peng_walk_length", "refined_walk_length", "truncation_error_bound"]
+def query_cost_units(
+    epsilon: float,
+    lambda_max_abs: float,
+    degree_s: float,
+    degree_t: float,
+) -> float:
+    """Sampling-cost proxy for one ε-query on the pair ``(s, t)``.
+
+    The walk methods take ``η = Θ(1/ε²)`` samples of length up to ℓ (Eq. (6)),
+    so total walked steps scale as ``ℓ(ε, λ, d) / ε²``.  The absolute scale is
+    arbitrary — the planner's cost model multiplies these units by an observed
+    seconds-per-unit rate — but the *ratios* between queries are what make
+    degree- and ε-aware routing possible.
+    """
+    length = refined_walk_length(epsilon, lambda_max_abs, degree_s, degree_t)
+    return float(length) / (float(epsilon) * float(epsilon))
+
+
+__all__ = [
+    "peng_walk_length",
+    "refined_walk_length",
+    "truncation_error_bound",
+    "query_cost_units",
+]

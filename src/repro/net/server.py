@@ -162,20 +162,31 @@ class _RawBody:
 
 
 def _result_payload(result: Any) -> dict[str, Any]:
-    return {
+    details = result.details
+    payload = {
         "value": float(result.value),
         "s": int(result.s),
         "t": int(result.t),
         "epsilon": float(result.epsilon),
         "method": result.method,
-        "source": result.details.get("source", "engine"),
-        "partial": False,
+        "source": details.get("source", "engine"),
+        "partial": bool(details.get("partial", False)),
         "walk_length": int(result.walk_length),
         "num_walks": int(result.num_walks),
         "total_steps": int(result.total_steps),
         "spmv_operations": int(result.spmv_operations),
         "elapsed_seconds": float(result.elapsed_seconds),
     }
+    if "plan" in details:
+        payload["plan"] = details["plan"]
+    if payload["partial"]:
+        # Anytime answers surface their envelope (and whether a background
+        # refinement is running) exactly like the deadline-degrade path.
+        for key in ("lower", "upper", "half_width"):
+            if key in details:
+                payload[key] = float(details[key])
+        payload["refining"] = bool(details.get("refining", False))
+    return payload
 
 
 class NetServer:
@@ -246,6 +257,10 @@ class NetServer:
         self._accepting = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
+        if getattr(service, "planner", None) is not None:
+            # Admission control sees the server's live queue: pending work
+            # ahead of a query inflates its predicted engine cost.
+            service.load_probe = lambda: self._pending
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -583,6 +598,15 @@ class NetServer:
             return False
         return (time.monotonic() - arrival) * 1000.0 >= float(deadline_ms)
 
+    def _deadline_remaining(
+        self, request: dict[str, Any], arrival: float
+    ) -> Optional[float]:
+        """Seconds left in the request's budget, or None when unbounded."""
+        deadline_ms = request.get("deadline_ms", self.config.default_deadline_ms)
+        if deadline_ms is None:
+            return None
+        return max(0.0, float(deadline_ms) / 1000.0 - (time.monotonic() - arrival))
+
     def _partial_answer(self, s: int, t: int, epsilon: float) -> dict[str, Any]:
         answer = self.service.sketch_bounds(s, t)
         if answer is None:
@@ -693,10 +717,21 @@ class NetServer:
                     payload = self._degraded_answer(s, t, epsilon, tier_down)
                 else:
                     try:
+                        kwargs: dict[str, Any] = {}
+                        if getattr(self.service, "planner", None) is not None:
+                            # Adaptive services plan against the *remaining*
+                            # budget — they may answer with an anytime
+                            # partial instead of blowing the deadline.
+                            kwargs["deadline_seconds"] = self._deadline_remaining(
+                                request, arrival
+                            )
                         result = self.service.query(
-                            s, t, epsilon, method=request.get("method")
+                            s, t, epsilon, method=request.get("method"), **kwargs
                         )
                         payload = _result_payload(result)
+                        if payload["partial"]:
+                            self.stats.partials += 1
+                            self._m_partials.inc()
                     except EngineUnavailableError as exc:
                         payload = self._degraded_answer(s, t, epsilon, exc)
         payload["epoch"] = self.service.epoch
@@ -823,9 +858,16 @@ class NetServer:
                 "cache": service_stats.cache_hits,
                 "sketch": service_stats.sketch_hits,
                 "engine": service_stats.engine_queries,
+                "exact": getattr(service_stats, "exact_answers", 0),
+                "anytime": getattr(service_stats, "anytime_answers", 0),
                 "partial": self.stats.partials,
                 "degraded": self.stats.degraded,
             }
+        planner = getattr(self.service, "planner", None)
+        if planner is not None:
+            # Decision counts by tier, fallbacks, refinement outcomes and the
+            # calibrated cost model — the routing brain, fully inspectable.
+            payload["planner"] = planner.summary()
         if self.pool is not None:
             # Includes the merged worker-side counters (attaches, queries,
             # walk steps, per-pid breakdown) that used to be dropped.

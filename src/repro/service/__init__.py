@@ -15,9 +15,14 @@ Four building blocks and one facade turn the per-graph query session
 * :mod:`repro.service.artifacts` — persistent preprocessing artifacts with a
   graph fingerprint for staleness detection, so warm process starts skip the
   ARPACK eigen-solve.
+* :mod:`repro.service.planner` — the cost-based adaptive router
+  (:class:`QueryPlanner`): per-query tier decisions from live signals with
+  online-calibrated latency models, plus anytime sketch answers refined in
+  the background (:class:`RefinementExecutor`).
 * :mod:`repro.service.server` — :class:`ResistanceService`, wiring
-  cache → sketch → coalescer → engine with per-layer statistics, exposed on
-  the CLI as ``repro-er serve`` / ``repro-er warm``.
+  cache → sketch → coalescer → engine with per-layer statistics (statically,
+  or per-query through the planner with ``ServiceConfig(planner="adaptive")``),
+  exposed on the CLI as ``repro-er serve`` / ``repro-er warm``.
 """
 
 from repro.service.artifacts import (
@@ -36,6 +41,15 @@ from repro.service.artifacts import (
 )
 from repro.service.cache import CacheEntry, CacheStats, ResistanceCache, canonical_pair
 from repro.service.coalesce import CoalescerStats, PendingQuery, RequestCoalescer
+from repro.service.planner import (
+    CostModel,
+    PlanDecision,
+    PlannerConfig,
+    PlannerStats,
+    QueryPlanner,
+    RefinementExecutor,
+    ServiceSignals,
+)
 from repro.service.sketch import LandmarkSketchStore, SketchAnswer, SketchStats
 from repro.service.server import (
     ResistanceService,
@@ -71,6 +85,14 @@ __all__ = [
     "load_sketch",
     "read_delta_log",
     "save_artifacts",
+    # planner
+    "CostModel",
+    "PlanDecision",
+    "PlannerConfig",
+    "PlannerStats",
+    "QueryPlanner",
+    "RefinementExecutor",
+    "ServiceSignals",
     # facade
     "ResistanceService",
     "ServiceConfig",

@@ -57,6 +57,10 @@ class CacheStats:
     refinements: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Background refinements rejected by :meth:`ResistanceCache.refine` —
+    #: the entry was evicted/invalidated meanwhile, the graph epoch moved on,
+    #: or the offered answer was no tighter than the stored one.
+    dropped_refinements: int = 0
 
     @property
     def lookups(self) -> int:
@@ -74,6 +78,7 @@ class CacheStats:
             "hit_rate": round(self.hit_rate, 4),
             "insertions": self.insertions,
             "refinements": self.refinements,
+            "dropped_refinements": self.dropped_refinements,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
         }
@@ -154,6 +159,49 @@ class ResistanceCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+        return True
+
+    def peek(self, s: int, t: int) -> Optional[CacheEntry]:
+        """The stored entry for ``(s, t)`` regardless of ε, or None.
+
+        A planning probe: neither the hit/miss counters nor the entry's LRU
+        recency move, so the adaptive planner can ask "what ε do we already
+        hold?" on every query without perturbing cache behaviour or stats.
+        """
+        return self._entries.get(self.canonical_key(s, t))
+
+    def refine(
+        self,
+        s: int,
+        t: int,
+        epsilon: float,
+        value: float,
+        method: str = "",
+        *,
+        epoch: int,
+        current_epoch: int,
+    ) -> bool:
+        """Land a *background-refined* answer; True iff it was accepted.
+
+        Unlike :meth:`put`, a refinement must never create an entry: the
+        anytime path stored the sketch envelope when it answered, and if that
+        entry has since been evicted or invalidated, resurrecting the pair
+        here would bypass the LRU policy and — worse — re-insert an answer
+        for a pair the localized invalidation deliberately dropped.  A
+        refinement computed against graph epoch ``epoch`` is likewise
+        discarded when the service has moved to a different
+        ``current_epoch``: its value describes a graph that no longer exists.
+        Rejected offers count as ``dropped_refinements``.
+        """
+        epsilon = check_positive(epsilon, "epsilon", strict=False)
+        key = self.canonical_key(s, t)
+        existing = self._entries.get(key)
+        if existing is None or epoch != current_epoch or existing.epsilon <= epsilon:
+            self.stats.dropped_refinements += 1
+            return False
+        self._entries[key] = CacheEntry(float(value), epsilon, method, epoch)
+        self._entries.move_to_end(key)
+        self.stats.refinements += 1
         return True
 
     def invalidate_nodes(self, nodes) -> int:

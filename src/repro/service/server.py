@@ -42,6 +42,12 @@ from repro.obs import Observability, Sample
 from repro.service import artifacts as artifacts_io
 from repro.service.cache import ResistanceCache, canonical_pair
 from repro.service.coalesce import PendingQuery, RequestCoalescer
+from repro.service.planner import (
+    PlannerConfig,
+    QueryPlanner,
+    RefinementExecutor,
+    ServiceSignals,
+)
 from repro.service.sketch import LandmarkSketchStore
 from repro.utils.rng import RngLike
 from repro.utils.timing import Timer
@@ -93,6 +99,14 @@ class ServiceConfig:
     breaker_failure_threshold: int = 3
     #: ... and how long it stays down before a half-open probe is let through.
     breaker_reset_seconds: float = 30.0
+    #: Query routing: "static" keeps the fixed cache → sketch → engine
+    #: pipeline; "adaptive" routes each query through the cost-based
+    #: :class:`~repro.service.planner.QueryPlanner` (adds the exact-solve
+    #: tier and, under deadlines, anytime sketch envelopes with background
+    #: refinement).  Contract 8: the planner may change latency, never
+    #: answers — every tier it picks meets the requested ε.
+    planner: str = "static"
+    planner_config: Optional[PlannerConfig] = None
 
     def __post_init__(self) -> None:
         for name in ("spectral_refresh", "sketch_refresh"):
@@ -101,6 +115,10 @@ class ServiceConfig:
                 raise ValueError(
                     f"{name} must be one of {REFRESH_POLICIES}, got {value!r}"
                 )
+        if self.planner not in ("static", "adaptive"):
+            raise ValueError(
+                f"planner must be 'static' or 'adaptive', got {self.planner!r}"
+            )
 
 
 @dataclass
@@ -111,6 +129,10 @@ class ServiceStats:
     cache_hits: int = 0
     sketch_hits: int = 0
     engine_queries: int = 0
+    #: Adaptive-planner tiers: direct Laplacian solves and partial
+    #: sketch-envelope answers served under deadline pressure.
+    exact_answers: int = 0
+    anytime_answers: int = 0
     coalesced_submissions: int = 0
     updates: int = 0
     invalidated_cache_entries: int = 0
@@ -119,7 +141,10 @@ class ServiceStats:
     @property
     def offloaded(self) -> int:
         """Requests answered without touching the walk engine."""
-        return self.cache_hits + self.sketch_hits
+        return (
+            self.cache_hits + self.sketch_hits
+            + self.exact_answers + self.anytime_answers
+        )
 
     def summary(self) -> dict[str, object]:
         return {
@@ -127,6 +152,8 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "sketch_hits": self.sketch_hits,
             "engine_queries": self.engine_queries,
+            "exact_answers": self.exact_answers,
+            "anytime_answers": self.anytime_answers,
             "coalesced_submissions": self.coalesced_submissions,
             "updates": self.updates,
             "invalidated_cache_entries": self.invalidated_cache_entries,
@@ -286,6 +313,20 @@ class ResistanceService:
             failure_threshold=self.config.breaker_failure_threshold,
             reset_seconds=self.config.breaker_reset_seconds,
         )
+        # Optional external queue-depth probe for the planner's admission
+        # control (the network server points it at its pending counter).
+        self.load_probe: Optional[Any] = None
+        self.planner: Optional[QueryPlanner] = None
+        self._refiner: Optional[RefinementExecutor] = None
+        if self.config.planner == "adaptive":
+            planner_config = self.config.planner_config or PlannerConfig()
+            self.planner = QueryPlanner(
+                ServiceSignals(self), config=planner_config, obs=self.obs
+            )
+            if planner_config.refine_in_background:
+                self._refiner = RefinementExecutor(
+                    self, planner=self.planner, seed=planner_config.refinement_seed
+                )
         # The epoch-versioned graph holder: tracks the delta log and lineage
         # chain (persisted by save_artifacts for replay loading).  A warm
         # start adopts the persisted lineage — base fingerprint and full log
@@ -342,67 +383,260 @@ class ResistanceService:
                 result.method,
                 epoch=self.engine.epoch,
             )
+        if self.planner is not None:
+            # Online calibration: every engine answer teaches the cost model
+            # its observed seconds for this (method, degree-bucket, ε).
+            self.planner.observe_engine(
+                result.method, result.s, result.t, result.epsilon,
+                result.elapsed_seconds,
+            )
 
     # ------------------------------------------------------------------ #
     # serving layers
     # ------------------------------------------------------------------ #
+    def _cache_answer(
+        self, s: int, t: int, epsilon: float
+    ) -> Optional[EstimateResult]:
+        """A cache-tier answer for ``(s, t)`` at ε, or None on a miss."""
+        if self.cache is None:
+            return None
+        with self.obs.tracer.span("tier:cache", s=s, t=t) as span:
+            entry = self.cache.get(s, t, epsilon)
+            if span is not None:
+                span.attributes["hit"] = entry is not None
+        if entry is None:
+            return None
+        self.stats.cache_hits += 1
+        self._tier_answers.labels(tier="cache").inc()
+        return EstimateResult(
+            value=entry.value,
+            method="cache",
+            s=s,
+            t=t,
+            epsilon=epsilon,
+            details={
+                "source": "cache",
+                "cached_epsilon": entry.epsilon,
+                "cached_method": entry.method,
+            },
+        )
+
+    def _sketch_answer(
+        self, s: int, t: int, epsilon: float
+    ) -> Optional[EstimateResult]:
+        """A sketch-tier answer (envelope tight enough for ε), or None."""
+        sketch = self._ready_sketch()
+        if sketch is None:
+            return None
+        with self.obs.tracer.span("tier:sketch", s=s, t=t) as span:
+            answer = sketch.query(s, t, epsilon)
+            if span is not None:
+                span.attributes["hit"] = answer is not None
+        if answer is None:
+            return None
+        self.stats.sketch_hits += 1
+        self._tier_answers.labels(tier="sketch").inc()
+        if self.cache is not None:
+            self.cache.put(
+                s,
+                t,
+                answer.half_width,
+                answer.midpoint,
+                "sketch",
+                epoch=self.engine.epoch,
+            )
+        return EstimateResult(
+            value=answer.midpoint,
+            method="sketch",
+            s=s,
+            t=t,
+            epsilon=epsilon,
+            details={
+                "source": "sketch",
+                "lower": answer.lower,
+                "upper": answer.upper,
+                "half_width": answer.half_width,
+            },
+        )
+
     def _layered_answer(
         self, s: int, t: int, epsilon: float
     ) -> Optional[EstimateResult]:
         """Try the cache then the sketch; None when the engine must run."""
-        tracer = self.obs.tracer
+        result = self._cache_answer(s, t, epsilon)
+        if result is not None:
+            return result
+        return self._sketch_answer(s, t, epsilon)
+
+    # ------------------------------------------------------------------ #
+    # adaptive planning (config.planner == "adaptive")
+    # ------------------------------------------------------------------ #
+    def _exact_answer(self, s: int, t: int, epsilon: float) -> EstimateResult:
+        """The exact tier: one Laplacian solve, cached at ε=0 (dominates all)."""
+        timer = Timer()
+        with timer, self.obs.tracer.span("tier:exact", s=s, t=t):
+            value = float(self.engine.exact(s, t))
+        self.stats.exact_answers += 1
+        self._tier_answers.labels(tier="exact").inc()
         if self.cache is not None:
-            with tracer.span("tier:cache", s=s, t=t) as span:
-                entry = self.cache.get(s, t, epsilon)
-                if span is not None:
-                    span.attributes["hit"] = entry is not None
-            if entry is not None:
-                self.stats.cache_hits += 1
-                self._tier_answers.labels(tier="cache").inc()
-                return EstimateResult(
-                    value=entry.value,
-                    method="cache",
-                    s=s,
-                    t=t,
-                    epsilon=epsilon,
-                    details={
-                        "source": "cache",
-                        "cached_epsilon": entry.epsilon,
-                        "cached_method": entry.method,
-                    },
-                )
-        sketch = self._ready_sketch()
-        if sketch is not None:
-            with tracer.span("tier:sketch", s=s, t=t) as span:
-                answer = sketch.query(s, t, epsilon)
-                if span is not None:
-                    span.attributes["hit"] = answer is not None
-            if answer is not None:
-                self.stats.sketch_hits += 1
-                self._tier_answers.labels(tier="sketch").inc()
-                if self.cache is not None:
-                    self.cache.put(
-                        s,
-                        t,
-                        answer.half_width,
-                        answer.midpoint,
-                        "sketch",
-                        epoch=self.engine.epoch,
-                    )
-                return EstimateResult(
-                    value=answer.midpoint,
-                    method="sketch",
-                    s=s,
-                    t=t,
-                    epsilon=epsilon,
-                    details={
-                        "source": "sketch",
-                        "lower": answer.lower,
-                        "upper": answer.upper,
-                        "half_width": answer.half_width,
-                    },
-                )
-        return None
+            self.cache.put(s, t, 0.0, value, "exact-solve", epoch=self.epoch)
+        return EstimateResult(
+            value=value,
+            method="exact-solve",
+            s=s,
+            t=t,
+            epsilon=epsilon,
+            elapsed_seconds=timer.elapsed,
+            details={"source": "exact"},
+        )
+
+    def _anytime_answer(
+        self, s: int, t: int, epsilon: float, *, refine: bool
+    ) -> Optional[EstimateResult]:
+        """The anytime tier: serve the envelope now, refine in background.
+
+        The midpoint goes out immediately — marked ``partial`` and guaranteed
+        only at the envelope's ``half_width``, not the requested ε — and the
+        same value seeds the cache at that half-width, creating the entry the
+        background refinement later tightens via
+        :meth:`~repro.service.cache.ResistanceCache.refine`.
+        """
+        answer = self.sketch_bounds(s, t)
+        if answer is None:
+            return None
+        self.stats.anytime_answers += 1
+        self._tier_answers.labels(tier="anytime").inc()
+        if self.cache is not None:
+            self.cache.put(
+                s, t, answer.half_width, answer.midpoint, "sketch",
+                epoch=self.epoch,
+            )
+        refining = False
+        if refine and self._refiner is not None:
+            refining = self._refiner.submit(s, t, epsilon, self.epoch)
+        return EstimateResult(
+            value=answer.midpoint,
+            method="sketch-bound",
+            s=s,
+            t=t,
+            epsilon=epsilon,
+            details={
+                "source": "sketch",
+                "partial": True,
+                "lower": answer.lower,
+                "upper": answer.upper,
+                "half_width": answer.half_width,
+                "refining": refining,
+            },
+        )
+
+    def _execute_decision(
+        self,
+        decision,
+        s: int,
+        t: int,
+        epsilon: float,
+        method: str,
+        kwargs: dict[str, Any],
+    ) -> EstimateResult:
+        """Serve one query through the planner's chosen tier.
+
+        A planned lookup tier that cannot deliver after all (entry raced
+        away between the planning probe and the read, sketch rebuilt looser)
+        falls through to the engine — correctness never depends on a
+        prediction being right, only latency does (Contract 8).
+        """
+        planner = self.planner
+        tier = decision.tier
+        if tier == "cache":
+            result = self._cache_answer(s, t, epsilon)
+            if result is not None:
+                result.details["plan"] = tier
+                return result
+            planner.record_fallback(tier)
+        elif tier == "sketch":
+            result = self._sketch_answer(s, t, epsilon)
+            if result is not None:
+                result.details["plan"] = tier
+                return result
+            planner.record_fallback(tier)
+        elif tier == "anytime":
+            result = self._anytime_answer(s, t, epsilon, refine=decision.refine)
+            if result is not None:
+                result.details["plan"] = tier
+                return result
+            planner.record_fallback(tier)
+        elif tier == "exact":
+            result = self._exact_answer(s, t, epsilon)
+            result.details["plan"] = tier
+            return result
+        result = self.engine.query(s, t, epsilon, method=method, **kwargs)
+        result.details.setdefault("source", "engine")
+        result.details.setdefault("plan", tier)
+        return result
+
+    def _planned_answer(
+        self,
+        s: int,
+        t: int,
+        epsilon: float,
+        method: str,
+        deadline_seconds: Optional[float],
+        kwargs: dict[str, Any],
+    ) -> EstimateResult:
+        decision = self.planner.decide(
+            s, t, epsilon, method=method, deadline_seconds=deadline_seconds
+        )
+        return self._execute_decision(decision, s, t, epsilon, method, kwargs)
+
+    def _planned_layer_answer(
+        self, s: int, t: int, epsilon: float, method: str
+    ) -> Optional[EstimateResult]:
+        """Batch-path planning: resolve non-engine tiers, None joins the plan.
+
+        Without a deadline the planner never picks ``anytime``, so the
+        possible short-circuits are cache, sketch and exact.
+        """
+        decision = self.planner.decide(s, t, epsilon, method=method)
+        if decision.tier == "engine":
+            return None
+        return self._execute_decision(decision, s, t, epsilon, method, {})
+
+    def _complete_refinement(
+        self, result: EstimateResult, epoch: int, *, seconds: float = 0.0
+    ) -> bool:
+        """Land one background refinement; True iff the cache accepted it.
+
+        Dropped (never resurrected) when the graph epoch moved past the
+        pinned one, the cache entry is gone, or the refined answer carries no
+        ε guarantee (budget-exhausted sampling).
+        """
+        planner = self.planner
+        if (
+            self.cache is None
+            or result.budget_exhausted
+            or self.epoch != epoch
+        ):
+            planner.stats.refinements_dropped += 1
+            return False
+        accepted = self.cache.refine(
+            result.s,
+            result.t,
+            result.epsilon,
+            result.value,
+            result.method,
+            epoch=epoch,
+            current_epoch=self.epoch,
+        )
+        if accepted:
+            planner.stats.refinements_completed += 1
+            planner.observe_engine(
+                result.method, result.s, result.t, result.epsilon,
+                seconds or result.elapsed_seconds,
+            )
+        else:
+            planner.stats.refinements_dropped += 1
+        return accepted
 
     def _ready_sketch(self) -> Optional[LandmarkSketchStore]:
         """The sketch if it may answer queries now, refreshing per policy.
@@ -465,6 +699,12 @@ class ResistanceService:
             "service:update", changes=delta.num_changes
         ):
             self.flush()
+            if self._refiner is not None:
+                # In-flight anytime refinements read the live context; wait
+                # them out before patching it.  Anything they land is still
+                # pinned to the pre-update epoch and survives only if the
+                # localized invalidation below leaves the entry alone.
+                self._refiner.drain()
             old_graph = self.graph
             # The context validates (and only then mutates) first; the store
             # commits after, so a rejected delta — disconnecting removal,
@@ -522,27 +762,50 @@ class ResistanceService:
     # queries
     # ------------------------------------------------------------------ #
     def query(
-        self, s: int, t: int, epsilon: float, *, method: Optional[str] = None, **kwargs: Any
+        self,
+        s: int,
+        t: int,
+        epsilon: float,
+        *,
+        method: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        **kwargs: Any,
     ) -> EstimateResult:
         """Answer one ε-approximate PER query through the serving layers.
 
         The result's ``details["source"]`` names the layer that answered:
-        ``"cache"`` and ``"sketch"`` answers carry zero walk/SpMV work.
+        ``"cache"``, ``"sketch"`` and ``"exact"`` answers carry zero walk
+        work.  Under the adaptive planner, ``deadline_seconds`` bounds the
+        remaining latency budget: when no ε-meeting tier fits it and the
+        sketch has bounds, a ``partial`` envelope answer is served and the
+        full-ε value is refined in the background
+        (``details["refining"]``).  The static pipeline ignores deadlines.
         """
         epsilon = check_positive(epsilon, "epsilon")
         s, t = check_node_pair(s, t, self.graph.num_nodes)
         self.stats.requests += 1
         timer = Timer()
         with timer, self.obs.tracer.span("service:query", s=s, t=t, epsilon=epsilon):
-            result = self._layered_answer(s, t, epsilon)
-            if result is None:
-                result = self.engine.query(
-                    s, t, epsilon, method=method or self.config.method, **kwargs
+            if self.planner is not None:
+                result = self._planned_answer(
+                    s, t, epsilon, method or self.config.method,
+                    deadline_seconds, kwargs,
                 )
-                result.details.setdefault("source", "engine")
-        self._tier_latency.labels(
-            tier=result.details.get("source", "engine")
-        ).observe(timer.elapsed)
+            else:
+                result = self._layered_answer(s, t, epsilon)
+                if result is None:
+                    result = self.engine.query(
+                        s, t, epsilon, method=method or self.config.method, **kwargs
+                    )
+                    result.details.setdefault("source", "engine")
+        source = result.details.get("source", "engine")
+        self._tier_latency.labels(tier=source).observe(timer.elapsed)
+        if self.planner is not None and source in ("cache", "sketch", "exact"):
+            # Engine latencies are observed by the result hook; the flat
+            # tiers calibrate here from the end-to-end serve time.
+            self.planner.observe_flat(
+                "sketch" if source == "sketch" else source, timer.elapsed
+            )
         return result
 
     def query_many(
@@ -564,7 +827,12 @@ class ResistanceService:
         missed: list[tuple[int, int]] = []
         missed_indices: dict[tuple[int, int], list[int]] = {}
         for index, (s, t) in enumerate(validated):
-            served = self._layered_answer(s, t, epsilon)
+            if self.planner is not None:
+                served = self._planned_layer_answer(
+                    s, t, epsilon, method or self.config.method
+                )
+            else:
+                served = self._layered_answer(s, t, epsilon)
             if served is not None:
                 results[index] = served
                 continue
@@ -671,6 +939,11 @@ class ResistanceService:
         if self._coalescer is not None:
             self._coalescer.flush()
 
+    def close(self) -> None:
+        """Stop background machinery (the refinement executor); idempotent."""
+        if self._refiner is not None:
+            self._refiner.shutdown()
+
     def exact(self, s: int, t: int) -> float:
         """Ground-truth ``r(s, t)`` via the engine's Laplacian solver."""
         return self.engine.exact(s, t)
@@ -716,6 +989,8 @@ class ResistanceService:
             "cache_hits",
             "sketch_hits",
             "engine_queries",
+            "exact_answers",
+            "anytime_answers",
             "coalesced_submissions",
             "invalidated_cache_entries",
             "sketch_rebuilds",
@@ -729,9 +1004,11 @@ class ResistanceService:
                     float(getattr(stats, field)),
                 )
             )
+        if self.planner is not None:
+            samples.extend(self.planner.metrics_samples())
         if self.cache is not None:
             cache = self.cache.stats
-            for field in ("hits", "misses", "insertions", "refinements", "evictions", "invalidations"):
+            for field in ("hits", "misses", "insertions", "refinements", "dropped_refinements", "evictions", "invalidations"):
                 samples.append(
                     Sample(
                         f"repro_cache_{field}_total",
@@ -803,6 +1080,8 @@ class ResistanceService:
             summary["sketch"] = self.sketch.stats.summary()
         if self._coalescer is not None:
             summary["coalescer"] = self._coalescer.stats.summary()
+        if self.planner is not None:
+            summary["planner"] = self.planner.summary()
         summary["session"] = self.engine.stats.summary()
         summary["fault"] = {
             "breaker": self.breaker.summary(),
@@ -817,6 +1096,7 @@ class ResistanceService:
                 ("cache", self.cache is not None),
                 ("sketch", self.sketch is not None),
                 ("coalescer", self._coalescer is not None),
+                ("planner", self.planner is not None),
             )
             if active
         ]

@@ -263,6 +263,18 @@ class LandmarkSketchStore:
         """
         self.stale = True
 
+    def gap(self, s: int, t: int) -> Optional[float]:
+        """The envelope half-width for ``(s, t)``, or None when stale.
+
+        A planning probe, not a lookup: no stats are touched, so the adaptive
+        planner can consult the sketch's tightness for every query without
+        distorting the hit-rate counters.  ``gap(s, t) <= ε`` iff
+        :meth:`query` would answer at ε.
+        """
+        if self.stale:
+            return None
+        return self.bounds(s, t).half_width
+
     def query(self, s: int, t: int, epsilon: float) -> Optional[SketchAnswer]:
         """Return the envelope iff its midpoint is a valid ε-answer, else None.
 

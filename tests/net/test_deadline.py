@@ -1,0 +1,177 @@
+"""Direct unit tests of the network front-end's deadline handling.
+
+These bypass sockets entirely: a :class:`NetServer` is constructed but never
+started, and ``_work_query`` / ``_partial_answer`` / ``_degraded_answer`` are
+called on the worker-thread path with synthetic arrival times.  Covered here:
+
+* the expired-deadline degrade to a ``partial: true`` sketch envelope,
+* the 504 branch when no sketch exists to degrade to,
+* the 503 + ``Retry-After`` branch when the engine tier is down sketchless,
+* remaining-budget arithmetic (``_deadline_remaining``),
+* the adaptive planner's anytime partial flowing through ``/query`` payloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.net.server import NetServer, NetServerConfig, _Reject
+from repro.graph.generators import barabasi_albert_graph
+from repro.service.planner import PlannerConfig
+from repro.service.server import ResistanceService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(60, 3, rng=8)
+
+
+def _server(graph, *, service_config=None, **net_kwargs):
+    service = ResistanceService(
+        graph, config=service_config or ServiceConfig(), rng=7
+    )
+    net_kwargs.setdefault("use_shared_memory", False)
+    server = NetServer(service, NetServerConfig(**net_kwargs))
+    return server, service
+
+
+class TestDeadlineExpiry:
+    def test_expired_deadline_serves_partial_envelope(self, graph):
+        server, service = _server(graph)
+        payload = server._work_query(
+            {"s": 0, "t": 1, "epsilon": 0.3, "deadline_ms": 0},
+            arrival=time.monotonic() - 1.0,
+        )
+        assert payload["partial"] is True
+        assert payload["source"] == "sketch"
+        assert payload["method"] == "sketch-bound"
+        assert payload["lower"] - 1e-12 <= payload["value"] <= payload["upper"] + 1e-12
+        assert payload["half_width"] == pytest.approx(
+            (payload["upper"] - payload["lower"]) / 2.0
+        )
+        assert payload["epoch"] == service.epoch
+        assert server.stats.partials == 1
+        # the engine never ran: a degrade costs zero walk steps
+        assert service.engine.stats.total_steps == 0
+
+    def test_unexpired_deadline_answers_normally(self, graph):
+        server, _ = _server(graph)
+        payload = server._work_query(
+            {"s": 0, "t": 1, "epsilon": 0.3, "deadline_ms": 60_000},
+            arrival=time.monotonic(),
+        )
+        assert payload["partial"] is False
+        assert server.stats.partials == 0
+
+    def test_expired_deadline_without_sketch_is_504(self, graph):
+        server, _ = _server(graph, service_config=ServiceConfig(use_sketch=False))
+        with pytest.raises(_Reject) as excinfo:
+            server._work_query(
+                {"s": 0, "t": 1, "epsilon": 0.3, "deadline_ms": 0},
+                arrival=time.monotonic() - 1.0,
+            )
+        assert excinfo.value.status == 504
+        assert excinfo.value.payload["error"] == "deadline-exceeded"
+        assert server.stats.partials == 0
+
+
+class TestDeadlineRemaining:
+    def test_no_deadline_means_unbounded(self, graph):
+        server, _ = _server(graph)
+        assert server._deadline_remaining({}, arrival=time.monotonic()) is None
+
+    def test_remaining_budget_counts_down_from_arrival(self, graph):
+        server, _ = _server(graph)
+        arrival = time.monotonic() - 0.05
+        remaining = server._deadline_remaining({"deadline_ms": 1000}, arrival)
+        assert 0.0 < remaining <= 0.95
+
+    def test_remaining_budget_clamps_at_zero(self, graph):
+        server, _ = _server(graph)
+        arrival = time.monotonic() - 1.0
+        assert server._deadline_remaining({"deadline_ms": 10}, arrival) == 0.0
+
+    def test_default_deadline_from_config(self, graph):
+        server, _ = _server(graph, default_deadline_ms=500)
+        remaining = server._deadline_remaining({}, arrival=time.monotonic())
+        assert remaining is not None and remaining <= 0.5
+
+
+class TestDegradedAnswers:
+    def test_degraded_answer_marks_cause(self, graph):
+        server, _ = _server(graph)
+        payload = server._degraded_answer(0, 1, 0.3, RuntimeError("breaker open"))
+        assert payload["partial"] is True
+        assert payload["degraded"] == "engine-unavailable"
+        assert server.stats.degraded == 1 and server.stats.partials == 1
+
+    def test_degraded_without_sketch_is_503_with_retry_after(self, graph):
+        from repro.fault import CircuitOpenError
+
+        server, _ = _server(graph, service_config=ServiceConfig(use_sketch=False))
+        with pytest.raises(_Reject) as excinfo:
+            server._degraded_answer(0, 1, 0.3, CircuitOpenError(7.2))
+        assert excinfo.value.status == 503
+        assert excinfo.value.payload["error"] == "engine-unavailable"
+        assert excinfo.value.headers["Retry-After"] == "7"
+        assert server.stats.degraded == 0  # nothing was served
+
+    def test_degraded_without_sketch_and_no_retry_hint(self, graph):
+        server, _ = _server(graph, service_config=ServiceConfig(use_sketch=False))
+        with pytest.raises(_Reject) as excinfo:
+            server._degraded_answer(0, 1, 0.3, None)
+        assert excinfo.value.status == 503
+        assert "Retry-After" not in excinfo.value.headers
+
+
+class TestAdaptiveAnytimeOverHttp:
+    def test_anytime_partial_flows_through_query_payload(self, graph):
+        """An adaptive service under a tight-but-live budget answers with the
+        planner's anytime envelope — ``partial: true`` plus ``plan`` — rather
+        than the front-end's own expiry degrade."""
+        server, service = _server(
+            graph,
+            service_config=ServiceConfig(
+                planner="adaptive",
+                planner_config=PlannerConfig(
+                    exact_max_nodes=0, refine_in_background=False
+                ),
+            ),
+        )
+        # calibrate the engine as catastrophically slow so no budget fits it
+        service.planner.observe_engine("geer", 0, 1, 0.5, 1_000.0)
+        # a pair whose envelope cannot meet ε=0.01: forces anytime, not sketch
+        pair = next(
+            (s, t)
+            for s in range(graph.num_nodes)
+            for t in range(s + 1, graph.num_nodes)
+            if (service.sketch.gap(s, t) or 0.0) > 0.05
+        )
+        payload = server._work_query(
+            {"s": pair[0], "t": pair[1], "epsilon": 0.01, "deadline_ms": 50},
+            arrival=time.monotonic(),
+        )
+        assert payload["partial"] is True
+        assert payload["plan"] == "anytime"
+        assert payload["source"] == "sketch"
+        assert payload["refining"] is False  # refinement disabled in config
+        assert payload["lower"] <= payload["value"] <= payload["upper"]
+        assert server.stats.partials == 1
+        assert service.planner.stats.tier_decisions["anytime"] == 1
+
+    def test_adaptive_without_deadline_is_never_partial(self, graph):
+        server, service = _server(
+            graph,
+            service_config=ServiceConfig(
+                planner="adaptive",
+                planner_config=PlannerConfig(refine_in_background=False),
+            ),
+        )
+        payload = server._work_query(
+            {"s": 2, "t": 9, "epsilon": 0.3}, arrival=time.monotonic()
+        )
+        assert payload["partial"] is False
+        assert "plan" in payload
+        assert service.planner.stats.decisions == 1

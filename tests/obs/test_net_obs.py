@@ -177,7 +177,9 @@ def test_stats_exposes_tier_answer_counts(graph):
         client.query(3, 77, 0.2)
         client.query(3, 77, 0.2)  # repeat -> cache
         tiers = client.stats()["tiers"]
-        assert set(tiers) == {"cache", "sketch", "engine", "partial", "degraded"}
+        assert set(tiers) == {
+            "cache", "sketch", "engine", "exact", "anytime", "partial", "degraded",
+        }
         assert tiers["cache"] >= 1
         assert tiers["cache"] + tiers["sketch"] + tiers["engine"] == 2
 

@@ -1,0 +1,211 @@
+"""Regenerate the planner decision-trace fixture ``tests/data/planner_golden.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/regen_planner_golden.py
+
+A :class:`QueryPlanner` is driven through a fixed synthetic workload — no
+graph, no sketch build, no wall clock — and every :class:`PlanDecision` it
+emits is recorded verbatim.  ``tests/service/test_planner_golden.py`` replays
+the identical workload and compares against this file, so any change to the
+routing logic, the cost model's EWMA arithmetic, the availability rules or
+the recorded signals fails loudly instead of drifting.
+
+Everything here is pure ``math``-module float arithmetic
+(:func:`repro.core.walk_length.query_cost_units` plus EWMA folds), so the
+trace is bit-identical across machines and SciPy/NumPy builds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "planner_golden.json"
+
+#: Bumped whenever the workload below changes shape.
+WORKLOAD_VERSION = 1
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic timestamps."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def tick(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class SimulatedSignals:
+    """Synthetic stand-in for :class:`repro.service.planner.ServiceSignals`.
+
+    Implements the same duck-typed protocol the planner consults, with every
+    signal directly settable by the simulation (cache ε per pair, sketch gap
+    per pair, queue depth, breaker state, epoch).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_nodes: int = 1_000,
+        lambda_max_abs: float = 0.5,
+        default_degree: float = 4.0,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.lambda_max_abs = lambda_max_abs
+        self.epoch = 0
+        self.default_degree = float(default_degree)
+        self.node_degrees: dict[int, float] = {}
+        self.cached: dict[tuple[int, int], float] = {}
+        self.gaps: dict[tuple[int, int], float] = {}
+        self.queue = 0
+        self.breaker = "closed"
+
+    @staticmethod
+    def _key(s: int, t: int) -> tuple[int, int]:
+        return (min(s, t), max(s, t))
+
+    def degrees(self, s: int, t: int) -> tuple[float, float]:
+        return (
+            self.node_degrees.get(s, self.default_degree),
+            self.node_degrees.get(t, self.default_degree),
+        )
+
+    def cached_epsilon(self, s: int, t: int) -> Optional[float]:
+        return self.cached.get(self._key(s, t))
+
+    def sketch_gap(self, s: int, t: int) -> Optional[float]:
+        return self.gaps.get(self._key(s, t))
+
+    def queue_depth(self) -> int:
+        return self.queue
+
+    def breaker_state(self) -> str:
+        return self.breaker
+
+
+#: The pinned workload.  Each step either mutates a signal, feeds the cost
+#: model one latency observation, advances the clock, or issues a query whose
+#: decision lands in the golden trace.  It is written to walk every routing
+#: branch: cold priors, engine→exact crossover after calibration, cache
+#: ε-dominance (both dominating and too-loose), sketch-gap availability,
+#: admission-control queue inflation, an open breaker, the anytime envelope
+#: under an unmeetable deadline, and deadline-unmeetable without a sketch.
+WORKLOAD: list[dict] = [
+    # -- cold start: every tier at its prior, engine wins on a loose ε ------
+    {"op": "query", "s": 0, "t": 1, "epsilon": 0.25},
+    {"op": "tick", "seconds": 0.001},
+    # -- calibration: a slow engine and a fast exact solve flip the route ---
+    {"op": "observe_engine", "method": "geer", "s": 0, "t": 1,
+     "epsilon": 0.25, "seconds": 0.01},
+    {"op": "observe_flat", "tier": "exact", "seconds": 0.0005},
+    {"op": "query", "s": 0, "t": 1, "epsilon": 0.25},
+    {"op": "tick", "seconds": 0.0005},
+    # -- cache ε-dominance: 0.1-entry answers ε=0.25 but not ε=0.05 ---------
+    {"op": "cache", "s": 0, "t": 1, "epsilon": 0.1},
+    {"op": "query", "s": 0, "t": 1, "epsilon": 0.25},
+    {"op": "query", "s": 0, "t": 1, "epsilon": 0.05},
+    {"op": "tick", "seconds": 0.002},
+    # -- sketch gap: tight envelope beats the calibrated exact solve --------
+    {"op": "gap", "s": 2, "t": 3, "gap": 0.04},
+    {"op": "query", "s": 2, "t": 3, "epsilon": 0.05},
+    # -- second engine observation exercises the EWMA fold (not first-set) --
+    {"op": "observe_engine", "method": "geer", "s": 0, "t": 1,
+     "epsilon": 0.25, "seconds": 0.002},
+    # -- admission control: deep queue inflates engine; exact does not queue
+    {"op": "queue", "depth": 16},
+    {"op": "query", "s": 4, "t": 5, "epsilon": 0.3},
+    # -- open breaker removes the engine tier entirely ----------------------
+    {"op": "breaker", "state": "open"},
+    {"op": "query", "s": 4, "t": 5, "epsilon": 0.3},
+    {"op": "breaker", "state": "closed"},
+    {"op": "queue", "depth": 0},
+    {"op": "tick", "seconds": 0.01},
+    # -- heavy endpoints land in a different degree bucket ------------------
+    {"op": "degree", "node": 6, "value": 96.0},
+    {"op": "observe_engine", "method": "geer", "s": 6, "t": 7,
+     "epsilon": 0.1, "seconds": 0.0001},
+    {"op": "query", "s": 6, "t": 7, "epsilon": 0.1},
+    # -- anytime: nothing fits a 50µs budget, but the envelope exists -------
+    {"op": "gap", "s": 6, "t": 7, "gap": 0.2},
+    {"op": "query", "s": 6, "t": 7, "epsilon": 0.02, "deadline_seconds": 5e-5},
+    # -- unmeetable: same budget, no envelope for the pair ------------------
+    {"op": "query", "s": 8, "t": 9, "epsilon": 0.02, "deadline_seconds": 5e-5},
+    # -- epoch bump is stamped into subsequent decisions --------------------
+    {"op": "epoch", "value": 3},
+    {"op": "query", "s": 0, "t": 1, "epsilon": 0.25},
+]
+
+
+def build_planner():
+    """A planner over :class:`SimulatedSignals` with a pinned fake clock."""
+    from repro.service.planner import PlannerConfig, QueryPlanner
+
+    signals = SimulatedSignals()
+    clock = FakeClock()
+    planner = QueryPlanner(signals, config=PlannerConfig(), clock=clock)
+    return planner, signals, clock
+
+
+def run_workload(planner, signals, clock) -> list[dict]:
+    """Apply :data:`WORKLOAD` and return the decision dicts, in order."""
+    decisions = []
+    for step in WORKLOAD:
+        op = step["op"]
+        if op == "query":
+            decision = planner.decide(
+                step["s"], step["t"], step["epsilon"],
+                deadline_seconds=step.get("deadline_seconds"),
+            )
+            decisions.append(decision.to_dict())
+        elif op == "observe_engine":
+            planner.observe_engine(
+                step["method"], step["s"], step["t"],
+                step["epsilon"], step["seconds"],
+            )
+        elif op == "observe_flat":
+            planner.observe_flat(step["tier"], step["seconds"])
+        elif op == "cache":
+            signals.cached[signals._key(step["s"], step["t"])] = step["epsilon"]
+        elif op == "gap":
+            signals.gaps[signals._key(step["s"], step["t"])] = step["gap"]
+        elif op == "degree":
+            signals.node_degrees[step["node"]] = step["value"]
+        elif op == "queue":
+            signals.queue = step["depth"]
+        elif op == "breaker":
+            signals.breaker = step["state"]
+        elif op == "epoch":
+            signals.epoch = step["value"]
+        elif op == "tick":
+            clock.tick(step["seconds"])
+        else:  # pragma: no cover - workload authoring error
+            raise ValueError(f"unknown workload op {op!r}")
+    return decisions
+
+
+def regenerate() -> dict:
+    planner, signals, clock = build_planner()
+    decisions = run_workload(planner, signals, clock)
+    return {
+        "workload_version": WORKLOAD_VERSION,
+        "decisions": decisions,
+        "cost_model": planner.cost_model.snapshot(),
+        "stats": planner.stats.summary(),
+    }
+
+
+def main() -> None:
+    payload = regenerate()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['decisions'])} decisions)")
+
+
+if __name__ == "__main__":
+    main()

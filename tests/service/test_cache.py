@@ -84,6 +84,89 @@ class TestLRU:
         assert cache.stats.hits == 1
 
 
+class TestPeek:
+    def test_peek_returns_entry_regardless_of_epsilon(self):
+        cache = ResistanceCache()
+        cache.put(3, 7, 0.2, 0.42, "geer")
+        assert cache.peek(3, 7).epsilon == 0.2
+        assert cache.peek(7, 3).value == 0.42  # symmetric
+        assert cache.peek(0, 1) is None
+
+    def test_peek_touches_neither_stats_nor_recency(self):
+        cache = ResistanceCache(max_entries=2)
+        cache.put(0, 1, 0.1, 1.0)
+        cache.put(0, 2, 0.1, 2.0)
+        cache.peek(0, 1)  # a probe, not a use
+        assert cache.stats.lookups == 0
+        cache.put(0, 3, 0.1, 3.0)  # must evict (0, 1): peek kept it LRU-oldest
+        assert cache.peek(0, 1) is None
+        assert cache.peek(0, 2) is not None
+
+
+class TestRefine:
+    """Background refinements: never resurrect, never loosen, epoch-pinned."""
+
+    def test_tighter_refinement_accepted(self):
+        cache = ResistanceCache()
+        cache.put(0, 1, 0.3, 0.40, "sketch", epoch=5)
+        assert cache.refine(0, 1, 0.05, 0.43, "geer", epoch=5, current_epoch=5)
+        entry = cache.peek(0, 1)
+        assert entry == CacheEntry(0.43, 0.05, "geer", 5)
+        assert cache.stats.refinements == 1
+        assert cache.stats.dropped_refinements == 0
+
+    def test_refinement_never_creates_an_entry(self):
+        cache = ResistanceCache()
+        assert not cache.refine(0, 1, 0.05, 0.43, epoch=0, current_epoch=0)
+        assert cache.peek(0, 1) is None
+        assert cache.stats.dropped_refinements == 1
+
+    def test_evicted_entry_is_not_resurrected(self):
+        cache = ResistanceCache(max_entries=1)
+        cache.put(0, 1, 0.3, 0.40)
+        cache.put(0, 2, 0.3, 0.50)  # evicts (0, 1)
+        assert not cache.refine(0, 1, 0.05, 0.43, epoch=0, current_epoch=0)
+        assert cache.peek(0, 1) is None
+        assert len(cache) == 1
+
+    def test_invalidated_entry_is_not_resurrected(self):
+        cache = ResistanceCache()
+        cache.put(0, 1, 0.3, 0.40)
+        cache.invalidate_nodes([1])
+        assert not cache.refine(0, 1, 0.05, 0.43, epoch=0, current_epoch=0)
+        assert cache.peek(0, 1) is None
+
+    def test_stale_epoch_refinement_dropped(self):
+        cache = ResistanceCache()
+        cache.put(0, 1, 0.3, 0.40, epoch=2)
+        assert not cache.refine(0, 1, 0.05, 0.43, epoch=1, current_epoch=2)
+        assert cache.peek(0, 1).value == 0.40  # untouched
+        assert cache.stats.dropped_refinements == 1
+
+    def test_refinement_never_loosens(self):
+        cache = ResistanceCache()
+        cache.put(0, 1, 0.1, 0.40)
+        # equal ε is not tighter: must be rejected too
+        assert not cache.refine(0, 1, 0.1, 0.99, epoch=0, current_epoch=0)
+        assert not cache.refine(0, 1, 0.5, 0.99, epoch=0, current_epoch=0)
+        assert cache.peek(0, 1).value == 0.40
+        assert cache.stats.dropped_refinements == 2
+
+    def test_accepted_refinement_refreshes_recency(self):
+        cache = ResistanceCache(max_entries=2)
+        cache.put(0, 1, 0.3, 1.0)
+        cache.put(0, 2, 0.3, 2.0)
+        cache.refine(0, 1, 0.05, 1.1, epoch=0, current_epoch=0)
+        cache.put(0, 3, 0.3, 3.0)  # evicts (0, 2): the refinement was a use
+        assert cache.peek(0, 1) is not None
+        assert cache.peek(0, 2) is None
+
+    def test_dropped_refinements_in_summary(self):
+        cache = ResistanceCache()
+        cache.refine(0, 1, 0.05, 0.4, epoch=0, current_epoch=0)
+        assert cache.stats.summary()["dropped_refinements"] == 1
+
+
 class TestStats:
     def test_summary_shape(self):
         cache = ResistanceCache()

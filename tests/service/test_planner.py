@@ -1,0 +1,591 @@
+"""Deterministic simulation suite for the cost-based adaptive query planner.
+
+Two halves, matching the two halves of Contract 8:
+
+* **Latency half (pure simulation)** — :class:`QueryPlanner` driven through
+  :class:`SimulatedSignals` with an injectable clock and synthetic latency
+  observations: no graph, no wall-clock sleeps.  Table-driven cases pin the
+  tier choice flipping *exactly* at the modeled cost crossover, plus the
+  availability rules (cache ε-dominance, sketch gap, breaker, node cap),
+  admission-control inflation, tie-breaking and the EWMA arithmetic.
+* **Answer half (property + integration)** — the planner wired into a real
+  :class:`ResistanceService` must never change *answers*, only latency: every
+  adaptive answer meets the requested ε against the exact oracle on the
+  conformance graphs (hypothesis sweeps the pair/ε space), engine-tier
+  answers are bit-identical to the static pipeline under the same seed, and
+  anytime partials are honest about their envelope.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactEffectiveResistance
+from repro.core.walk_length import query_cost_units, refined_walk_length
+from repro.graph.builders import with_random_weights
+from repro.graph.generators import barabasi_albert_graph, watts_strogatz_graph
+from repro.service.planner import (
+    PlannerConfig,
+    QueryPlanner,
+    TIER_ORDER,
+    degree_bucket,
+)
+from repro.service.server import ResistanceService, ServiceConfig
+
+from regen_planner_golden import FakeClock, SimulatedSignals
+
+SEED = 7_2023
+
+
+def make_planner(*, config=None, clock=None, **signal_kwargs):
+    signals = SimulatedSignals(**signal_kwargs)
+    planner = QueryPlanner(signals, config=config or PlannerConfig(), clock=clock)
+    return planner, signals
+
+
+# --------------------------------------------------------------------------- #
+# cost model building blocks
+# --------------------------------------------------------------------------- #
+class TestCostPrimitives:
+    def test_degree_bucket_is_sorted_floor_log2(self):
+        assert degree_bucket(4.0, 4.0) == (2, 2)
+        assert degree_bucket(96.0, 3.0) == (1, 6)  # sorted: light endpoint first
+        assert degree_bucket(1.0, 1.9) == (0, 0)
+
+    def test_query_cost_units_scale_with_inverse_epsilon_squared(self):
+        lam, d = 0.5, 4.0
+        tight = query_cost_units(0.05, lam, d, d)
+        loose = query_cost_units(0.5, lam, d, d)
+        assert tight > loose
+        # ℓ grows only logarithmically; the 1/ε² factor dominates the ratio.
+        assert tight / loose > (0.5 / 0.05) ** 2 / 10
+
+    def test_higher_degrees_cost_fewer_units(self):
+        lam = 0.8
+        assert query_cost_units(0.1, lam, 64.0, 64.0) < query_cost_units(
+            0.1, lam, 2.0, 2.0
+        )
+
+    def test_ewma_first_observation_sets_rate_directly(self):
+        planner, _ = make_planner()
+        planner.observe_flat("exact", 0.004)
+        assert planner.cost_model.predict_flat("exact") == 0.004
+
+    def test_ewma_fold_uses_alpha(self):
+        config = PlannerConfig(ewma_alpha=0.25)
+        planner, _ = make_planner(config=config)
+        planner.observe_flat("exact", 0.004)
+        planner.observe_flat("exact", 0.008)
+        assert planner.cost_model.predict_flat("exact") == pytest.approx(
+            0.25 * 0.008 + 0.75 * 0.004
+        )
+
+    def test_engine_rate_falls_back_bucket_then_method_then_prior(self):
+        planner, signals = make_planner()
+        model = planner.cost_model
+        units = 100.0
+        prior = planner.config.engine_seconds_per_unit * units
+        assert model.predict_engine("geer", (2, 2), units) == pytest.approx(prior)
+        model.observe_engine("geer", (2, 2), 1000.0, 0.001)  # rate 1e-6
+        assert model.predict_engine("geer", (2, 2), units) == pytest.approx(1e-4)
+        # unseen bucket: the per-method aggregate, not the prior
+        assert model.predict_engine("geer", (5, 5), units) == pytest.approx(1e-4)
+        # unseen method: back to the prior
+        assert model.predict_engine("amc", (2, 2), units) == pytest.approx(prior)
+
+    def test_non_positive_observations_are_ignored(self):
+        planner, _ = make_planner()
+        planner.observe_flat("exact", 0.0)
+        planner.observe_flat("exact", -1.0)
+        assert planner.cost_model.predict_flat("exact") == pytest.approx(
+            planner.config.exact_cost_seconds
+        )
+        assert planner.stats.observations == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"deadline_safety": 0.0},
+            {"admission_queue_depth": 0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PlannerConfig(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# the crossover table: tier choice flips exactly where the cost model says
+# --------------------------------------------------------------------------- #
+class TestCrossover:
+    """With an engine rate of 1e-6 s/unit and an exact solve of 0.01 s, the
+    engine→exact flip must land exactly where ℓ(ε)/ε² crosses 10⁴ units —
+    between ε = 0.025 (9 600 units) and ε = 0.024 (10 417 units) for λ = 0.5
+    and degree-4 endpoints."""
+
+    RATE = 1e-6
+    EXACT_SECONDS = 0.01
+
+    @pytest.fixture()
+    def planner(self):
+        planner, _signals = make_planner()
+        # ε=0.5 on degree-4/λ=0.5 endpoints is exactly 4 cost units, so one
+        # 4µs observation pins the bucket rate at exactly 1e-6 s/unit.
+        assert query_cost_units(0.5, 0.5, 4.0, 4.0) == pytest.approx(4.0)
+        planner.observe_engine("geer", 0, 1, 0.5, 4.0 * self.RATE)
+        planner.observe_flat("exact", self.EXACT_SECONDS)
+        return planner
+
+    @pytest.mark.parametrize(
+        "epsilon, expected_tier",
+        [
+            (0.3, "engine"),
+            (0.05, "engine"),
+            (0.025, "engine"),  # 9 600 units -> 9.6 ms < 10 ms
+            (0.024, "exact"),  # 10 416.7 units -> 10.4 ms > 10 ms
+            (0.01, "exact"),
+        ],
+    )
+    def test_tier_flips_at_modeled_crossover(self, planner, epsilon, expected_tier):
+        decision = planner.decide(0, 1, epsilon)
+        assert decision.tier == expected_tier
+        # the decision records both candidate costs for the audit trail
+        units = query_cost_units(epsilon, 0.5, 4.0, 4.0)
+        assert decision.predicted["engine"] == pytest.approx(units * self.RATE)
+        assert decision.predicted["exact"] == pytest.approx(self.EXACT_SECONDS)
+
+    def test_crossover_epsilon_is_where_the_model_says(self, planner):
+        """Sanity on the table itself: the unit counts bracket 10⁴."""
+        assert query_cost_units(0.025, 0.5, 4.0, 4.0) < 1e4
+        assert query_cost_units(0.024, 0.5, 4.0, 4.0) > 1e4
+
+    def test_recalibration_moves_the_crossover(self, planner):
+        """A 10× faster engine observation pulls ε=0.01 back to the engine."""
+        decision = planner.decide(0, 1, 0.01)
+        assert decision.tier == "exact"
+        # EWMA the rate down hard: many fast observations at the same bucket
+        for _ in range(40):
+            planner.observe_engine("geer", 0, 1, 0.5, 4.0 * self.RATE / 100.0)
+        assert planner.decide(0, 1, 0.01).tier == "engine"
+
+
+# --------------------------------------------------------------------------- #
+# availability rules
+# --------------------------------------------------------------------------- #
+class TestAvailability:
+    def test_cache_dominance_boundary(self):
+        planner, signals = make_planner()
+        signals.cached[(0, 1)] = 0.1
+        assert "cache" in planner.decide(0, 1, 0.25).predicted
+        assert "cache" in planner.decide(0, 1, 0.1).predicted  # equality counts
+        assert "cache" not in planner.decide(0, 1, 0.05).predicted
+
+    def test_cache_wins_when_available(self):
+        planner, signals = make_planner()
+        signals.cached[(0, 1)] = 0.1
+        decision = planner.decide(0, 1, 0.25)
+        assert decision.tier == "cache" and decision.reason == "cheapest"
+
+    def test_sketch_gap_boundary(self):
+        planner, signals = make_planner()
+        signals.gaps[(0, 1)] = 0.08
+        assert "sketch" in planner.decide(0, 1, 0.08).predicted
+        assert "sketch" not in planner.decide(0, 1, 0.0799).predicted
+        assert "sketch" not in planner.decide(2, 3, 0.5).predicted  # no gap known
+
+    def test_exact_gated_by_node_cap(self):
+        planner, _ = make_planner(num_nodes=30_000)
+        assert "exact" not in planner.decide(0, 1, 0.1).predicted
+        small, _ = make_planner(num_nodes=100)
+        assert "exact" in small.decide(0, 1, 0.1).predicted
+
+    def test_open_breaker_removes_engine(self):
+        planner, signals = make_planner()
+        signals.breaker = "open"
+        decision = planner.decide(0, 1, 0.1)
+        assert "engine" not in decision.predicted
+        assert decision.tier != "engine"
+        assert decision.signals["breaker"] == "open"
+
+    def test_half_open_breaker_keeps_engine(self):
+        planner, signals = make_planner()
+        signals.breaker = "half_open"
+        assert "engine" in planner.decide(0, 1, 0.1).predicted
+
+    def test_queue_depth_doubles_engine_cost_at_admission_depth(self):
+        planner, signals = make_planner()
+        base = planner.decide(0, 1, 0.1).predicted["engine"]
+        signals.queue = planner.config.admission_queue_depth
+        assert planner.decide(0, 1, 0.1).predicted["engine"] == pytest.approx(
+            2.0 * base
+        )
+        signals.queue = 4 * planner.config.admission_queue_depth
+        assert planner.decide(0, 1, 0.1).predicted["engine"] == pytest.approx(
+            5.0 * base
+        )
+
+    def test_queue_does_not_inflate_lookup_tiers(self):
+        planner, signals = make_planner()
+        signals.cached[(0, 1)] = 0.01
+        signals.queue = 64
+        decision = planner.decide(0, 1, 0.1)
+        assert decision.predicted["cache"] == pytest.approx(
+            planner.config.cache_cost_seconds
+        )
+
+    def test_tie_break_follows_tier_order(self):
+        config = PlannerConfig(cache_cost_seconds=1e-5, sketch_cost_seconds=1e-5)
+        planner, signals = make_planner(config=config)
+        signals.cached[(0, 1)] = 0.01
+        signals.gaps[(0, 1)] = 0.01
+        decision = planner.decide(0, 1, 0.1)
+        assert decision.predicted["cache"] == decision.predicted["sketch"]
+        assert decision.tier == "cache"
+        assert TIER_ORDER.index("cache") < TIER_ORDER.index("sketch")
+
+
+# --------------------------------------------------------------------------- #
+# deadlines and the anytime tier
+# --------------------------------------------------------------------------- #
+class TestDeadlines:
+    def test_no_deadline_never_picks_anytime(self):
+        planner, signals = make_planner()
+        signals.gaps[(0, 1)] = 0.5
+        for epsilon in (0.01, 0.1, 0.5):
+            assert planner.decide(0, 1, epsilon).tier != "anytime"
+
+    def test_generous_deadline_keeps_cheapest(self):
+        planner, _ = make_planner()
+        decision = planner.decide(0, 1, 0.1, deadline_seconds=10.0)
+        assert decision.reason == "cheapest"
+
+    def test_unmeetable_deadline_with_envelope_goes_anytime(self):
+        planner, signals = make_planner()
+        signals.gaps[(0, 1)] = 0.3  # looser than ε: sketch tier unavailable
+        decision = planner.decide(0, 1, 0.02, deadline_seconds=1e-9)
+        assert decision.tier == "anytime"
+        assert decision.reason == "anytime-envelope"
+        assert decision.refine is True
+        assert decision.predicted["anytime"] == pytest.approx(
+            planner.cost_model.predict_flat("sketch")
+        )
+
+    def test_anytime_respects_refine_toggle(self):
+        config = PlannerConfig(refine_in_background=False)
+        planner, signals = make_planner(config=config)
+        signals.gaps[(0, 1)] = 0.3
+        decision = planner.decide(0, 1, 0.02, deadline_seconds=1e-9)
+        assert decision.tier == "anytime" and decision.refine is False
+
+    def test_unmeetable_deadline_without_envelope_is_reported(self):
+        planner, _ = make_planner()
+        decision = planner.decide(0, 1, 0.02, deadline_seconds=1e-9)
+        assert decision.reason == "deadline-unmeetable"
+        assert decision.tier in decision.predicted  # still serves the cheapest
+
+    def test_deadline_safety_margin_is_applied(self):
+        """A deadline that fits the raw cost but not cost/safety still degrades."""
+        config = PlannerConfig(deadline_safety=0.5)
+        planner, signals = make_planner(config=config)
+        signals.gaps[(0, 1)] = 0.5
+        planner.observe_flat("exact", 1.0)
+        planner.observe_engine("geer", 0, 1, 0.5, 10.0)  # engine slower still
+        cheapest = planner.decide(0, 1, 0.01).predicted
+        floor = min(cheapest.values())
+        # budget = deadline * 0.5; pick a deadline between floor and 2*floor
+        decision = planner.decide(0, 1, 0.01, deadline_seconds=1.5 * floor)
+        assert decision.reason == "anytime-envelope"
+
+
+# --------------------------------------------------------------------------- #
+# bookkeeping: stats, history, explain, clock
+# --------------------------------------------------------------------------- #
+class TestBookkeeping:
+    def test_decisions_counted_per_tier(self):
+        planner, signals = make_planner()
+        signals.cached[(0, 1)] = 0.01
+        planner.decide(0, 1, 0.1)
+        planner.decide(2, 3, 0.1)
+        assert planner.stats.decisions == 2
+        assert planner.stats.tier_decisions["cache"] == 1
+        assert sum(planner.stats.tier_decisions.values()) == 2
+
+    def test_explain_leaves_no_trace(self):
+        planner, _ = make_planner()
+        decision = planner.explain(0, 1, 0.1)
+        assert decision.tier in TIER_ORDER
+        assert planner.stats.decisions == 0
+        assert len(planner.decisions) == 0
+
+    def test_decision_ring_is_bounded(self):
+        planner, _ = make_planner(config=PlannerConfig(decision_history=4))
+        for index in range(7):
+            planner.decide(0, 1, 0.1 + index * 0.01)
+        assert len(planner.decisions) == 4
+        assert planner.decisions[-1].epsilon == pytest.approx(0.16)
+
+    def test_injected_clock_timestamps_decisions(self):
+        clock = FakeClock(start=100.0)
+        planner, _ = make_planner(clock=clock)
+        assert planner.decide(0, 1, 0.1).at == 100.0
+        clock.tick(2.5)
+        assert planner.decide(0, 1, 0.1).at == 102.5
+
+    def test_no_clock_means_no_timestamp(self):
+        planner, _ = make_planner()
+        assert planner.decide(0, 1, 0.1).at is None
+
+    def test_decision_signals_are_audit_complete(self):
+        planner, signals = make_planner()
+        signals.queue = 3
+        decision = planner.decide(0, 1, 0.2)
+        for key in (
+            "cached_epsilon", "sketch_gap", "queue_depth", "breaker",
+            "degree_bucket", "cost_units", "lambda_max_abs",
+        ):
+            assert key in decision.signals
+        assert decision.signals["queue_depth"] == 3
+        round_trip = decision.to_dict()
+        assert round_trip["tier"] == decision.tier
+        assert round_trip["predicted"] == decision.predicted
+
+    def test_simulation_is_deterministic(self):
+        """Same synthetic workload, two fresh planners, identical traces."""
+        def run():
+            planner, signals = make_planner(clock=FakeClock())
+            out = []
+            signals.cached[(0, 1)] = 0.05
+            out.append(planner.decide(0, 1, 0.1).to_dict())
+            planner.observe_engine("geer", 2, 3, 0.25, 0.004)
+            out.append(planner.decide(2, 3, 0.1).to_dict())
+            signals.breaker = "open"
+            out.append(planner.decide(2, 3, 0.1, deadline_seconds=0.5).to_dict())
+            return out
+
+        assert run() == run()
+
+    def test_metrics_samples_track_counters(self):
+        planner, _ = make_planner()
+        planner.record_fallback("cache")
+        planner.stats.refinements_scheduled = 3
+        names = {s.name: s.value for s in planner.metrics_samples()}
+        assert names["repro_planner_fallbacks_total"] == 1.0
+        assert names["repro_planner_refinements_scheduled_total"] == 3.0
+
+
+# --------------------------------------------------------------------------- #
+# answer half: the planner never changes answers, only latency (Contract 8)
+# --------------------------------------------------------------------------- #
+GRAPHS = {
+    "ba-unweighted": barabasi_albert_graph(40, 3, rng=8),
+    "ws-unweighted": watts_strogatz_graph(36, 4, 0.2, rng=9),
+}
+GRAPHS["ba-weighted"] = with_random_weights(
+    GRAPHS["ba-unweighted"], low=0.5, high=2.5, rng=18
+)
+GRAPHS["ws-weighted"] = with_random_weights(
+    GRAPHS["ws-unweighted"], low=0.25, high=4.0, rng=19
+)
+ORACLES = {name: ExactEffectiveResistance(g) for name, g in GRAPHS.items()}
+
+#: geer's conformance tolerance (tests/test_conformance.py): 1.0·ε + 0.05.
+def _tolerance(epsilon: float) -> float:
+    return 1.0 * epsilon + 0.05
+
+
+def _adaptive_service(graph, **planner_overrides):
+    planner_config = PlannerConfig(refine_in_background=False, **planner_overrides)
+    config = ServiceConfig(planner="adaptive", planner_config=planner_config)
+    return ResistanceService(graph, config=config, rng=SEED)
+
+
+@pytest.fixture(scope="module")
+def adaptive_services():
+    """One long-lived adaptive service per conformance graph: queries share
+    cache/cost-model state across examples, exactly like production traffic."""
+    return {name: _adaptive_service(graph) for name, graph in GRAPHS.items()}
+
+
+@pytest.fixture(scope="module")
+def no_exact_services():
+    """The same, with the exact tier disabled so tight ε exercises the engine."""
+    return {
+        name: _adaptive_service(graph, exact_max_nodes=0)
+        for name, graph in GRAPHS.items()
+    }
+
+
+CONFORMANCE_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestAnswerConformance:
+    @CONFORMANCE_SETTINGS
+    @given(
+        graph_name=st.sampled_from(sorted(GRAPHS)),
+        s=st.integers(min_value=0, max_value=35),
+        t=st.integers(min_value=0, max_value=35),
+        epsilon=st.sampled_from([0.1, 0.2, 0.35, 0.5]),
+    )
+    def test_every_adaptive_answer_meets_epsilon(
+        self, adaptive_services, graph_name, s, t, epsilon
+    ):
+        """Whatever tier the planner picks, the answer is within ε of exact."""
+        if s == t:
+            return
+        service = adaptive_services[graph_name]
+        result = service.query(s, t, epsilon)
+        exact = ORACLES[graph_name].query(s, t)
+        assert not result.details.get("partial", False)  # no deadline given
+        assert abs(result.value - exact) <= _tolerance(epsilon), (
+            f"{graph_name}: tier {result.details.get('plan')} answered "
+            f"r({s},{t}) = {result.value:.4f} vs exact {exact:.4f} at ε={epsilon}"
+        )
+
+    @CONFORMANCE_SETTINGS
+    @given(
+        graph_name=st.sampled_from(sorted(GRAPHS)),
+        s=st.integers(min_value=0, max_value=35),
+        t=st.integers(min_value=0, max_value=35),
+        epsilon=st.sampled_from([0.15, 0.35]),
+    )
+    def test_engine_routed_answers_meet_epsilon(
+        self, no_exact_services, graph_name, s, t, epsilon
+    ):
+        """With the exact tier gated off, sampling tiers still meet ε."""
+        if s == t:
+            return
+        service = no_exact_services[graph_name]
+        result = service.query(s, t, epsilon)
+        exact = ORACLES[graph_name].query(s, t)
+        assert abs(result.value - exact) <= _tolerance(epsilon)
+
+
+class TestContract8Determinism:
+    def test_engine_tier_is_bit_identical_to_static_pipeline(self):
+        """Same seed, same pair, planner on vs off: identical engine answers.
+
+        The adaptive engine tier runs the session-stream execution unchanged,
+        so routing through the planner must not shift a single sample."""
+        graph = GRAPHS["ba-unweighted"]
+        static = ResistanceService(
+            graph, config=ServiceConfig(use_cache=False, use_sketch=False), rng=SEED
+        )
+        adaptive = ResistanceService(
+            graph,
+            config=ServiceConfig(
+                use_cache=False,
+                use_sketch=False,
+                planner="adaptive",
+                planner_config=PlannerConfig(
+                    refine_in_background=False, exact_max_nodes=0
+                ),
+            ),
+            rng=SEED,
+        )
+        pairs = [(0, 11), (3, 27), (5, 30)]
+        for s, t in pairs:
+            a = adaptive.query(s, t, 0.3)
+            b = static.query(s, t, 0.3)
+            assert a.details["plan"] == "engine"
+            assert a.value == b.value  # bit-identical, not approx
+            assert a.total_steps == b.total_steps
+
+    def test_adaptive_service_is_reproducible_end_to_end(self):
+        """Two identically seeded adaptive services replay identical values."""
+        graph = GRAPHS["ws-weighted"]
+        sequence = [(0, 9, 0.3), (4, 20, 0.15), (0, 9, 0.3), (7, 31, 0.5)]
+
+        def run():
+            service = _adaptive_service(graph)
+            return [
+                (service.query(s, t, eps).value, service.query(s, t, eps).method)
+                for s, t, eps in sequence
+            ]
+
+        assert run() == run()
+
+
+class TestAnytimeIntegration:
+    def test_partial_envelope_then_background_refinement(self):
+        graph = GRAPHS["ba-unweighted"]
+        config = ServiceConfig(
+            planner="adaptive",
+            planner_config=PlannerConfig(refine_in_background=True),
+        )
+        service = ResistanceService(graph, config=config, rng=SEED)
+        try:
+            oracle = ORACLES["ba-unweighted"]
+            # find a pair whose envelope is genuinely looser than ε=0.05
+            pair = None
+            for s in range(graph.num_nodes):
+                for t in range(s + 1, graph.num_nodes):
+                    gap = service.sketch.gap(s, t)
+                    if gap is not None and gap > 0.2:
+                        pair = (s, t)
+                        break
+                if pair:
+                    break
+            assert pair is not None, "sketch too tight for an anytime fixture"
+            s, t = pair
+
+            result = service.query(s, t, 0.05, deadline_seconds=1e-9)
+            assert result.details["partial"] is True
+            assert result.details["plan"] == "anytime"
+            assert result.details["refining"] is True
+            half_width = result.details["half_width"]
+            # the partial is honest: within its *published* envelope
+            exact = oracle.query(s, t)
+            assert result.details["lower"] - 1e-9 <= exact <= result.details["upper"] + 1e-9
+            assert abs(result.value - exact) <= half_width + 1e-9
+
+            service._refiner.drain()
+            assert service.planner.stats.refinements_completed == 1
+            entry = service.cache.peek(s, t)
+            assert entry is not None and entry.epsilon <= 0.05
+            # the refined answer now serves the tight ε from cache
+            refined = service.query(s, t, 0.05)
+            assert refined.method == "cache"
+            assert abs(refined.value - exact) <= _tolerance(0.05)
+        finally:
+            service.close()
+
+    def test_stale_epoch_refinement_is_dropped(self):
+        """A refinement pinned to an older epoch never lands (Contract 6/8)."""
+        from types import SimpleNamespace
+
+        graph = GRAPHS["ba-unweighted"]
+        service = _adaptive_service(graph)
+        service.query(0, 11, 0.3)  # seed a cache entry through the planner
+        stale = SimpleNamespace(
+            s=0, t=11, epsilon=0.01, value=1.234, method="geer",
+            budget_exhausted=False, elapsed_seconds=0.001,
+        )
+        before = service.cache.peek(0, 11)
+        accepted = service._complete_refinement(stale, epoch=service.epoch - 1)
+        assert accepted is False
+        assert service.planner.stats.refinements_dropped == 1
+        assert service.cache.peek(0, 11) == before  # untouched, not resurrected
+
+    def test_refinement_never_loosens_cache(self):
+        graph = GRAPHS["ba-unweighted"]
+        service = _adaptive_service(graph)
+        service.query(0, 11, 0.1)
+        from types import SimpleNamespace
+
+        looser = SimpleNamespace(
+            s=0, t=11, epsilon=0.4, value=9.9, method="geer",
+            budget_exhausted=False, elapsed_seconds=0.001,
+        )
+        assert service._complete_refinement(looser, epoch=service.epoch) is False
+        entry = service.cache.peek(0, 11)
+        assert entry.epsilon <= 0.1 and entry.value != 9.9

@@ -1,0 +1,71 @@
+"""Golden decision-trace regression for the adaptive planner.
+
+Replays the pinned synthetic workload from ``tests/regen_planner_golden.py``
+and compares every emitted :class:`PlanDecision` — tier, reason, predicted
+costs, recorded signals, timestamps — against ``tests/data/planner_golden.json``.
+The workload is pure float arithmetic on fixed inputs, so the comparison is
+exact: any drift in routing or EWMA math fails here first.
+
+Regenerate (only after an *intentional* planner change) with::
+
+    PYTHONPATH=src python tests/regen_planner_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from regen_planner_golden import (
+    GOLDEN_PATH,
+    WORKLOAD_VERSION,
+    build_planner,
+    run_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():  # pragma: no cover - fixture missing
+        pytest.fail(
+            "tests/data/planner_golden.json is missing; run "
+            "`PYTHONPATH=src python tests/regen_planner_golden.py`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def replay():
+    planner, signals, clock = build_planner()
+    decisions = run_workload(planner, signals, clock)
+    return planner, decisions
+
+
+def test_workload_version_matches(golden):
+    assert golden["workload_version"] == WORKLOAD_VERSION
+
+
+def test_decision_trace_is_bit_identical(golden, replay):
+    _, decisions = replay
+    assert len(decisions) == len(golden["decisions"])
+    for index, (got, want) in enumerate(zip(decisions, golden["decisions"])):
+        assert got == want, f"decision #{index} drifted:\n got {got}\nwant {want}"
+
+
+def test_cost_model_snapshot_matches(golden, replay):
+    planner, _ = replay
+    assert planner.cost_model.snapshot() == golden["cost_model"]
+
+
+def test_stats_match(golden, replay):
+    planner, _ = replay
+    assert planner.stats.summary() == golden["stats"]
+
+
+def test_trace_covers_every_tier_and_reason(golden):
+    """The pinned workload must keep exercising all routing branches."""
+    tiers = {decision["tier"] for decision in golden["decisions"]}
+    reasons = {decision["reason"] for decision in golden["decisions"]}
+    assert {"cache", "sketch", "exact", "engine", "anytime"} <= tiers
+    assert {"cheapest", "anytime-envelope", "deadline-unmeetable"} <= reasons
