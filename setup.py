@@ -4,8 +4,16 @@ The project metadata lives in ``pyproject.toml`` (PEP 621); this file only
 exists so that ``pip install -e .`` works in offline environments whose
 setuptools/pip combination cannot build PEP 660 editable wheels (no ``wheel``
 package available).
+
+The ``compiled`` extra pulls in numba for the optional compiled walk-kernel
+backend (``pip install repro[compiled]``); without it the engine runs the
+bit-identical numpy reference kernels (see DESIGN.md Contract 9).
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "compiled": ["numba>=0.57"],
+    },
+)

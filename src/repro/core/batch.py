@@ -671,7 +671,9 @@ def _task_kwargs(
     if param is not None and length is not None and param not in call_kwargs:
         call_kwargs[param] = length
     if spec.parallel_seed == "engine":
-        call_kwargs["engine"] = RandomWalkEngine(context.graph, rng=seed)
+        call_kwargs["engine"] = RandomWalkEngine(
+            context.graph, rng=seed, kernel_backend=context.budget.kernel_backend
+        )
     elif spec.parallel_seed == "rng":
         call_kwargs["rng"] = seed
     return call_kwargs

@@ -1,0 +1,333 @@
+"""Optional numba-compiled walk kernels (bit-identical to the numpy backend).
+
+The kernels below are written as **plain Python functions over scalars**
+(`_advance_py`, `_leaf_scores_py`) and wrapped with ``numba.njit`` at load
+time.  That shape is load-bearing twice over:
+
+* The walk-major fused loop (one walk start-to-finish per iteration,
+  step draw + CSR gather + Vose acceptance + score write fused into one
+  pass) is what the JIT vectorises well — it removes the ~10 full-array
+  temporaries per step that the numpy backend pays for.
+* The *same* function objects run under CPython, where every operation
+  is an IEEE-754 float64 scalar op with semantics identical to the
+  compiled code (``njit`` uses no fastmath, no reassociation, no
+  parallel reductions).  The test-suite therefore proves the algorithm
+  bit-identical to the numpy backend on hosts **without** numba by
+  running these twins uncompiled (see :func:`python_twin_backend`), and
+  CI's with-numba leg re-proves the compiled artifacts.
+
+Bit-identity (DESIGN.md Contract 9) hinges on two replicas:
+
+* The step arithmetic is op-for-op the numpy kernel's: one uniform draw
+  per walk per step, ``draw * degree`` in float64, C-cast truncation to
+  the slot offset, ``min(offset, degree - 1)`` clip, and for weighted
+  graphs the Vose acceptance test on the draw's fractional part.
+* The per-leaf score reduction replicates ``DOUBLE_pairwise_sum`` from
+  numpy's umath loops exactly: sequential accumulation below 8
+  elements, the 8-accumulator unrolled loop with the fixed
+  ``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))`` combine up to 128, and the
+  trailing ``0.0 + res`` identity add numpy applies per ``sum()`` call
+  (it normalises a ``-0.0`` leaf total to ``+0.0``).  Leaves longer than
+  128 never reach the kernel: the driver feeds it the exact leaf/merge
+  schedule of :func:`~repro.sampling.kernels._pairwise_plan`.
+
+Random draws stay in numpy-land (the PCG64 stream is consumed with the
+exact same ``rng.random`` calls and ``advance`` skips as the numpy
+backend), so chunked ≡ unchunked (Contract 2) holds unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.kernels import (
+    _PAIRWISE_BLOCK,
+    KernelUnavailableError,
+    WalkKernelState,
+    _pairwise_plan,
+)
+
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _advance_py(
+    indptr, indices, degrees, uniform_degree, use_alias, alias_prob, alias_node,
+    nodes, draws, out,
+):
+    """One lock-step transition per walk; ``draws[w]`` is walk ``w``'s uniform."""
+    for w in range(nodes.shape[0]):
+        node = nodes[w]
+        x = draws[w]
+        if uniform_degree > 0:
+            x = x * np.float64(uniform_degree)
+            off = np.int64(x)
+            lim = uniform_degree - 1
+            if off > lim:
+                off = lim
+            out[w] = indices[indptr[node] + off]
+        else:
+            d = degrees[node]
+            x = x * d
+            off = np.int64(x)
+            lim = np.int64(d) - 1
+            if off > lim:
+                off = lim
+            pos = indptr[node] + off
+            if use_alias:
+                frac = x - np.float64(off)
+                if frac >= alias_prob[pos]:
+                    out[w] = alias_node[pos]
+                else:
+                    out[w] = indices[pos]
+            else:
+                out[w] = indices[pos]
+
+
+def _leaf_scores_py(
+    indptr, indices, degrees, uniform_degree, use_alias, alias_prob, alias_node,
+    weights, current, draws, leaf_length, out,
+):
+    """Fused step + score for one pairwise leaf of at most 128 steps.
+
+    ``draws`` is the ``(num_walks, leaf_length)`` slab of pre-drawn uniforms
+    (walk-major, so each walk's steps are contiguous); ``current`` holds the
+    frontier on entry and is updated in place to the post-leaf frontier;
+    ``out[w]`` receives the leaf's pairwise score total for walk ``w``.
+    """
+    buf = np.empty(_PAIRWISE_BLOCK, dtype=np.float64)
+    for w in range(current.shape[0]):
+        node = current[w]
+        for step in range(leaf_length):
+            x = draws[w, step]
+            if uniform_degree > 0:
+                x = x * np.float64(uniform_degree)
+                off = np.int64(x)
+                lim = uniform_degree - 1
+                if off > lim:
+                    off = lim
+                node = indices[indptr[node] + off]
+            else:
+                d = degrees[node]
+                x = x * d
+                off = np.int64(x)
+                lim = np.int64(d) - 1
+                if off > lim:
+                    off = lim
+                pos = indptr[node] + off
+                if use_alias:
+                    frac = x - np.float64(off)
+                    if frac >= alias_prob[pos]:
+                        node = alias_node[pos]
+                    else:
+                        node = indices[pos]
+                else:
+                    node = indices[pos]
+            buf[step] = weights[node]
+        current[w] = node
+        # numpy's DOUBLE_pairwise_sum over buf[:leaf_length], replicated
+        # exactly (leaf_length <= 128 by construction of _pairwise_plan).
+        n = leaf_length
+        if n < 8:
+            res = 0.0
+            for i in range(n):
+                res += buf[i]
+        else:
+            r0 = buf[0]
+            r1 = buf[1]
+            r2 = buf[2]
+            r3 = buf[3]
+            r4 = buf[4]
+            r5 = buf[5]
+            r6 = buf[6]
+            r7 = buf[7]
+            i = 8
+            limit = n - (n % 8)
+            while i < limit:
+                r0 += buf[i]
+                r1 += buf[i + 1]
+                r2 += buf[i + 2]
+                r3 += buf[i + 3]
+                r4 += buf[i + 4]
+                r5 += buf[i + 5]
+                r6 += buf[i + 6]
+                r7 += buf[i + 7]
+                i += 8
+            res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+            while i < n:
+                res += buf[i]
+                i += 1
+        # numpy applies the additive identity once per sum() call, which
+        # canonicalises a -0.0 total to +0.0; a no-op for every other value.
+        out[w] = 0.0 + res
+
+
+class NumbaWalkBackend:
+    """Driver around the compiled kernels (or their python twins).
+
+    Stream discipline is shared with the numpy backend: one
+    ``rng.random`` burst of ``num_walks`` doubles per step (drawn into a
+    row of the leaf's slab matrix), an ``advance(stream_skip)`` after
+    every step in chunked mode, and the leaf/merge schedule of
+    ``_pairwise_plan`` — only the per-step arithmetic and the per-leaf
+    reduction run compiled.
+    """
+
+    def __init__(self, advance_kernel, leaf_scores_kernel, name: str = "numba"):
+        self._advance_kernel = advance_kernel
+        self._leaf_scores_kernel = leaf_scores_kernel
+        self.name = name
+
+    @staticmethod
+    def _state_args(state: WalkKernelState) -> tuple:
+        uniform = -1 if state.uniform_degree is None else int(state.uniform_degree)
+        if state.alias_prob is None:
+            return (
+                state.indptr, state.indices, state.degrees_float,
+                uniform, False, _EMPTY_F64, _EMPTY_I64,
+            )
+        return (
+            state.indptr, state.indices, state.degrees_float,
+            uniform, True, state.alias_prob, state.alias_node,
+        )
+
+    def advance(
+        self,
+        state: WalkKernelState,
+        nodes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        draws = rng.random(len(nodes))
+        out = np.empty(len(nodes), dtype=np.int64)
+        self._advance_kernel(*self._state_args(state), nodes, draws, out)
+        return out
+
+    def scores_block(
+        self,
+        state: WalkKernelState,
+        start: int,
+        num_walks: int,
+        length: int,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+        stream_skip: int,
+        out: np.ndarray,
+    ) -> None:
+        leaves, merges = _pairwise_plan(length)
+        args = self._state_args(state)
+        current = np.full(num_walks, start, dtype=np.int64)
+        # Draws land step-major (each rng.random burst fills one row, the
+        # exact stream consumption of the numpy backend), then transpose to
+        # the walk-major layout the fused kernel scans contiguously.
+        draw_rows = np.empty(
+            (min(length, _PAIRWISE_BLOCK), num_walks), dtype=np.float64
+        )
+        stack: list[np.ndarray] = []
+        for leaf_length, merge_count in zip(leaves, merges):
+            for step in range(leaf_length):
+                rng.random(out=draw_rows[step])
+                if stream_skip:
+                    rng.bit_generator.advance(stream_skip)
+            draws = np.ascontiguousarray(draw_rows[:leaf_length].T)
+            partial = np.empty(num_walks, dtype=np.float64)
+            self._leaf_scores_kernel(*args, weights, current, draws, leaf_length, partial)
+            for _ in range(merge_count):
+                right = partial
+                partial = stack.pop()
+                partial += right
+            stack.append(partial)
+        assert len(stack) == 1
+        out[:] = stack[0]
+
+
+def python_twin_backend() -> NumbaWalkBackend:
+    """The numba algorithm running uncompiled (for conformance tests).
+
+    CPython executes the twin kernels with IEEE-754 float64 scalar
+    semantics identical to the njit-compiled code, so hex-equality of
+    this backend against the numpy backend proves Contract 9 for the
+    algorithm on hosts where numba is not installed.
+    """
+    return NumbaWalkBackend(_advance_py, _leaf_scores_py, name="numba-python-twin")
+
+
+def _warmup_states() -> list[WalkKernelState]:
+    """Tiny states covering all three step branches (uniform/general/alias)."""
+    cycle = WalkKernelState(  # 3-cycle: uniform degree 2
+        indptr=np.array([0, 2, 4, 6], dtype=np.int64),
+        indices=np.array([1, 2, 0, 2, 0, 1], dtype=np.int64),
+        degrees_float=np.array([2.0, 2.0, 2.0]),
+        uniform_degree=2,
+        alias_prob=None,
+        alias_node=None,
+    )
+    path = WalkKernelState(  # path 0-1-2: mixed degrees, unweighted
+        indptr=np.array([0, 1, 3, 4], dtype=np.int64),
+        indices=np.array([1, 0, 2, 1], dtype=np.int64),
+        degrees_float=np.array([1.0, 2.0, 1.0]),
+        uniform_degree=None,
+        alias_prob=None,
+        alias_node=None,
+    )
+    weighted = WalkKernelState(  # same path, non-trivial alias slots
+        indptr=np.array([0, 1, 3, 4], dtype=np.int64),
+        indices=np.array([1, 0, 2, 1], dtype=np.int64),
+        degrees_float=np.array([1.0, 2.0, 1.0]),
+        uniform_degree=None,
+        alias_prob=np.array([1.0, 0.6, 1.0, 1.0]),
+        alias_node=np.array([1, 2, 2, 1], dtype=np.int64),
+    )
+    return [cycle, path, weighted]
+
+
+def _warmup(backend: NumbaWalkBackend) -> None:
+    """Force compilation of every kernel specialisation and cross-check it.
+
+    Runs each branch against the numpy backend under identical seeds; a
+    mismatch raises (and resolution falls back to numpy with a warning)
+    rather than letting a miscompiled kernel near the golden contracts.
+    """
+    from repro.sampling.kernels.numpy_backend import NUMPY_BACKEND
+
+    for state in _warmup_states():
+        nodes = np.array([0, 1, 2, 1], dtype=np.int64)
+        stepped = backend.advance(state, nodes, np.random.default_rng(7))
+        expected = NUMPY_BACKEND.advance(state, nodes, np.random.default_rng(7))
+        if not np.array_equal(stepped, expected):
+            raise RuntimeError("numba advance kernel disagrees with numpy backend")
+        for stream_skip in (0, 3):
+            got = np.empty(4, dtype=np.float64)
+            want = np.empty(4, dtype=np.float64)
+            weights = np.array([0.5, -1.25, 2.0])
+            backend.scores_block(
+                state, 0, 4, 300, weights, np.random.default_rng(11), stream_skip, got
+            )
+            NUMPY_BACKEND.scores_block(
+                state, 0, 4, 300, weights, np.random.default_rng(11), stream_skip, want
+            )
+            if not (got.tobytes() == want.tobytes()):
+                raise RuntimeError(
+                    "numba scores kernel is not bit-identical to numpy backend"
+                )
+
+
+def load() -> NumbaWalkBackend:
+    """Import numba, compile the kernels, prove them, return the backend.
+
+    Raises :class:`KernelUnavailableError` when numba is not importable
+    and any other exception on compilation/conformance failure — the
+    resolver in :mod:`repro.sampling.kernels` maps both onto the numpy
+    fallback (silently for a missing optional dependency under "auto",
+    with a one-time warning otherwise).
+    """
+    try:
+        import numba
+    except ImportError as exc:  # pragma: no cover - exercised via monkeypatch
+        raise KernelUnavailableError(str(exc)) from exc
+    jit = numba.njit(cache=True, nogil=True)
+    backend = NumbaWalkBackend(jit(_advance_py), jit(_leaf_scores_py))
+    _warmup(backend)
+    return backend
+
+
+__all__ = ["NumbaWalkBackend", "load", "python_twin_backend"]

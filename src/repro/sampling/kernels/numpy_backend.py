@@ -1,0 +1,157 @@
+"""Reference numpy walk kernels (extracted from ``RandomWalkEngine``).
+
+This module is the *definition* of the walk arithmetic: every other
+backend must reproduce these kernels bit-for-bit (DESIGN.md Contract 9).
+The code is the engine's historical ``_advance`` / ``_scores_block``
+bodies, unchanged, with the per-engine attributes replaced by a
+:class:`~repro.sampling.kernels.WalkKernelState` of plain arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.kernels import _PAIRWISE_BLOCK, WalkKernelState, _pairwise_plan
+from repro.utils.rng import random_choice_csr
+
+
+class NumpyWalkBackend:
+    """The always-available pure-numpy backend."""
+
+    name = "numpy"
+
+    def advance(
+        self,
+        state: WalkKernelState,
+        nodes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One lock-step transition for ``nodes``; draws ``rng.random(len(nodes))``.
+
+        The engine constructor has already rejected isolated nodes, so the
+        kernel skips re-deriving degrees from ``indptr`` and the per-step
+        isolated check — both value-preserving optimisations (the drawn
+        offsets are bit-identical to the checked public kernel).
+        """
+        if state.uniform_degree is not None:
+            degree = state.uniform_degree
+            starts = state.indptr[nodes]
+            draws = rng.random(len(nodes))
+            draws *= float(degree)
+            offsets = draws.astype(np.int64)
+            np.minimum(offsets, degree - 1, out=offsets)
+            starts += offsets
+            return state.indices[starts]
+        if state.alias_prob is not None:
+            # Weighted step: the slot draw consumes exactly one uniform per
+            # walk (same stream schedule as the unweighted kernel, which is
+            # what keeps the chunked driver's `advance` bookkeeping valid);
+            # the fractional part runs the Vose acceptance test.
+            starts = state.indptr[nodes]
+            degrees = state.degrees_float[nodes]
+            draws = rng.random(len(nodes))
+            draws *= degrees
+            offsets = draws.astype(np.int64)
+            np.minimum(offsets, degrees.astype(np.int64) - 1, out=offsets)
+            frac = draws - offsets
+            positions = starts + offsets
+            return np.where(
+                frac < state.alias_prob[positions],
+                state.indices[positions],
+                state.alias_node[positions],
+            )
+        return random_choice_csr(
+            rng,
+            state.indptr,
+            state.indices,
+            nodes,
+            degrees=state.degrees_float,
+            checked=False,
+        )
+
+    def scores_block(
+        self,
+        state: WalkKernelState,
+        start: int,
+        num_walks: int,
+        length: int,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+        stream_skip: int,
+        out: np.ndarray,
+    ) -> None:
+        """Advance ``num_walks`` walks for ``length`` steps, scoring as we go.
+
+        ``stream_skip`` > 0 (chunked mode) advances ``rng`` past the other
+        slabs' draws after every step so the slab stays aligned with the
+        global stream.  Scores accumulate through NumPy's exact pairwise
+        reduction tree (:func:`_pairwise_plan`): visited-node weights are
+        buffered in blocks of at most 128 step columns, each block reduced
+        with ``.sum(axis=1)`` and the partial sums merged ``left + right`` in
+        recursion order — reproducing ``weights[matrix].sum(axis=1)``
+        bit-for-bit with bounded memory.
+        """
+        leaves, merges = _pairwise_plan(length)
+        block = np.empty((num_walks, min(length, _PAIRWISE_BLOCK)), dtype=np.float64)
+        stack: list[np.ndarray] = []
+        current = np.full(num_walks, start, dtype=np.int64)
+        # Buffered replica of ``advance``: every per-step array is
+        # preallocated and written through ``out=`` so the hot loop performs
+        # no allocations.  The arithmetic is op-for-op identical (same draws,
+        # same products, truncation == floor for non-negative values), so the
+        # sampled walks match the unbuffered kernel bit-for-bit.
+        starts = np.empty(num_walks, dtype=np.int64)
+        draws = np.empty(num_walks, dtype=np.float64)
+        offsets = np.empty(num_walks, dtype=np.int64)
+        clip = np.empty(num_walks, dtype=np.int64)
+        degrees = np.empty(num_walks, dtype=np.float64)
+        uniform = state.uniform_degree
+        weighted = state.alias_prob is not None
+        if weighted:
+            frac = np.empty(num_walks, dtype=np.float64)
+            prob = np.empty(num_walks, dtype=np.float64)
+            alias = np.empty(num_walks, dtype=np.int64)
+            reject = np.empty(num_walks, dtype=bool)
+        for leaf_length, merge_count in zip(leaves, merges):
+            for column in range(leaf_length):
+                np.take(state.indptr, current, out=starts)
+                rng.random(out=draws)
+                if stream_skip:
+                    rng.bit_generator.advance(stream_skip)
+                if uniform is not None:
+                    np.multiply(draws, float(uniform), out=draws)
+                    np.copyto(offsets, draws, casting="unsafe")
+                    np.minimum(offsets, uniform - 1, out=offsets)
+                else:
+                    np.take(state.degrees_float, current, out=degrees)
+                    np.multiply(draws, degrees, out=draws)
+                    np.copyto(offsets, draws, casting="unsafe")
+                    np.copyto(clip, degrees, casting="unsafe")
+                    clip -= 1
+                    np.minimum(offsets, clip, out=offsets)
+                starts += offsets
+                if weighted:
+                    # Vose acceptance on the draw's fractional part: same
+                    # buffered discipline, three extra gathers per step.
+                    np.subtract(draws, offsets, out=frac)
+                    np.take(state.alias_prob, starts, out=prob)
+                    np.greater_equal(frac, prob, out=reject)
+                    np.take(state.indices, starts, out=current)
+                    np.take(state.alias_node, starts, out=alias)
+                    np.copyto(current, alias, where=reject)
+                else:
+                    np.take(state.indices, starts, out=current)
+                block[:, column] = weights[current]
+            partial = block[:, :leaf_length].sum(axis=1)
+            for _ in range(merge_count):
+                right = partial
+                partial = stack.pop()
+                partial += right
+            stack.append(partial)
+        assert len(stack) == 1
+        out[:] = stack[0]
+
+
+NUMPY_BACKEND = NumpyWalkBackend()
+
+__all__ = ["NUMPY_BACKEND", "NumpyWalkBackend"]

@@ -69,6 +69,45 @@ def test_walk_methods_are_bit_identical(golden, graphs, graph_name, method):
     )
 
 
+def _numba_available() -> bool:
+    from repro.sampling.kernels import backend_status
+
+    return bool(backend_status()["numba"]["available"])
+
+
+#: Backend matrix for the golden replay: the explicit numpy backend always
+#: runs; the compiled numba backend runs wherever numba is installed (CI's
+#: with-numba leg) and is skipped — not silently fallen back — elsewhere,
+#: so a green "numba" result always means the compiled kernels produced it.
+BACKEND_MATRIX = [
+    "numpy",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(
+            not _numba_available(), reason="numba not installed"
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("backend", BACKEND_MATRIX)
+@pytest.mark.parametrize("graph_name", ["ba60-unweighted", "ba60-weighted"])
+@pytest.mark.parametrize("method", sorted(BITWISE_METHODS))
+def test_walk_methods_bit_identical_across_backends(
+    golden, graphs, graph_name, method, backend
+):
+    """Contract 9: every kernel backend reproduces the golden bits exactly."""
+    stored = golden["graphs"][graph_name]["methods"][method]["hex"]
+    replayed = [
+        float(v).hex()
+        for v in run_method(graphs[graph_name], method, kernel_backend=backend)
+    ]
+    assert replayed == stored, (
+        f"{method} on {graph_name} drifted from the golden values under the "
+        f"{backend!r} kernel backend (compiled ≡ numpy violated)"
+    )
+
+
 @pytest.mark.parametrize("graph_name", ["ba60-unweighted", "ba60-weighted"])
 @pytest.mark.parametrize("method", sorted(SOLVER_METHODS))
 def test_solver_methods_match_tightly(golden, graphs, graph_name, method):
